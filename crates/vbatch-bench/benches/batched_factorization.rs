@@ -1,0 +1,132 @@
+//! Criterion micro-benchmarks of the native batched factorization
+//! kernels (the CPU layer the figures' SIMT estimates sit on): LU with
+//! implicit/explicit/no pivoting, Gauss-Huard (both layouts), GJE
+//! inversion and Cholesky, across block sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use vbatch_core::{
+    batched_getrf, batched_gh, batched_gje_invert, make_spd, potrf, DenseMat, Exec, GhLayout,
+    MatrixBatch, PivotStrategy,
+};
+
+fn batch(n: usize, count: usize) -> MatrixBatch<f64> {
+    let mats: Vec<DenseMat<f64>> = (0..count)
+        .map(|s| {
+            DenseMat::from_fn(n, n, |i, j| {
+                let h = (i * 37 + j * 101 + s * 13 + 7) % 512;
+                h as f64 / 256.0 - 1.0 + if i == j { 3.0 } else { 0.0 }
+            })
+        })
+        .collect();
+    MatrixBatch::from_matrices(&mats)
+}
+
+fn bench_getrf(c: &mut Criterion) {
+    let mut g = c.benchmark_group("batched_getrf");
+    let count = 1_000;
+    for n in [8usize, 16, 32] {
+        let b = batch(n, count);
+        g.throughput(Throughput::Elements((count * n * n * n) as u64));
+        for (label, strat) in [
+            ("implicit", PivotStrategy::Implicit),
+            ("explicit", PivotStrategy::Explicit),
+            ("nopivot", PivotStrategy::None),
+        ] {
+            g.bench_with_input(BenchmarkId::new(label, n), &b, |bench, b| {
+                bench.iter(|| {
+                    let f =
+                        batched_getrf(black_box(b.clone()), strat, Exec::Sequential).unwrap();
+                    black_box(f.perms.len())
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_gh(c: &mut Criterion) {
+    let mut g = c.benchmark_group("batched_gauss_huard");
+    let count = 1_000;
+    for n in [8usize, 16, 32] {
+        let b = batch(n, count);
+        for (label, layout) in [
+            ("normal", GhLayout::Normal),
+            ("transposed", GhLayout::Transposed),
+        ] {
+            g.bench_with_input(BenchmarkId::new(label, n), &b, |bench, b| {
+                bench.iter(|| {
+                    let f = batched_gh(black_box(b), layout, Exec::Sequential).unwrap();
+                    black_box(f.len())
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_inversion_and_cholesky(c: &mut Criterion) {
+    let mut g = c.benchmark_group("batched_inversion");
+    let count = 500;
+    for n in [16usize, 32] {
+        let b = batch(n, count);
+        g.bench_with_input(BenchmarkId::new("gje_invert", n), &b, |bench, b| {
+            bench.iter(|| {
+                let inv = batched_gje_invert(black_box(b), Exec::Sequential).unwrap();
+                black_box(inv.len())
+            })
+        });
+        // SPD variants for Cholesky
+        let spd: Vec<DenseMat<f64>> = (0..count)
+            .map(|s| {
+                let seed = DenseMat::from_fn(n, n, |i, j| {
+                    ((i * 31 + j * 7 + s) % 128) as f64 / 64.0 - 1.0
+                });
+                make_spd(&seed)
+            })
+            .collect();
+        g.bench_with_input(BenchmarkId::new("cholesky", n), &spd, |bench, spd| {
+            bench.iter(|| {
+                let mut ok = 0usize;
+                for m in spd.iter() {
+                    ok += potrf(black_box(m)).is_ok() as usize;
+                }
+                black_box(ok)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_parallel_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("getrf_parallel_scaling");
+    g.sample_size(10);
+    let b = batch(32, 4_000);
+    for (label, exec) in [("sequential", Exec::Sequential), ("rayon", Exec::Parallel)] {
+        g.bench_with_input(BenchmarkId::new(label, "4000x32"), &b, |bench, b| {
+            bench.iter(|| {
+                let f = batched_getrf(black_box(b.clone()), PivotStrategy::Implicit, exec)
+                    .unwrap();
+                black_box(f.perms.len())
+            })
+        });
+    }
+    g.finish();
+}
+
+
+/// Short, CI-friendly measurement configuration.
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900))
+}
+
+criterion_group!(name = benches; config = config(); targets =
+    bench_getrf,
+    bench_gh,
+    bench_inversion_and_cholesky,
+    bench_parallel_scaling
+);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! **Ablation E** (paper §II-C): factorization-based versus
+//! inversion-based block-Jacobi — how the work splits between setup and
+//! per-iteration application.
+//!
+//! * factorization (this paper): setup `2/3 n³` flops/block, apply = two
+//!   triangular solves (`2 n²` flops, inherently sequential sweeps);
+//! * inversion (ref.\[4\]): setup `2 n³` flops/block (explicit inverse),
+//!   apply = one GEMV (`2 n²` flops, fully parallel, latency-friendly).
+//!
+//! The crossover depends on how many Krylov iterations the solver runs:
+//! the table prints the estimated per-application speedup of GEMV and
+//! the break-even iteration count at which the inversion's 3× setup
+//! premium pays off.
+
+use vbatch_bench::write_csv;
+use vbatch_simt::kernels::{gemv, getrf, trsv};
+use vbatch_simt::{CostTable, DeviceModel};
+
+fn main() {
+    let device = DeviceModel::p100();
+    let table = CostTable::for_element_bytes(8);
+    let batch = 40_000u64;
+    println!("Ablation E: triangular-solve vs GEMV application (DP, batch = {batch})");
+    println!(
+        "\n{:>5} {:>12} {:>12} {:>10} {:>12} {:>12} {:>11}",
+        "size", "trsv [us]", "gemv [us]", "speedup", "LU setup", "inv setup", "break-even"
+    );
+    let mut rows = Vec::new();
+    for n in [4usize, 8, 16, 24, 32] {
+        let t_trsv = device
+            .estimate(&[(trsv::lu_trsv_warp_cost::<f64>(n), batch)], &table)
+            .seconds;
+        let t_gemv = device
+            .estimate(&[(gemv::warp_cost::<f64>(n), batch)], &table)
+            .seconds;
+        // setup: LU factorization vs explicit inversion (~3x the flops:
+        // factorization + n triangular solves); model the inversion as
+        // factorize + n column solves through the gemv-style sweeps
+        let t_lu_setup = device
+            .estimate(&[(getrf::warp_cost::<f64>(n), batch)], &table)
+            .seconds;
+        let t_inv_setup = t_lu_setup + (n as f64) * 0.6 * t_trsv / 2.0;
+        let gain_per_apply = t_trsv - t_gemv;
+        let break_even = if gain_per_apply > 0.0 {
+            ((t_inv_setup - t_lu_setup) / gain_per_apply).ceil()
+        } else {
+            f64::INFINITY
+        };
+        println!(
+            "{n:>5} {:>12.1} {:>12.1} {:>9.2}x {:>10.1}us {:>10.1}us {:>11.0}",
+            t_trsv * 1e6,
+            t_gemv * 1e6,
+            t_trsv / t_gemv,
+            t_lu_setup * 1e6,
+            t_inv_setup * 1e6,
+            break_even
+        );
+        rows.push(vec![
+            n.to_string(),
+            format!("{:.3e}", t_trsv),
+            format!("{:.3e}", t_gemv),
+            format!("{:.3e}", t_lu_setup),
+            format!("{:.3e}", t_inv_setup),
+            format!("{break_even:.0}"),
+        ]);
+    }
+    println!(
+        "\nreading: with few solver iterations the factorization approach wins \
+         (cheap setup); past the break-even iteration count the inversion-based \
+         GEMV application amortizes its 3x setup — the §II-C trade-off."
+    );
+    let path = write_csv(
+        "ablation_apply",
+        &["size", "trsv_apply_s", "gemv_apply_s", "lu_setup_s", "inv_setup_s", "break_even_iters"],
+        &rows,
+    );
+    println!("CSV written to {}", path.display());
+}

@@ -1,0 +1,46 @@
+//! **Extension** (paper §V): block orders beyond the warp limit.
+//!
+//! Sweeps the two-rows-per-lane register kernel from 8 to 64 and
+//! compares it against the plain 32-limit kernel where both exist.
+//! The doubled register footprint costs throughput below 32 but is the
+//! only register-resident option from 33 to 64.
+
+use vbatch_bench::write_csv;
+use vbatch_simt::kernels::{getrf, large};
+use vbatch_simt::{CostTable, DeviceModel};
+
+fn main() {
+    let device = DeviceModel::p100();
+    let table = CostTable::for_element_bytes(8);
+    let batch = 40_000u64;
+    println!("Extension: register LU beyond 32x32 (DP, batch = {batch})");
+    println!(
+        "\n{:>5} {:>16} {:>16}",
+        "size", "Small-Size LU", "Two-row LU"
+    );
+    let mut rows = Vec::new();
+    for n in [8usize, 16, 24, 32, 40, 48, 56, 64] {
+        let flops = 2.0 / 3.0 * (n as f64).powi(3) * batch as f64;
+        let small = if n <= 32 {
+            let c = getrf::warp_cost::<f64>(n);
+            Some(device.estimate(&[(c, batch)], &table).gflops(flops))
+        } else {
+            None
+        };
+        let big = {
+            let c = large::warp_cost::<f64>(n);
+            device.estimate(&[(c, batch)], &table).gflops(flops)
+        };
+        println!(
+            "{n:>5} {:>16} {big:>16.1}",
+            small.map(|g| format!("{g:.1}")).unwrap_or("-".into())
+        );
+        rows.push(vec![
+            n.to_string(),
+            small.map(|g| format!("{g:.2}")).unwrap_or("-".into()),
+            format!("{big:.2}"),
+        ]);
+    }
+    let path = write_csv("ablation_large", &["size", "small_lu", "two_row_lu"], &rows);
+    println!("\nCSV written to {}", path.display());
+}

@@ -1,0 +1,79 @@
+//! **Ablation D** (extension): multi-problem-per-warp packing for small
+//! block sizes — the size-specific tuning §IV-B mentions but does not
+//! implement. Packing `⌊32/n⌋` systems per warp removes the padded
+//! trailing update *and* divides the number of warps, which closes the
+//! gap to Gauss-Huard below the Fig. 5 crossover.
+
+use vbatch_bench::write_csv;
+use vbatch_core::Scalar;
+use vbatch_simt::kernels::multi::{problems_per_warp, warp_cost as multi_warp_cost};
+use vbatch_simt::{
+    estimate_factor, CostTable, DeviceModel, FactorKernel,
+};
+
+fn gflops_packed<T: Scalar>(device: &DeviceModel, n: usize, batch: usize) -> f64 {
+    let k = problems_per_warp(n);
+    let warps = batch.div_ceil(k) as u64;
+    let cost = multi_warp_cost::<T>(n);
+    let table = CostTable::for_element_bytes(T::BYTES);
+    let est = device.estimate(&[(cost, warps)], &table);
+    let flops = 2.0 / 3.0 * (n as f64).powi(3) * batch as f64;
+    est.gflops(flops)
+}
+
+fn main() {
+    let device = DeviceModel::p100();
+    let batch = 40_000usize;
+    println!("Ablation D: multi-problem-per-warp packing (batch = {batch})");
+    for precision in ["single", "double"] {
+        println!("\n-- {precision} precision --");
+        println!(
+            "{:>5} {:>8} {:>14} {:>14} {:>14} {:>9}",
+            "size", "packed/w", "plain LU", "packed LU", "Gauss-Huard", "gain"
+        );
+        let mut rows = Vec::new();
+        for n in [2usize, 4, 6, 8, 12, 16] {
+            let sizes = vec![n; batch];
+            let (plain, gh, packed) = if precision == "single" {
+                (
+                    estimate_factor::<f32>(&device, FactorKernel::SmallSizeLu, &sizes)
+                        .unwrap()
+                        .gflops(),
+                    estimate_factor::<f32>(&device, FactorKernel::GaussHuard, &sizes)
+                        .unwrap()
+                        .gflops(),
+                    gflops_packed::<f32>(&device, n, batch),
+                )
+            } else {
+                (
+                    estimate_factor::<f64>(&device, FactorKernel::SmallSizeLu, &sizes)
+                        .unwrap()
+                        .gflops(),
+                    estimate_factor::<f64>(&device, FactorKernel::GaussHuard, &sizes)
+                        .unwrap()
+                        .gflops(),
+                    gflops_packed::<f64>(&device, n, batch),
+                )
+            };
+            println!(
+                "{n:>5} {:>8} {plain:>14.1} {packed:>14.1} {gh:>14.1} {:>8.2}x",
+                problems_per_warp(n),
+                packed / plain
+            );
+            rows.push(vec![
+                precision.to_string(),
+                n.to_string(),
+                problems_per_warp(n).to_string(),
+                format!("{plain:.2}"),
+                format!("{packed:.2}"),
+                format!("{gh:.2}"),
+            ]);
+        }
+        let path = write_csv(
+            &format!("ablation_multi_{precision}"),
+            &["precision", "size", "per_warp", "plain_lu", "packed_lu", "gauss_huard"],
+            &rows,
+        );
+        println!("CSV written to {}", path.display());
+    }
+}

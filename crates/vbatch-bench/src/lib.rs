@@ -1,0 +1,151 @@
+//! Shared harness for the experiment binaries that regenerate every
+//! table and figure of the paper (see DESIGN.md §4 for the index).
+//!
+//! Each binary prints a paper-style table to stdout and writes the raw
+//! series as CSV under `target/experiments/`.
+
+use std::fs;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use vbatch_core::Exec;
+use vbatch_precond::{BjMethod, BlockJacobi, Jacobi, Preconditioner};
+use vbatch_solver::{idr, SolveParams};
+use vbatch_sparse::{supervariable_blocking, CsrMatrix};
+
+/// Batch-size sweep used by Figs. 4 and 6 (the paper's x-axis reaches
+/// 40,000 systems).
+pub const BATCH_SWEEP: [usize; 11] = [
+    1_000, 2_000, 4_000, 6_000, 8_000, 12_000, 16_000, 20_000, 26_000, 32_000, 40_000,
+];
+
+/// Matrix-size sweep used by Figs. 5 and 7.
+pub fn size_sweep() -> Vec<usize> {
+    (1..=32).collect()
+}
+
+/// Block-size upper bounds of Fig. 8 / Table I.
+pub const BLOCK_BOUNDS: [usize; 5] = [8, 12, 16, 24, 32];
+
+/// Output directory for CSV artifacts.
+pub fn out_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/experiments");
+    let _ = fs::create_dir_all(&dir);
+    dir
+}
+
+/// Write a CSV artifact; returns the path it was written to.
+pub fn write_csv(name: &str, header: &[&str], rows: &[Vec<String>]) -> PathBuf {
+    let path = out_dir().join(format!("{name}.csv"));
+    let mut text = String::new();
+    text.push_str(&header.join(","));
+    text.push('\n');
+    for row in rows {
+        text.push_str(&row.join(","));
+        text.push('\n');
+    }
+    fs::write(&path, text).expect("write csv");
+    path
+}
+
+/// Outcome of one preconditioned IDR(4) run.
+#[derive(Clone, Copy, Debug)]
+pub struct SolveOutcome {
+    /// Iterations (preconditioned matvecs).
+    pub iters: usize,
+    /// Preconditioner setup seconds.
+    pub setup_s: f64,
+    /// Iteration-loop seconds.
+    pub solve_s: f64,
+    /// Converged to the 1e-6 relative residual?
+    pub converged: bool,
+}
+
+impl SolveOutcome {
+    /// Setup + solve, the paper's "runtime" column.
+    pub fn total_s(&self) -> f64 {
+        self.setup_s + self.solve_s
+    }
+}
+
+/// Run IDR(4) with scalar Jacobi (the "Jacobi" column of Table I).
+pub fn run_jacobi_idr(a: &CsrMatrix<f64>) -> Option<SolveOutcome> {
+    let t0 = Instant::now();
+    let m = Jacobi::setup(a).ok()?;
+    let setup_s = t0.elapsed().as_secs_f64();
+    run_with(a, &m, setup_s)
+}
+
+/// Run IDR(4) with block-Jacobi under a supervariable bound.
+pub fn run_bj_idr(a: &CsrMatrix<f64>, bound: usize, method: BjMethod) -> Option<SolveOutcome> {
+    let part = supervariable_blocking(a, bound);
+    let t0 = Instant::now();
+    let m = BlockJacobi::setup_with_fallback(a, &part, method, Exec::Parallel).ok()?;
+    let setup_s = t0.elapsed().as_secs_f64();
+    run_with(a, &m, setup_s)
+}
+
+fn run_with<M: Preconditioner<f64>>(
+    a: &CsrMatrix<f64>,
+    m: &M,
+    setup_s: f64,
+) -> Option<SolveOutcome> {
+    let b = vec![1.0; a.nrows()];
+    let params = SolveParams::default();
+    let r = idr(a, &b, 4, m, &params);
+    Some(SolveOutcome {
+        iters: r.iterations,
+        setup_s,
+        solve_s: r.solve_time.as_secs_f64(),
+        converged: r.converged(),
+    })
+}
+
+/// Format an optional outcome like Table I ("-" for non-convergence).
+pub fn fmt_outcome(o: &Option<SolveOutcome>) -> (String, String) {
+    match o {
+        Some(oc) if oc.converged => (oc.iters.to_string(), format!("{:.3}", oc.total_s())),
+        _ => ("-".into(), "-".into()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vbatch_sparse::gen::laplace::laplace_2d;
+
+    #[test]
+    fn csv_roundtrip() {
+        let p = write_csv(
+            "unit_test_artifact",
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()]],
+        );
+        let text = std::fs::read_to_string(&p).unwrap();
+        assert_eq!(text, "a,b\n1,2\n");
+        let _ = std::fs::remove_file(p);
+    }
+
+    #[test]
+    fn jacobi_runner_converges_on_laplacian() {
+        let a = laplace_2d::<f64>(12, 12);
+        let o = run_jacobi_idr(&a).unwrap();
+        assert!(o.converged);
+        assert!(o.iters > 0);
+        assert!(o.total_s() >= o.solve_s);
+    }
+
+    #[test]
+    fn block_jacobi_runner_converges() {
+        let a = laplace_2d::<f64>(12, 12);
+        let o = run_bj_idr(&a, 16, BjMethod::SmallLu).unwrap();
+        assert!(o.converged);
+    }
+
+    #[test]
+    fn sweeps_are_sane() {
+        assert_eq!(*BATCH_SWEEP.last().unwrap(), 40_000);
+        assert_eq!(size_sweep().len(), 32);
+        assert_eq!(BLOCK_BOUNDS, [8, 12, 16, 24, 32]);
+    }
+}

@@ -1,0 +1,220 @@
+//! Condition estimation and equilibration for small blocks.
+//!
+//! Block-Jacobi quality depends on how well-conditioned the diagonal
+//! blocks are; these diagnostics let the preconditioner layer (and the
+//! experiment harness) quantify that. The estimator is the classic
+//! Hager/Higham 1-norm power iteration on `A^{-1}`, reusing an existing
+//! LU factorization, so it costs only a handful of triangular solves.
+
+use crate::dense::DenseMat;
+use crate::lu::LuFactors;
+use crate::scalar::Scalar;
+use crate::trsv::TrsvVariant;
+
+/// 1-norm of a matrix (max column sum).
+pub fn norm1<T: Scalar>(a: &DenseMat<T>) -> T {
+    let mut best = T::ZERO;
+    for j in 0..a.cols() {
+        let s = a.col(j).iter().fold(T::ZERO, |acc, &v| acc + v.abs());
+        best = Scalar::max(best, s);
+    }
+    best
+}
+
+/// Estimate `||A^{-1}||_1` from an LU factorization (Hager's method).
+pub fn inverse_norm1_est<T: Scalar>(f: &LuFactors<T>) -> T {
+    let n = f.order();
+    if n == 0 {
+        return T::ZERO;
+    }
+    // transposed solves reuse the factorization: A^T = (P^T L U)^T
+    // => A^T x = b  solved via  U^T y = b, L^T z = y, x = P^T z
+    let solve_t = |b: &[T]| -> Vec<T> {
+        let lu = &f.lu;
+        let mut y = b.to_vec();
+        // U^T is lower triangular with U's diagonal
+        for k in 0..n {
+            let mut acc = y[k];
+            for j in 0..k {
+                acc -= lu[(j, k)] * y[j];
+            }
+            y[k] = acc / lu[(k, k)];
+        }
+        // L^T is unit upper triangular
+        for k in (0..n).rev() {
+            let mut acc = y[k];
+            for j in k + 1..n {
+                acc -= lu[(j, k)] * y[j];
+            }
+            y[k] = acc;
+        }
+        // x = P^T z: position row_of_step(k) receives z_k
+        let mut x = vec![T::ZERO; n];
+        for k in 0..n {
+            x[f.perm.row_of_step(k)] = y[k];
+        }
+        x
+    };
+
+    let inv_n = T::ONE / T::from_f64(n as f64);
+    let mut x = vec![inv_n; n];
+    let mut est = T::ZERO;
+    for _ in 0..5 {
+        // y = A^{-1} x
+        let mut y = x.clone();
+        f.solve_inplace(TrsvVariant::Eager, &mut y);
+        let new_est = y.iter().fold(T::ZERO, |acc, &v| acc + v.abs());
+        // xi = sign(y)
+        let xi: Vec<T> = y
+            .iter()
+            .map(|&v| if v >= T::ZERO { T::ONE } else { -T::ONE })
+            .collect();
+        // z = A^{-T} xi
+        let z = solve_t(&xi);
+        let (jmax, zmax) = z
+            .iter()
+            .enumerate()
+            .fold((0usize, T::ZERO), |(bj, bv), (j, &v)| {
+                if v.abs() > bv {
+                    (j, v.abs())
+                } else {
+                    (bj, bv)
+                }
+            });
+        let zx = z.iter().zip(&x).fold(T::ZERO, |acc, (&a, &b)| acc + a * b);
+        if new_est <= est || zmax <= zx.abs() {
+            est = Scalar::max(est, new_est);
+            break;
+        }
+        est = new_est;
+        x = vec![T::ZERO; n];
+        x[jmax] = T::ONE;
+    }
+    est
+}
+
+/// Estimated 1-norm condition number `||A||_1 * ||A^{-1}||_1`.
+pub fn condest1<T: Scalar>(a: &DenseMat<T>, f: &LuFactors<T>) -> T {
+    norm1(a) * inverse_norm1_est(f)
+}
+
+/// Row/column equilibration scalings (LAPACK `geequ`-style): returns
+/// `(r, c)` such that `diag(r) * A * diag(c)` has rows and columns with
+/// max-magnitude close to one. Returns `None` if a row or column is
+/// entirely zero.
+pub fn equilibrate<T: Scalar>(a: &DenseMat<T>) -> Option<(Vec<T>, Vec<T>)> {
+    let (m, n) = (a.rows(), a.cols());
+    let mut r = vec![T::ZERO; m];
+    for i in 0..m {
+        let mut mx = T::ZERO;
+        for j in 0..n {
+            mx = Scalar::max(mx, a[(i, j)].abs());
+        }
+        if mx == T::ZERO {
+            return None;
+        }
+        r[i] = T::ONE / mx;
+    }
+    let mut c = vec![T::ZERO; n];
+    for j in 0..n {
+        let mut mx = T::ZERO;
+        for i in 0..m {
+            mx = Scalar::max(mx, r[i] * a[(i, j)].abs());
+        }
+        if mx == T::ZERO {
+            return None;
+        }
+        c[j] = T::ONE / mx;
+    }
+    Some((r, c))
+}
+
+/// Apply equilibration scalings: `diag(r) * A * diag(c)`.
+pub fn apply_equilibration<T: Scalar>(a: &DenseMat<T>, r: &[T], c: &[T]) -> DenseMat<T> {
+    DenseMat::from_fn(a.rows(), a.cols(), |i, j| r[i] * a[(i, j)] * c[j])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lu::{getrf, PivotStrategy};
+
+    #[test]
+    fn norm1_is_max_column_sum() {
+        let a = DenseMat::from_row_major(2, 2, &[1.0, -4.0, 2.0, 3.0]);
+        assert_eq!(norm1(&a), 7.0);
+    }
+
+    #[test]
+    fn condest_of_identity_is_one() {
+        let a = DenseMat::<f64>::identity(6);
+        let f = getrf(&a, PivotStrategy::Implicit).unwrap();
+        let k = condest1(&a, &f);
+        assert!((k - 1.0).abs() < 1e-12, "kappa = {k}");
+    }
+
+    #[test]
+    fn condest_of_diagonal_matrix_is_exact() {
+        // diag(1, 1e-3): kappa_1 = 1e3
+        let mut a = DenseMat::<f64>::identity(2);
+        a[(1, 1)] = 1e-3;
+        let f = getrf(&a, PivotStrategy::Implicit).unwrap();
+        let k = condest1(&a, &f).to_f64();
+        assert!((k - 1e3).abs() / 1e3 < 1e-10, "kappa = {k}");
+    }
+
+    #[test]
+    fn condest_detects_ill_conditioning() {
+        // nearly dependent rows
+        let eps = 1e-8;
+        let a = DenseMat::from_row_major(2, 2, &[1.0, 1.0, 1.0, 1.0 + eps]);
+        let f = getrf(&a, PivotStrategy::Implicit).unwrap();
+        let k = condest1(&a, &f).to_f64();
+        assert!(k > 1e7, "kappa = {k}");
+    }
+
+    #[test]
+    fn transposed_solve_inside_estimator_is_consistent() {
+        // condest must never be below 1 and must be a lower bound scale
+        // of the true inverse norm; sanity-check on random-ish blocks
+        for n in [2usize, 5, 9, 16] {
+            let a = DenseMat::from_fn(n, n, |i, j| {
+                ((i * 23 + j * 7 + 3) % 17) as f64 / 8.0 - 1.0 + if i == j { 2.5 } else { 0.0 }
+            });
+            let f = getrf(&a, PivotStrategy::Implicit).unwrap();
+            let k = condest1(&a, &f).to_f64();
+            assert!(k >= 1.0 - 1e-12, "n={n}: kappa {k}");
+            // compare against the exact inverse norm
+            let exact = norm1(&a).to_f64() * norm1(&f.inverse()).to_f64();
+            assert!(
+                k <= exact * 1.0001,
+                "estimate {k} exceeds exact {exact} (n={n})"
+            );
+            assert!(
+                k >= exact / 15.0,
+                "estimate {k} far below exact {exact} (n={n})"
+            );
+        }
+    }
+
+    #[test]
+    fn equilibration_normalizes_rows_and_cols() {
+        let a = DenseMat::from_row_major(2, 2, &[1e6, 2e6, 3e-6, 1e-6]);
+        let (r, c) = equilibrate(&a).unwrap();
+        let e = apply_equilibration(&a, &r, &c);
+        for i in 0..2 {
+            let mx = (0..2).map(|j| e[(i, j)].abs()).fold(0.0, f64::max);
+            assert!((0.1..=1.0 + 1e-12).contains(&mx), "row {i}: {mx}");
+        }
+        // equilibration dramatically improves the condition estimate
+        let f = getrf(&a, PivotStrategy::Implicit).unwrap();
+        let fe = getrf(&e, PivotStrategy::Implicit).unwrap();
+        assert!(condest1(&e, &fe) < condest1(&a, &f));
+    }
+
+    #[test]
+    fn zero_row_rejected() {
+        let a = DenseMat::from_row_major(2, 2, &[0.0, 0.0, 1.0, 2.0]);
+        assert!(equilibrate(&a).is_none());
+    }
+}

@@ -1,0 +1,64 @@
+//! Error type shared by the dense factorization kernels.
+
+use std::fmt;
+
+/// Failures of the small dense factorization kernels.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FactorError {
+    /// A zero (or non-finite) pivot was encountered at the given
+    /// elimination step; the block is numerically singular.
+    SingularPivot { step: usize },
+    /// The matrix is not square.
+    NotSquare { rows: usize, cols: usize },
+    /// The matrix order exceeds what this kernel supports (the SIMT
+    /// register kernels handle at most one warp = 32 rows).
+    TooLarge { n: usize, max: usize },
+    /// A Cholesky pivot was not positive; the block is not positive
+    /// definite.
+    NotPositiveDefinite { step: usize },
+}
+
+impl fmt::Display for FactorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FactorError::SingularPivot { step } => {
+                write!(f, "singular pivot at elimination step {step}")
+            }
+            FactorError::NotSquare { rows, cols } => {
+                write!(f, "matrix is {rows}x{cols}, expected square")
+            }
+            FactorError::TooLarge { n, max } => {
+                write!(f, "matrix order {n} exceeds kernel maximum {max}")
+            }
+            FactorError::NotPositiveDefinite { step } => {
+                write!(f, "non-positive Cholesky pivot at step {step}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FactorError {}
+
+/// Result alias for factorization kernels.
+pub type FactorResult<V> = Result<V, FactorError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(FactorError::SingularPivot { step: 3 }
+            .to_string()
+            .contains("step 3"));
+        assert!(FactorError::NotSquare { rows: 2, cols: 3 }
+            .to_string()
+            .contains("2x3"));
+        assert!(FactorError::TooLarge { n: 40, max: 32 }
+            .to_string()
+            .contains("40"));
+        assert!(FactorError::NotPositiveDefinite { step: 0 }
+            .to_string()
+            .contains("Cholesky"));
+    }
+}

@@ -1,0 +1,175 @@
+//! Gauss-Jordan elimination (GJE) with implicit partial pivoting,
+//! producing the explicit inverse of a small block.
+//!
+//! This is the *inversion-based* block-Jacobi alternative the paper
+//! discusses in §II-C (and the authors' earlier PMAM'17 work, ref.\[4\]):
+//! invert every diagonal block once during setup (`2 n^3` flops instead
+//! of `2/3 n^3`) so that every preconditioner application becomes a
+//! dense matrix-vector product instead of two triangular solves. The
+//! trade-off — more setup work and potentially worse numerical behaviour
+//! versus a faster, GEMV-shaped application — is exactly the comparison
+//! the factorization-based approach of the paper is measured against.
+
+use crate::dense::DenseMat;
+use crate::error::{FactorError, FactorResult};
+use crate::scalar::Scalar;
+
+/// Invert the square matrix `a` by in-place Gauss-Jordan elimination with
+/// partial (row) pivoting.
+///
+/// The implementation uses the classic in-place GJE that replaces the
+/// pivot column by the corresponding column of the growing inverse, and
+/// undoes the row pivoting by the matching *column* swaps at the end —
+/// the same "combine the swaps into one permutation pass" idea the paper
+/// applies to LU.
+pub fn gje_invert<T: Scalar>(a: &DenseMat<T>) -> FactorResult<DenseMat<T>> {
+    if !a.is_square() {
+        return Err(FactorError::NotSquare {
+            rows: a.rows(),
+            cols: a.cols(),
+        });
+    }
+    let n = a.rows();
+    let mut m = a.clone();
+    // pivot_row[k] = row chosen at step k (rows are swapped explicitly
+    // here; the SIMT kernel variant uses the implicit form)
+    let mut pivot_row = vec![0usize; n];
+
+    for k in 0..n {
+        // select pivot in column k among rows k..n
+        let mut ipiv = k;
+        let mut best = m[(k, k)].abs();
+        for i in k + 1..n {
+            let av = m[(i, k)].abs();
+            if av > best {
+                best = av;
+                ipiv = i;
+            }
+        }
+        if best == T::ZERO || !best.is_finite() {
+            return Err(FactorError::SingularPivot { step: k });
+        }
+        pivot_row[k] = ipiv;
+        m.swap_rows(k, ipiv);
+
+        // Gauss-Jordan step: normalize the pivot row and eliminate the
+        // pivot column everywhere else, replacing the pivot column by the
+        // corresponding inverse column.
+        let d = m[(k, k)];
+        let dinv = T::ONE / d;
+        for j in 0..n {
+            if j != k {
+                m[(k, j)] *= dinv;
+            }
+        }
+        for i in 0..n {
+            if i == k {
+                continue;
+            }
+            let mik = m[(i, k)];
+            if mik == T::ZERO {
+                continue;
+            }
+            for j in 0..n {
+                if j != k {
+                    m[(i, j)] = (-mik).mul_add(m[(k, j)], m[(i, j)]);
+                }
+            }
+            m[(i, k)] = -mik * dinv;
+        }
+        m[(k, k)] = dinv;
+    }
+
+    // undo row pivoting with column swaps, in reverse order
+    for k in (0..n).rev() {
+        if pivot_row[k] != k {
+            m.swap_cols(k, pivot_row[k]);
+        }
+    }
+    Ok(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pseudo_random(n: usize, seed: usize) -> DenseMat<f64> {
+        DenseMat::from_fn(n, n, |i, j| {
+            let h = (i * 271 + j * 89 + seed * 6131 + 11) % 4096;
+            let v = h as f64 / 2048.0 - 1.0;
+            if i == j {
+                v + 0.09
+            } else {
+                v
+            }
+        })
+    }
+
+    #[test]
+    fn inverse_of_identity() {
+        let i = DenseMat::<f64>::identity(5);
+        let inv = gje_invert(&i).unwrap();
+        assert!(inv.sub(&i).norm_max() < 1e-15);
+    }
+
+    #[test]
+    fn two_by_two_closed_form() {
+        let a = DenseMat::from_row_major(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let inv = gje_invert(&a).unwrap();
+        // A^{-1} = 1/det [d -b; -c a], det = -2
+        assert!((inv[(0, 0)] + 2.0).abs() < 1e-14);
+        assert!((inv[(0, 1)] - 1.0).abs() < 1e-14);
+        assert!((inv[(1, 0)] - 1.5).abs() < 1e-14);
+        assert!((inv[(1, 1)] + 0.5).abs() < 1e-14);
+    }
+
+    #[test]
+    fn a_times_inverse_is_identity() {
+        for n in [1usize, 2, 3, 6, 11, 20, 32] {
+            let a = pseudo_random(n, n * 3 + 1);
+            let inv = gje_invert(&a).unwrap();
+            let prod = a.matmul(&inv);
+            let resid = prod.sub(&DenseMat::identity(n)).norm_max().to_f64();
+            assert!(resid < 1e-8, "n={n}: residual {resid}");
+            let prod2 = inv.matmul(&a);
+            let resid2 = prod2.sub(&DenseMat::identity(n)).norm_max().to_f64();
+            assert!(resid2 < 1e-8, "n={n}: left residual {resid2}");
+        }
+    }
+
+    #[test]
+    fn pivoting_handles_zero_diagonal() {
+        let a = DenseMat::from_row_major(3, 3, &[0.0, 1.0, 2.0, 1.0, 0.0, 1.0, 2.0, 1.0, 0.0]);
+        let inv = gje_invert(&a).unwrap();
+        let resid = a
+            .matmul(&inv)
+            .sub(&DenseMat::identity(3))
+            .norm_max()
+            .to_f64();
+        assert!(resid < 1e-13);
+    }
+
+    #[test]
+    fn matches_lu_inverse() {
+        use crate::lu::{getrf, PivotStrategy};
+        let a = pseudo_random(10, 77);
+        let gje = gje_invert(&a).unwrap();
+        let lu = getrf(&a, PivotStrategy::Implicit).unwrap().inverse();
+        assert!(gje.sub(&lu).norm_max() < 1e-9);
+    }
+
+    #[test]
+    fn singular_rejected() {
+        let a = DenseMat::from_row_major(2, 2, &[1.0, 1.0, 1.0, 1.0]);
+        assert!(matches!(
+            gje_invert(&a),
+            Err(FactorError::SingularPivot { .. })
+        ));
+    }
+
+    #[test]
+    fn not_square_rejected() {
+        let a = DenseMat::<f64>::zeros(2, 4);
+        assert!(matches!(gje_invert(&a), Err(FactorError::NotSquare { .. })));
+    }
+}

@@ -1,0 +1,57 @@
+//! # vbatch-core
+//!
+//! Variable-size batched dense kernels for small matrices (order ≤ 32 in
+//! the paper's target scenario, arbitrary order here), reproducing the
+//! numerical layer of
+//!
+//! > Anzt, Dongarra, Flegar, Quintana-Ortí — *"Variable-Size Batched LU
+//! > for Small Matrices and Its Integration into Block-Jacobi
+//! > Preconditioning"*, ICPP 2017.
+//!
+//! The crate provides:
+//!
+//! * [`lu`] — LU factorization with **explicit** (Fig. 1 top) and the
+//!   paper's **implicit** partial pivoting (Fig. 1 bottom);
+//! * [`trsv`] — "lazy" (DOT) and "eager" (AXPY) triangular solves
+//!   (Fig. 2) plus the permuted `getrs`-style combined solve;
+//! * [`gauss_huard`] — the Gauss-Huard baseline with column pivoting and
+//!   its transposed-storage variant (GH-T);
+//! * [`gje`] — Gauss-Jordan explicit inversion (the inversion-based
+//!   block-Jacobi alternative of ref.\[4\]);
+//! * [`cholesky`] — the paper's announced future-work extension for SPD
+//!   blocks;
+//! * [`batch`]/[`batched`] — variable-size batch containers and
+//!   sequential/parallel batched drivers.
+//!
+//! All kernels are generic over [`scalar::Scalar`] (`f32`/`f64`), the
+//! two precisions evaluated in the paper.
+
+pub mod batch;
+pub mod batched;
+pub mod cholesky;
+pub mod condest;
+pub mod dense;
+pub mod error;
+pub mod gauss_huard;
+pub mod gje;
+pub mod lu;
+pub mod perm;
+pub mod scalar;
+pub mod trsv;
+
+pub use batch::{MatrixBatch, VectorBatch};
+pub use batched::{
+    batched_gemv, batched_getrf, batched_getrf_status, batched_gh, batched_gje_invert, BatchedGh,
+    BatchedLu, Exec,
+};
+pub use cholesky::{make_spd, potrf, CholeskyFactors};
+pub use condest::{apply_equilibration, condest1, equilibrate, inverse_norm1_est, norm1};
+pub use dense::DenseMat;
+pub use error::{FactorError, FactorResult};
+pub use gauss_huard::{gh_factorize, GhFactors, GhLayout};
+pub use gje::gje_invert;
+pub use lu::blocked::getrf_blocked;
+pub use lu::{getrf, solve_system, LuFactors, PivotStrategy};
+pub use perm::Permutation;
+pub use scalar::Scalar;
+pub use trsv::{lu_solve_inplace, trsv_lower_unit, trsv_upper, TrsvVariant};

@@ -1,0 +1,224 @@
+//! Blocked right-looking LU for blocks *larger* than the warp-size
+//! limit — the "optimization of the batched kernels for any problem
+//! size" the paper lists as future work (§V).
+//!
+//! The matrix is processed in panels of width `nb` (default 32, the
+//! size the register kernels handle):
+//!
+//! 1. factorize the current panel (tall-skinny) with partially pivoted
+//!    unblocked LU;
+//! 2. apply the panel's row swaps to the left and right of the panel;
+//! 3. triangular-solve the block row `U_{12} = L_{11}^{-1} A_{12}`;
+//! 4. rank-`nb` update of the trailing submatrix
+//!    `A_{22} -= L_{21} U_{12}`.
+//!
+//! Numerically identical (up to rounding) to the unblocked kernels, so
+//! the tests compare against [`crate::lu::getrf`] directly.
+
+use crate::dense::DenseMat;
+use crate::error::{FactorError, FactorResult};
+use crate::lu::LuFactors;
+use crate::perm::Permutation;
+use crate::scalar::Scalar;
+
+/// Default panel width (matches the register kernels' 32-row warps).
+pub const DEFAULT_PANEL: usize = 32;
+
+/// Factorize a square matrix of *any* order with panel width `nb`,
+/// producing the same combined-factor representation as
+/// [`crate::lu::getrf`].
+pub fn getrf_blocked<T: Scalar>(a: &DenseMat<T>, nb: usize) -> FactorResult<LuFactors<T>> {
+    if !a.is_square() {
+        return Err(FactorError::NotSquare {
+            rows: a.rows(),
+            cols: a.cols(),
+        });
+    }
+    assert!(nb > 0, "panel width must be positive");
+    let n = a.rows();
+    let mut lu = a.clone();
+    // ipiv[k] = row swapped with row k at step k (LAPACK convention)
+    let mut ipiv = vec![0usize; n];
+
+    let mut k0 = 0usize;
+    while k0 < n {
+        let w = nb.min(n - k0);
+        // --- 1. panel factorization on columns k0..k0+w, rows k0..n ----
+        for k in k0..k0 + w {
+            // pivot search in column k, rows k..n
+            let mut piv = k;
+            let mut best = lu[(k, k)].abs();
+            for i in k + 1..n {
+                let v = lu[(i, k)].abs();
+                if v > best {
+                    best = v;
+                    piv = i;
+                }
+            }
+            if best == T::ZERO || !best.is_finite() {
+                return Err(FactorError::SingularPivot { step: k });
+            }
+            ipiv[k] = piv;
+            if piv != k {
+                // --- 2. swap full rows (panel + both wings) ------------
+                lu.swap_rows(k, piv);
+            }
+            let d = lu[(k, k)];
+            for i in k + 1..n {
+                let v = lu[(i, k)] / d;
+                lu[(i, k)] = v;
+            }
+            // update the rest of the *panel* only
+            for j in k + 1..k0 + w {
+                let akj = lu[(k, j)];
+                if akj == T::ZERO {
+                    continue;
+                }
+                for i in k + 1..n {
+                    let lik = lu[(i, k)];
+                    lu[(i, j)] = (-lik).mul_add(akj, lu[(i, j)]);
+                }
+            }
+        }
+        let k1 = k0 + w;
+        if k1 < n {
+            // --- 3. U12 = L11^{-1} A12 (unit lower solve per column) ----
+            for j in k1..n {
+                for k in k0..k1 {
+                    let ukj = lu[(k, j)];
+                    if ukj == T::ZERO {
+                        continue;
+                    }
+                    for i in k + 1..k1 {
+                        let lik = lu[(i, k)];
+                        lu[(i, j)] = (-lik).mul_add(ukj, lu[(i, j)]);
+                    }
+                }
+            }
+            // --- 4. A22 -= L21 * U12 (rank-w update) --------------------
+            for j in k1..n {
+                for k in k0..k1 {
+                    let ukj = lu[(k, j)];
+                    if ukj == T::ZERO {
+                        continue;
+                    }
+                    for i in k1..n {
+                        let lik = lu[(i, k)];
+                        lu[(i, j)] = (-lik).mul_add(ukj, lu[(i, j)]);
+                    }
+                }
+            }
+        }
+        k0 = k1;
+    }
+
+    // convert the LAPACK-style swap sequence into row_of_step form
+    let mut order: Vec<usize> = (0..n).collect();
+    for (k, &p) in ipiv.iter().enumerate() {
+        order.swap(k, p);
+    }
+    Ok(LuFactors {
+        lu,
+        perm: Permutation::from_row_of_step(order),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lu::{getrf, PivotStrategy};
+
+    fn pseudo_random(n: usize, seed: usize) -> DenseMat<f64> {
+        DenseMat::from_fn(n, n, |i, j| {
+            let h = (i * 733 + j * 191 + seed * 6011 + 23) % 4096;
+            let v = h as f64 / 2048.0 - 1.0;
+            if i == j {
+                v + 0.08
+            } else {
+                v
+            }
+        })
+    }
+
+    #[test]
+    fn matches_unblocked_exactly() {
+        for n in [1usize, 5, 31, 32, 33, 48, 64, 75] {
+            let a = pseudo_random(n, n);
+            let blocked = getrf_blocked(&a, 32).unwrap();
+            let reference = getrf(&a, PivotStrategy::Explicit).unwrap();
+            assert_eq!(
+                blocked.perm.as_slice(),
+                reference.perm.as_slice(),
+                "n={n}: permutation"
+            );
+            for (x, y) in blocked.lu.as_slice().iter().zip(reference.lu.as_slice()) {
+                assert!((x - y).abs() < 1e-10, "n={n}: {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn panel_width_does_not_change_the_result() {
+        let a = pseudo_random(50, 3);
+        let f8 = getrf_blocked(&a, 8).unwrap();
+        let f16 = getrf_blocked(&a, 16).unwrap();
+        let f64_ = getrf_blocked(&a, 64).unwrap();
+        assert_eq!(f8.perm.as_slice(), f16.perm.as_slice());
+        assert_eq!(f8.perm.as_slice(), f64_.perm.as_slice());
+        for ((x, y), z) in f8
+            .lu
+            .as_slice()
+            .iter()
+            .zip(f16.lu.as_slice())
+            .zip(f64_.lu.as_slice())
+        {
+            assert!((x - y).abs() < 1e-9 && (x - z).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn residual_small_for_large_blocks() {
+        for n in [40usize, 96, 130] {
+            let a = pseudo_random(n, 7 * n);
+            let f = getrf_blocked(&a, DEFAULT_PANEL).unwrap();
+            let r = f.residual(&a).to_f64();
+            assert!(r < 1e-9 * n as f64, "n={n}: residual {r}");
+        }
+    }
+
+    #[test]
+    fn solves_large_systems() {
+        let n = 100;
+        let a = pseudo_random(n, 11);
+        let x_true: Vec<f64> = (0..n).map(|i| (i as f64 / 10.0).sin()).collect();
+        let b = a.matvec(&x_true);
+        let f = getrf_blocked(&a, 32).unwrap();
+        let x = f.solve(&b);
+        for (p, q) in x.iter().zip(&x_true) {
+            assert!((p - q).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn singular_matrix_detected() {
+        let mut a = pseudo_random(40, 2);
+        // make row 20 a copy of row 10
+        for j in 0..40 {
+            let v = a[(10, j)];
+            a[(20, j)] = v;
+        }
+        assert!(matches!(
+            getrf_blocked(&a, 16),
+            Err(FactorError::SingularPivot { .. })
+        ));
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        let a = DenseMat::<f64>::zeros(3, 4);
+        assert!(matches!(
+            getrf_blocked(&a, 2),
+            Err(FactorError::NotSquare { .. })
+        ));
+    }
+}

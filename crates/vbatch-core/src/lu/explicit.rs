@@ -1,0 +1,150 @@
+//! Right-looking LU with *explicit* partial pivoting (Fig. 1, top).
+//!
+//! This is the textbook reference the implicit variant is validated
+//! against: at step `k` the largest entry of column `k` (rows `k..n`) is
+//! selected, rows `k` and `ipiv` are swapped in memory, the pivot column
+//! is scaled (SCAL) and the trailing submatrix receives a rank-1 update
+//! (GER).
+
+use crate::error::{FactorError, FactorResult};
+use crate::perm::Permutation;
+use crate::scalar::Scalar;
+
+/// Factorize the column-major `n x n` matrix `a` in place with explicit
+/// partial pivoting. Returns the row permutation in `row_of_step` form.
+pub fn getrf_explicit_inplace<T: Scalar>(n: usize, a: &mut [T]) -> FactorResult<Permutation> {
+    debug_assert_eq!(a.len(), n * n);
+    let mut perm = Permutation::identity(n);
+    for k in 0..n {
+        // --- pivot selection: argmax |a(k:n, k)| -------------------------
+        let col_k = &a[k * n..k * n + n];
+        let mut ipiv = k;
+        let mut best = col_k[k].abs();
+        for (i, &v) in col_k.iter().enumerate().skip(k + 1) {
+            let av = v.abs();
+            if av > best {
+                best = av;
+                ipiv = i;
+            }
+        }
+        if best == T::ZERO || !best.is_finite() {
+            return Err(FactorError::SingularPivot { step: k });
+        }
+        // --- explicit row swap (the step the paper eliminates) -----------
+        if ipiv != k {
+            for j in 0..n {
+                a.swap(j * n + k, j * n + ipiv);
+            }
+            perm.swap(k, ipiv);
+        }
+        // --- Gauss transformation: SCAL + GER ----------------------------
+        let d = a[k * n + k];
+        for i in k + 1..n {
+            a[k * n + i] /= d;
+        }
+        for j in k + 1..n {
+            let akj = a[j * n + k]; // a(k, j) after the swap
+            if akj == T::ZERO {
+                continue;
+            }
+            // split column j so we can read the multipliers from column k
+            for i in k + 1..n {
+                let lik = a[k * n + i];
+                a[j * n + i] = (-lik).mul_add(akj, a[j * n + i]);
+            }
+        }
+    }
+    Ok(perm)
+}
+
+/// LU without pivoting: the Gauss transformation alone. Returns the
+/// identity permutation; fails on a zero pivot.
+pub fn getrf_nopivot_inplace<T: Scalar>(n: usize, a: &mut [T]) -> FactorResult<Permutation> {
+    debug_assert_eq!(a.len(), n * n);
+    for k in 0..n {
+        let d = a[k * n + k];
+        if d.abs() == T::ZERO || !d.is_finite() {
+            return Err(FactorError::SingularPivot { step: k });
+        }
+        for i in k + 1..n {
+            a[k * n + i] /= d;
+        }
+        for j in k + 1..n {
+            let akj = a[j * n + k];
+            if akj == T::ZERO {
+                continue;
+            }
+            for i in k + 1..n {
+                let lik = a[k * n + i];
+                a[j * n + i] = (-lik).mul_add(akj, a[j * n + i]);
+            }
+        }
+    }
+    Ok(Permutation::identity(n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::{lu_residual, DenseMat};
+
+    #[test]
+    fn two_by_two_known_factors() {
+        // A = [0 2; 1 3] forces a swap: PA = [1 3; 0 2], L = I, U = PA
+        let a = DenseMat::from_row_major(2, 2, &[0.0, 2.0, 1.0, 3.0]);
+        let mut lu = a.clone();
+        let p = getrf_explicit_inplace(2, lu.as_mut_slice()).unwrap();
+        assert_eq!(p.as_slice(), &[1, 0]);
+        assert_eq!(lu[(0, 0)], 1.0);
+        assert_eq!(lu[(0, 1)], 3.0);
+        assert_eq!(lu[(1, 0)], 0.0);
+        assert_eq!(lu[(1, 1)], 2.0);
+    }
+
+    #[test]
+    fn residual_small_for_random_like_matrix() {
+        let a = DenseMat::from_fn(8, 8, |i, j| {
+            // deterministic pseudo-random entries in [-1, 1]
+            let v = ((i * 37 + j * 101 + 13) % 1000) as f64 / 500.0 - 1.0;
+            if i == j {
+                v + 0.1
+            } else {
+                v
+            }
+        });
+        let mut lu = a.clone();
+        let p = getrf_explicit_inplace(8, lu.as_mut_slice()).unwrap();
+        assert!(lu_residual(&a, &lu, p.as_slice()).to_f64() < 1e-13);
+    }
+
+    #[test]
+    fn multipliers_bounded_by_one() {
+        // partial pivoting guarantees |L(i,j)| <= 1
+        let a = DenseMat::from_fn(16, 16, |i, j| ((i * 7 + j * 3) % 11) as f64 - 5.0 + if i == j { 0.5 } else { 0.0 });
+        let mut lu = a.clone();
+        let _ = getrf_explicit_inplace(16, lu.as_mut_slice()).unwrap();
+        for j in 0..16 {
+            for i in j + 1..16 {
+                assert!(lu[(i, j)].abs() <= 1.0 + 1e-15, "L({i},{j}) = {}", lu[(i, j)]);
+            }
+        }
+    }
+
+    #[test]
+    fn nopivot_zero_pivot_fails() {
+        let a = DenseMat::from_row_major(2, 2, &[0.0, 1.0, 1.0, 0.0]);
+        let mut lu = a.clone();
+        assert_eq!(
+            getrf_nopivot_inplace(2, lu.as_mut_slice()),
+            Err(FactorError::SingularPivot { step: 0 })
+        );
+    }
+
+    #[test]
+    fn size_one() {
+        let mut a = [3.0f64];
+        let p = getrf_explicit_inplace(1, &mut a).unwrap();
+        assert!(p.is_identity());
+        assert_eq!(a[0], 3.0);
+    }
+}

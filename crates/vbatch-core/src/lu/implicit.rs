@@ -1,0 +1,188 @@
+//! LU with the paper's *implicit* partial pivoting (Fig. 1, bottom).
+//!
+//! Key observations from §III-A that make this swap-free scheme work:
+//!
+//! * the Gauss transformation applied to a row at step `k` depends only
+//!   on that row and on the pivot row — not on the row's position;
+//! * whether a row must be updated at all is knowable locally: rows that
+//!   have already served as a pivot are done, every other row gets a
+//!   SCAL of its `k`-th element and an AXPY of its trailing part.
+//!
+//! So instead of swapping, each row carries a flag `p[r]` — the
+//! elimination step at which the row was chosen — and the accumulated
+//! permutation is applied in a single pass after the main loop (on the
+//! GPU this pass is free: it is folded into the off-load of `L`/`U` from
+//! registers to memory). This removes *all* inter-thread communication
+//! caused by row swaps, and unlike the Gauss-Huard analogue the per-row
+//! work does not depend on the history of pivot choices, so no pivot
+//! list must be replicated per thread.
+
+use crate::error::{FactorError, FactorResult};
+use crate::perm::Permutation;
+use crate::scalar::Scalar;
+
+/// Sentinel marking a row that has not yet been selected as a pivot.
+const UNPIVOTED: usize = usize::MAX;
+
+/// Factorize the column-major `n x n` matrix `a` in place with implicit
+/// partial pivoting. On return `a` holds the combined `L\U` factors *in
+/// pivot order* (the final combined row swap has been applied, mirroring
+/// the GPU kernel's permuted off-load) and the returned permutation maps
+/// elimination steps to original rows.
+pub fn getrf_implicit_inplace<T: Scalar>(n: usize, a: &mut [T]) -> FactorResult<Permutation> {
+    debug_assert_eq!(a.len(), n * n);
+    // p[r] = elimination step at which original row r became the pivot
+    let mut step_of_row = vec![UNPIVOTED; n];
+
+    for k in 0..n {
+        // --- implicit pivot selection over the not-yet-pivoted rows ------
+        let col_k = &a[k * n..k * n + n];
+        let mut ipiv = UNPIVOTED;
+        let mut best = T::ZERO;
+        for r in 0..n {
+            if step_of_row[r] != UNPIVOTED {
+                continue; // "abs_vals(p>0) = -1" — exclude pivoted rows
+            }
+            let av = col_k[r].abs();
+            if ipiv == UNPIVOTED || av > best {
+                best = av;
+                ipiv = r;
+            }
+        }
+        if ipiv == UNPIVOTED || best == T::ZERO || !best.is_finite() {
+            return Err(FactorError::SingularPivot { step: k });
+        }
+        step_of_row[ipiv] = k;
+
+        // --- Gauss transformation on the rows still unpivoted -------------
+        let d = a[k * n + ipiv];
+        // SCAL: Di(p==0, k) /= d
+        for r in 0..n {
+            if step_of_row[r] == UNPIVOTED {
+                a[k * n + r] /= d;
+            }
+        }
+        // GER: Di(p==0, k+1:n) -= Di(p==0, k) * Di(ipiv, k+1:n)
+        for j in k + 1..n {
+            let pivot_val = a[j * n + ipiv];
+            if pivot_val == T::ZERO {
+                continue;
+            }
+            for r in 0..n {
+                if step_of_row[r] == UNPIVOTED {
+                    let mult = a[k * n + r];
+                    a[j * n + r] = (-mult).mul_add(pivot_val, a[j * n + r]);
+                }
+            }
+        }
+    }
+
+    // --- combined row swap: row r moves to position step_of_row[r] -------
+    // (the "p(p) = 1:m; Di = Di(p,:)" tail of Fig. 1 bottom)
+    let mut scratch = vec![T::ZERO; n];
+    for j in 0..n {
+        let col = &mut a[j * n..j * n + n];
+        scratch.copy_from_slice(col);
+        for r in 0..n {
+            col[step_of_row[r]] = scratch[r];
+        }
+    }
+    Ok(Permutation::from_step_of_row(&step_of_row))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::{lu_residual, DenseMat};
+    use crate::lu::explicit::getrf_explicit_inplace;
+
+    fn pseudo_random(n: usize, seed: usize) -> DenseMat<f64> {
+        DenseMat::from_fn(n, n, |i, j| {
+            let h = (i * 131 + j * 37 + seed * 7919 + 17) % 4096;
+            let v = h as f64 / 2048.0 - 1.0;
+            if i == j {
+                v + 0.05
+            } else {
+                v
+            }
+        })
+    }
+
+    #[test]
+    fn matches_explicit_pivoting_exactly() {
+        // With distinct pivot magnitudes both strategies must choose the
+        // same pivot sequence, hence identical factors and permutation.
+        for n in [1usize, 2, 3, 5, 8, 16, 32] {
+            for seed in 0..4 {
+                let a = pseudo_random(n, seed);
+                let mut lu_e = a.clone();
+                let p_e = getrf_explicit_inplace(n, lu_e.as_mut_slice()).unwrap();
+                let mut lu_i = a.clone();
+                let p_i = getrf_implicit_inplace(n, lu_i.as_mut_slice()).unwrap();
+                assert_eq!(p_e.as_slice(), p_i.as_slice(), "n={n} seed={seed}");
+                for (x, y) in lu_e.as_slice().iter().zip(lu_i.as_slice()) {
+                    assert!(
+                        (x - y).abs() < 1e-12,
+                        "factor mismatch n={n} seed={seed}: {x} vs {y}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn residual_small() {
+        for n in [2usize, 4, 7, 13, 24, 32] {
+            let a = pseudo_random(n, n);
+            let mut lu = a.clone();
+            let p = getrf_implicit_inplace(n, lu.as_mut_slice()).unwrap();
+            let r = lu_residual(&a, &lu, p.as_slice()).to_f64();
+            assert!(r < 1e-12, "n={n}: residual {r}");
+        }
+    }
+
+    #[test]
+    fn needs_pivoting_case() {
+        let a = DenseMat::from_row_major(3, 3, &[0.0, 1.0, 2.0, 1.0, 0.0, 3.0, 4.0, 5.0, 6.0]);
+        let mut lu = a.clone();
+        let p = getrf_implicit_inplace(3, lu.as_mut_slice()).unwrap();
+        assert!(lu_residual(&a, &lu, p.as_slice()).to_f64() < 1e-14);
+        // the first pivot must be row 2 (value 4.0, the column max)
+        assert_eq!(p.row_of_step(0), 2);
+    }
+
+    #[test]
+    fn singular_detected_midway() {
+        // rows 0 and 1 are proportional: rank 2, so the last Schur
+        // complement entry collapses to zero
+        let a = DenseMat::from_row_major(3, 3, &[1.0, 2.0, 3.0, 2.0, 4.0, 6.0, 1.0, 1.0, 1.0]);
+        let mut lu = a.clone();
+        let e = getrf_implicit_inplace(3, lu.as_mut_slice());
+        assert_eq!(e, Err(FactorError::SingularPivot { step: 2 }));
+    }
+
+    #[test]
+    fn multipliers_bounded_by_one() {
+        for seed in 0..6 {
+            let n = 16;
+            let a = pseudo_random(n, seed + 100);
+            let mut lu = a.clone();
+            let _ = getrf_implicit_inplace(n, lu.as_mut_slice()).unwrap();
+            for j in 0..n {
+                for i in j + 1..n {
+                    assert!(lu[(i, j)].abs() <= 1.0 + 1e-14);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn f32_path_works() {
+        let a = DenseMat::<f32>::from_fn(8, 8, |i, j| {
+            ((i * 31 + j * 17 + 3) % 64) as f32 / 32.0 - 1.0 + if i == j { 2.0 } else { 0.0 }
+        });
+        let mut lu = a.clone();
+        let p = getrf_implicit_inplace(8, lu.as_mut_slice()).unwrap();
+        assert!(lu_residual(&a, &lu, p.as_slice()) < 1e-5);
+    }
+}

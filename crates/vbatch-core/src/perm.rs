@@ -1,0 +1,210 @@
+//! Permutation bookkeeping for explicit and implicit pivoting.
+//!
+//! The paper's implicit pivoting (Fig. 1, bottom) never swaps rows during
+//! the factorization; instead it records, for every original row `r`, the
+//! elimination step `p[r]` at which that row was selected as the pivot.
+//! At the end, the combined row swaps are applied in a single pass (on
+//! the GPU: folded into the register→memory off-load). Two permutation
+//! representations therefore show up:
+//!
+//! * **step-of-row** (`p` in the paper): `step_of_row[r] = k` means row
+//!   `r` became the pivot of step `k`;
+//! * **row-of-step** (`ipiv`-style, what the triangular solve needs):
+//!   `row_of_step[k] = r` means step `k` used original row `r`, i.e. the
+//!   permuted right-hand side is `b_permuted[k] = b[row_of_step[k]]`.
+//!
+//! They are inverses of each other.
+
+/// A permutation of `0..n`, stored in "row-of-step" form: `perm[k]` is
+/// the original index that lands at position `k`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Permutation {
+    perm: Vec<usize>,
+}
+
+impl Permutation {
+    /// Identity permutation of length `n`.
+    pub fn identity(n: usize) -> Self {
+        Self {
+            perm: (0..n).collect(),
+        }
+    }
+
+    /// Build from a row-of-step vector. Panics if it is not a valid
+    /// permutation of `0..n`.
+    pub fn from_row_of_step(perm: Vec<usize>) -> Self {
+        let n = perm.len();
+        let mut seen = vec![false; n];
+        for &p in &perm {
+            assert!(p < n, "permutation entry {p} out of range 0..{n}");
+            assert!(!seen[p], "duplicate permutation entry {p}");
+            seen[p] = true;
+        }
+        Self { perm }
+    }
+
+    /// Build from the paper's step-of-row (`p`) vector produced by
+    /// implicit pivoting: `step_of_row[r] = k`.
+    pub fn from_step_of_row(step_of_row: &[usize]) -> Self {
+        let n = step_of_row.len();
+        let mut perm = vec![usize::MAX; n];
+        for (row, &step) in step_of_row.iter().enumerate() {
+            assert!(step < n, "step {step} out of range 0..{n}");
+            assert!(
+                perm[step] == usize::MAX,
+                "two rows claim elimination step {step}"
+            );
+            perm[step] = row;
+        }
+        Self { perm }
+    }
+
+    /// Length of the permutation.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.perm.len()
+    }
+
+    /// `true` when empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.perm.is_empty()
+    }
+
+    /// Original index mapped to position `k`.
+    #[inline]
+    pub fn row_of_step(&self, k: usize) -> usize {
+        self.perm[k]
+    }
+
+    /// Row-of-step view of the whole permutation.
+    #[inline]
+    pub fn as_slice(&self) -> &[usize] {
+        &self.perm
+    }
+
+    /// Inverse permutation (step-of-row form as a new `Permutation`).
+    pub fn inverse(&self) -> Self {
+        let mut inv = vec![0usize; self.perm.len()];
+        for (k, &r) in self.perm.iter().enumerate() {
+            inv[r] = k;
+        }
+        Self { perm: inv }
+    }
+
+    /// Record an explicit swap of positions `a` and `b` (used by the
+    /// explicitly-pivoted LU, Fig. 1 top, line 9).
+    pub fn swap(&mut self, a: usize, b: usize) {
+        self.perm.swap(a, b);
+    }
+
+    /// Apply to a vector: `out[k] = v[perm[k]]` (the paper's `b := P b`).
+    pub fn apply<T: Copy>(&self, v: &[T]) -> Vec<T> {
+        assert_eq!(v.len(), self.perm.len());
+        self.perm.iter().map(|&r| v[r]).collect()
+    }
+
+    /// Apply the inverse to a vector: `out[perm[k]] = v[k]`. This undoes
+    /// [`Permutation::apply`] and is what column-pivoted methods (Gauss-
+    /// Huard) need to un-permute the solution.
+    pub fn apply_inverse<T: Copy + Default>(&self, v: &[T]) -> Vec<T> {
+        assert_eq!(v.len(), self.perm.len());
+        let mut out = vec![T::default(); v.len()];
+        for (k, &r) in self.perm.iter().enumerate() {
+            out[r] = v[k];
+        }
+        out
+    }
+
+    /// `true` if this is the identity.
+    pub fn is_identity(&self) -> bool {
+        self.perm.iter().enumerate().all(|(i, &p)| i == p)
+    }
+
+    /// Number of transpositions mod 2 (`false` = even ⇒ det(P) = +1).
+    pub fn is_odd(&self) -> bool {
+        let n = self.perm.len();
+        let mut seen = vec![false; n];
+        let mut odd = false;
+        for start in 0..n {
+            if seen[start] {
+                continue;
+            }
+            let mut len = 0usize;
+            let mut cur = start;
+            while !seen[cur] {
+                seen[cur] = true;
+                cur = self.perm[cur];
+                len += 1;
+            }
+            if len % 2 == 0 {
+                odd = !odd;
+            }
+        }
+        odd
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_properties() {
+        let p = Permutation::identity(4);
+        assert!(p.is_identity());
+        assert!(!p.is_odd());
+        assert_eq!(p.apply(&[10, 20, 30, 40]), vec![10, 20, 30, 40]);
+        assert_eq!(p.inverse(), p);
+    }
+
+    #[test]
+    fn step_of_row_roundtrip() {
+        // rows 0,1,2 were pivots of steps 2,0,1 respectively
+        let p = Permutation::from_step_of_row(&[2, 0, 1]);
+        // step 0 used row 1, step 1 used row 2, step 2 used row 0
+        assert_eq!(p.as_slice(), &[1, 2, 0]);
+        assert_eq!(p.inverse().as_slice(), &[2, 0, 1]);
+    }
+
+    #[test]
+    fn apply_then_inverse_is_identity() {
+        let p = Permutation::from_row_of_step(vec![3, 1, 0, 2]);
+        let v = [5, 6, 7, 8];
+        let w = p.apply(&v);
+        assert_eq!(w, vec![8, 6, 5, 7]);
+        assert_eq!(p.apply_inverse(&w), v.to_vec());
+    }
+
+    #[test]
+    fn swap_tracks_transpositions() {
+        let mut p = Permutation::identity(3);
+        p.swap(0, 2);
+        assert!(p.is_odd());
+        assert_eq!(p.apply(&[1, 2, 3]), vec![3, 2, 1]);
+        p.swap(0, 1);
+        assert!(!p.is_odd());
+    }
+
+    #[test]
+    #[should_panic]
+    fn duplicate_entries_rejected() {
+        let _ = Permutation::from_row_of_step(vec![0, 0, 1]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn duplicate_steps_rejected() {
+        let _ = Permutation::from_step_of_row(&[1, 1, 0]);
+    }
+
+    #[test]
+    fn parity_of_cycles() {
+        // single 3-cycle = even
+        let p = Permutation::from_row_of_step(vec![1, 2, 0]);
+        assert!(!p.is_odd());
+        // one 2-cycle = odd
+        let p = Permutation::from_row_of_step(vec![1, 0, 2]);
+        assert!(p.is_odd());
+    }
+}

@@ -1,0 +1,85 @@
+//! Scalar Jacobi preconditioning (the "Jacobi" column of Table I):
+//! `M = diag(A)`.
+
+use crate::traits::Preconditioner;
+use vbatch_core::Scalar;
+use vbatch_sparse::CsrMatrix;
+
+/// Errors during Jacobi setup.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JacobiError {
+    /// A zero diagonal entry makes `diag(A)` singular.
+    ZeroDiagonal { row: usize },
+}
+
+impl std::fmt::Display for JacobiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JacobiError::ZeroDiagonal { row } => write!(f, "zero diagonal at row {row}"),
+        }
+    }
+}
+
+impl std::error::Error for JacobiError {}
+
+/// Scalar Jacobi preconditioner: elementwise scaling by `1/a_ii`.
+#[derive(Clone, Debug)]
+pub struct Jacobi<T> {
+    inv_diag: Vec<T>,
+}
+
+impl<T: Scalar> Jacobi<T> {
+    /// Build from the diagonal of `a`.
+    pub fn setup(a: &CsrMatrix<T>) -> Result<Self, JacobiError> {
+        let mut inv_diag = Vec::with_capacity(a.nrows());
+        for (row, d) in a.diagonal().into_iter().enumerate() {
+            if d == T::ZERO || !d.is_finite() {
+                return Err(JacobiError::ZeroDiagonal { row });
+            }
+            inv_diag.push(T::ONE / d);
+        }
+        Ok(Jacobi { inv_diag })
+    }
+}
+
+impl<T: Scalar> Preconditioner<T> for Jacobi<T> {
+    fn apply_inplace(&self, v: &mut [T]) {
+        debug_assert_eq!(v.len(), self.inv_diag.len());
+        for (x, &d) in v.iter_mut().zip(&self.inv_diag) {
+            *x *= d;
+        }
+    }
+
+    fn dim(&self) -> usize {
+        self.inv_diag.len()
+    }
+
+    fn label(&self) -> String {
+        "jacobi".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vbatch_sparse::gen::laplace::laplace_2d;
+
+    #[test]
+    fn scales_by_inverse_diagonal() {
+        let a = laplace_2d::<f64>(3, 3);
+        let m = Jacobi::setup(&a).unwrap();
+        let v = vec![4.0; 9];
+        let w = m.apply(&v);
+        assert!(w.iter().all(|&x| (x - 1.0).abs() < 1e-15));
+        assert_eq!(m.dim(), 9);
+    }
+
+    #[test]
+    fn zero_diagonal_rejected() {
+        let a = CsrMatrix::from_raw(2, 2, vec![0, 1, 2], vec![1, 0], vec![1.0, 1.0]);
+        assert_eq!(
+            Jacobi::setup(&a).unwrap_err(),
+            JacobiError::ZeroDiagonal { row: 0 }
+        );
+    }
+}

@@ -1,0 +1,16 @@
+//! # vbatch-precond
+//!
+//! The preconditioner ecosystem of the ICPP'17 paper: scalar Jacobi
+//! ([`jacobi`]) and **block-Jacobi** ([`block_jacobi`]) built on the
+//! variable-size batched factorizations of `vbatch-core` — small-size
+//! LU, Gauss-Huard, Gauss-Huard-T, explicit Gauss-Jordan inversion, and
+//! the Cholesky extension — applied per Krylov iteration through the
+//! [`traits::Preconditioner`] interface.
+
+pub mod block_jacobi;
+pub mod jacobi;
+pub mod traits;
+
+pub use block_jacobi::{BjMethod, BlockJacobi};
+pub use jacobi::{Jacobi, JacobiError};
+pub use traits::{Identity, Preconditioner};

@@ -1,0 +1,63 @@
+//! The preconditioner interface the Krylov solvers consume.
+
+use vbatch_core::Scalar;
+
+/// A (left-applied) preconditioner: `apply` overwrites `v` with
+/// `M^{-1} v`. Implementations must be thread-safe — the batched
+/// appliers fan out over blocks internally.
+pub trait Preconditioner<T: Scalar>: Send + Sync {
+    /// Apply `M^{-1}` in place.
+    fn apply_inplace(&self, v: &mut [T]);
+
+    /// Problem dimension this preconditioner was set up for.
+    fn dim(&self) -> usize;
+
+    /// Short label for reports ("none", "jacobi", "block-jacobi(LU,32)").
+    fn label(&self) -> String;
+
+    /// Apply into a fresh vector.
+    fn apply(&self, v: &[T]) -> Vec<T> {
+        let mut out = v.to_vec();
+        self.apply_inplace(&mut out);
+        out
+    }
+}
+
+/// The do-nothing preconditioner (unpreconditioned baseline).
+#[derive(Clone, Debug)]
+pub struct Identity {
+    n: usize,
+}
+
+impl Identity {
+    /// Identity preconditioner for dimension `n`.
+    pub fn new(n: usize) -> Self {
+        Identity { n }
+    }
+}
+
+impl<T: Scalar> Preconditioner<T> for Identity {
+    fn apply_inplace(&self, _v: &mut [T]) {}
+
+    fn dim(&self) -> usize {
+        self.n
+    }
+
+    fn label(&self) -> String {
+        "none".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_noop() {
+        let m = Identity::new(3);
+        let v = vec![1.0f64, -2.0, 3.0];
+        assert_eq!(m.apply(&v), v);
+        assert_eq!(Preconditioner::<f64>::dim(&m), 3);
+        assert_eq!(Preconditioner::<f64>::label(&m), "none");
+    }
+}

@@ -1,0 +1,130 @@
+//! Property-based tests for the preconditioner layer: block-Jacobi with
+//! any factorization method must apply the exact block-diagonal inverse,
+//! and all methods must agree with each other on arbitrary matrices.
+
+use proptest::prelude::*;
+use vbatch_core::{DenseMat, Exec};
+use vbatch_precond::{BjMethod, BlockJacobi, Jacobi, Preconditioner};
+use vbatch_sparse::{supervariable_blocking, BlockPartition, CooMatrix, CsrMatrix};
+
+fn random_block_system(
+    nodes: usize,
+    dof: usize,
+    extra: &[(usize, usize, f64)],
+) -> CsrMatrix<f64> {
+    let n = nodes * dof;
+    let mut c = CooMatrix::new(n, n);
+    let mut rowsum = vec![0.0f64; n];
+    // dense node blocks
+    for node in 0..nodes {
+        for i in 0..dof {
+            for j in 0..dof {
+                if i != j {
+                    let v = ((node * 31 + i * 7 + j * 3) % 13) as f64 / 13.0 - 0.5;
+                    c.push(node * dof + i, node * dof + j, v);
+                    rowsum[node * dof + i] += v.abs();
+                }
+            }
+        }
+    }
+    for &(i, j, v) in extra {
+        let (i, j) = (i % n, j % n);
+        if i / dof != j / dof {
+            c.push(i, j, v);
+            rowsum[i] += v.abs();
+        }
+    }
+    for i in 0..n {
+        c.push(i, i, rowsum[i].max(0.4) * 1.1);
+    }
+    c.to_csr()
+}
+
+fn params() -> impl Strategy<Value = (usize, usize, Vec<(usize, usize, f64)>)> {
+    (2usize..=8, 1usize..=5).prop_flat_map(|(nodes, dof)| {
+        (
+            Just(nodes),
+            Just(dof),
+            prop::collection::vec(
+                ((0usize..64), (0usize..64), -0.5f64..0.5).prop_map(|t| t),
+                0..30,
+            ),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn block_jacobi_applies_exact_block_inverse((nodes, dof, extra) in params()) {
+        let a = random_block_system(nodes, dof, &extra);
+        let n = a.nrows();
+        let part = BlockPartition::uniform(n, dof);
+        let d = a.to_dense();
+        let v: Vec<f64> = (0..n).map(|i| (i as f64) * 0.17 - 1.0).collect();
+        let m = BlockJacobi::setup(&a, &part, BjMethod::SmallLu, Exec::Sequential).unwrap();
+        let w = m.apply(&v);
+        for b in 0..part.len() {
+            let r = part.range(b);
+            let block = DenseMat::from_fn(r.len(), r.len(), |i, j| d[(r.start + i, r.start + j)]);
+            let x = vbatch_core::solve_system(&block, &v[r.clone()]).unwrap();
+            for (k, gi) in r.clone().enumerate() {
+                prop_assert!((w[gi] - x[k]).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn all_methods_agree((nodes, dof, extra) in params()) {
+        let a = random_block_system(nodes, dof, &extra);
+        let part = supervariable_blocking(&a, (dof * 2).max(2));
+        let n = a.nrows();
+        let v: Vec<f64> = (0..n).map(|i| 1.0 - (i % 4) as f64 / 2.0).collect();
+        let reference = BlockJacobi::setup(&a, &part, BjMethod::SmallLu, Exec::Sequential)
+            .unwrap()
+            .apply(&v);
+        for method in [BjMethod::GaussHuard, BjMethod::GaussHuardT, BjMethod::GjeInvert] {
+            let w = BlockJacobi::setup(&a, &part, method, Exec::Parallel)
+                .unwrap()
+                .apply(&v);
+            for (p, q) in reference.iter().zip(&w) {
+                prop_assert!((p - q).abs() < 1e-8, "{method:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn size_one_partition_equals_scalar_jacobi((nodes, dof, extra) in params()) {
+        let a = random_block_system(nodes, dof, &extra);
+        let n = a.nrows();
+        let part = BlockPartition::uniform(n, 1);
+        let bj = BlockJacobi::setup(&a, &part, BjMethod::SmallLu, Exec::Sequential).unwrap();
+        let jac = Jacobi::setup(&a).unwrap();
+        let v: Vec<f64> = (0..n).map(|i| (i % 9) as f64 - 4.0).collect();
+        let w1 = bj.apply(&v);
+        let w2 = jac.apply(&v);
+        for (p, q) in w1.iter().zip(&w2) {
+            prop_assert!((p - q).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn apply_is_linear((nodes, dof, extra) in params(), alpha in -2.0f64..2.0) {
+        let a = random_block_system(nodes, dof, &extra);
+        let n = a.nrows();
+        let part = supervariable_blocking(&a, 8);
+        let m = BlockJacobi::setup(&a, &part, BjMethod::SmallLu, Exec::Sequential).unwrap();
+        let v: Vec<f64> = (0..n).map(|i| (i as f64).cos()).collect();
+        let u: Vec<f64> = (0..n).map(|i| (i as f64 / 3.0).sin()).collect();
+        // M^{-1}(alpha v + u) = alpha M^{-1} v + M^{-1} u
+        let lhs_in: Vec<f64> = v.iter().zip(&u).map(|(x, y)| alpha * x + y).collect();
+        let lhs = m.apply(&lhs_in);
+        let mv = m.apply(&v);
+        let mu = m.apply(&u);
+        for i in 0..n {
+            let rhs = alpha * mv[i] + mu[i];
+            prop_assert!((lhs[i] - rhs).abs() < 1e-7 * (1.0 + rhs.abs()));
+        }
+    }
+}

@@ -1,0 +1,337 @@
+//! Instruction classes and cycle accounting for the SIMT cost model.
+//!
+//! Every warp-level operation executed through [`crate::warp::WarpCtx`]
+//! is recorded in a [`CostCounter`]. The counter tracks *warp
+//! instructions* (one instruction = all 32 lanes), memory transactions
+//! (32-byte sectors, the L2 granularity of Pascal-class hardware) and
+//! the useful lane-level flops actually performed. A [`CostTable`]
+//! translates instruction counts into SM issue cycles for a given
+//! precision; the device model (see [`crate::device`]) turns cycles and
+//! bytes into time.
+
+/// Classes of warp instructions the simulator distinguishes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum InstrClass {
+    /// Floating-point add/sub/mul (full-rate FPU op).
+    FAddMul,
+    /// Fused multiply-add (counted as one instruction, two flops/lane).
+    FFma,
+    /// Floating-point division (expanded to reciprocal + refinement on
+    /// real hardware; modeled as one slow instruction).
+    FDiv,
+    /// Square root (SFU path).
+    FSqrt,
+    /// Comparison / select / abs.
+    Cmp,
+    /// Integer / address arithmetic and predicate manipulation.
+    IAlu,
+    /// Warp shuffle (register exchange inside the warp).
+    Shfl,
+    /// Shared-memory load (per transaction after conflict resolution).
+    SMemLd,
+    /// Shared-memory store (per transaction after conflict resolution).
+    SMemSt,
+    /// Global-memory load instruction (latency/issue; bandwidth tracked
+    /// separately via transactions).
+    GMemLd,
+    /// Global-memory store instruction.
+    GMemSt,
+    /// Warp-level synchronization / barrier.
+    Sync,
+}
+
+impl InstrClass {
+    /// All classes, in a fixed order used for indexing count arrays.
+    pub const ALL: [InstrClass; 12] = [
+        InstrClass::FAddMul,
+        InstrClass::FFma,
+        InstrClass::FDiv,
+        InstrClass::FSqrt,
+        InstrClass::Cmp,
+        InstrClass::IAlu,
+        InstrClass::Shfl,
+        InstrClass::SMemLd,
+        InstrClass::SMemSt,
+        InstrClass::GMemLd,
+        InstrClass::GMemSt,
+        InstrClass::Sync,
+    ];
+
+    /// Index of this class in [`InstrClass::ALL`].
+    #[inline]
+    pub fn idx(self) -> usize {
+        match self {
+            InstrClass::FAddMul => 0,
+            InstrClass::FFma => 1,
+            InstrClass::FDiv => 2,
+            InstrClass::FSqrt => 3,
+            InstrClass::Cmp => 4,
+            InstrClass::IAlu => 5,
+            InstrClass::Shfl => 6,
+            InstrClass::SMemLd => 7,
+            InstrClass::SMemSt => 8,
+            InstrClass::GMemLd => 9,
+            InstrClass::GMemSt => 10,
+            InstrClass::Sync => 11,
+        }
+    }
+}
+
+/// Per-warp cost accounting gathered while a kernel executes.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CostCounter {
+    /// Warp-instruction counts per [`InstrClass`] (indexed by `idx()`).
+    pub instr: [u64; 12],
+    /// 32-byte sectors moved by global loads.
+    pub gmem_ld_sectors: u64,
+    /// 32-byte sectors moved by global stores.
+    pub gmem_st_sectors: u64,
+    /// Useful lane-level floating-point operations actually performed
+    /// (an FMA on `k` active lanes contributes `2k`).
+    pub lane_flops: u64,
+    /// Loads whose addresses are known in advance (streaming sweeps):
+    /// they consume bandwidth and an issue slot but are excluded from
+    /// the serial-latency critical path, unlike dependent loads.
+    pub gmem_ld_streamed: u64,
+    /// Shared-memory bank-conflict replays beyond the first transaction.
+    pub smem_replays: u64,
+}
+
+impl CostCounter {
+    /// Fresh, zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record `n` warp instructions of the given class.
+    #[inline]
+    pub fn count(&mut self, class: InstrClass, n: u64) {
+        self.instr[class.idx()] += n;
+    }
+
+    /// Record useful lane flops.
+    #[inline]
+    pub fn flops(&mut self, n: u64) {
+        self.lane_flops += n;
+    }
+
+    /// Total warp instructions of a class.
+    #[inline]
+    pub fn get(&self, class: InstrClass) -> u64 {
+        self.instr[class.idx()]
+    }
+
+    /// Total global-memory bytes moved (both directions).
+    #[inline]
+    pub fn gmem_bytes(&self) -> u64 {
+        32 * (self.gmem_ld_sectors + self.gmem_st_sectors)
+    }
+
+    /// Total warp instructions across all classes.
+    pub fn total_instructions(&self) -> u64 {
+        self.instr.iter().sum()
+    }
+
+    /// Merge another counter into this one (used when aggregating a
+    /// batch of warps).
+    pub fn merge(&mut self, other: &CostCounter) {
+        for i in 0..12 {
+            self.instr[i] += other.instr[i];
+        }
+        self.gmem_ld_sectors += other.gmem_ld_sectors;
+        self.gmem_st_sectors += other.gmem_st_sectors;
+        self.lane_flops += other.lane_flops;
+        self.smem_replays += other.smem_replays;
+        self.gmem_ld_streamed += other.gmem_ld_streamed;
+    }
+
+    /// Scale all counts by an integer factor (used when one measured
+    /// representative warp stands in for many identical ones).
+    pub fn scaled(&self, factor: u64) -> CostCounter {
+        let mut out = self.clone();
+        for v in out.instr.iter_mut() {
+            *v *= factor;
+        }
+        out.gmem_ld_sectors *= factor;
+        out.gmem_st_sectors *= factor;
+        out.lane_flops *= factor;
+        out.smem_replays *= factor;
+        out.gmem_ld_streamed *= factor;
+        out
+    }
+
+    /// SM issue cycles this warp's instruction stream occupies under the
+    /// given cost table (bandwidth and latency are modeled separately).
+    pub fn issue_cycles(&self, table: &CostTable) -> f64 {
+        let mut c = 0.0;
+        for class in InstrClass::ALL {
+            c += self.get(class) as f64 * table.issue_cycles(class);
+        }
+        c += self.smem_replays as f64 * table.issue_cycles(InstrClass::SMemLd);
+        c
+    }
+
+    /// A crude critical-path estimate in cycles for latency modeling:
+    /// dependent ALU instructions plus exposed memory round trips.
+    pub fn latency_cycles(&self, table: &CostTable) -> f64 {
+        let alu: u64 = InstrClass::ALL
+            .iter()
+            .filter(|c| {
+                !matches!(
+                    c,
+                    InstrClass::GMemLd | InstrClass::GMemSt | InstrClass::Sync
+                )
+            })
+            .map(|&c| self.get(c))
+            .sum();
+        let dependent_loads = self
+            .get(InstrClass::GMemLd)
+            .saturating_sub(self.gmem_ld_streamed);
+        alu as f64 * table.dependent_issue_latency
+            + dependent_loads as f64 * table.gmem_latency
+    }
+}
+
+/// Issue-cycle costs of each instruction class for one precision.
+///
+/// The defaults are calibrated against a Pascal-class (P100) streaming
+/// multiprocessor: 64 FP32 lanes per SM mean one warp-wide FP32
+/// instruction occupies half an SM cycle; FP64 runs at half rate; the
+/// shuffle network and shared memory move one warp access per cycle;
+/// division expands to a multi-instruction reciprocal sequence.
+#[derive(Clone, Debug)]
+pub struct CostTable {
+    /// Cycles per warp FP add/mul/FMA instruction.
+    pub arith: f64,
+    /// Cycles per warp FP division.
+    pub div: f64,
+    /// Cycles per warp square root.
+    pub sqrt: f64,
+    /// Cycles per warp comparison/select.
+    pub cmp: f64,
+    /// Cycles per warp integer/address instruction.
+    pub ialu: f64,
+    /// Cycles per warp shuffle.
+    pub shfl: f64,
+    /// Cycles per shared-memory transaction.
+    pub smem: f64,
+    /// Issue cost of a global load/store instruction (address setup; the
+    /// data movement itself is charged to bandwidth).
+    pub gmem_issue: f64,
+    /// Cycles per warp barrier.
+    pub sync: f64,
+    /// Latency of a dependent ALU instruction (for the critical path).
+    pub dependent_issue_latency: f64,
+    /// Global-memory round-trip latency in cycles.
+    pub gmem_latency: f64,
+}
+
+impl CostTable {
+    /// Cost table for a precision with the given element width in bytes
+    /// (4 = `f32`, 8 = `f64`).
+    pub fn for_element_bytes(bytes: usize) -> Self {
+        let double = bytes >= 8;
+        CostTable {
+            arith: if double { 1.0 } else { 0.5 },
+            div: if double { 8.0 } else { 4.0 },
+            sqrt: if double { 8.0 } else { 4.0 },
+            cmp: 0.5,
+            ialu: 0.5,
+            // a 64-bit shuffle moves two 32-bit registers
+            shfl: if double { 2.0 } else { 1.0 },
+            smem: 1.0,
+            gmem_issue: 1.0,
+            sync: 1.0,
+            dependent_issue_latency: 6.0,
+            gmem_latency: 400.0,
+        }
+    }
+
+    /// Issue cycles for one instruction of the given class.
+    pub fn issue_cycles(&self, class: InstrClass) -> f64 {
+        match class {
+            InstrClass::FAddMul | InstrClass::FFma => self.arith,
+            InstrClass::FDiv => self.div,
+            InstrClass::FSqrt => self.sqrt,
+            InstrClass::Cmp => self.cmp,
+            InstrClass::IAlu => self.ialu,
+            InstrClass::Shfl => self.shfl,
+            InstrClass::SMemLd | InstrClass::SMemSt => self.smem,
+            InstrClass::GMemLd | InstrClass::GMemSt => self.gmem_issue,
+            InstrClass::Sync => self.sync,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_indices_are_bijective() {
+        for (i, c) in InstrClass::ALL.iter().enumerate() {
+            assert_eq!(c.idx(), i);
+        }
+    }
+
+    #[test]
+    fn counter_accumulates() {
+        let mut c = CostCounter::new();
+        c.count(InstrClass::FFma, 10);
+        c.count(InstrClass::Shfl, 3);
+        c.flops(640);
+        assert_eq!(c.get(InstrClass::FFma), 10);
+        assert_eq!(c.get(InstrClass::Shfl), 3);
+        assert_eq!(c.lane_flops, 640);
+        assert_eq!(c.total_instructions(), 13);
+    }
+
+    #[test]
+    fn merge_and_scale() {
+        let mut a = CostCounter::new();
+        a.count(InstrClass::FDiv, 2);
+        a.gmem_ld_sectors = 5;
+        let mut b = CostCounter::new();
+        b.count(InstrClass::FDiv, 3);
+        b.gmem_st_sectors = 1;
+        a.merge(&b);
+        assert_eq!(a.get(InstrClass::FDiv), 5);
+        assert_eq!(a.gmem_bytes(), 32 * 6);
+        let s = a.scaled(10);
+        assert_eq!(s.get(InstrClass::FDiv), 50);
+        assert_eq!(s.gmem_ld_sectors, 50);
+    }
+
+    #[test]
+    fn double_precision_costs_more_arithmetic_only() {
+        let sp = CostTable::for_element_bytes(4);
+        let dp = CostTable::for_element_bytes(8);
+        assert!(dp.arith > sp.arith);
+        assert!(dp.div > sp.div);
+        assert!(dp.shfl > sp.shfl); // 64-bit shuffles move two registers
+        assert_eq!(sp.cmp, dp.cmp);
+    }
+
+    #[test]
+    fn issue_cycles_weighs_classes() {
+        let t = CostTable::for_element_bytes(4);
+        let mut c = CostCounter::new();
+        c.count(InstrClass::FFma, 100); // 50 cycles
+        c.count(InstrClass::Shfl, 10); // 10 cycles
+        assert!((c.issue_cycles(&t) - 60.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_includes_memory_round_trips() {
+        let t = CostTable::for_element_bytes(4);
+        let mut c = CostCounter::new();
+        c.count(InstrClass::GMemLd, 2);
+        c.count(InstrClass::FFma, 1);
+        let l = c.latency_cycles(&t);
+        assert!((l - (2.0 * 400.0 + 6.0)).abs() < 1e-12);
+        // streamed loads leave the critical path
+        c.gmem_ld_streamed = 2;
+        let l = c.latency_cycles(&t);
+        assert!((l - 6.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,276 @@
+//! Device model: turns per-warp cost counters into a time estimate.
+//!
+//! The model is deliberately coarse — three aggregate resources bound a
+//! batched kernel launch:
+//!
+//! 1. **issue throughput**: every SM retires warp instructions at the
+//!    rate given by the [`crate::cost::CostTable`];
+//! 2. **memory bandwidth**: global transactions consume HBM2 bytes;
+//! 3. **latency**: with too few resident warps the SM cannot hide the
+//!    per-warp dependent-instruction and memory latencies, which is what
+//!    makes the GFLOPS curves in Figs. 4/6 *ramp up* with batch size
+//!    before they saturate.
+//!
+//! Absolute numbers are calibrated against a Tesla P100 (SXM2) and are
+//! approximate by design; the comparisons between kernels use identical
+//! machine parameters, so the relative shapes are meaningful.
+
+use crate::cost::{CostCounter, CostTable};
+
+/// Aggregate machine parameters of the simulated accelerator.
+#[derive(Clone, Debug)]
+pub struct DeviceModel {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Number of streaming multiprocessors.
+    pub sms: usize,
+    /// Core clock in GHz.
+    pub clock_ghz: f64,
+    /// Global-memory bandwidth in GB/s.
+    pub mem_bw_gbs: f64,
+    /// Resident warps per SM for the register-heavy batched kernels
+    /// (occupancy is register-limited: one 32×32 system per warp keeps
+    /// ≥ 32 values per thread in registers).
+    pub resident_warps: usize,
+    /// Fixed kernel-launch overhead in seconds.
+    pub launch_overhead_s: f64,
+    /// Sustained fraction of the theoretical issue rate a hand-tuned
+    /// kernel achieves (dependency stalls, dual-issue limits); scales
+    /// the compute-bound component only.
+    pub issue_efficiency: f64,
+}
+
+impl DeviceModel {
+    /// NVIDIA Tesla P100 (SXM2): 56 SMs, 1.48 GHz, 732 GB/s HBM2. The
+    /// hardware the paper's experiments ran on.
+    pub fn p100() -> Self {
+        DeviceModel {
+            name: "Tesla P100 (simulated)",
+            sms: 56,
+            clock_ghz: 1.48,
+            mem_bw_gbs: 732.0,
+            resident_warps: 16,
+            launch_overhead_s: 8e-6,
+            issue_efficiency: 0.5,
+        }
+    }
+
+    /// A smaller Maxwell-class part, for cross-device sanity experiments.
+    pub fn gtx980() -> Self {
+        DeviceModel {
+            name: "GTX 980 (simulated)",
+            sms: 16,
+            clock_ghz: 1.216,
+            mem_bw_gbs: 224.0,
+            resident_warps: 16,
+            launch_overhead_s: 8e-6,
+            issue_efficiency: 0.5,
+        }
+    }
+
+    /// Peak FP32 throughput in GFLOPS (2 flops/FMA × 64 lanes × SMs × clock).
+    pub fn peak_sp_gflops(&self) -> f64 {
+        2.0 * 64.0 * self.sms as f64 * self.clock_ghz
+    }
+
+    /// Peak FP64 throughput in GFLOPS (half rate on P100).
+    pub fn peak_dp_gflops(&self) -> f64 {
+        self.peak_sp_gflops() / 2.0
+    }
+
+    /// Estimate the execution time of a batched launch.
+    ///
+    /// * `per_warp` — one entry per *distinct* warp workload:
+    ///   `(counter, multiplicity)`; identical warps are deduplicated by
+    ///   the launch layer.
+    /// * `table` — the precision-specific instruction cost table.
+    pub fn estimate(&self, per_warp: &[(CostCounter, u64)], table: &CostTable) -> TimeEstimate {
+        let total_warps: u64 = per_warp.iter().map(|(_, m)| *m).sum();
+        if total_warps == 0 {
+            return TimeEstimate {
+                seconds: self.launch_overhead_s,
+                compute_s: 0.0,
+                memory_s: 0.0,
+                latency_s: 0.0,
+                total_warps: 0,
+                lane_flops: 0,
+            };
+        }
+        let mut issue_cycles = 0.0;
+        let mut latency_cycles = 0.0;
+        let mut max_warp_latency = 0.0f64;
+        let mut bytes = 0.0;
+        let mut lane_flops = 0u64;
+        for (c, m) in per_warp {
+            let mf = *m as f64;
+            issue_cycles += c.issue_cycles(table) * mf;
+            let l = c.latency_cycles(table);
+            latency_cycles += l * mf;
+            max_warp_latency = max_warp_latency.max(l);
+            bytes += c.gmem_bytes() as f64 * mf;
+            lane_flops += c.lane_flops * *m;
+        }
+        let clock_hz = self.clock_ghz * 1e9;
+        let sms = self.sms as f64;
+
+        // throughput component: instructions spread over all SMs
+        let warps_per_sm = (total_warps as f64 / sms).ceil();
+        let issue_per_warp = issue_cycles / total_warps as f64 / self.issue_efficiency;
+        let compute_cycles = warps_per_sm * issue_per_warp;
+
+        // latency component: warps execute in occupancy-sized groups; a
+        // group cannot finish faster than one warp's critical path
+        let groups = (warps_per_sm / self.resident_warps as f64).ceil();
+        let latency_per_warp = latency_cycles / total_warps as f64;
+        // a single straggler warp (e.g. the hub row of a power-law
+        // extraction) bounds the whole launch
+        let latency_cycles_total = (groups * latency_per_warp).max(max_warp_latency);
+
+        let compute_s = compute_cycles.max(latency_cycles_total) / clock_hz;
+        let memory_s = bytes / (self.mem_bw_gbs * 1e9);
+        let seconds = self.launch_overhead_s + compute_s.max(memory_s);
+        TimeEstimate {
+            seconds,
+            compute_s,
+            memory_s,
+            latency_s: latency_cycles_total / clock_hz,
+            total_warps,
+            lane_flops,
+        }
+    }
+}
+
+/// Result of a launch-time estimate.
+#[derive(Clone, Debug)]
+pub struct TimeEstimate {
+    /// End-to-end kernel time in seconds (including launch overhead).
+    pub seconds: f64,
+    /// Issue/latency-bound component.
+    pub compute_s: f64,
+    /// Bandwidth-bound component.
+    pub memory_s: f64,
+    /// Latency floor in seconds.
+    pub latency_s: f64,
+    /// Number of warps launched.
+    pub total_warps: u64,
+    /// Useful lane flops actually executed.
+    pub lane_flops: u64,
+}
+
+impl TimeEstimate {
+    /// GFLOPS with respect to a *nominal* flop count (the paper reports
+    /// GFLOPS against the textbook `2/3 n^3` / `2 n^2` counts, not the
+    /// padded work the kernels really perform).
+    pub fn gflops(&self, nominal_flops: f64) -> f64 {
+        nominal_flops / self.seconds / 1e9
+    }
+
+    /// Which resource bounds this launch?
+    pub fn bound(&self) -> Bound {
+        if self.memory_s > self.compute_s {
+            Bound::Memory
+        } else if self.latency_s >= self.compute_s * 0.999 {
+            Bound::Latency
+        } else {
+            Bound::Compute
+        }
+    }
+}
+
+/// The binding resource of a launch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Bound {
+    /// Instruction issue throughput.
+    Compute,
+    /// HBM bandwidth.
+    Memory,
+    /// Exposed latency (under-occupied device).
+    Latency,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::InstrClass;
+
+    fn warp_cost(fma: u64, loads: u64, sectors: u64) -> CostCounter {
+        let mut c = CostCounter::new();
+        c.count(InstrClass::FFma, fma);
+        c.count(InstrClass::GMemLd, loads);
+        c.gmem_ld_sectors = sectors;
+        c.flops(fma * 64);
+        c
+    }
+
+    #[test]
+    fn p100_peaks() {
+        let d = DeviceModel::p100();
+        assert!((d.peak_sp_gflops() - 10608.64).abs() < 1.0);
+        assert!((d.peak_dp_gflops() - 5304.32).abs() < 1.0);
+    }
+
+    #[test]
+    fn empty_launch_costs_only_overhead() {
+        let d = DeviceModel::p100();
+        let t = d.estimate(&[], &CostTable::for_element_bytes(8));
+        assert_eq!(t.seconds, d.launch_overhead_s);
+        assert_eq!(t.total_warps, 0);
+    }
+
+    #[test]
+    fn throughput_scales_with_batch_until_saturation() {
+        let d = DeviceModel::p100();
+        let table = CostTable::for_element_bytes(4);
+        let c = warp_cost(1000, 10, 80);
+        let small = d.estimate(&[(c.clone(), 56)], &table);
+        let large = d.estimate(&[(c.clone(), 56_000)], &table);
+        let g_small = small.gflops(56.0 * 1e6);
+        let g_large = large.gflops(56_000.0 * 1e6);
+        assert!(
+            g_large > 2.0 * g_small,
+            "saturated launch should be far more efficient: {g_small} vs {g_large}"
+        );
+        // doubling a saturated batch should roughly double time
+        let larger = d.estimate(&[(c, 112_000)], &table);
+        let ratio = larger.seconds / large.seconds;
+        assert!((1.7..2.3).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn memory_heavy_kernel_is_bandwidth_bound() {
+        let d = DeviceModel::p100();
+        let table = CostTable::for_element_bytes(8);
+        // tiny compute, huge traffic
+        let mut c = CostCounter::new();
+        c.count(InstrClass::GMemLd, 100);
+        c.gmem_ld_sectors = 100_000;
+        let t = d.estimate(&[(c, 10_000)], &table);
+        assert_eq!(t.bound(), Bound::Memory);
+    }
+
+    #[test]
+    fn compute_heavy_kernel_is_compute_bound() {
+        let d = DeviceModel::p100();
+        let table = CostTable::for_element_bytes(8);
+        let t = d.estimate(&[(warp_cost(100_000, 2, 16), 100_000)], &table);
+        assert_eq!(t.bound(), Bound::Compute);
+    }
+
+    #[test]
+    fn under_occupied_launch_exposes_latency() {
+        let d = DeviceModel::p100();
+        let table = CostTable::for_element_bytes(8);
+        // single warp with long memory chain
+        let t = d.estimate(&[(warp_cost(10, 64, 512), 1)], &table);
+        assert_eq!(t.bound(), Bound::Latency);
+    }
+
+    #[test]
+    fn double_precision_estimate_slower_than_single() {
+        let d = DeviceModel::p100();
+        let c = warp_cost(10_000, 32, 256);
+        let sp = d.estimate(&[(c.clone(), 10_000)], &CostTable::for_element_bytes(4));
+        let dp = d.estimate(&[(c, 10_000)], &CostTable::for_element_bytes(8));
+        assert!(dp.seconds > 1.5 * sp.seconds);
+    }
+}

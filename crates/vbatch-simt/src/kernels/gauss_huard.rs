@@ -1,0 +1,394 @@
+//! Gauss-Huard and Gauss-Huard-T warp kernels (the ICCS'17 baselines of
+//! §IV, refs \[7\]).
+//!
+//! One warp per system; lane `c` keeps original *column* `c` in its
+//! registers. Column pivoting is implicit (no register exchange between
+//! lanes — the warp only records which original column was eliminated at
+//! each step), mirroring the implicit row pivoting of the LU kernel.
+//! Unlike LU, the eliminations of step `k` reference the *history* of
+//! pivot columns `q[0..k]`, which is the extra bookkeeping the paper
+//! mentions when comparing the two implicit schemes.
+//!
+//! The factorization is *lazy*: step `k` performs `Θ(k)` register-wide
+//! updates, so — in contrast to the padded small-size LU — the work
+//! genuinely shrinks with the block size. This is why GH wins below the
+//! crossover in Fig. 5.
+//!
+//! **Storage layouts.** With a column per lane, the coalesced off-load
+//! direction writes the factor in *row-major* order; this is the plain
+//! **GH** kernel, whose triangular solve later pays strided reads
+//! (Fig. 7). **GH-T** spends strided writes at factorization time to
+//! store the factor column-major ("transpose access-friendly"), making
+//! the solve coalesced. The simulator exposes the layout as
+//! [`GhStorage`]; numerics are identical.
+
+use crate::cost::CostCounter;
+use crate::memory::{GlobalMem, GlobalMemU32, LaneAddrs, WARP_SIZE};
+use crate::warp::{mask_below, neg_free, zeros, Mask, Regs, WarpCtx};
+use vbatch_core::{FactorError, FactorResult, GhLayout, MatrixBatch, Permutation, Scalar};
+
+/// Factor storage layout chosen at off-load time.
+///
+/// The GH solve is *interleaved*: every step reads one factor **row**
+/// segment (the DOT that finishes `y_k`) and one factor **column**
+/// segment (the AXPY that eliminates above). A single storage layout can
+/// only make one of the two access families coalesced:
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GhStorage {
+    /// Paper's **GH**: the factor is stored once, row-major — the layout
+    /// the column-per-lane registers off-load coalesced. The solve's row
+    /// reads are coalesced but its column reads are strided (the
+    /// non-coalesced reads that harm GH beyond 16×16, Fig. 7).
+    RowMajor,
+    /// Paper's **GH-T** ("transpose access-friendly mode"): the factor
+    /// is off-loaded *twice*, row-major (coalesced) plus column-major
+    /// (strided — the extra factorization cost visible in Fig. 5), so
+    /// that both solve access families read their preferred copy
+    /// coalesced.
+    Dual,
+}
+
+impl GhStorage {
+    /// The equivalent CPU-side [`GhLayout`] for validating numerics: the
+    /// canonical (row-major) copy read as a column-major `DenseMat` is
+    /// the transposed working matrix.
+    pub fn cpu_layout(self) -> GhLayout {
+        GhLayout::Transposed
+    }
+}
+
+/// Device-side state of a batched Gauss-Huard launch.
+#[derive(Debug)]
+pub struct GhBatch<T> {
+    /// Matrix values (input, overwritten by the position-indexed factor
+    /// in the layout given by `storage`).
+    pub values: GlobalMem<T>,
+    /// Per-block offsets into `values`.
+    pub offsets: Vec<usize>,
+    /// Per-block orders.
+    pub sizes: Vec<usize>,
+    /// Column-pivot output (`col_of_step` entries per block).
+    pub piv: GlobalMemU32,
+    /// Prefix sums of `sizes` (offsets into `piv`).
+    pub piv_offsets: Vec<usize>,
+    /// Factor storage layout.
+    pub storage: GhStorage,
+}
+
+impl<T: Scalar> GhBatch<T> {
+    /// Upload a host batch. For [`GhStorage::Dual`] the value buffer is
+    /// doubled: the second half receives the column-major copy.
+    pub fn upload(batch: &MatrixBatch<T>, storage: GhStorage) -> Self {
+        let mut piv_offsets = Vec::with_capacity(batch.len() + 1);
+        piv_offsets.push(0usize);
+        let mut total = 0usize;
+        for &n in batch.sizes() {
+            total += n;
+            piv_offsets.push(total);
+        }
+        let values = match storage {
+            GhStorage::RowMajor => GlobalMem::from_slice(batch.as_slice()),
+            GhStorage::Dual => {
+                let mut v = batch.as_slice().to_vec();
+                v.extend(std::iter::repeat(T::ZERO).take(batch.total_elements()));
+                GlobalMem::from_slice(&v)
+            }
+        };
+        GhBatch {
+            values,
+            offsets: batch.offsets().to_vec(),
+            sizes: batch.sizes().to_vec(),
+            piv: GlobalMemU32::zeros(total),
+            piv_offsets,
+            storage,
+        }
+    }
+
+    /// Offset of the column-major copy of block `block` (Dual only).
+    pub fn dual_offset(&self, block: usize) -> usize {
+        debug_assert_eq!(self.storage, GhStorage::Dual);
+        self.offsets[self.sizes.len()] + self.offsets[block]
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.sizes.is_empty()
+    }
+
+    /// Execute the factorization warp for one block.
+    pub fn run_warp(&mut self, block: usize) -> FactorResult<CostCounter> {
+        let mut ctx = WarpCtx::new();
+        let n = self.sizes[block];
+        if n > WARP_SIZE {
+            return Err(FactorError::TooLarge { n, max: WARP_SIZE });
+        }
+        let base = self.offsets[block];
+        let act: Mask = mask_below(n);
+
+        // --- load: the input is column-major but the kernel wants one
+        // column per *lane*, so the warp loads coalesced (one column per
+        // instruction, row-per-lane) and transposes through shared memory
+        // with a +1 padding stride to stay bank-conflict free.
+        let mut smem = crate::shared::SharedMem::<T>::zeros(n * (n + 1));
+        for j in 0..n {
+            let mut addrs: LaneAddrs = [None; WARP_SIZE];
+            for (lane, slot) in addrs.iter_mut().enumerate().take(n) {
+                *slot = Some(base + j * n + lane); // coalesced column read
+            }
+            let colvals = self.values.warp_load_streamed(&addrs, &mut ctx.counter);
+            // lane r holds element (r, j): stage at r*(n+1) + j
+            let mut saddrs: LaneAddrs = [None; WARP_SIZE];
+            for (lane, slot) in saddrs.iter_mut().enumerate().take(n) {
+                *slot = Some(lane * (n + 1) + j);
+            }
+            smem.warp_store(&saddrs, &colvals, &mut ctx.counter);
+        }
+        ctx.sync();
+        let mut cols: [Regs<T>; WARP_SIZE] = [zeros(); WARP_SIZE];
+        for (i, col) in cols.iter_mut().enumerate().take(n) {
+            // read row i of the staged matrix: lane c gets element (i, c)
+            let mut saddrs: LaneAddrs = [None; WARP_SIZE];
+            for (lane, slot) in saddrs.iter_mut().enumerate().take(n) {
+                *slot = Some(i * (n + 1) + lane);
+            }
+            *col = smem.warp_load(&saddrs, &mut ctx.counter);
+        }
+        // NOTE: `cols[i][lane]` = M(i, lane) — register index is the row.
+
+        // --- factorization with implicit column pivoting ------------------
+        let mut q = [0usize; WARP_SIZE]; // col_of_step
+        let mut pos_of_col = [usize::MAX; WARP_SIZE];
+        let mut unpiv: Mask = act;
+        for k in 0..n {
+            // (1) lazy row update: row k of the unpivoted columns picks up
+            // the contributions of all previous pivot columns
+            for (j, &qj) in q.iter().enumerate().take(k) {
+                // each thread consults its replicated pivot-index list —
+                // the per-step bookkeeping the paper contrasts with LU's
+                // history-free implicit pivoting (§III-A)
+                ctx.ialu(1);
+                let mkj = ctx.shfl_bcast(&cols[k], qj);
+                let neg = neg_free(&mkj);
+                cols[k] = ctx.fma(unpiv, &cols[j], &neg, &cols[k]);
+            }
+            // (2) implicit column pivot: argmax |M(k, c)| over unpivoted c
+            let absv = ctx.abs(unpiv, &cols[k]);
+            let (cpiv, best) = match ctx.reduce_argmax(unpiv, &absv) {
+                Some(r) => r,
+                None => return Err(FactorError::SingularPivot { step: k }),
+            };
+            if best == T::ZERO || !best.is_finite() {
+                return Err(FactorError::SingularPivot { step: k });
+            }
+            q[k] = cpiv;
+            pos_of_col[cpiv] = k;
+            unpiv &= !(1 << cpiv);
+            ctx.ialu(1);
+
+            // (3) scale the trailing part of row k
+            let d = ctx.shfl_bcast(&cols[k], cpiv);
+            cols[k] = ctx.div(unpiv, &cols[k], &d);
+
+            // (4) eliminate above: rows 0..k of the unpivoted columns
+            for i in 0..k {
+                ctx.ialu(1); // pivot-list lookup (see step (1))
+                let mik = ctx.shfl_bcast(&cols[i], cpiv);
+                let neg = neg_free(&mik);
+                cols[i] = ctx.fma(unpiv, &cols[k], &neg, &cols[i]);
+            }
+        }
+
+        // --- off-load: lane c writes its column to *position*
+        // pos_of_col[c]. The canonical row-major copy is coalesced
+        // (consecutive positions across lanes); the Dual layout adds a
+        // strided column-major copy — GH-T's non-coalesced writes.
+        for i in 0..n {
+            let mut addrs: LaneAddrs = [None; WARP_SIZE];
+            for (lane, slot) in addrs.iter_mut().enumerate().take(n) {
+                let pos = pos_of_col[lane];
+                *slot = Some(base + i * n + pos);
+            }
+            self.values.warp_store(&addrs, &cols[i], &mut ctx.counter);
+            if self.storage == GhStorage::Dual {
+                let dual_base = self.dual_offset(block);
+                let mut daddrs: LaneAddrs = [None; WARP_SIZE];
+                for (lane, slot) in daddrs.iter_mut().enumerate().take(n) {
+                    let pos = pos_of_col[lane];
+                    *slot = Some(dual_base + pos * n + i); // stride n: strided
+                }
+                self.values.warp_store(&daddrs, &cols[i], &mut ctx.counter);
+            }
+        }
+        // pivot vector off-load
+        let piv_base = self.piv_offsets[block];
+        let mut paddrs: LaneAddrs = [None; WARP_SIZE];
+        let mut pvals = [0u32; WARP_SIZE];
+        for lane in 0..n {
+            paddrs[lane] = Some(piv_base + lane);
+            pvals[lane] = q[lane] as u32;
+        }
+        self.piv.warp_store(&paddrs, &pvals, &mut ctx.counter);
+        Ok(ctx.counter)
+    }
+
+    /// Run the whole batch; returns the summed cost counter.
+    pub fn run_all(&mut self) -> FactorResult<CostCounter> {
+        let mut total = CostCounter::new();
+        for b in 0..self.len() {
+            total.merge(&self.run_warp(b)?);
+        }
+        Ok(total)
+    }
+
+    /// Download block `block` as CPU-side Gauss-Huard factors for
+    /// validation and host solves.
+    pub fn factors_host(&self, block: usize) -> vbatch_core::GhFactors<T> {
+        let n = self.sizes[block];
+        let base = self.offsets[block];
+        let data: Vec<T> = (0..n * n).map(|i| self.values.peek(base + i)).collect();
+        let piv_base = self.piv_offsets[block];
+        let q: Vec<usize> = (0..n).map(|k| self.piv.peek(piv_base + k) as usize).collect();
+        vbatch_core::GhFactors {
+            m: vbatch_core::DenseMat::from_col_major(n, n, &data),
+            q: Permutation::from_row_of_step(q),
+            layout: self.storage.cpu_layout(),
+        }
+    }
+}
+
+/// Cost of factorizing one block of order `n` with the given storage.
+pub fn warp_cost<T: Scalar>(n: usize, storage: GhStorage) -> CostCounter {
+    let block = super::representative_block::<T>(n, n + 101);
+    let batch = MatrixBatch::from_matrices(std::slice::from_ref(&block));
+    let mut dev = GhBatch::upload(&batch, storage);
+    dev.run_warp(0)
+        .expect("representative block must factorize")
+}
+
+/// Per-size deduplicated costs for a variable-size batch.
+pub fn batch_cost<T: Scalar>(sizes: &[usize], storage: GhStorage) -> Vec<(CostCounter, u64)> {
+    let mut by_size: std::collections::BTreeMap<usize, u64> = std::collections::BTreeMap::new();
+    for &n in sizes {
+        *by_size.entry(n).or_insert(0) += 1;
+    }
+    by_size
+        .into_iter()
+        .map(|(n, count)| (warp_cost::<T>(n, storage), count))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::InstrClass;
+    use vbatch_core::{gh_factorize, DenseMat};
+
+    fn batch_of(sizes: &[usize]) -> MatrixBatch<f64> {
+        let mats: Vec<DenseMat<f64>> = sizes
+            .iter()
+            .enumerate()
+            .map(|(s, &n)| super::super::representative_block(n, 2 * s + 3))
+            .collect();
+        MatrixBatch::from_matrices(&mats)
+    }
+
+    #[test]
+    fn matches_cpu_gauss_huard() {
+        let batch = batch_of(&[1, 2, 4, 7, 11, 16, 23, 32]);
+        for storage in [GhStorage::RowMajor, GhStorage::Dual] {
+            let mut dev = GhBatch::upload(&batch, storage);
+            dev.run_all().unwrap();
+            for b in 0..batch.len() {
+                let a = batch.block_as_mat(b);
+                let cpu = gh_factorize(&a, storage.cpu_layout()).unwrap();
+                let gpu = dev.factors_host(b);
+                assert_eq!(
+                    gpu.q.as_slice(),
+                    cpu.q.as_slice(),
+                    "block {b} ({storage:?}): pivot mismatch"
+                );
+                for (x, y) in gpu.m.as_slice().iter().zip(cpu.m.as_slice()) {
+                    assert!(
+                        (x - y).abs() < 1e-12,
+                        "block {b} ({storage:?}): factor mismatch {x} vs {y}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn solve_through_simt_factors() {
+        let batch = batch_of(&[9]);
+        let a = batch.block_as_mat(0);
+        let x_true: Vec<f64> = (0..9).map(|i| (i as f64) / 2.0 - 2.0).collect();
+        let b = a.matvec(&x_true);
+        for storage in [GhStorage::RowMajor, GhStorage::Dual] {
+            let mut dev = GhBatch::upload(&batch, storage);
+            dev.run_all().unwrap();
+            let x = dev.factors_host(0).solve(&b);
+            for i in 0..9 {
+                assert!((x[i] - x_true[i]).abs() < 1e-10, "{storage:?} x[{i}]={}", x[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn lazy_work_shrinks_with_size_unlike_padded_lu() {
+        let gh16 = warp_cost::<f64>(16, GhStorage::RowMajor);
+        let gh32 = warp_cost::<f64>(32, GhStorage::RowMajor);
+        let lu16 = crate::kernels::getrf::warp_cost::<f64>(16);
+        let lu32 = crate::kernels::getrf::warp_cost::<f64>(32);
+        let r_gh = gh16.get(InstrClass::FFma) as f64 / gh32.get(InstrClass::FFma) as f64;
+        let r_lu = lu16.get(InstrClass::FFma) as f64 / lu32.get(InstrClass::FFma) as f64;
+        assert!(
+            r_gh < 0.4 && r_lu > 0.6,
+            "GH must scale with size (got {r_gh}), padded LU must not (got {r_lu})"
+        );
+        // at full size 32 GH performs roughly twice the fma instructions
+        assert!(gh32.get(InstrClass::FFma) > lu32.get(InstrClass::FFma));
+    }
+
+    #[test]
+    fn ght_pays_noncoalesced_stores() {
+        let gh = warp_cost::<f64>(32, GhStorage::RowMajor);
+        let ght = warp_cost::<f64>(32, GhStorage::Dual);
+        assert!(
+            ght.gmem_st_sectors > 3 * gh.gmem_st_sectors,
+            "GH-T stores must be far less coalesced: {} vs {}",
+            ght.gmem_st_sectors,
+            gh.gmem_st_sectors
+        );
+        // identical arithmetic
+        assert_eq!(gh.get(InstrClass::FFma), ght.get(InstrClass::FFma));
+    }
+
+    #[test]
+    fn singular_detected() {
+        // proportional rows with power-of-two entries: the elimination
+        // cancels exactly in floating point
+        let a = DenseMat::from_row_major(2, 2, &[1.0, 2.0, 2.0, 4.0]);
+        let batch = MatrixBatch::from_matrices(&[a]);
+        let mut dev = GhBatch::upload(&batch, GhStorage::RowMajor);
+        assert!(matches!(
+            dev.run_warp(0),
+            Err(FactorError::SingularPivot { .. })
+        ));
+    }
+
+    #[test]
+    fn oversized_rejected() {
+        let a = DenseMat::<f64>::identity(40);
+        let batch = MatrixBatch::from_matrices(&[a]);
+        let mut dev = GhBatch::upload(&batch, GhStorage::Dual);
+        assert_eq!(
+            dev.run_warp(0).unwrap_err(),
+            FactorError::TooLarge { n: 40, max: 32 }
+        );
+    }
+}

@@ -1,0 +1,59 @@
+//! SIMT kernel implementations of every batched routine the paper
+//! evaluates (§IV):
+//!
+//! * [`getrf`] — the *small-size LU*: register-resident, implicitly
+//!   pivoted, padded to the warp width (the paper's Fig. 1 bottom as a
+//!   warp kernel);
+//! * [`gauss_huard`] — the Gauss-Huard and Gauss-Huard-T factorization
+//!   kernels (the authors' ICCS'17 baseline);
+//! * [`vendor`] — a cuBLAS-like memory-resident batched LU/GETRS
+//!   baseline (fixed block size only, explicit row swaps);
+//! * [`trsv`] — the triangular-solve kernels complementing each
+//!   factorization;
+//! * [`extract`] — the shared-memory diagonal-block extraction of
+//!   §III-C together with the naive row-per-lane strategy it replaces;
+//! * [`multi`] — an *extension*: the multi-problem-per-warp packing the
+//!   paper mentions but does not implement (§IV-B);
+//! * [`gemv`] — the batched GEMV application of the inversion-based
+//!   block-Jacobi alternative (§II-C, ref.\[4\]);
+//! * [`large`] — an *extension*: two-rows-per-lane LU for orders up to
+//!   64 (the paper's "any problem size" future work, §V).
+//!
+//! Every kernel here is a *second implementation* of the corresponding
+//! algorithm: its numerical output is tested against `vbatch-core`'s
+//! native kernels, while its instruction/transaction counts feed the
+//! device model.
+
+pub mod extract;
+pub mod gauss_huard;
+pub mod gemv;
+pub mod getrf;
+pub mod large;
+pub mod multi;
+pub mod trsv;
+pub mod vendor;
+
+use vbatch_core::{DenseMat, Scalar};
+
+/// Deterministic well-conditioned representative block used when only
+/// kernel *costs* are needed (cost is data-independent for the register
+/// kernels; for the vendor kernel the representative stands in for the
+/// average pivoting pattern).
+pub fn representative_block<T: Scalar>(n: usize, seed: usize) -> DenseMat<T> {
+    DenseMat::from_fn(n, n, |i, j| {
+        let h = (i * 389 + j * 97 + seed * 4099 + 31) % 2048;
+        let v = T::from_f64(h as f64 / 1024.0 - 1.0);
+        if i == j {
+            v + T::from_f64(2.5)
+        } else {
+            v
+        }
+    })
+}
+
+/// Deterministic representative right-hand side.
+pub fn representative_rhs<T: Scalar>(n: usize, seed: usize) -> Vec<T> {
+    (0..n)
+        .map(|i| T::from_f64(((i * 53 + seed * 17 + 7) % 256) as f64 / 128.0 - 1.0))
+        .collect()
+}

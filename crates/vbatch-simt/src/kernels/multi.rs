@@ -1,0 +1,511 @@
+//! Multi-problem-per-warp LU — the size-specific tuning the paper
+//! leaves on the table (§IV-B: *"Although we do not tune for specific
+//! sizes by handling multiple problems per warp, the small-size LU
+//! outperforms the cuBLAS LU for almost all sizes"*).
+//!
+//! For block order `n ≤ 16`, a warp has room for `k = ⌊32/n⌋` systems:
+//! lane `p*n + r` holds row `r` of sub-problem `p`. All per-step
+//! operations become *segmented*: the pivot search is a segmented
+//! reduction (same shuffle count as the full-warp butterfly), the pivot
+//! broadcast is a segmented shuffle, and — crucially — the trailing
+//! update only spans `n - k` columns instead of the padded 32, removing
+//! the padding overhead that costs the plain small-size LU its lead
+//! below the Fig. 5 crossover.
+//!
+//! The kernel is functional (validated against the CPU reference) and
+//! feeds the `ablation_multi` bench.
+
+use crate::cost::CostCounter;
+use crate::memory::{GlobalMem, GlobalMemU32, LaneAddrs, WARP_SIZE};
+use crate::warp::{lane_active, neg_free, zeros, Mask, Regs, WarpCtx};
+use vbatch_core::{FactorError, FactorResult, MatrixBatch, Permutation, Scalar};
+
+/// How many systems of order `n` fit in one warp.
+pub fn problems_per_warp(n: usize) -> usize {
+    if n == 0 {
+        0
+    } else {
+        (WARP_SIZE / n).max(1)
+    }
+}
+
+/// Device-side state of a batched multi-problem-per-warp LU launch.
+/// Requires a uniform block order `n ≤ 16` (above that the plain
+/// [`crate::kernels::getrf::GetrfSmallSize`] kernel is the right tool).
+#[derive(Debug)]
+pub struct GetrfMultiPerWarp<T> {
+    /// Matrix values (overwritten with the combined factors).
+    pub values: GlobalMem<T>,
+    /// Uniform block order.
+    pub n: usize,
+    /// Number of blocks.
+    pub batch: usize,
+    /// Pivot output (`row_of_step` per block).
+    pub piv: GlobalMemU32,
+}
+
+impl<T: Scalar> GetrfMultiPerWarp<T> {
+    /// Upload a uniform batch of order ≤ 16.
+    pub fn upload(batch: &MatrixBatch<T>) -> FactorResult<Self> {
+        let n = batch.max_size();
+        if n > 16 {
+            return Err(FactorError::TooLarge { n, max: 16 });
+        }
+        if batch.sizes().iter().any(|&s| s != n) {
+            return Err(FactorError::NotSquare { rows: n, cols: 0 });
+        }
+        Ok(GetrfMultiPerWarp {
+            values: GlobalMem::from_slice(batch.as_slice()),
+            n,
+            batch: batch.len(),
+            piv: GlobalMemU32::zeros(n * batch.len()),
+        })
+    }
+
+    /// Number of warps a launch needs.
+    pub fn warps(&self) -> usize {
+        let k = problems_per_warp(self.n);
+        self.batch.div_ceil(k)
+    }
+
+    /// Execute one warp, processing up to `problems_per_warp(n)`
+    /// consecutive blocks starting at `first_block`.
+    pub fn run_warp(&mut self, first_block: usize) -> FactorResult<CostCounter> {
+        let mut ctx = WarpCtx::new();
+        let n = self.n;
+        let k = problems_per_warp(n);
+        let here = k.min(self.batch - first_block);
+        // active lanes: `here` contiguous segments of n lanes
+        let mut act: Mask = 0;
+        for lane in 0..here * n {
+            act |= 1 << lane;
+        }
+
+        // --- load: column j of every sub-problem in one instruction ----
+        // lane p*n + r reads block (first+p) element (r, j): the segments
+        // are contiguous in memory, so the access stays coalesced.
+        let mut rows: [Regs<T>; 16] = [zeros(); 16];
+        for (j, row) in rows.iter_mut().enumerate().take(n) {
+            let mut addrs: LaneAddrs = [None; WARP_SIZE];
+            for p in 0..here {
+                let base = (first_block + p) * n * n;
+                for r in 0..n {
+                    addrs[p * n + r] = Some(base + j * n + r);
+                }
+            }
+            *row = self.values.warp_load_streamed(&addrs, &mut ctx.counter);
+        }
+
+        // --- segmented implicit-pivot factorization ---------------------
+        let mut step_of_lane = [usize::MAX; WARP_SIZE];
+        let mut row_of_step = [[0u32; 32]; 16]; // [step][problem]
+        let mut cand: Mask = act;
+        for step in 0..n {
+            // segmented argmax: functionally per segment; cost equal to
+            // one butterfly reduction (5 rounds of shfl+cmp work for all
+            // segments simultaneously)
+            let absv = ctx.abs(cand, &rows[step]);
+            ctx.counter.count(crate::cost::InstrClass::Shfl, 10);
+            ctx.counter.count(crate::cost::InstrClass::Cmp, 5);
+            let mut piv_lane = [usize::MAX; 32];
+            for p in 0..here {
+                let mut best = T::ZERO;
+                for r in 0..n {
+                    let lane = p * n + r;
+                    if lane_active(cand, lane) {
+                        let v = absv[lane];
+                        if piv_lane[p] == usize::MAX || v > best {
+                            best = v;
+                            piv_lane[p] = lane;
+                        }
+                    }
+                }
+                if piv_lane[p] == usize::MAX || best == T::ZERO || !best.is_finite() {
+                    return Err(FactorError::SingularPivot { step });
+                }
+                step_of_lane[piv_lane[p]] = step;
+                row_of_step[step][p] = (piv_lane[p] - p * n) as u32;
+                cand &= !(1 << piv_lane[p]);
+            }
+            ctx.ialu(1);
+
+            // segmented broadcast of the pivot value (one shuffle: each
+            // lane reads its own segment's pivot lane)
+            let mut src = [0usize; WARP_SIZE];
+            for p in 0..here {
+                for r in 0..n {
+                    src[p * n + r] = piv_lane[p];
+                }
+            }
+            let d = ctx.shfl(&rows[step], &src);
+            rows[step] = ctx.div(cand, &rows[step], &d);
+
+            // trailing update spans only the real width n — no padding
+            for j in step + 1..n {
+                let pivj = ctx.shfl(&rows[j], &src);
+                let neg = neg_free(&pivj);
+                rows[j] = ctx.fma(cand, &rows[step], &neg, &rows[j]);
+            }
+        }
+
+        // --- off-load with folded row swap -------------------------------
+        for (j, row) in rows.iter().enumerate().take(n) {
+            let mut addrs: LaneAddrs = [None; WARP_SIZE];
+            for p in 0..here {
+                let base = (first_block + p) * n * n;
+                for r in 0..n {
+                    let lane = p * n + r;
+                    addrs[lane] = Some(base + j * n + step_of_lane[lane]);
+                }
+            }
+            self.values.warp_store(&addrs, row, &mut ctx.counter);
+        }
+        // pivot vectors (contiguous per block)
+        let mut paddrs: LaneAddrs = [None; WARP_SIZE];
+        let mut pvals = [0u32; WARP_SIZE];
+        for p in 0..here {
+            for s in 0..n {
+                paddrs[p * n + s] = Some((first_block + p) * n + s);
+                pvals[p * n + s] = row_of_step[s][p];
+            }
+        }
+        self.piv.warp_store(&paddrs, &pvals, &mut ctx.counter);
+        Ok(ctx.counter)
+    }
+
+    /// Run the whole batch; returns the summed cost counter.
+    pub fn run_all(&mut self) -> FactorResult<CostCounter> {
+        let mut total = CostCounter::new();
+        let k = problems_per_warp(self.n);
+        let mut b = 0;
+        while b < self.batch {
+            total.merge(&self.run_warp(b)?);
+            b += k;
+        }
+        Ok(total)
+    }
+
+    /// Download the factors of one block (column-major, pivot order).
+    pub fn factors_host(&self, block: usize) -> Vec<T> {
+        let n = self.n;
+        (0..n * n)
+            .map(|i| self.values.peek(block * n * n + i))
+            .collect()
+    }
+
+    /// Download the pivot permutation of one block.
+    pub fn perm_host(&self, block: usize) -> Permutation {
+        let n = self.n;
+        Permutation::from_row_of_step(
+            (0..n)
+                .map(|s| self.piv.peek(block * n + s) as usize)
+                .collect(),
+        )
+    }
+}
+
+/// Batched triangular solve for the packed layout: `⌊32/n⌋` right-hand
+/// sides per warp, one element per lane, segmented broadcasts instead of
+/// full-warp ones. Completes the multi-problem-per-warp pipeline.
+#[derive(Debug)]
+pub struct MultiTrsv<T> {
+    /// Combined factors from [`GetrfMultiPerWarp`].
+    pub values: GlobalMem<T>,
+    /// Uniform block order.
+    pub n: usize,
+    /// Number of blocks.
+    pub batch: usize,
+    /// Pivot vectors.
+    pub piv: GlobalMemU32,
+    /// Right-hand sides, overwritten with the solutions.
+    pub rhs: GlobalMem<T>,
+}
+
+impl<T: Scalar> MultiTrsv<T> {
+    /// Build from a factorized [`GetrfMultiPerWarp`] plus flat right-hand
+    /// sides.
+    pub fn from_factorization(f: &GetrfMultiPerWarp<T>, rhs_flat: &[T]) -> Self {
+        assert_eq!(rhs_flat.len(), f.n * f.batch);
+        MultiTrsv {
+            values: f.values.clone(),
+            n: f.n,
+            batch: f.batch,
+            piv: f.piv.clone(),
+            rhs: GlobalMem::from_slice(rhs_flat),
+        }
+    }
+
+    /// Execute one warp over up to `problems_per_warp(n)` blocks.
+    pub fn run_warp(&mut self, first_block: usize) -> FactorResult<CostCounter> {
+        let mut ctx = WarpCtx::new();
+        let n = self.n;
+        let k = problems_per_warp(n);
+        let here = k.min(self.batch - first_block);
+
+        // permuted gather of all b segments in one instruction
+        let mut paddrs: LaneAddrs = [None; WARP_SIZE];
+        for p in 0..here {
+            for s in 0..n {
+                paddrs[p * n + s] = Some((first_block + p) * n + s);
+            }
+        }
+        let piv = self.piv.warp_load(&paddrs, &mut ctx.counter);
+        let mut baddrs: LaneAddrs = [None; WARP_SIZE];
+        for p in 0..here {
+            for s in 0..n {
+                baddrs[p * n + s] = Some((first_block + p) * n + piv[p * n + s] as usize);
+            }
+        }
+        let mut b = self.rhs.warp_load(&baddrs, &mut ctx.counter);
+
+        // segmented broadcast source for step s: lane p*n + r reads its
+        // own segment's lane p*n + s
+        let seg_src = |s: usize| {
+            let mut src = [0usize; WARP_SIZE];
+            for p in 0..here {
+                for r in 0..n {
+                    src[p * n + r] = p * n + s;
+                }
+            }
+            src
+        };
+        // per-step masks over the packed segments
+        let tail_mask = |from: usize| {
+            let mut m: Mask = 0;
+            for p in 0..here {
+                for r in from..n {
+                    m |= 1 << (p * n + r);
+                }
+            }
+            m
+        };
+        let head_mask = |to: usize| {
+            let mut m: Mask = 0;
+            for p in 0..here {
+                for r in 0..to {
+                    m |= 1 << (p * n + r);
+                }
+            }
+            m
+        };
+
+        // eager unit-lower sweep (all sub-problems in lockstep)
+        for s in 0..n.saturating_sub(1) {
+            let mut caddrs: LaneAddrs = [None; WARP_SIZE];
+            for p in 0..here {
+                let base = (first_block + p) * n * n;
+                for r in s + 1..n {
+                    caddrs[p * n + r] = Some(base + s * n + r);
+                }
+            }
+            let col = self.values.warp_load(&caddrs, &mut ctx.counter);
+            let ys = ctx.shfl(&b, &seg_src(s));
+            let neg = neg_free(&col);
+            b = ctx.fma(tail_mask(s + 1), &neg, &ys, &b);
+        }
+        // eager upper sweep
+        for s in (0..n).rev() {
+            let mut caddrs: LaneAddrs = [None; WARP_SIZE];
+            for p in 0..here {
+                let base = (first_block + p) * n * n;
+                for r in 0..=s {
+                    caddrs[p * n + r] = Some(base + s * n + r);
+                }
+            }
+            let col = self.values.warp_load(&caddrs, &mut ctx.counter);
+            // divide the s-th lane of every segment
+            let mut div_mask: Mask = 0;
+            for p in 0..here {
+                div_mask |= 1 << (p * n + s);
+            }
+            b = ctx.div(div_mask, &b, &col);
+            let ys = ctx.shfl(&b, &seg_src(s));
+            let neg = neg_free(&col);
+            b = ctx.fma(head_mask(s), &neg, &ys, &b);
+        }
+
+        // store x (coalesced)
+        let mut saddrs: LaneAddrs = [None; WARP_SIZE];
+        for p in 0..here {
+            for s in 0..n {
+                saddrs[p * n + s] = Some((first_block + p) * n + s);
+            }
+        }
+        self.rhs.warp_store(&saddrs, &b, &mut ctx.counter);
+        Ok(ctx.counter)
+    }
+
+    /// Run the whole batch; returns the summed cost counter.
+    pub fn run_all(&mut self) -> FactorResult<CostCounter> {
+        let mut total = CostCounter::new();
+        let k = problems_per_warp(self.n);
+        let mut bi = 0;
+        while bi < self.batch {
+            total.merge(&self.run_warp(bi)?);
+            bi += k;
+        }
+        Ok(total)
+    }
+
+    /// Download the solution of one block.
+    pub fn solution_host(&self, block: usize) -> Vec<T> {
+        (0..self.n)
+            .map(|i| self.rhs.peek(block * self.n + i))
+            .collect()
+    }
+}
+
+/// Per-warp cost of factorizing `problems_per_warp(n)` systems of order
+/// `n` with the packed kernel.
+pub fn warp_cost<T: Scalar>(n: usize) -> CostCounter {
+    let k = problems_per_warp(n);
+    let mats: Vec<vbatch_core::DenseMat<T>> = (0..k)
+        .map(|s| super::representative_block(n, s + 41))
+        .collect();
+    let batch = MatrixBatch::from_matrices(&mats);
+    let mut dev = GetrfMultiPerWarp::upload(&batch).expect("small uniform batch");
+    dev.run_warp(0).expect("representative blocks")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::InstrClass;
+    use crate::kernels::representative_block;
+    use vbatch_core::{getrf, PivotStrategy};
+
+    #[test]
+    fn problems_per_warp_math() {
+        assert_eq!(problems_per_warp(4), 8);
+        assert_eq!(problems_per_warp(5), 6);
+        assert_eq!(problems_per_warp(16), 2);
+        assert_eq!(problems_per_warp(1), 32);
+    }
+
+    #[test]
+    fn matches_cpu_on_every_packed_problem() {
+        for n in [1usize, 2, 3, 5, 8, 11, 16] {
+            let count = problems_per_warp(n) * 2 + 1; // forces a partial warp
+            let mats: Vec<vbatch_core::DenseMat<f64>> = (0..count)
+                .map(|s| representative_block(n, s + 5))
+                .collect();
+            let batch = MatrixBatch::from_matrices(&mats);
+            let mut dev = GetrfMultiPerWarp::upload(&batch).unwrap();
+            dev.run_all().unwrap();
+            for (b, m) in mats.iter().enumerate() {
+                let cpu = getrf(m, PivotStrategy::Implicit).unwrap();
+                assert_eq!(
+                    dev.perm_host(b).as_slice(),
+                    cpu.perm.as_slice(),
+                    "n={n} block {b}"
+                );
+                for (x, y) in dev.factors_host(b).iter().zip(cpu.lu.as_slice()) {
+                    assert!((x - y).abs() < 1e-12, "n={n} block {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn packed_kernel_needs_far_fewer_instructions_per_problem() {
+        for n in [4usize, 8, 16] {
+            let k = problems_per_warp(n) as u64;
+            let packed = warp_cost::<f64>(n);
+            let plain = crate::kernels::getrf::warp_cost::<f64>(n);
+            let packed_fma_per_problem = packed.get(InstrClass::FFma) as f64 / k as f64;
+            let plain_fma = plain.get(InstrClass::FFma) as f64;
+            assert!(
+                packed_fma_per_problem * 2.5 < plain_fma,
+                "n={n}: packed {packed_fma_per_problem} vs plain {plain_fma}"
+            );
+        }
+    }
+
+    #[test]
+    fn packed_trsv_solves_every_sub_problem() {
+        for n in [2usize, 4, 7, 11, 16] {
+            let count = problems_per_warp(n) + 2; // partial second warp
+            let mats: Vec<vbatch_core::DenseMat<f64>> = (0..count)
+                .map(|s| representative_block(n, s + 61))
+                .collect();
+            let batch = MatrixBatch::from_matrices(&mats);
+            let mut rhs = Vec::new();
+            let mut x_true = Vec::new();
+            for m in &mats {
+                let xt: Vec<f64> = (0..n).map(|i| (i as f64) / 3.0 - 0.5).collect();
+                rhs.extend(m.matvec(&xt));
+                x_true.extend(xt);
+            }
+            let mut f = GetrfMultiPerWarp::upload(&batch).unwrap();
+            f.run_all().unwrap();
+            let mut solve = MultiTrsv::from_factorization(&f, &rhs);
+            solve.run_all().unwrap();
+            let mut off = 0;
+            for b in 0..count {
+                for (i, &x) in solve.solution_host(b).iter().enumerate() {
+                    assert!(
+                        (x - x_true[off + i]).abs() < 1e-9,
+                        "n={n} block {b} entry {i}"
+                    );
+                }
+                off += n;
+            }
+        }
+    }
+
+    #[test]
+    fn packed_trsv_uses_fewer_warp_steps() {
+        use crate::cost::InstrClass;
+        // one packed warp solves 4 systems of order 8 with the same
+        // number of sweep steps a single system needs
+        let count = 4usize;
+        let mats: Vec<vbatch_core::DenseMat<f64>> =
+            (0..count).map(|s| representative_block(8, s + 3)).collect();
+        let batch = MatrixBatch::from_matrices(&mats);
+        let mut f = GetrfMultiPerWarp::upload(&batch).unwrap();
+        f.run_all().unwrap();
+        let rhs = vec![1.0; 8 * count];
+        let mut solve = MultiTrsv::from_factorization(&f, &rhs);
+        let packed = solve.run_warp(0).unwrap();
+        let plain = crate::kernels::trsv::lu_trsv_warp_cost::<f64>(8);
+        // 4 problems in one warp vs 4 separate warps: ~4x fewer FMAs
+        assert!(
+            packed.get(InstrClass::FFma) < 2 * plain.get(InstrClass::FFma),
+            "packed {} vs plain-per-problem {}",
+            packed.get(InstrClass::FFma),
+            plain.get(InstrClass::FFma)
+        );
+    }
+
+    #[test]
+    fn oversized_order_rejected() {
+        let m = representative_block::<f64>(17, 1);
+        let batch = MatrixBatch::from_matrices(&[m]);
+        assert!(matches!(
+            GetrfMultiPerWarp::upload(&batch),
+            Err(FactorError::TooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn variable_sizes_rejected() {
+        let mats = vec![
+            representative_block::<f64>(4, 1),
+            representative_block::<f64>(8, 2),
+        ];
+        let batch = MatrixBatch::from_matrices(&mats);
+        assert!(GetrfMultiPerWarp::upload(&batch).is_err());
+    }
+
+    #[test]
+    fn singular_sub_problem_detected() {
+        let good = representative_block::<f64>(4, 3);
+        let singular = vbatch_core::DenseMat::from_fn(4, 4, |_, j| (j + 1) as f64);
+        let batch = MatrixBatch::from_matrices(&[good, singular]);
+        let mut dev = GetrfMultiPerWarp::upload(&batch).unwrap();
+        assert!(matches!(
+            dev.run_all(),
+            Err(FactorError::SingularPivot { .. })
+        ));
+    }
+}

@@ -1,0 +1,341 @@
+//! High-level launch estimation: pick a kernel, a batch of block sizes
+//! and a device; get the paper's GFLOPS numbers back.
+//!
+//! Kernel costs are data-independent for the register kernels (and
+//! near-independent for the vendor baseline), so a batch is estimated by
+//! running **one representative warp per distinct block size** and
+//! scaling by multiplicity — this is what lets the benches sweep batch
+//! sizes of 40,000 in microseconds.
+
+use crate::cost::{CostCounter, CostTable};
+use crate::device::{DeviceModel, TimeEstimate};
+use crate::kernels::gauss_huard::GhStorage;
+use crate::kernels::{gauss_huard, getrf, trsv, vendor};
+use vbatch_core::{FactorError, FactorResult, Scalar};
+
+/// The four batched factorization routines compared in §IV-B.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FactorKernel {
+    /// This paper's register-resident LU with implicit pivoting.
+    SmallSizeLu,
+    /// Gauss-Huard (row-major factor; coalesced factorization writes).
+    GaussHuard,
+    /// Gauss-Huard-T (column-major factor; solve-friendly).
+    GaussHuardT,
+    /// cuBLAS-like memory-resident baseline (fixed size only).
+    VendorLu,
+}
+
+impl FactorKernel {
+    /// All kernels, in plot order.
+    pub const ALL: [FactorKernel; 4] = [
+        FactorKernel::SmallSizeLu,
+        FactorKernel::GaussHuard,
+        FactorKernel::GaussHuardT,
+        FactorKernel::VendorLu,
+    ];
+
+    /// Plot label used by the benches (matches the paper's legends).
+    pub fn label(self) -> &'static str {
+        match self {
+            FactorKernel::SmallSizeLu => "Small-Size LU",
+            FactorKernel::GaussHuard => "Gauss-Huard",
+            FactorKernel::GaussHuardT => "Gauss-Huard-T",
+            FactorKernel::VendorLu => "cuBLAS LU",
+        }
+    }
+}
+
+/// The four batched triangular-solve routines compared in §IV-C.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SolveKernel {
+    /// Permuted load + eager register sweeps (this paper).
+    SmallSizeLu,
+    /// Gauss-Huard replay on the row-major factor (strided reads).
+    GaussHuard,
+    /// Gauss-Huard replay on the column-major factor (coalesced).
+    GaussHuardT,
+    /// cuBLAS-like GETRS (row swap + lazy strided sweeps).
+    VendorGetrs,
+}
+
+impl SolveKernel {
+    /// All kernels, in plot order.
+    pub const ALL: [SolveKernel; 4] = [
+        SolveKernel::SmallSizeLu,
+        SolveKernel::GaussHuard,
+        SolveKernel::GaussHuardT,
+        SolveKernel::VendorGetrs,
+    ];
+
+    /// Plot label used by the benches.
+    pub fn label(self) -> &'static str {
+        match self {
+            SolveKernel::SmallSizeLu => "Small-Size LU",
+            SolveKernel::GaussHuard => "Gauss-Huard",
+            SolveKernel::GaussHuardT => "Gauss-Huard-T",
+            SolveKernel::VendorGetrs => "cuBLAS LU",
+        }
+    }
+}
+
+fn dedup_sizes(sizes: &[usize]) -> Vec<(usize, u64)> {
+    let mut by_size: std::collections::BTreeMap<usize, u64> = std::collections::BTreeMap::new();
+    for &n in sizes {
+        *by_size.entry(n).or_insert(0) += 1;
+    }
+    by_size.into_iter().collect()
+}
+
+/// Per-size deduplicated costs of a factorization kernel over a batch.
+pub fn factor_cost<T: Scalar>(
+    kernel: FactorKernel,
+    sizes: &[usize],
+) -> FactorResult<Vec<(CostCounter, u64)>> {
+    let mut out = Vec::new();
+    for (n, count) in dedup_sizes(sizes) {
+        if n > 32 {
+            return Err(FactorError::TooLarge { n, max: 32 });
+        }
+        let c = match kernel {
+            FactorKernel::SmallSizeLu => getrf::warp_cost::<T>(n),
+            FactorKernel::GaussHuard => gauss_huard::warp_cost::<T>(n, GhStorage::RowMajor),
+            FactorKernel::GaussHuardT => gauss_huard::warp_cost::<T>(n, GhStorage::Dual),
+            FactorKernel::VendorLu => {
+                if dedup_sizes(sizes).len() > 1 {
+                    // cuBLAS batched LU requires a uniform size
+                    return Err(FactorError::TooLarge { n, max: 32 });
+                }
+                vendor::getrf_warp_cost::<T>(n)
+            }
+        };
+        out.push((c, count));
+    }
+    Ok(out)
+}
+
+/// Per-size deduplicated costs of a triangular-solve kernel over a batch.
+pub fn solve_cost<T: Scalar>(
+    kernel: SolveKernel,
+    sizes: &[usize],
+) -> FactorResult<Vec<(CostCounter, u64)>> {
+    let mut out = Vec::new();
+    for (n, count) in dedup_sizes(sizes) {
+        if n > 32 {
+            return Err(FactorError::TooLarge { n, max: 32 });
+        }
+        let c = match kernel {
+            SolveKernel::SmallSizeLu => trsv::lu_trsv_warp_cost::<T>(n),
+            SolveKernel::GaussHuard => trsv::gh_solve_warp_cost::<T>(n, GhStorage::RowMajor),
+            SolveKernel::GaussHuardT => trsv::gh_solve_warp_cost::<T>(n, GhStorage::Dual),
+            SolveKernel::VendorGetrs => vendor::getrs_warp_cost::<T>(n),
+        };
+        out.push((c, count));
+    }
+    Ok(out)
+}
+
+/// Nominal factorization flops of a batch (`2/3 n^3` per block — the
+/// denominator the paper's GFLOPS plots use).
+pub fn factor_nominal_flops(sizes: &[usize]) -> f64 {
+    sizes.iter().map(|&n| 2.0 / 3.0 * (n as f64).powi(3)).sum()
+}
+
+/// Nominal solve flops (`2 n^2` per block: one lower + one upper sweep).
+pub fn solve_nominal_flops(sizes: &[usize]) -> f64 {
+    sizes.iter().map(|&n| 2.0 * (n as f64).powi(2)).sum()
+}
+
+/// Estimated performance of one batched launch.
+#[derive(Clone, Debug)]
+pub struct LaunchReport {
+    /// Time estimate from the device model.
+    pub time: TimeEstimate,
+    /// Nominal flops of the batch.
+    pub nominal_flops: f64,
+}
+
+impl LaunchReport {
+    /// GFLOPS as the paper reports them.
+    pub fn gflops(&self) -> f64 {
+        self.time.gflops(self.nominal_flops)
+    }
+}
+
+/// Estimate a batched factorization launch on `device`.
+pub fn estimate_factor<T: Scalar>(
+    device: &DeviceModel,
+    kernel: FactorKernel,
+    sizes: &[usize],
+) -> FactorResult<LaunchReport> {
+    let costs = factor_cost::<T>(kernel, sizes)?;
+    let table = CostTable::for_element_bytes(T::BYTES);
+    Ok(LaunchReport {
+        time: device.estimate(&costs, &table),
+        nominal_flops: factor_nominal_flops(sizes),
+    })
+}
+
+/// Estimate a batched triangular-solve launch on `device`.
+pub fn estimate_solve<T: Scalar>(
+    device: &DeviceModel,
+    kernel: SolveKernel,
+    sizes: &[usize],
+) -> FactorResult<LaunchReport> {
+    let costs = solve_cost::<T>(kernel, sizes)?;
+    let table = CostTable::for_element_bytes(T::BYTES);
+    Ok(LaunchReport {
+        time: device.estimate(&costs, &table),
+        nominal_flops: solve_nominal_flops(sizes),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform(n: usize, count: usize) -> Vec<usize> {
+        vec![n; count]
+    }
+
+    #[test]
+    fn small_size_lu_wins_at_32() {
+        let d = DeviceModel::p100();
+        let sizes = uniform(32, 40_000);
+        let lu = estimate_factor::<f32>(&d, FactorKernel::SmallSizeLu, &sizes).unwrap();
+        let gh = estimate_factor::<f32>(&d, FactorKernel::GaussHuard, &sizes).unwrap();
+        let vendor = estimate_factor::<f32>(&d, FactorKernel::VendorLu, &sizes).unwrap();
+        assert!(
+            lu.gflops() > gh.gflops(),
+            "LU {} must beat GH {} at size 32",
+            lu.gflops(),
+            gh.gflops()
+        );
+        assert!(
+            lu.gflops() > 2.5 * vendor.gflops(),
+            "LU {} must beat vendor {} by a large margin",
+            lu.gflops(),
+            vendor.gflops()
+        );
+    }
+
+    #[test]
+    fn gauss_huard_wins_at_small_sizes() {
+        let d = DeviceModel::p100();
+        let sizes = uniform(8, 40_000);
+        let lu = estimate_factor::<f64>(&d, FactorKernel::SmallSizeLu, &sizes).unwrap();
+        let gh = estimate_factor::<f64>(&d, FactorKernel::GaussHuard, &sizes).unwrap();
+        assert!(
+            gh.gflops() > lu.gflops(),
+            "GH {} must beat padded LU {} at size 8 (DP)",
+            gh.gflops(),
+            lu.gflops()
+        );
+    }
+
+    #[test]
+    fn dp_crossover_is_higher_than_sp() {
+        let d = DeviceModel::p100();
+        let crossover = |dp: bool| -> usize {
+            for n in 4..=32 {
+                let sizes = uniform(n, 40_000);
+                let (lu, gh) = if dp {
+                    (
+                        estimate_factor::<f64>(&d, FactorKernel::SmallSizeLu, &sizes)
+                            .unwrap()
+                            .gflops(),
+                        estimate_factor::<f64>(&d, FactorKernel::GaussHuard, &sizes)
+                            .unwrap()
+                            .gflops(),
+                    )
+                } else {
+                    (
+                        estimate_factor::<f32>(&d, FactorKernel::SmallSizeLu, &sizes)
+                            .unwrap()
+                            .gflops(),
+                        estimate_factor::<f32>(&d, FactorKernel::GaussHuard, &sizes)
+                            .unwrap()
+                            .gflops(),
+                    )
+                };
+                if lu >= gh {
+                    return n;
+                }
+            }
+            33
+        };
+        let sp = crossover(false);
+        let dp = crossover(true);
+        assert!(
+            sp < dp,
+            "SP crossover ({sp}) must come before DP crossover ({dp})"
+        );
+        assert!((10..=24).contains(&sp), "SP crossover {sp} out of range");
+        assert!((16..=31).contains(&dp), "DP crossover {dp} out of range");
+    }
+
+    #[test]
+    fn solve_small_size_beats_vendor_substantially() {
+        let d = DeviceModel::p100();
+        let sizes = uniform(32, 40_000);
+        let lu = estimate_solve::<f64>(&d, SolveKernel::SmallSizeLu, &sizes).unwrap();
+        let vendor = estimate_solve::<f64>(&d, SolveKernel::VendorGetrs, &sizes).unwrap();
+        let ratio = lu.gflops() / vendor.gflops();
+        assert!(ratio > 2.0, "speedup over vendor getrs only {ratio}");
+    }
+
+    #[test]
+    fn ght_solve_beats_gh_solve_at_32() {
+        let d = DeviceModel::p100();
+        let sizes = uniform(32, 40_000);
+        let gh = estimate_solve::<f64>(&d, SolveKernel::GaussHuard, &sizes).unwrap();
+        let ght = estimate_solve::<f64>(&d, SolveKernel::GaussHuardT, &sizes).unwrap();
+        // the separation is memory-driven; with the compute component
+        // included the model yields ~1.3x (the paper's GPU saw ~2x)
+        assert!(
+            ght.gflops() > 1.15 * gh.gflops(),
+            "GH-T {} must clearly beat GH {} at 32",
+            ght.gflops(),
+            gh.gflops()
+        );
+    }
+
+    #[test]
+    fn gflops_ramp_with_batch_size() {
+        let d = DeviceModel::p100();
+        let g1 = estimate_factor::<f32>(&d, FactorKernel::SmallSizeLu, &uniform(16, 1_000))
+            .unwrap()
+            .gflops();
+        let g2 = estimate_factor::<f32>(&d, FactorKernel::SmallSizeLu, &uniform(16, 40_000))
+            .unwrap()
+            .gflops();
+        assert!(g2 > 1.25 * g1, "expected saturation ramp: {g1} -> {g2}");
+    }
+
+    #[test]
+    fn vendor_rejects_variable_sizes() {
+        let mut sizes = uniform(8, 10);
+        sizes.push(16);
+        assert!(factor_cost::<f64>(FactorKernel::VendorLu, &sizes).is_err());
+    }
+
+    #[test]
+    fn variable_batch_supported_by_register_kernels() {
+        let d = DeviceModel::p100();
+        let sizes: Vec<usize> = (0..1000).map(|i| 4 + (i % 29)).collect();
+        for k in [
+            FactorKernel::SmallSizeLu,
+            FactorKernel::GaussHuard,
+            FactorKernel::GaussHuardT,
+        ] {
+            let r = estimate_factor::<f64>(&d, k, &sizes).unwrap();
+            assert!(r.gflops() > 0.0);
+        }
+    }
+
+    #[test]
+    fn nominal_flop_helpers() {
+        assert!((factor_nominal_flops(&[3, 3]) - 2.0 * 18.0).abs() < 1e-12);
+        assert!((solve_nominal_flops(&[4]) - 32.0).abs() < 1e-12);
+    }
+}

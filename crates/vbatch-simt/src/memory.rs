@@ -1,0 +1,289 @@
+//! Simulated global (device) memory with coalescing analysis.
+//!
+//! Global memory is a flat element array. When a warp issues a load or
+//! store, the 32 lane addresses are grouped into 32-byte *sectors* (the
+//! L2 transaction granularity of Pascal GPUs); the number of distinct
+//! sectors touched is the number of memory transactions the access
+//! costs. A fully coalesced `f64` warp access (32 consecutive elements)
+//! touches `32*8/32 = 8` sectors; a fully strided one touches up to 32 —
+//! a 4× difference, which is precisely the penalty the paper's
+//! Gauss-Huard triangular solve pays for its row-wise accesses and the
+//! reason the shared-memory extraction strategy of §III-C exists.
+
+use crate::cost::{CostCounter, InstrClass};
+use vbatch_core::Scalar;
+
+/// Sector size in bytes (L2 transaction granularity).
+pub const SECTOR_BYTES: usize = 32;
+
+/// Number of lanes in a warp.
+pub const WARP_SIZE: usize = 32;
+
+/// Per-lane address of a warp-wide memory access: `None` lanes are
+/// predicated off.
+pub type LaneAddrs = [Option<usize>; WARP_SIZE];
+
+/// Count the distinct 32-byte sectors touched by a warp access to
+/// elements of `bytes`-wide type at the given element indices.
+pub fn count_sectors(addrs: &LaneAddrs, bytes: usize) -> u64 {
+    // Small fixed-size problem: collect sector ids and count unique.
+    let mut sectors: Vec<usize> = addrs
+        .iter()
+        .flatten()
+        .map(|&a| a * bytes / SECTOR_BYTES)
+        .collect();
+    sectors.sort_unstable();
+    sectors.dedup();
+    sectors.len() as u64
+}
+
+/// Simulated device memory holding elements of type `T`.
+#[derive(Clone, Debug)]
+pub struct GlobalMem<T> {
+    data: Vec<T>,
+}
+
+impl<T: Scalar> GlobalMem<T> {
+    /// Allocate device memory initialized from a host slice.
+    pub fn from_slice(data: &[T]) -> Self {
+        Self {
+            data: data.to_vec(),
+        }
+    }
+
+    /// Allocate zeroed device memory of `len` elements.
+    pub fn zeros(len: usize) -> Self {
+        Self {
+            data: vec![T::ZERO; len],
+        }
+    }
+
+    /// Length in elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Copy device memory back to the host.
+    pub fn to_vec(&self) -> Vec<T> {
+        self.data.clone()
+    }
+
+    /// Raw read without cost accounting (host-side checks only).
+    pub fn peek(&self, idx: usize) -> T {
+        self.data[idx]
+    }
+
+    /// Warp-wide load: returns the lane values (inactive lanes get
+    /// `T::ZERO`) and charges one load instruction plus the coalescing-
+    /// dependent number of sector transactions.
+    pub fn warp_load(&self, addrs: &LaneAddrs, counter: &mut CostCounter) -> [T; WARP_SIZE] {
+        let mut out = [T::ZERO; WARP_SIZE];
+        for (lane, addr) in addrs.iter().enumerate() {
+            if let Some(a) = addr {
+                out[lane] = self.data[*a];
+            }
+        }
+        counter.count(InstrClass::GMemLd, 1);
+        counter.gmem_ld_sectors += count_sectors(addrs, T::BYTES);
+        out
+    }
+
+    /// Warp-wide load whose address stream is known in advance (a
+    /// streaming sweep): same issue and bandwidth cost as
+    /// [`GlobalMem::warp_load`] but excluded from the serial-latency
+    /// critical path — the hardware can keep many such loads in flight.
+    pub fn warp_load_streamed(
+        &self,
+        addrs: &LaneAddrs,
+        counter: &mut CostCounter,
+    ) -> [T; WARP_SIZE] {
+        let out = self.warp_load(addrs, counter);
+        counter.gmem_ld_streamed += 1;
+        out
+    }
+
+    /// Warp-wide store of the active lanes.
+    pub fn warp_store(
+        &mut self,
+        addrs: &LaneAddrs,
+        values: &[T; WARP_SIZE],
+        counter: &mut CostCounter,
+    ) {
+        for (lane, addr) in addrs.iter().enumerate() {
+            if let Some(a) = addr {
+                self.data[*a] = values[lane];
+            }
+        }
+        counter.count(InstrClass::GMemSt, 1);
+        counter.gmem_st_sectors += count_sectors(addrs, T::BYTES);
+    }
+}
+
+/// Integer-valued device memory (CSR structural arrays: row pointers and
+/// column indices are 32-bit on the device, matching MAGMA-sparse).
+#[derive(Clone, Debug)]
+pub struct GlobalMemU32 {
+    data: Vec<u32>,
+}
+
+impl GlobalMemU32 {
+    /// Allocate from host data.
+    pub fn from_slice(data: &[u32]) -> Self {
+        Self {
+            data: data.to_vec(),
+        }
+    }
+
+    /// Length in elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Raw read without cost accounting.
+    pub fn peek(&self, idx: usize) -> u32 {
+        self.data[idx]
+    }
+
+    /// Warp-wide load of 32-bit indices.
+    pub fn warp_load(&self, addrs: &LaneAddrs, counter: &mut CostCounter) -> [u32; WARP_SIZE] {
+        let mut out = [0u32; WARP_SIZE];
+        for (lane, addr) in addrs.iter().enumerate() {
+            if let Some(a) = addr {
+                out[lane] = self.data[*a];
+            }
+        }
+        counter.count(InstrClass::GMemLd, 1);
+        counter.gmem_ld_sectors += count_sectors(addrs, 4);
+        out
+    }
+
+    /// Warp-wide store of 32-bit values.
+    pub fn warp_store(
+        &mut self,
+        addrs: &LaneAddrs,
+        values: &[u32; WARP_SIZE],
+        counter: &mut CostCounter,
+    ) {
+        for (lane, addr) in addrs.iter().enumerate() {
+            if let Some(a) = addr {
+                self.data[*a] = values[lane];
+            }
+        }
+        counter.count(InstrClass::GMemSt, 1);
+        counter.gmem_st_sectors += count_sectors(addrs, 4);
+    }
+
+    /// Allocate zeroed index memory.
+    pub fn zeros(len: usize) -> Self {
+        Self {
+            data: vec![0; len],
+        }
+    }
+
+    /// Copy back to host.
+    pub fn to_vec(&self) -> Vec<u32> {
+        self.data.clone()
+    }
+}
+
+/// Build a fully-active contiguous address pattern `base..base+32`.
+pub fn contiguous(base: usize) -> LaneAddrs {
+    let mut a: LaneAddrs = [None; WARP_SIZE];
+    for (lane, slot) in a.iter_mut().enumerate() {
+        *slot = Some(base + lane);
+    }
+    a
+}
+
+/// Build an address pattern where lane `l < active` accesses
+/// `base + l * stride` and the rest are off.
+pub fn strided(base: usize, stride: usize, active: usize) -> LaneAddrs {
+    let mut a: LaneAddrs = [None; WARP_SIZE];
+    for (lane, slot) in a.iter_mut().enumerate().take(active) {
+        *slot = Some(base + lane * stride);
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coalesced_f64_access_is_eight_sectors() {
+        let addrs = contiguous(0);
+        assert_eq!(count_sectors(&addrs, 8), 8);
+        // f32: 32 lanes * 4B = 128B = 4 sectors
+        assert_eq!(count_sectors(&addrs, 4), 4);
+    }
+
+    #[test]
+    fn strided_access_explodes_transactions() {
+        // stride 32 elements of f64: every lane lands in its own sector
+        let addrs = strided(0, 32, 32);
+        assert_eq!(count_sectors(&addrs, 8), 32);
+        // stride 2: every second element -> each sector holds 4 f64, lanes
+        // cover 64 elements = 512B = 16 sectors
+        let addrs = strided(0, 2, 32);
+        assert_eq!(count_sectors(&addrs, 8), 16);
+    }
+
+    #[test]
+    fn inactive_lanes_do_not_count() {
+        let addrs = strided(0, 1, 4); // 4 active lanes, contiguous f64
+        assert_eq!(count_sectors(&addrs, 8), 1);
+        let none: LaneAddrs = [None; WARP_SIZE];
+        assert_eq!(count_sectors(&none, 8), 0);
+    }
+
+    #[test]
+    fn warp_load_and_store_roundtrip() {
+        let mut c = CostCounter::new();
+        let mut mem = GlobalMem::<f64>::zeros(64);
+        let mut vals = [0.0f64; WARP_SIZE];
+        for (l, v) in vals.iter_mut().enumerate() {
+            *v = l as f64;
+        }
+        mem.warp_store(&contiguous(16), &vals, &mut c);
+        let back = mem.warp_load(&contiguous(16), &mut c);
+        assert_eq!(back, vals);
+        assert_eq!(c.get(InstrClass::GMemLd), 1);
+        assert_eq!(c.get(InstrClass::GMemSt), 1);
+        assert_eq!(c.gmem_ld_sectors, 8);
+        assert_eq!(c.gmem_st_sectors, 8);
+        assert_eq!(mem.peek(16), 0.0);
+        assert_eq!(mem.peek(47), 31.0);
+    }
+
+    #[test]
+    fn permuted_contiguous_access_stays_coalesced() {
+        // the paper's implicit-pivot off-load: a permutation of a
+        // contiguous range touches exactly the same sectors
+        let mut addrs: LaneAddrs = [None; WARP_SIZE];
+        for lane in 0..WARP_SIZE {
+            addrs[lane] = Some((lane * 7 + 3) % 32); // a permutation of 0..32
+        }
+        assert_eq!(count_sectors(&addrs, 8), 8);
+    }
+
+    #[test]
+    fn u32_memory_loads() {
+        let mut c = CostCounter::new();
+        let mem = GlobalMemU32::from_slice(&(0..128u32).collect::<Vec<_>>());
+        let got = mem.warp_load(&contiguous(0), &mut c);
+        assert_eq!(got[31], 31);
+        // 32 lanes * 4B = 4 sectors
+        assert_eq!(c.gmem_ld_sectors, 4);
+        assert_eq!(mem.len(), 128);
+    }
+}

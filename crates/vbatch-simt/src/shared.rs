@@ -1,0 +1,158 @@
+//! Simulated shared memory with bank-conflict accounting.
+//!
+//! Shared memory on NVIDIA hardware is divided into 32 four-byte banks;
+//! a warp access that maps several active lanes onto the same bank (at
+//! different addresses) is replayed once per extra lane. The paper's
+//! extraction strategy (§III-C) stages diagonal blocks in shared memory,
+//! so conflict behaviour matters for the ablation benchmarks.
+
+use crate::cost::{CostCounter, InstrClass};
+use crate::memory::{LaneAddrs, WARP_SIZE};
+use vbatch_core::Scalar;
+
+/// Number of shared-memory banks.
+pub const BANKS: usize = 32;
+
+/// Compute the number of transactions (1 + replays) for a warp access to
+/// elements of `bytes` width at the given element addresses.
+///
+/// Lanes that hit the *same* address broadcast and do not conflict;
+/// lanes whose addresses fall in the same bank but differ conflict.
+pub fn bank_transactions(addrs: &LaneAddrs, bytes: usize) -> u64 {
+    let words_per_elem = (bytes / 4).max(1);
+    let mut per_bank: [Vec<usize>; BANKS] = std::array::from_fn(|_| Vec::new());
+    for addr in addrs.iter().flatten() {
+        // an element spans `words_per_elem` consecutive banks; conflicts
+        // are governed by its first word (hardware splits wide accesses
+        // into one transaction per word-half, approximated here by the
+        // leading word)
+        let word = addr * words_per_elem;
+        let bank = word % BANKS;
+        if !per_bank[bank].contains(addr) {
+            per_bank[bank].push(*addr);
+        }
+    }
+    let worst = per_bank.iter().map(|v| v.len()).max().unwrap_or(0);
+    worst.max(if addrs.iter().any(|a| a.is_some()) { 1 } else { 0 }) as u64
+}
+
+/// A block of simulated shared memory.
+#[derive(Clone, Debug)]
+pub struct SharedMem<T> {
+    data: Vec<T>,
+}
+
+impl<T: Scalar> SharedMem<T> {
+    /// Allocate zeroed shared memory of `len` elements.
+    pub fn zeros(len: usize) -> Self {
+        Self {
+            data: vec![T::ZERO; len],
+        }
+    }
+
+    /// Length in elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Host-side read without accounting.
+    pub fn peek(&self, idx: usize) -> T {
+        self.data[idx]
+    }
+
+    /// Warp-wide load with bank-conflict accounting.
+    pub fn warp_load(&self, addrs: &LaneAddrs, counter: &mut CostCounter) -> [T; WARP_SIZE] {
+        let mut out = [T::ZERO; WARP_SIZE];
+        for (lane, addr) in addrs.iter().enumerate() {
+            if let Some(a) = addr {
+                out[lane] = self.data[*a];
+            }
+        }
+        let tx = bank_transactions(addrs, T::BYTES);
+        if tx > 0 {
+            counter.count(InstrClass::SMemLd, 1);
+            counter.smem_replays += tx - 1;
+        }
+        out
+    }
+
+    /// Warp-wide store with bank-conflict accounting.
+    pub fn warp_store(
+        &mut self,
+        addrs: &LaneAddrs,
+        values: &[T; WARP_SIZE],
+        counter: &mut CostCounter,
+    ) {
+        for (lane, addr) in addrs.iter().enumerate() {
+            if let Some(a) = addr {
+                self.data[*a] = values[lane];
+            }
+        }
+        let tx = bank_transactions(addrs, T::BYTES);
+        if tx > 0 {
+            counter.count(InstrClass::SMemSt, 1);
+            counter.smem_replays += tx - 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::{contiguous, strided};
+
+    #[test]
+    fn contiguous_f32_access_is_conflict_free() {
+        let addrs = contiguous(0);
+        assert_eq!(bank_transactions(&addrs, 4), 1);
+    }
+
+    #[test]
+    fn stride_32_is_fully_conflicted() {
+        let addrs = strided(0, 32, 32);
+        assert_eq!(bank_transactions(&addrs, 4), 32);
+    }
+
+    #[test]
+    fn stride_2_halves_the_banks() {
+        let addrs = strided(0, 2, 32);
+        assert_eq!(bank_transactions(&addrs, 4), 2);
+    }
+
+    #[test]
+    fn broadcast_is_one_transaction() {
+        let mut addrs: LaneAddrs = [None; WARP_SIZE];
+        for a in addrs.iter_mut() {
+            *a = Some(7);
+        }
+        assert_eq!(bank_transactions(&addrs, 4), 1);
+    }
+
+    #[test]
+    fn empty_access_is_zero() {
+        let addrs: LaneAddrs = [None; WARP_SIZE];
+        assert_eq!(bank_transactions(&addrs, 4), 0);
+    }
+
+    #[test]
+    fn load_store_roundtrip_and_replays() {
+        let mut c = CostCounter::new();
+        let mut sm = SharedMem::<f32>::zeros(1024);
+        let mut vals = [0.0f32; WARP_SIZE];
+        for (l, v) in vals.iter_mut().enumerate() {
+            *v = (l * 3) as f32;
+        }
+        // strided store: stride 32 words -> 32-way conflict, 31 replays
+        sm.warp_store(&strided(0, 32, 32), &vals, &mut c);
+        assert_eq!(c.get(InstrClass::SMemSt), 1);
+        assert_eq!(c.smem_replays, 31);
+        let back = sm.warp_load(&strided(0, 32, 32), &mut c);
+        assert_eq!(back, vals);
+        assert_eq!(sm.peek(31 * 32), 93.0);
+    }
+}

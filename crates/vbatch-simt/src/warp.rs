@@ -1,0 +1,396 @@
+//! Warp-lockstep execution context.
+//!
+//! A kernel processes one small system per warp, exactly as in the
+//! paper: per-lane registers are plain Rust arrays `[T; 32]`, lanes
+//! exchange values through *shuffles*, and branches are expressed as
+//! predication masks. Every helper both performs the real computation
+//! (so kernels produce bit-exact numerical results that can be verified
+//! against the CPU reference) and charges the corresponding warp
+//! instruction(s) to the [`CostCounter`].
+//!
+//! Note on realism: real CUDA kernels cannot index registers with a
+//! runtime value; the production kernels fully unroll their loops so
+//! every register access is static. The simulator allows dynamic
+//! indexing of its register arrays — the *instruction counts* are the
+//! same as for the unrolled code, which is what the cost model needs.
+
+use crate::cost::{CostCounter, InstrClass};
+use crate::memory::WARP_SIZE;
+use vbatch_core::Scalar;
+
+/// Predication mask: bit `l` set means lane `l` executes the operation.
+pub type Mask = u32;
+
+/// All 32 lanes active.
+pub const FULL_MASK: Mask = 0xffff_ffff;
+
+/// Mask with lanes `0..n` active.
+#[inline]
+pub fn mask_below(n: usize) -> Mask {
+    if n >= WARP_SIZE {
+        FULL_MASK
+    } else {
+        (1u32 << n) - 1
+    }
+}
+
+/// Mask with exactly lane `l` active.
+#[inline]
+pub fn mask_lane(l: usize) -> Mask {
+    1u32 << l
+}
+
+/// `true` if lane `l` is active in `m`.
+#[inline]
+pub fn lane_active(m: Mask, l: usize) -> bool {
+    m & (1 << l) != 0
+}
+
+/// Number of active lanes.
+#[inline]
+pub fn popcount(m: Mask) -> u64 {
+    m.count_ones() as u64
+}
+
+/// Per-lane register vector.
+pub type Regs<T> = [T; WARP_SIZE];
+
+/// Zeroed register vector.
+pub fn zeros<T: Scalar>() -> Regs<T> {
+    [T::ZERO; WARP_SIZE]
+}
+
+/// Free negation of a register vector: hardware folds the sign flip
+/// into the consuming FMA as an operand modifier, so no instruction is
+/// charged.
+pub fn neg_free<T: Scalar>(a: &Regs<T>) -> Regs<T> {
+    let mut out = *a;
+    for v in out.iter_mut() {
+        *v = -*v;
+    }
+    out
+}
+
+/// Free register-vector splat of a uniform value (compile-time constant
+/// or value already uniform across the warp).
+pub fn splat<T: Scalar>(v: T) -> Regs<T> {
+    [v; WARP_SIZE]
+}
+
+/// The execution context of one warp: the cost counter plus the helpers
+/// that model warp-wide instructions.
+#[derive(Debug, Default)]
+pub struct WarpCtx {
+    /// Costs accumulated by this warp so far.
+    pub counter: CostCounter,
+}
+
+impl WarpCtx {
+    /// Fresh context.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fused multiply-add `d = a * b + c` on the active lanes.
+    pub fn fma<T: Scalar>(&mut self, m: Mask, a: &Regs<T>, b: &Regs<T>, c: &Regs<T>) -> Regs<T> {
+        let mut out = *c;
+        for l in 0..WARP_SIZE {
+            if lane_active(m, l) {
+                out[l] = a[l].mul_add(b[l], c[l]);
+            }
+        }
+        if m != 0 {
+            self.counter.count(InstrClass::FFma, 1);
+            self.counter.flops(2 * popcount(m));
+        }
+        out
+    }
+
+    /// `a * b` on the active lanes.
+    pub fn mul<T: Scalar>(&mut self, m: Mask, a: &Regs<T>, b: &Regs<T>) -> Regs<T> {
+        let mut out = zeros();
+        for l in 0..WARP_SIZE {
+            if lane_active(m, l) {
+                out[l] = a[l] * b[l];
+            }
+        }
+        if m != 0 {
+            self.counter.count(InstrClass::FAddMul, 1);
+            self.counter.flops(popcount(m));
+        }
+        out
+    }
+
+    /// `a - b` on the active lanes (inactive lanes keep `a`).
+    pub fn sub<T: Scalar>(&mut self, m: Mask, a: &Regs<T>, b: &Regs<T>) -> Regs<T> {
+        let mut out = *a;
+        for l in 0..WARP_SIZE {
+            if lane_active(m, l) {
+                out[l] = a[l] - b[l];
+            }
+        }
+        if m != 0 {
+            self.counter.count(InstrClass::FAddMul, 1);
+            self.counter.flops(popcount(m));
+        }
+        out
+    }
+
+    /// `a + b` on the active lanes (inactive lanes keep `a`).
+    pub fn add<T: Scalar>(&mut self, m: Mask, a: &Regs<T>, b: &Regs<T>) -> Regs<T> {
+        let mut out = *a;
+        for l in 0..WARP_SIZE {
+            if lane_active(m, l) {
+                out[l] = a[l] + b[l];
+            }
+        }
+        if m != 0 {
+            self.counter.count(InstrClass::FAddMul, 1);
+            self.counter.flops(popcount(m));
+        }
+        out
+    }
+
+    /// `a / b` on the active lanes (inactive lanes keep `a`).
+    pub fn div<T: Scalar>(&mut self, m: Mask, a: &Regs<T>, b: &Regs<T>) -> Regs<T> {
+        let mut out = *a;
+        for l in 0..WARP_SIZE {
+            if lane_active(m, l) {
+                out[l] = a[l] / b[l];
+            }
+        }
+        if m != 0 {
+            self.counter.count(InstrClass::FDiv, 1);
+            self.counter.flops(popcount(m));
+        }
+        out
+    }
+
+    /// `sqrt(a)` on the active lanes.
+    pub fn sqrt<T: Scalar>(&mut self, m: Mask, a: &Regs<T>) -> Regs<T> {
+        let mut out = *a;
+        for l in 0..WARP_SIZE {
+            if lane_active(m, l) {
+                out[l] = a[l].sqrt();
+            }
+        }
+        if m != 0 {
+            self.counter.count(InstrClass::FSqrt, 1);
+            self.counter.flops(popcount(m));
+        }
+        out
+    }
+
+    /// `|a|` on the active lanes (comparison-class instruction).
+    pub fn abs<T: Scalar>(&mut self, m: Mask, a: &Regs<T>) -> Regs<T> {
+        let mut out = *a;
+        for l in 0..WARP_SIZE {
+            if lane_active(m, l) {
+                out[l] = a[l].abs();
+            }
+        }
+        if m != 0 {
+            self.counter.count(InstrClass::Cmp, 1);
+        }
+        out
+    }
+
+    /// Charge `n` integer/address instructions (loop bookkeeping,
+    /// predicate logic). No data movement is simulated.
+    pub fn ialu(&mut self, n: u64) {
+        self.counter.count(InstrClass::IAlu, n);
+    }
+
+    /// Warp shuffle: every lane reads the register of `src[lane]`.
+    pub fn shfl<T: Scalar>(&mut self, vals: &Regs<T>, src: &[usize; WARP_SIZE]) -> Regs<T> {
+        let mut out = zeros();
+        for l in 0..WARP_SIZE {
+            debug_assert!(src[l] < WARP_SIZE);
+            out[l] = vals[src[l]];
+        }
+        self.counter.count(InstrClass::Shfl, 1);
+        out
+    }
+
+    /// Broadcast the register of `src_lane` to all lanes (`__shfl_sync`
+    /// with a uniform source).
+    pub fn shfl_bcast<T: Scalar>(&mut self, vals: &Regs<T>, src_lane: usize) -> Regs<T> {
+        debug_assert!(src_lane < WARP_SIZE);
+        self.counter.count(InstrClass::Shfl, 1);
+        [vals[src_lane]; WARP_SIZE]
+    }
+
+    /// Butterfly reduction: find the lane with the maximum value among
+    /// the active lanes and return `(lane, value)`.
+    ///
+    /// Charges the canonical `log2(32) = 5` rounds of
+    /// (value shuffle + index shuffle + compare/select); this is the
+    /// pivot-selection reduction of §III-A.
+    pub fn reduce_argmax<T: Scalar>(&mut self, m: Mask, vals: &Regs<T>) -> Option<(usize, T)> {
+        // functional result
+        let mut best: Option<(usize, T)> = None;
+        for l in 0..WARP_SIZE {
+            if lane_active(m, l) {
+                match best {
+                    None => best = Some((l, vals[l])),
+                    Some((_, bv)) if vals[l] > bv => best = Some((l, vals[l])),
+                    _ => {}
+                }
+            }
+        }
+        // cost: 5 butterfly rounds, each 2 shuffles + 1 compare
+        self.counter.count(InstrClass::Shfl, 10);
+        self.counter.count(InstrClass::Cmp, 5);
+        best
+    }
+
+    /// Butterfly sum reduction over the active lanes; the result is
+    /// returned as a host scalar (all lanes hold it after the butterfly).
+    /// Charges `log2(32) = 5` rounds of shuffle + add.
+    pub fn reduce_sum<T: Scalar>(&mut self, m: Mask, vals: &Regs<T>) -> T {
+        let mut acc = T::ZERO;
+        for l in 0..WARP_SIZE {
+            if lane_active(m, l) {
+                acc += vals[l];
+            }
+        }
+        self.counter.count(InstrClass::Shfl, 5);
+        self.counter.count(InstrClass::FAddMul, 5);
+        self.counter.flops(popcount(m));
+        acc
+    }
+
+    /// Warp vote: bitmask of active lanes whose predicate holds.
+    pub fn ballot(&mut self, m: Mask, pred: &[bool; WARP_SIZE]) -> Mask {
+        self.counter.count(InstrClass::IAlu, 1);
+        let mut out = 0u32;
+        for l in 0..WARP_SIZE {
+            if lane_active(m, l) && pred[l] {
+                out |= 1 << l;
+            }
+        }
+        out
+    }
+
+    /// Warp barrier (only meaningful for multi-warp thread blocks; the
+    /// single-warp kernels here use it when staging through shared
+    /// memory).
+    pub fn sync(&mut self) {
+        self.counter.count(InstrClass::Sync, 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq_regs() -> Regs<f64> {
+        let mut r = zeros();
+        for (l, v) in r.iter_mut().enumerate() {
+            *v = l as f64;
+        }
+        r
+    }
+
+    #[test]
+    fn masks() {
+        assert_eq!(mask_below(0), 0);
+        assert_eq!(mask_below(1), 1);
+        assert_eq!(mask_below(32), FULL_MASK);
+        assert_eq!(mask_below(33), FULL_MASK);
+        assert!(lane_active(mask_lane(5), 5));
+        assert!(!lane_active(mask_lane(5), 4));
+        assert_eq!(popcount(mask_below(7)), 7);
+    }
+
+    #[test]
+    fn fma_respects_mask_and_counts_flops() {
+        let mut ctx = WarpCtx::new();
+        let a = seq_regs();
+        let b = [2.0; WARP_SIZE];
+        let c = [1.0; WARP_SIZE];
+        let out = ctx.fma(mask_below(4), &a, &b, &c);
+        assert_eq!(out[0], 1.0);
+        assert_eq!(out[3], 7.0);
+        assert_eq!(out[4], 1.0); // inactive lane keeps c
+        assert_eq!(ctx.counter.get(InstrClass::FFma), 1);
+        assert_eq!(ctx.counter.lane_flops, 8);
+    }
+
+    #[test]
+    fn empty_mask_charges_nothing() {
+        let mut ctx = WarpCtx::new();
+        let a = seq_regs();
+        let _ = ctx.fma(0, &a, &a, &a);
+        let _ = ctx.div(0, &a, &a);
+        assert_eq!(ctx.counter.total_instructions(), 0);
+    }
+
+    #[test]
+    fn shuffle_moves_values() {
+        let mut ctx = WarpCtx::new();
+        let vals = seq_regs();
+        let mut src = [0usize; WARP_SIZE];
+        for (l, s) in src.iter_mut().enumerate() {
+            *s = (l + 1) % WARP_SIZE;
+        }
+        let out = ctx.shfl(&vals, &src);
+        assert_eq!(out[0], 1.0);
+        assert_eq!(out[31], 0.0);
+        assert_eq!(ctx.counter.get(InstrClass::Shfl), 1);
+    }
+
+    #[test]
+    fn broadcast() {
+        let mut ctx = WarpCtx::new();
+        let vals = seq_regs();
+        let out = ctx.shfl_bcast(&vals, 17);
+        assert!(out.iter().all(|&v| v == 17.0));
+    }
+
+    #[test]
+    fn argmax_reduction_finds_max_among_active() {
+        let mut ctx = WarpCtx::new();
+        let mut vals = seq_regs();
+        vals[9] = 100.0;
+        vals[20] = 200.0;
+        // lane 20 excluded by the mask
+        let m = mask_below(16);
+        let (lane, v) = ctx.reduce_argmax(m, &vals).unwrap();
+        assert_eq!(lane, 9);
+        assert_eq!(v, 100.0);
+        assert_eq!(ctx.counter.get(InstrClass::Shfl), 10);
+        assert_eq!(ctx.counter.get(InstrClass::Cmp), 5);
+        assert!(ctx.reduce_argmax::<f64>(0, &vals).is_none());
+    }
+
+    #[test]
+    fn argmax_prefers_first_on_ties() {
+        let mut ctx = WarpCtx::new();
+        let vals = [3.0f64; WARP_SIZE];
+        let (lane, _) = ctx.reduce_argmax(FULL_MASK, &vals).unwrap();
+        assert_eq!(lane, 0);
+    }
+
+    #[test]
+    fn ballot_collects_predicates() {
+        let mut ctx = WarpCtx::new();
+        let mut pred = [false; WARP_SIZE];
+        pred[1] = true;
+        pred[3] = true;
+        pred[20] = true;
+        let got = ctx.ballot(mask_below(8), &pred);
+        assert_eq!(got, 0b1010); // lane 20 masked off
+    }
+
+    #[test]
+    fn division_is_charged_as_div() {
+        let mut ctx = WarpCtx::new();
+        let a = [10.0f32; WARP_SIZE];
+        let b = [4.0f32; WARP_SIZE];
+        let out = ctx.div(FULL_MASK, &a, &b);
+        assert_eq!(out[0], 2.5);
+        assert_eq!(ctx.counter.get(InstrClass::FDiv), 1);
+        assert_eq!(ctx.counter.lane_flops, 32);
+    }
+}

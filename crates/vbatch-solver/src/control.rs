@@ -1,0 +1,123 @@
+//! Stopping criteria and solve reporting shared by all Krylov solvers.
+//!
+//! The paper's experiment protocol (§IV-D): right-hand side of all
+//! ones, zero initial guess, stop when the relative residual norm drops
+//! by six orders of magnitude, cap at 10,000 iterations.
+
+use std::time::Duration;
+
+/// Solver parameters.
+#[derive(Clone, Debug)]
+pub struct SolveParams {
+    /// Relative residual reduction target (paper: `1e-6`).
+    pub tol: f64,
+    /// Iteration cap (paper: 10,000).
+    pub max_iters: usize,
+    /// Record the residual history (costs one `Vec` push per iteration).
+    pub record_history: bool,
+}
+
+impl Default for SolveParams {
+    fn default() -> Self {
+        SolveParams {
+            tol: 1e-6,
+            max_iters: 10_000,
+            record_history: false,
+        }
+    }
+}
+
+impl SolveParams {
+    /// Paper protocol with a custom iteration cap.
+    pub fn with_max_iters(mut self, it: usize) -> Self {
+        self.max_iters = it;
+        self
+    }
+
+    /// Paper protocol with a custom tolerance.
+    pub fn with_tol(mut self, tol: f64) -> Self {
+        self.tol = tol;
+        self
+    }
+
+    /// Enable residual-history recording.
+    pub fn with_history(mut self) -> Self {
+        self.record_history = true;
+        self
+    }
+}
+
+/// Why a solve ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StopReason {
+    /// Relative residual reached the target.
+    Converged,
+    /// Iteration cap hit.
+    MaxIterations,
+    /// A breakdown in the short recurrences (division by ~zero).
+    Breakdown,
+    /// Residual or iterate became non-finite.
+    Diverged,
+}
+
+/// The outcome of one linear solve.
+#[derive(Clone, Debug)]
+pub struct SolveResult<T> {
+    /// Final iterate.
+    pub x: Vec<T>,
+    /// Iterations performed (counted as preconditioned matrix-vector
+    /// products, the convention MAGMA-sparse reports).
+    pub iterations: usize,
+    /// Final relative residual (`||b - A x|| / ||b||`, true residual).
+    pub final_relres: f64,
+    /// Why the solver stopped.
+    pub reason: StopReason,
+    /// Wall-clock time of the iteration loop.
+    pub solve_time: Duration,
+    /// Residual-norm history (empty unless requested).
+    pub history: Vec<f64>,
+}
+
+impl<T> SolveResult<T> {
+    /// `true` if the target tolerance was met.
+    pub fn converged(&self) -> bool {
+        self.reason == StopReason::Converged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_protocol() {
+        let p = SolveParams::default();
+        assert_eq!(p.tol, 1e-6);
+        assert_eq!(p.max_iters, 10_000);
+        assert!(!p.record_history);
+    }
+
+    #[test]
+    fn builders() {
+        let p = SolveParams::default()
+            .with_tol(1e-8)
+            .with_max_iters(50)
+            .with_history();
+        assert_eq!(p.tol, 1e-8);
+        assert_eq!(p.max_iters, 50);
+        assert!(p.record_history);
+    }
+
+    #[test]
+    fn result_converged_flag() {
+        let r = SolveResult::<f64> {
+            x: vec![],
+            iterations: 3,
+            final_relres: 1e-9,
+            reason: StopReason::Converged,
+            solve_time: Duration::ZERO,
+            history: vec![],
+        };
+        assert!(r.converged());
+    }
+}

@@ -1,0 +1,21 @@
+//! # vbatch-solver
+//!
+//! Krylov solvers for the block-Jacobi evaluation of the ICPP'17 paper:
+//! **IDR(s)** with biorthogonalization ([`idr()`] — the paper drives
+//! IDR(4)), plus BiCGSTAB ([`bicgstab()`]), CG ([`cg()`]) and restarted
+//! GMRES ([`gmres()`]) as cross-checks. All solvers take any
+//! `vbatch_precond::Preconditioner`, use the paper's stopping protocol
+//! ([`control`]: relative residual `1e-6`, cap 10,000) and report
+//! iterations, true final residual, timing and optional histories.
+
+pub mod bicgstab;
+pub mod cg;
+pub mod control;
+pub mod gmres;
+pub mod idr;
+
+pub use bicgstab::bicgstab;
+pub use cg::cg;
+pub use control::{SolveParams, SolveResult, StopReason};
+pub use gmres::gmres;
+pub use idr::{idr, idr_smoothed};

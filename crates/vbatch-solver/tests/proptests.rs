@@ -1,0 +1,152 @@
+//! Property-based tests for the Krylov solvers: all of them must
+//! actually solve randomly generated well-posed systems, agree with
+//! each other, and respect their contracts (residual reporting,
+//! iteration caps, determinism).
+
+use proptest::prelude::*;
+use vbatch_precond::{Identity, Jacobi};
+use vbatch_solver::{bicgstab, cg, gmres, idr, SolveParams, StopReason};
+use vbatch_sparse::{nrm2, residual, CooMatrix, CsrMatrix};
+
+/// Random sparse diagonally-dominant nonsymmetric system.
+fn random_system(n: usize, extra: &[(usize, usize, f64)]) -> CsrMatrix<f64> {
+    let mut c = CooMatrix::new(n, n);
+    let mut rowsum = vec![0.0f64; n];
+    for &(i, j, v) in extra {
+        let (i, j) = (i % n, j % n);
+        if i != j {
+            c.push(i, j, v);
+            rowsum[i] += v.abs();
+        }
+    }
+    // chain coupling guarantees irreducibility
+    for i in 0..n.saturating_sub(1) {
+        c.push(i, i + 1, -0.5);
+        c.push(i + 1, i, -0.4);
+        rowsum[i] += 0.5;
+        rowsum[i + 1] += 0.4;
+    }
+    for i in 0..n {
+        c.push(i, i, rowsum[i].max(0.3) * 1.05);
+    }
+    c.to_csr()
+}
+
+fn entries() -> impl Strategy<Value = (usize, Vec<(usize, usize, f64)>)> {
+    (4usize..=40).prop_flat_map(|n| {
+        (
+            Just(n),
+            prop::collection::vec(
+                ((0usize..64), (0usize..64), -1.0f64..1.0).prop_map(|(i, j, v)| (i, j, v)),
+                0..60,
+            ),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn all_solvers_reach_tolerance((n, extra) in entries()) {
+        let a = random_system(n, &extra);
+        let b: Vec<f64> = (0..n).map(|i| 1.0 + (i % 3) as f64).collect();
+        let params = SolveParams::default();
+        let m = Identity::new(n);
+        let normb = nrm2(&b);
+
+        let solutions = [
+            idr(&a, &b, 4, &m, &params),
+            bicgstab(&a, &b, &m, &params),
+            gmres(&a, &b, 20, &m, &params),
+        ];
+        for r in &solutions {
+            prop_assert!(r.converged(), "{:?}", r.reason);
+            // reported residual must match a recomputed one
+            let true_res = nrm2(&residual(&a, &r.x, &b)) / normb;
+            prop_assert!((true_res - r.final_relres).abs() < 1e-9);
+            prop_assert!(true_res <= 1e-6 * 1.001);
+        }
+        // solutions agree pairwise
+        for w in solutions.windows(2) {
+            for (p, q) in w[0].x.iter().zip(&w[1].x) {
+                prop_assert!((p - q).abs() < 1e-4, "{p} vs {q}");
+            }
+        }
+    }
+
+    #[test]
+    fn cg_matches_idr_on_spd((n, extra) in entries()) {
+        // build symmetric + strictly dominant directly => SPD
+        let mut c = CooMatrix::new(n, n);
+        let mut rowsum = vec![0.0f64; n];
+        for &(i, j, v) in &extra {
+            let (i, j) = (i % n, j % n);
+            if i != j {
+                c.push_sym(i, j, v);
+                rowsum[i] += v.abs();
+                rowsum[j] += v.abs();
+            }
+        }
+        for i in 0..n.saturating_sub(1) {
+            c.push_sym(i, i + 1, -0.5);
+            rowsum[i] += 0.5;
+            rowsum[i + 1] += 0.5;
+        }
+        for i in 0..n {
+            c.push(i, i, rowsum[i].max(0.3) * 1.05);
+        }
+        let a = c.to_csr();
+        let b = vec![1.0; n];
+        let params = SolveParams::default();
+        let m = Identity::new(n);
+        let rc = cg(&a, &b, &m, &params);
+        let ri = idr(&a, &b, 4, &m, &params);
+        prop_assert!(rc.converged());
+        prop_assert!(ri.converged());
+        for (p, q) in rc.x.iter().zip(&ri.x) {
+            prop_assert!((p - q).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn jacobi_never_hurts_scaled_systems((n, extra) in entries(), scale_pow in 0u32..6) {
+        // scale rows to create a badly-equilibrated system
+        let base = random_system(n, &extra);
+        let mut c = CooMatrix::new(n, n);
+        for r in 0..n {
+            let s = 10f64.powi(((r * 7919) % (scale_pow as usize + 1)) as i32);
+            for (j, v) in base.row_cols(r).iter().zip(base.row_vals(r)) {
+                c.push(r, *j, v * s);
+            }
+        }
+        let a = c.to_csr();
+        let b = vec![1.0; n];
+        let params = SolveParams::default();
+        let jac = Jacobi::setup(&a).unwrap();
+        let r = idr(&a, &b, 4, &jac, &params);
+        prop_assert!(r.converged());
+    }
+
+    #[test]
+    fn iteration_cap_is_hard((n, extra) in entries(), cap in 1usize..5) {
+        let a = random_system(n, &extra);
+        let b = vec![1.0; n];
+        let params = SolveParams::default().with_max_iters(cap).with_tol(1e-30);
+        let r = idr(&a, &b, 4, &Identity::new(n), &params);
+        prop_assert!(r.iterations <= cap + 1);
+        prop_assert!(matches!(r.reason, StopReason::MaxIterations | StopReason::Breakdown));
+    }
+
+    #[test]
+    fn deterministic_across_runs((n, extra) in entries()) {
+        let a = random_system(n, &extra);
+        let b: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        let params = SolveParams::default();
+        let m = Identity::new(n);
+        let r1 = idr(&a, &b, 4, &m, &params);
+        let r2 = idr(&a, &b, 4, &m, &params);
+        prop_assert_eq!(r1.iterations, r2.iterations);
+        prop_assert_eq!(r1.x, r2.x);
+    }
+}

@@ -1,0 +1,143 @@
+//! Coordinate-format sparse matrices (assembly format; converted to CSR
+//! before any computation).
+
+use crate::csr::CsrMatrix;
+use vbatch_core::Scalar;
+
+/// A sparse matrix as a list of `(row, col, value)` triplets.
+#[derive(Clone, Debug)]
+pub struct CooMatrix<T> {
+    nrows: usize,
+    ncols: usize,
+    entries: Vec<(usize, usize, T)>,
+}
+
+impl<T: Scalar> CooMatrix<T> {
+    /// Empty matrix of the given shape.
+    pub fn new(nrows: usize, ncols: usize) -> Self {
+        CooMatrix {
+            nrows,
+            ncols,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of (possibly duplicate) triplets.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no triplets were pushed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Append one triplet.
+    pub fn push(&mut self, i: usize, j: usize, v: T) {
+        assert!(i < self.nrows && j < self.ncols, "({i},{j}) out of bounds");
+        self.entries.push((i, j, v));
+    }
+
+    /// Append `v` at `(i,j)` and `(j,i)` (off-diagonal symmetric pair).
+    pub fn push_sym(&mut self, i: usize, j: usize, v: T) {
+        self.push(i, j, v);
+        if i != j {
+            self.push(j, i, v);
+        }
+    }
+
+    /// Convert to CSR, summing duplicate coordinates and dropping
+    /// nothing (explicit zeros are kept — they are structurally
+    /// meaningful for supervariable detection).
+    pub fn to_csr(&self) -> CsrMatrix<T> {
+        let mut entries = self.entries.clone();
+        entries.sort_by_key(|&(i, j, _)| (i, j));
+        // merge duplicates into a clean triplet stream
+        let mut merged: Vec<(usize, usize, T)> = Vec::with_capacity(entries.len());
+        for (i, j, v) in entries {
+            match merged.last_mut() {
+                Some((li, lj, lv)) if *li == i && *lj == j => *lv += v,
+                _ => merged.push((i, j, v)),
+            }
+        }
+        let mut row_ptr = vec![0usize; self.nrows + 1];
+        for &(i, _, _) in &merged {
+            row_ptr[i + 1] += 1;
+        }
+        for i in 0..self.nrows {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        let col_idx: Vec<usize> = merged.iter().map(|&(_, j, _)| j).collect();
+        let vals: Vec<T> = merged.iter().map(|&(_, _, v)| v).collect();
+        CsrMatrix::from_raw(self.nrows, self.ncols, row_ptr, col_idx, vals)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_conversion() {
+        let mut c = CooMatrix::new(2, 3);
+        c.push(1, 2, 5.0);
+        c.push(0, 0, 1.0);
+        c.push(1, 0, 2.0);
+        let a = c.to_csr();
+        assert_eq!(a.nnz(), 3);
+        assert_eq!(a.get(0, 0), 1.0);
+        assert_eq!(a.get(1, 0), 2.0);
+        assert_eq!(a.get(1, 2), 5.0);
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let mut c = CooMatrix::new(2, 2);
+        c.push(0, 1, 1.5);
+        c.push(0, 1, 2.5);
+        c.push(1, 1, 1.0);
+        let a = c.to_csr();
+        assert_eq!(a.nnz(), 2);
+        assert_eq!(a.get(0, 1), 4.0);
+    }
+
+    #[test]
+    fn empty_rows_handled() {
+        let mut c = CooMatrix::new(4, 4);
+        c.push(0, 0, 1.0);
+        c.push(3, 3, 2.0);
+        let a = c.to_csr();
+        assert_eq!(a.row_nnz(1), 0);
+        assert_eq!(a.row_nnz(2), 0);
+        assert_eq!(a.get(3, 3), 2.0);
+    }
+
+    #[test]
+    fn symmetric_push() {
+        let mut c = CooMatrix::new(3, 3);
+        c.push_sym(0, 2, -1.0);
+        c.push_sym(1, 1, 4.0);
+        let a = c.to_csr();
+        assert_eq!(a.get(0, 2), -1.0);
+        assert_eq!(a.get(2, 0), -1.0);
+        assert_eq!(a.get(1, 1), 4.0);
+        assert_eq!(a.nnz(), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_push() {
+        let mut c = CooMatrix::<f64>::new(2, 2);
+        c.push(2, 0, 1.0);
+    }
+}

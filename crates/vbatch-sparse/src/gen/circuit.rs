@@ -1,0 +1,251 @@
+//! Circuit-simulation-style generators: very unbalanced (power-law)
+//! nonzero distributions — the worst case the paper's shared-memory
+//! extraction strategy (§III-C) is designed for — plus graph-partition
+//! style matrices (`nd*`) and simple thermal/economic patterns.
+
+use crate::coo::CooMatrix;
+use crate::csr::CsrMatrix;
+use rand::Rng;
+use vbatch_core::Scalar;
+
+/// Preferential-attachment circuit matrix: node `i` connects to `m`
+/// earlier nodes chosen with probability proportional to their current
+/// degree, producing a handful of extremely dense rows (supply rails)
+/// and many short ones. Nonsymmetric values, diagonally dominant.
+pub fn circuit<T: Scalar>(n: usize, m: usize, seed: u64) -> CsrMatrix<T> {
+    assert!(n > m && m > 0);
+    let mut r = super::rng(seed);
+    // target list grows with every endpoint: preferential attachment
+    let mut targets: Vec<usize> = Vec::with_capacity(2 * n * m);
+    let mut edges: Vec<(usize, usize)> = Vec::with_capacity(n * m);
+    for v in 0..n {
+        if v == 0 {
+            targets.push(0);
+            continue;
+        }
+        let mut chosen = std::collections::BTreeSet::new();
+        for _ in 0..m.min(v) {
+            let pick = if targets.is_empty() {
+                0
+            } else {
+                targets[r.gen_range(0..targets.len())]
+            };
+            chosen.insert(pick);
+        }
+        for &u in &chosen {
+            edges.push((u, v));
+            targets.push(u);
+            targets.push(v);
+        }
+    }
+    let mut c = CooMatrix::new(n, n);
+    let mut rowsum = vec![0.0f64; n];
+    let mut entries = Vec::new();
+    for &(u, v) in &edges {
+        // negative conductances, mildly nonsymmetric (controlled sources)
+        let a = -super::uni(&mut r, 0.1, 1.0);
+        let b = a * super::uni(&mut r, 0.5, 1.0);
+        entries.push((u, v, a));
+        entries.push((v, u, b));
+        rowsum[u] += a.abs();
+        rowsum[v] += b.abs();
+    }
+    for (i, j, v) in entries {
+        c.push(i, j, T::from_f64(v));
+    }
+    for i in 0..n {
+        // barely dominant: dense hub rows make the system genuinely hard
+        c.push(
+            i,
+            i,
+            T::from_f64(rowsum[i].max(0.5) * (1.0 + 0.005 + super::uni(&mut r, 0.0, 0.01))),
+        );
+    }
+    c.to_csr()
+}
+
+/// `nd*`-style 3D mesh-graph matrix: a 3D grid with a 27-point
+/// neighbourhood, fairly dense rows of uniform length.
+pub fn nd_graph<T: Scalar>(nx: usize, ny: usize, nz: usize, seed: u64) -> CsrMatrix<T> {
+    let n = nx * ny * nz;
+    let idx = |i: usize, j: usize, k: usize| (i * ny + j) * nz + k;
+    let mut r = super::rng(seed);
+    let mut c = CooMatrix::new(n, n);
+    let mut rowsum = vec![0.0f64; n];
+    for i in 0..nx {
+        for j in 0..ny {
+            for k in 0..nz {
+                let me = idx(i, j, k);
+                for di in -1i64..=1 {
+                    for dj in -1i64..=1 {
+                        for dk in -1i64..=1 {
+                            if di == 0 && dj == 0 && dk == 0 {
+                                continue;
+                            }
+                            let (ni, nj, nk) =
+                                (i as i64 + di, j as i64 + dj, k as i64 + dk);
+                            if ni < 0
+                                || nj < 0
+                                || nk < 0
+                                || ni >= nx as i64
+                                || nj >= ny as i64
+                                || nk >= nz as i64
+                            {
+                                continue;
+                            }
+                            // emit each undirected pair once
+                            if (di, dj, dk) < (0, 0, 0) {
+                                continue;
+                            }
+                            let other = idx(ni as usize, nj as usize, nk as usize);
+                            let v = super::uni(&mut r, -0.5, -0.1);
+                            c.push(me, other, T::from_f64(v));
+                            c.push(other, me, T::from_f64(v));
+                            rowsum[me] += v.abs();
+                            rowsum[other] += v.abs();
+                        }
+                    }
+                }
+            }
+        }
+    }
+    for (me, &sum) in rowsum.iter().enumerate() {
+        c.push(me, me, T::from_f64(sum.max(0.5) * 1.005));
+    }
+    c.to_csr()
+}
+
+/// Thermal/diffusion-style matrix with mild random heterogeneity on a
+/// 2D grid (gas-sensor / ecology class).
+pub fn thermal<T: Scalar>(nx: usize, ny: usize, seed: u64) -> CsrMatrix<T> {
+    let n = nx * ny;
+    let idx = |i: usize, j: usize| i * ny + j;
+    let mut r = super::rng(seed);
+    let mut c = CooMatrix::new(n, n);
+    // per-edge conductivities; the diagonal gets the row sum plus a tiny
+    // reaction term — barely dominant, like a heat problem with weak losses
+    let mut diag = vec![0.0f64; n];
+    for i in 0..nx {
+        for j in 0..ny {
+            let me = idx(i, j);
+            if i + 1 < nx {
+                let k = 1.0 + super::uni(&mut r, 0.0, 2.0);
+                c.push_sym(me, idx(i + 1, j), T::from_f64(-k));
+                diag[me] += k;
+                diag[idx(i + 1, j)] += k;
+            }
+            if j + 1 < ny {
+                let k = 1.0 + super::uni(&mut r, 0.0, 2.0);
+                c.push_sym(me, idx(i, j + 1), T::from_f64(-k));
+                diag[me] += k;
+                diag[idx(i, j + 1)] += k;
+            }
+        }
+    }
+    for (me, &d) in diag.iter().enumerate() {
+        c.push(me, me, T::from_f64(d.max(0.5) * 1.005));
+    }
+    c.to_csr()
+}
+
+/// Chemical-engineering-style lower-bandwidth nonsymmetric matrix
+/// (`olm*`/`saylr*` class): tridiagonal plus a far off-diagonal.
+pub fn chem_banded<T: Scalar>(n: usize, offset: usize, seed: u64) -> CsrMatrix<T> {
+    let mut r = super::rng(seed);
+    let mut c = CooMatrix::new(n, n);
+    let mut rowsum = vec![0.0f64; n];
+    let push = |c: &mut CooMatrix<T>, rowsum: &mut Vec<f64>, i: usize, j: usize, v: f64| {
+        c.push(i, j, T::from_f64(v));
+        rowsum[i] += v.abs();
+    };
+    for i in 0..n {
+        if i + 1 < n {
+            push(&mut c, &mut rowsum, i, i + 1, -1.0 + super::uni(&mut r, -0.2, 0.2));
+            push(&mut c, &mut rowsum, i + 1, i, -1.5 + super::uni(&mut r, -0.2, 0.2));
+        }
+        if i + offset < n {
+            push(&mut c, &mut rowsum, i, i + offset, -0.3);
+            push(&mut c, &mut rowsum, i + offset, i, -0.2);
+        }
+    }
+    for (i, &sum) in rowsum.iter().enumerate() {
+        c.push(i, i, T::from_f64(sum.max(0.5) * (1.005 + super::uni(&mut r, 0.0, 0.01))));
+    }
+    c.to_csr()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn circuit_is_power_law_ish() {
+        let a = circuit::<f64>(2000, 2, 11);
+        assert_eq!(a.nrows(), 2000);
+        let lens: Vec<usize> = (0..2000).map(|r| a.row_nnz(r)).collect();
+        let max = *lens.iter().max().unwrap();
+        let mean = lens.iter().sum::<usize>() as f64 / 2000.0;
+        assert!(
+            max as f64 > 8.0 * mean,
+            "expected a heavy hub row: max {max}, mean {mean}"
+        );
+    }
+
+    #[test]
+    fn circuit_is_diagonally_dominant() {
+        let a = circuit::<f64>(300, 3, 5);
+        for r in 0..300 {
+            let diag = a.get(r, r).abs();
+            let off: f64 = a
+                .row_cols(r)
+                .iter()
+                .zip(a.row_vals(r))
+                .filter(|(c, _)| **c != r)
+                .map(|(_, v)| v.abs())
+                .sum();
+            assert!(diag >= off, "row {r}: {diag} < {off}");
+        }
+    }
+
+    #[test]
+    fn nd_graph_has_uniform_dense_rows() {
+        let a = nd_graph::<f64>(5, 5, 5, 3);
+        assert_eq!(a.nrows(), 125);
+        // interior rows have the full 27-point stencil
+        let center = (2 * 5 + 2) * 5 + 2;
+        assert_eq!(a.row_nnz(center), 27);
+        assert!(a.is_symmetric(1e-12));
+    }
+
+    #[test]
+    fn thermal_symmetric_dominant() {
+        let a = thermal::<f64>(8, 8, 2);
+        assert!(a.is_symmetric(1e-12));
+        for r in 0..64 {
+            let diag = a.get(r, r);
+            let off: f64 = a
+                .row_cols(r)
+                .iter()
+                .zip(a.row_vals(r))
+                .filter(|(c, _)| **c != r)
+                .map(|(_, v)| v.abs())
+                .sum();
+            assert!(diag >= off);
+        }
+    }
+
+    #[test]
+    fn chem_banded_pattern() {
+        let a = chem_banded::<f64>(50, 10, 4);
+        assert!(!a.is_symmetric(1e-12));
+        assert_eq!(a.get(0, 10), -0.3);
+        assert_eq!(a.get(10, 0), -0.2);
+        assert!(a.bandwidth() == 10);
+    }
+
+    #[test]
+    fn determinism() {
+        assert_eq!(circuit::<f64>(200, 2, 9), circuit::<f64>(200, 2, 9));
+        assert_ne!(circuit::<f64>(200, 2, 9), circuit::<f64>(200, 2, 10));
+    }
+}

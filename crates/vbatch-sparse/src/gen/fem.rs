@@ -1,0 +1,299 @@
+//! Finite-element-style generators with explicit *supervariable*
+//! structure: every mesh node carries `dof` unknowns that share one
+//! column pattern, producing exactly the block structure supervariable
+//! blocking is designed to discover (§II-A).
+
+use crate::coo::CooMatrix;
+use crate::csr::CsrMatrix;
+use rand::rngs::StdRng;
+use vbatch_core::Scalar;
+
+/// Mesh adjacency as an edge list over `nodes` vertices.
+pub struct MeshGraph {
+    /// Number of mesh nodes.
+    pub nodes: usize,
+    /// Undirected edges (`a < b`).
+    pub edges: Vec<(usize, usize)>,
+}
+
+impl MeshGraph {
+    /// Structured 2D grid mesh.
+    pub fn grid2d(nx: usize, ny: usize) -> Self {
+        let idx = |i: usize, j: usize| i * ny + j;
+        let mut edges = Vec::new();
+        for i in 0..nx {
+            for j in 0..ny {
+                if i + 1 < nx {
+                    edges.push((idx(i, j), idx(i + 1, j)));
+                }
+                if j + 1 < ny {
+                    edges.push((idx(i, j), idx(i, j + 1)));
+                }
+            }
+        }
+        MeshGraph {
+            nodes: nx * ny,
+            edges,
+        }
+    }
+
+    /// Structured 3D grid mesh.
+    pub fn grid3d(nx: usize, ny: usize, nz: usize) -> Self {
+        let idx = |i: usize, j: usize, k: usize| (i * ny + j) * nz + k;
+        let mut edges = Vec::new();
+        for i in 0..nx {
+            for j in 0..ny {
+                for k in 0..nz {
+                    if i + 1 < nx {
+                        edges.push((idx(i, j, k), idx(i + 1, j, k)));
+                    }
+                    if j + 1 < ny {
+                        edges.push((idx(i, j, k), idx(i, j + 1, k)));
+                    }
+                    if k + 1 < nz {
+                        edges.push((idx(i, j, k), idx(i, j, k + 1)));
+                    }
+                }
+            }
+        }
+        MeshGraph {
+            nodes: nx * ny * nz,
+            edges,
+        }
+    }
+
+    /// 2D grid with diagonal bracing (shell-like connectivity, 8
+    /// neighbours in the interior).
+    pub fn shell2d(nx: usize, ny: usize) -> Self {
+        let idx = |i: usize, j: usize| i * ny + j;
+        let mut g = Self::grid2d(nx, ny);
+        for i in 0..nx.saturating_sub(1) {
+            for j in 0..ny.saturating_sub(1) {
+                g.edges.push((idx(i, j), idx(i + 1, j + 1)));
+                g.edges.push((idx(i, j + 1), idx(i + 1, j)));
+            }
+        }
+        g
+    }
+}
+
+/// Assemble a block-structured FEM-like matrix over a mesh: `dof`
+/// unknowns per node, dense `dof x dof` coupling on the diagonal and on
+/// every mesh edge. `nonsym` adds a nonsymmetric perturbation;
+/// `coupling` scales the inter-node blocks relative to the node block.
+///
+/// The diagonal is set to the row's absolute off-diagonal sum times
+/// `1 + eps` with a small `eps`: like a true stiffness assembly the matrix
+/// is *barely* diagonally dominant, so Krylov iteration counts grow with
+/// the mesh (hundreds of iterations, as in Table I) and the quality of
+/// the preconditioner genuinely matters.
+pub fn fem_block_matrix<T: Scalar>(
+    mesh: &MeshGraph,
+    dof: usize,
+    coupling: f64,
+    nonsym: f64,
+    seed: u64,
+) -> CsrMatrix<T> {
+    fem_block_matrix_eps(mesh, dof, coupling, nonsym, 0.005, seed)
+}
+
+/// [`fem_block_matrix`] with an explicit dominance margin `eps`.
+pub fn fem_block_matrix_eps<T: Scalar>(
+    mesh: &MeshGraph,
+    dof: usize,
+    coupling: f64,
+    nonsym: f64,
+    eps: f64,
+    seed: u64,
+) -> CsrMatrix<T> {
+    assert!(dof > 0);
+    let n = mesh.nodes * dof;
+    let mut r = super::rng(seed);
+    let mut c = CooMatrix::new(n, n);
+    let mut rowsum = vec![0.0f64; n];
+    for node in 0..mesh.nodes {
+        let base = node * dof;
+        for i in 0..dof {
+            for j in 0..dof {
+                if i == j {
+                    continue;
+                }
+                let v = super::uni(&mut r, -0.8, 0.8) + nonsym * super::uni(&mut r, 0.0, 0.4);
+                c.push(base + i, base + j, T::from_f64(v));
+                rowsum[base + i] += v.abs();
+            }
+        }
+    }
+    for &(a, b) in &mesh.edges {
+        let (ba, bb) = (a * dof, b * dof);
+        for i in 0..dof {
+            for j in 0..dof {
+                // Laplacian-sign inter-node coupling: the smooth error
+                // modes this produces are what makes real FEM systems
+                // take hundreds of Krylov iterations
+                let v = -coupling * super::uni(&mut r, 0.1, 1.0);
+                let w = v + nonsym * super::uni(&mut r, -0.3, 0.3);
+                c.push(ba + i, bb + j, T::from_f64(v));
+                c.push(bb + j, ba + i, T::from_f64(w));
+                rowsum[ba + i] += v.abs();
+                rowsum[bb + j] += w.abs();
+            }
+        }
+    }
+    for (row, &sum) in rowsum.iter().enumerate() {
+        c.push(row, row, T::from_f64(sum.max(0.5) * (1.0 + eps)));
+    }
+    c.to_csr()
+}
+
+/// A stiffness-like SPD block matrix: symmetric FEM assembly made
+/// positive definite by construction (`B + B^T` plus dominance).
+pub fn stiffness_block_matrix<T: Scalar>(
+    mesh: &MeshGraph,
+    dof: usize,
+    coupling: f64,
+    seed: u64,
+) -> CsrMatrix<T> {
+    let a = fem_block_matrix_eps::<T>(mesh, dof, coupling, 0.0, 0.0, seed);
+    let t = a.transpose();
+    // (A + A^T)/2, then restore a small dominance margin on the diagonal
+    // so the symmetrized matrix stays positive definite but ill enough
+    // to need a real preconditioner
+    let mut coo = CooMatrix::new(a.nrows(), a.ncols());
+    let mut rowsum = vec![0.0f64; a.nrows()];
+    for rix in 0..a.nrows() {
+        for (cix, v) in a.row_cols(rix).iter().zip(a.row_vals(rix)) {
+            if rix == *cix {
+                continue;
+            }
+            let sym = (*v + t.get(rix, *cix)) / T::from_f64(2.0);
+            coo.push(rix, *cix, sym);
+            rowsum[rix] += sym.to_f64().abs();
+        }
+    }
+    for (rix, &sum) in rowsum.iter().enumerate() {
+        coo.push(rix, rix, T::from_f64(sum.max(0.5) * 1.004));
+    }
+    coo.to_csr()
+}
+
+/// Draw a pseudo-random variable-dof assignment for "mixed" meshes
+/// (e.g. shell models that combine translational and rotational dofs).
+pub fn mixed_dofs(nodes: usize, choices: &[usize], seed: u64) -> Vec<usize> {
+    use rand::Rng;
+    let mut r: StdRng = super::rng(seed);
+    (0..nodes)
+        .map(|_| choices[r.gen_range(0..choices.len())])
+        .collect()
+}
+
+/// FEM-like assembly with *variable* dofs per node — the scenario that
+/// genuinely requires variable-size batched kernels.
+pub fn fem_variable_block_matrix<T: Scalar>(
+    mesh: &MeshGraph,
+    dofs: &[usize],
+    coupling: f64,
+    seed: u64,
+) -> CsrMatrix<T> {
+    assert_eq!(dofs.len(), mesh.nodes);
+    let mut base = vec![0usize; mesh.nodes + 1];
+    for (i, &d) in dofs.iter().enumerate() {
+        base[i + 1] = base[i] + d;
+    }
+    let n = base[mesh.nodes];
+    let mut r = super::rng(seed);
+    let mut c = CooMatrix::new(n, n);
+    let mut rowsum = vec![0.0f64; n];
+    for node in 0..mesh.nodes {
+        let d = dofs[node];
+        for i in 0..d {
+            for j in 0..d {
+                if i == j {
+                    continue;
+                }
+                let v = super::uni(&mut r, -0.7, 0.7);
+                c.push(base[node] + i, base[node] + j, T::from_f64(v));
+                rowsum[base[node] + i] += v.abs();
+            }
+        }
+    }
+    for &(a, b) in &mesh.edges {
+        for i in 0..dofs[a] {
+            for j in 0..dofs[b] {
+                let v = -coupling * super::uni(&mut r, 0.1, 1.0);
+                c.push(base[a] + i, base[b] + j, T::from_f64(v));
+                c.push(base[b] + j, base[a] + i, T::from_f64(v * 0.95));
+                rowsum[base[a] + i] += v.abs();
+                rowsum[base[b] + j] += (v * 0.95).abs();
+            }
+        }
+    }
+    for (row, &sum) in rowsum.iter().enumerate() {
+        c.push(row, row, T::from_f64(sum.max(0.5) * 1.01));
+    }
+    c.to_csr()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blocking::{find_supervariables, supervariable_blocking};
+
+    #[test]
+    fn grid_meshes() {
+        let g = MeshGraph::grid2d(3, 4);
+        assert_eq!(g.nodes, 12);
+        assert_eq!(g.edges.len(), 2 * 12 - 3 - 4); // 17
+        let g3 = MeshGraph::grid3d(2, 2, 2);
+        assert_eq!(g3.nodes, 8);
+        assert_eq!(g3.edges.len(), 12);
+        let sh = MeshGraph::shell2d(3, 3);
+        assert!(sh.edges.len() > MeshGraph::grid2d(3, 3).edges.len());
+    }
+
+    #[test]
+    fn fem_matrix_has_dof_supervariables() {
+        let mesh = MeshGraph::grid2d(4, 4);
+        let a = fem_block_matrix::<f64>(&mesh, 3, 0.4, 0.1, 1);
+        assert_eq!(a.nrows(), 48);
+        let sv = find_supervariables(&a);
+        assert_eq!(sv.sizes(), vec![3; 16]);
+        // supervariable blocking with bound 6 merges pairs where adjacent
+        let p = supervariable_blocking(&a, 6);
+        assert!(p.max_size() <= 6);
+        assert!(p.sizes().iter().all(|&s| s % 3 == 0));
+    }
+
+    #[test]
+    fn stiffness_matrix_is_symmetric(){
+        let mesh = MeshGraph::grid2d(3, 3);
+        let a = stiffness_block_matrix::<f64>(&mesh, 2, 0.5, 3);
+        assert!(a.is_symmetric(1e-12));
+        // diagonal dominance on the block diagonal keeps Cholesky happy
+        let d = a.diagonal();
+        assert!(d.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn variable_dof_assembly() {
+        let mesh = MeshGraph::grid2d(3, 3);
+        let dofs = mixed_dofs(9, &[2, 3, 5], 42);
+        assert_eq!(dofs.len(), 9);
+        assert!(dofs.iter().all(|d| [2, 3, 5].contains(d)));
+        let a = fem_variable_block_matrix::<f64>(&mesh, &dofs, 0.3, 7);
+        let n: usize = dofs.iter().sum();
+        assert_eq!(a.nrows(), n);
+        let sv = find_supervariables(&a);
+        assert_eq!(sv.sizes(), dofs);
+    }
+
+    #[test]
+    fn determinism() {
+        let mesh = MeshGraph::grid2d(4, 3);
+        let a = fem_block_matrix::<f64>(&mesh, 2, 0.4, 0.2, 5);
+        let b = fem_block_matrix::<f64>(&mesh, 2, 0.4, 0.2, 5);
+        assert_eq!(a, b);
+        let c = fem_block_matrix::<f64>(&mesh, 2, 0.4, 0.2, 6);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,190 @@
+//! Grid-based PDE discretizations: Laplacians, anisotropic diffusion,
+//! convection-diffusion (nonsymmetric) and banded waveguide-like
+//! operators.
+
+use crate::coo::CooMatrix;
+use crate::csr::CsrMatrix;
+use vbatch_core::Scalar;
+
+/// 5-point 2D Laplacian on an `nx x ny` grid (SPD, scalar variables).
+pub fn laplace_2d<T: Scalar>(nx: usize, ny: usize) -> CsrMatrix<T> {
+    let n = nx * ny;
+    let idx = |i: usize, j: usize| i * ny + j;
+    let mut c = CooMatrix::new(n, n);
+    for i in 0..nx {
+        for j in 0..ny {
+            let me = idx(i, j);
+            c.push(me, me, T::from_f64(4.0));
+            if i + 1 < nx {
+                c.push(me, idx(i + 1, j), -T::ONE);
+                c.push(idx(i + 1, j), me, -T::ONE);
+            }
+            if j + 1 < ny {
+                c.push(me, idx(i, j + 1), -T::ONE);
+                c.push(idx(i, j + 1), me, -T::ONE);
+            }
+        }
+    }
+    c.to_csr()
+}
+
+/// 7-point 3D Laplacian on an `nx x ny x nz` grid (SPD).
+pub fn laplace_3d<T: Scalar>(nx: usize, ny: usize, nz: usize) -> CsrMatrix<T> {
+    let n = nx * ny * nz;
+    let idx = |i: usize, j: usize, k: usize| (i * ny + j) * nz + k;
+    let mut c = CooMatrix::new(n, n);
+    for i in 0..nx {
+        for j in 0..ny {
+            for k in 0..nz {
+                let me = idx(i, j, k);
+                c.push(me, me, T::from_f64(6.0));
+                if i + 1 < nx {
+                    c.push_sym(me, idx(i + 1, j, k), -T::ONE);
+                }
+                if j + 1 < ny {
+                    c.push_sym(me, idx(i, j + 1, k), -T::ONE);
+                }
+                if k + 1 < nz {
+                    c.push_sym(me, idx(i, j, k + 1), -T::ONE);
+                }
+            }
+        }
+    }
+    c.to_csr()
+}
+
+/// Anisotropic 2D diffusion: x-coupling `-1`, y-coupling `-eps`.
+pub fn anisotropic_2d<T: Scalar>(nx: usize, ny: usize, eps: f64) -> CsrMatrix<T> {
+    let n = nx * ny;
+    let idx = |i: usize, j: usize| i * ny + j;
+    let e = T::from_f64(eps);
+    let mut c = CooMatrix::new(n, n);
+    for i in 0..nx {
+        for j in 0..ny {
+            let me = idx(i, j);
+            c.push(me, me, T::from_f64(2.0 + 2.0 * eps));
+            if i + 1 < nx {
+                c.push_sym(me, idx(i + 1, j), -T::ONE);
+            }
+            if j + 1 < ny {
+                c.push_sym(me, idx(i, j + 1), -e);
+            }
+        }
+    }
+    c.to_csr()
+}
+
+/// Upwind convection-diffusion on a 2D grid: nonsymmetric, the natural
+/// target for IDR-type solvers.
+pub fn convection_diffusion_2d<T: Scalar>(nx: usize, ny: usize, wind: f64) -> CsrMatrix<T> {
+    let n = nx * ny;
+    let idx = |i: usize, j: usize| i * ny + j;
+    let w = T::from_f64(wind);
+    let mut c = CooMatrix::new(n, n);
+    for i in 0..nx {
+        for j in 0..ny {
+            let me = idx(i, j);
+            c.push(me, me, T::from_f64(4.0 + wind));
+            if i + 1 < nx {
+                c.push(me, idx(i + 1, j), -T::ONE);
+                c.push(idx(i + 1, j), me, -T::ONE - w); // upwind bias
+            }
+            if j + 1 < ny {
+                c.push(me, idx(i, j + 1), -T::ONE);
+                c.push(idx(i, j + 1), me, -T::ONE);
+            }
+        }
+    }
+    c.to_csr()
+}
+
+/// Banded, oscillatory, nonsymmetric operator mimicking the `dw*`
+/// dielectric-waveguide family: a tridiagonal-block band with slowly
+/// varying coefficients.
+pub fn waveguide<T: Scalar>(n: usize, half_bw: usize, seed: u64) -> CsrMatrix<T> {
+    let mut r = super::rng(seed);
+    let mut c = CooMatrix::new(n, n);
+    let mut rowsum = vec![0.0f64; n];
+    for i in 0..n {
+        let phase = i as f64 * 0.37;
+        for d in 1..=half_bw {
+            if i + d < n {
+                // negative-dominated band with oscillatory magnitude
+                let v = -(0.2 + 0.8 * (phase + d as f64).cos().abs()) / d as f64;
+                let w = v * 0.9 - 0.05;
+                c.push(i, i + d, T::from_f64(v));
+                c.push(i + d, i, T::from_f64(w));
+                rowsum[i] += v.abs();
+                rowsum[i + d] += w.abs();
+            }
+        }
+    }
+    for (i, &sum) in rowsum.iter().enumerate() {
+        let phase = i as f64 * 0.37;
+        let margin = 1.004 + 0.004 * phase.sin().abs() + super::uni(&mut r, 0.0, 0.002);
+        c.push(i, i, T::from_f64(sum.max(0.4) * margin));
+    }
+    c.to_csr()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spmv::spmv_alloc;
+
+    #[test]
+    fn laplace_2d_shape_and_symmetry() {
+        let a = laplace_2d::<f64>(4, 3);
+        assert_eq!(a.nrows(), 12);
+        assert!(a.is_symmetric(0.0));
+        assert_eq!(a.get(0, 0), 4.0);
+        // interior row has 5 entries
+        let interior = 1 * 3 + 1;
+        assert_eq!(a.row_nnz(interior), 5);
+    }
+
+    #[test]
+    fn laplace_2d_annihilates_nothing_but_scales_constants() {
+        // A * ones has zero interior rows except boundary contributions
+        let a = laplace_2d::<f64>(5, 5);
+        let ones = vec![1.0; 25];
+        let y = spmv_alloc(&a, &ones);
+        // interior: 4 - 4 = 0
+        assert_eq!(y[12], 0.0);
+        // corner: 4 - 2 = 2
+        assert_eq!(y[0], 2.0);
+    }
+
+    #[test]
+    fn laplace_3d_shape() {
+        let a = laplace_3d::<f64>(3, 3, 3);
+        assert_eq!(a.nrows(), 27);
+        assert!(a.is_symmetric(0.0));
+        assert_eq!(a.row_nnz(13), 7); // center has full stencil
+    }
+
+    #[test]
+    fn anisotropic_couplings() {
+        let a = anisotropic_2d::<f64>(3, 3, 0.01);
+        assert!((a.get(0, 3) + 1.0).abs() < 1e-15); // x-neighbor
+        assert!((a.get(0, 1) + 0.01).abs() < 1e-15); // y-neighbor
+        assert!(a.is_symmetric(0.0));
+    }
+
+    #[test]
+    fn convection_is_nonsymmetric() {
+        let a = convection_diffusion_2d::<f64>(4, 4, 1.5);
+        assert!(!a.is_symmetric(1e-12));
+        assert_eq!(a.get(0, 4), -1.0);
+        assert_eq!(a.get(4, 0), -2.5);
+    }
+
+    #[test]
+    fn waveguide_banded_and_deterministic() {
+        let a = waveguide::<f64>(100, 3, 9);
+        let b = waveguide::<f64>(100, 3, 9);
+        assert_eq!(a, b);
+        assert!(a.bandwidth() <= 3);
+        assert!(!a.is_symmetric(1e-12));
+    }
+}

@@ -1,0 +1,144 @@
+//! Sparse matrix–vector products — the workhorse of the Krylov solvers
+//! (the paper's IDR(4) performs one SpMV plus one preconditioner
+//! application per inner step).
+
+use crate::csr::CsrMatrix;
+use rayon::prelude::*;
+use vbatch_core::Scalar;
+
+/// `y = A x` (sequential reference).
+pub fn spmv<T: Scalar>(a: &CsrMatrix<T>, x: &[T], y: &mut [T]) {
+    assert_eq!(x.len(), a.ncols());
+    assert_eq!(y.len(), a.nrows());
+    for r in 0..a.nrows() {
+        let mut acc = T::ZERO;
+        for (c, v) in a.row_cols(r).iter().zip(a.row_vals(r)) {
+            acc = v.mul_add(x[*c], acc);
+        }
+        y[r] = acc;
+    }
+}
+
+/// `y = A x` with Rayon row-parallelism (bit-identical to [`spmv`]
+/// because each row is reduced sequentially by one worker).
+pub fn spmv_par<T: Scalar>(a: &CsrMatrix<T>, x: &[T], y: &mut [T]) {
+    assert_eq!(x.len(), a.ncols());
+    assert_eq!(y.len(), a.nrows());
+    y.par_iter_mut().enumerate().for_each(|(r, out)| {
+        let mut acc = T::ZERO;
+        for (c, v) in a.row_cols(r).iter().zip(a.row_vals(r)) {
+            acc = v.mul_add(x[*c], acc);
+        }
+        *out = acc;
+    });
+}
+
+/// `y = A x` into a fresh vector.
+pub fn spmv_alloc<T: Scalar>(a: &CsrMatrix<T>, x: &[T]) -> Vec<T> {
+    let mut y = vec![T::ZERO; a.nrows()];
+    spmv(a, x, &mut y);
+    y
+}
+
+/// Residual `b - A x` into a fresh vector.
+pub fn residual<T: Scalar>(a: &CsrMatrix<T>, x: &[T], b: &[T]) -> Vec<T> {
+    let ax = spmv_alloc(a, x);
+    b.iter().zip(ax).map(|(&bi, axi)| bi - axi).collect()
+}
+
+/// Euclidean norm.
+pub fn nrm2<T: Scalar>(v: &[T]) -> T {
+    v.iter()
+        .fold(T::ZERO, |acc, &x| x.mul_add(x, acc))
+        .sqrt()
+}
+
+/// Dot product.
+pub fn dot<T: Scalar>(a: &[T], b: &[T]) -> T {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .fold(T::ZERO, |acc, (&x, &y)| x.mul_add(y, acc))
+}
+
+/// `y += alpha * x`.
+pub fn axpy<T: Scalar>(alpha: T, x: &[T], y: &mut [T]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi = alpha.mul_add(xi, *yi);
+    }
+}
+
+/// `y = x + beta * y` (in place on `y`).
+pub fn xpby<T: Scalar>(x: &[T], beta: T, y: &mut [T]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi = beta.mul_add(*yi, xi);
+    }
+}
+
+/// `v *= alpha`.
+pub fn scal<T: Scalar>(alpha: T, v: &mut [T]) {
+    for x in v.iter_mut() {
+        *x *= alpha;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::CooMatrix;
+
+    fn sample() -> CsrMatrix<f64> {
+        let mut c = CooMatrix::new(3, 3);
+        c.push(0, 0, 2.0);
+        c.push(0, 2, 1.0);
+        c.push(1, 1, 3.0);
+        c.push(2, 0, -1.0);
+        c.push(2, 2, 4.0);
+        c.to_csr()
+    }
+
+    #[test]
+    fn spmv_matches_dense() {
+        let a = sample();
+        let d = a.to_dense();
+        let x = vec![1.0, 2.0, -1.0];
+        let y = spmv_alloc(&a, &x);
+        let yd = d.matvec(&x);
+        assert_eq!(y, yd);
+    }
+
+    #[test]
+    fn parallel_is_bit_identical() {
+        let a = sample();
+        let x = vec![0.5, -0.25, 3.0];
+        let mut y1 = vec![0.0; 3];
+        let mut y2 = vec![0.0; 3];
+        spmv(&a, &x, &mut y1);
+        spmv_par(&a, &x, &mut y2);
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn residual_of_exact_solution_is_zero() {
+        let a = sample();
+        let x = vec![1.0, 1.0, 1.0];
+        let b = spmv_alloc(&a, &x);
+        let r = residual(&a, &x, &b);
+        assert!(nrm2(&r) == 0.0);
+    }
+
+    #[test]
+    fn blas1_helpers() {
+        let mut y = vec![1.0, 2.0];
+        axpy(2.0, &[3.0, 4.0], &mut y);
+        assert_eq!(y, vec![7.0, 10.0]);
+        xpby(&[1.0, 1.0], 0.5, &mut y);
+        assert_eq!(y, vec![4.5, 6.0]);
+        scal(2.0, &mut y);
+        assert_eq!(y, vec![9.0, 12.0]);
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        assert!((nrm2(&[3.0, 4.0]) - 5.0).abs() < 1e-15);
+    }
+}

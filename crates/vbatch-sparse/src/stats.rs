@@ -1,0 +1,189 @@
+//! Sparse-matrix statistics: the nonzero-distribution diagnostics that
+//! decide which extraction strategy wins (§III-C) and summarize the
+//! test-suite problems (Table I's `n`/`nnz` columns and beyond).
+
+use crate::blocking::BlockPartition;
+use crate::csr::CsrMatrix;
+use vbatch_core::Scalar;
+
+/// Summary statistics of a sparse matrix.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MatrixStats {
+    /// Matrix order (rows).
+    pub n: usize,
+    /// Stored nonzeros.
+    pub nnz: usize,
+    /// Average nonzeros per row.
+    pub avg_row_nnz: f64,
+    /// Maximum nonzeros in a single row.
+    pub max_row_nnz: usize,
+    /// Minimum nonzeros in a single row.
+    pub min_row_nnz: usize,
+    /// Row-imbalance factor `max / avg` — the quantity that makes the
+    /// naive row-per-lane extraction collapse on circuit matrices.
+    pub imbalance: f64,
+    /// Standard deviation of the row lengths.
+    pub row_nnz_stddev: f64,
+    /// Structural bandwidth.
+    pub bandwidth: usize,
+    /// Fraction of rows whose diagonal entry is stored and nonzero.
+    pub diag_coverage: f64,
+}
+
+/// Compute summary statistics.
+pub fn matrix_stats<T: Scalar>(a: &CsrMatrix<T>) -> MatrixStats {
+    let n = a.nrows();
+    let nnz = a.nnz();
+    let lens: Vec<usize> = (0..n).map(|r| a.row_nnz(r)).collect();
+    let avg = if n == 0 { 0.0 } else { nnz as f64 / n as f64 };
+    let max = lens.iter().copied().max().unwrap_or(0);
+    let min = lens.iter().copied().min().unwrap_or(0);
+    let var = if n == 0 {
+        0.0
+    } else {
+        lens.iter()
+            .map(|&l| (l as f64 - avg) * (l as f64 - avg))
+            .sum::<f64>()
+            / n as f64
+    };
+    let diag_ok = (0..n).filter(|&i| a.get(i, i) != T::ZERO).count();
+    MatrixStats {
+        n,
+        nnz,
+        avg_row_nnz: avg,
+        max_row_nnz: max,
+        min_row_nnz: min,
+        imbalance: if avg > 0.0 { max as f64 / avg } else { 0.0 },
+        row_nnz_stddev: var.sqrt(),
+        bandwidth: a.bandwidth(),
+        diag_coverage: if n == 0 { 1.0 } else { diag_ok as f64 / n as f64 },
+    }
+}
+
+/// Histogram of row lengths in power-of-two buckets
+/// (`[0], [1], [2..3], [4..7], ...`); returns `(bucket_upper, count)`.
+pub fn row_length_histogram<T: Scalar>(a: &CsrMatrix<T>) -> Vec<(usize, usize)> {
+    let mut buckets: Vec<(usize, usize)> = Vec::new();
+    let mut upper = 0usize;
+    loop {
+        buckets.push((upper, 0));
+        if upper >= a.nrows().max(1) {
+            break;
+        }
+        upper = if upper == 0 { 1 } else { upper * 2 };
+    }
+    for r in 0..a.nrows() {
+        let l = a.row_nnz(r);
+        let idx = buckets
+            .iter()
+            .position(|&(u, _)| l <= u)
+            .unwrap_or(buckets.len() - 1);
+        buckets[idx].1 += 1;
+    }
+    buckets.retain(|&(_, c)| c > 0);
+    buckets
+}
+
+/// Statistics of a block partition (the variable-size batch the
+/// preconditioner will factorize).
+#[derive(Clone, Debug, PartialEq)]
+pub struct PartitionStats {
+    /// Number of blocks.
+    pub blocks: usize,
+    /// Smallest block.
+    pub min_size: usize,
+    /// Largest block.
+    pub max_size: usize,
+    /// Mean block size.
+    pub avg_size: f64,
+    /// Total factorization flops (`2/3 n^3` per block).
+    pub factor_flops: f64,
+    /// Total solve flops per application (`2 n^2` per block).
+    pub solve_flops: f64,
+}
+
+/// Compute partition statistics.
+pub fn partition_stats(part: &BlockPartition) -> PartitionStats {
+    let sizes = part.sizes();
+    let blocks = sizes.len();
+    let min = sizes.iter().copied().min().unwrap_or(0);
+    let max = sizes.iter().copied().max().unwrap_or(0);
+    let avg = if blocks == 0 {
+        0.0
+    } else {
+        part.total() as f64 / blocks as f64
+    };
+    PartitionStats {
+        blocks,
+        min_size: min,
+        max_size: max,
+        avg_size: avg,
+        factor_flops: sizes.iter().map(|&n| 2.0 / 3.0 * (n as f64).powi(3)).sum(),
+        solve_flops: sizes.iter().map(|&n| 2.0 * (n as f64).powi(2)).sum(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::circuit::circuit;
+    use crate::gen::laplace::laplace_2d;
+
+    #[test]
+    fn stats_of_laplacian() {
+        let a = laplace_2d::<f64>(10, 10);
+        let s = matrix_stats(&a);
+        assert_eq!(s.n, 100);
+        assert_eq!(s.nnz, a.nnz());
+        assert_eq!(s.max_row_nnz, 5);
+        assert_eq!(s.min_row_nnz, 3);
+        assert!(s.imbalance < 1.3);
+        assert_eq!(s.diag_coverage, 1.0);
+        assert_eq!(s.bandwidth, 10);
+    }
+
+    #[test]
+    fn circuit_has_high_imbalance() {
+        let a = circuit::<f64>(1500, 2, 3);
+        let s = matrix_stats(&a);
+        assert!(
+            s.imbalance > 5.0,
+            "circuit should be skewed: {}",
+            s.imbalance
+        );
+        assert!(s.row_nnz_stddev > 1.0);
+    }
+
+    #[test]
+    fn histogram_counts_all_rows() {
+        let a = circuit::<f64>(800, 2, 5);
+        let h = row_length_histogram(&a);
+        let total: usize = h.iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, 800);
+        // buckets are sorted and unique
+        for w in h.windows(2) {
+            assert!(w[0].0 < w[1].0);
+        }
+    }
+
+    #[test]
+    fn partition_stats_flops() {
+        let part = BlockPartition::from_ptr(vec![0, 4, 6]);
+        let s = partition_stats(&part);
+        assert_eq!(s.blocks, 2);
+        assert_eq!(s.min_size, 2);
+        assert_eq!(s.max_size, 4);
+        assert!((s.avg_size - 3.0).abs() < 1e-12);
+        assert!((s.factor_flops - (2.0 / 3.0) * (64.0 + 8.0)).abs() < 1e-9);
+        assert!((s.solve_flops - 2.0 * (16.0 + 4.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_matrix_stats() {
+        let a = CsrMatrix::<f64>::from_raw(0, 0, vec![0], vec![], vec![]);
+        let s = matrix_stats(&a);
+        assert_eq!(s.n, 0);
+        assert_eq!(s.imbalance, 0.0);
+        assert_eq!(s.diag_coverage, 1.0);
+    }
+}

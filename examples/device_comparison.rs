@@ -1,0 +1,60 @@
+//! Run the kernel cost model on two simulated devices — the paper's
+//! Tesla P100 and an older Maxwell-class part — to show how the
+//! crossovers and winners shift with machine balance.
+//!
+//! ```sh
+//! cargo run --release --example device_comparison
+//! ```
+
+use vbatch_lu::prelude::*;
+
+fn sweep(device: &DeviceModel) {
+    println!(
+        "\n== {} (peak {:.0} SP / {:.0} DP GFLOPS) ==",
+        device.name,
+        device.peak_sp_gflops(),
+        device.peak_dp_gflops()
+    );
+    let batch = 40_000usize;
+    println!(
+        "{:>5} {:>14} {:>14} {:>14} | {:>14} {:>14}",
+        "size", "LU fact (DP)", "GH fact (DP)", "vendor (DP)", "LU solve", "GH solve"
+    );
+    let mut crossover = None;
+    for n in [4usize, 8, 12, 16, 20, 24, 28, 32] {
+        let sizes = vec![n; batch];
+        let lu = estimate_factor::<f64>(device, FactorKernel::SmallSizeLu, &sizes)
+            .unwrap()
+            .gflops();
+        let gh = estimate_factor::<f64>(device, FactorKernel::GaussHuard, &sizes)
+            .unwrap()
+            .gflops();
+        let vendor = estimate_factor::<f64>(device, FactorKernel::VendorLu, &sizes)
+            .unwrap()
+            .gflops();
+        let lus = estimate_solve::<f64>(device, SolveKernel::SmallSizeLu, &sizes)
+            .unwrap()
+            .gflops();
+        let ghs = estimate_solve::<f64>(device, SolveKernel::GaussHuard, &sizes)
+            .unwrap()
+            .gflops();
+        if crossover.is_none() && lu >= gh {
+            crossover = Some(n);
+        }
+        println!(
+            "{n:>5} {lu:>14.1} {gh:>14.1} {vendor:>14.1} | {lus:>14.1} {ghs:>14.1}"
+        );
+    }
+    println!("LU-vs-GH factorization crossover: {crossover:?}");
+}
+
+fn main() {
+    println!("Device comparison: identical kernels, different machine balance");
+    sweep(&DeviceModel::p100());
+    sweep(&DeviceModel::gtx980());
+    println!(
+        "\nThe shapes (LU winning at large sizes, GH at small, vendor flat)\n\
+         persist across devices; only the absolute levels and the exact\n\
+         crossover move — the paper's conclusions are not P100-specific."
+    );
+}

@@ -1,0 +1,77 @@
+//! Drive the SIMT cost model directly: estimate the performance of the
+//! four batched factorization kernels and the four triangular solves on
+//! the simulated Tesla P100, across block sizes — a miniature of
+//! Figures 5 and 7.
+//!
+//! ```sh
+//! cargo run --release --example gpu_cost_model
+//! ```
+
+use vbatch_lu::prelude::*;
+
+fn main() {
+    let device = DeviceModel::p100();
+    println!("device: {}", device.name);
+    println!(
+        "peak: {:.0} SP GFLOPS / {:.0} DP GFLOPS\n",
+        device.peak_sp_gflops(),
+        device.peak_dp_gflops()
+    );
+
+    let batch = 40_000usize;
+    println!("== batched factorization, DP, batch = {batch} ==");
+    println!(
+        "{:>5} {:>14} {:>14} {:>14} {:>14}",
+        "size", "Small-Size LU", "Gauss-Huard", "Gauss-Huard-T", "cuBLAS LU"
+    );
+    for n in [4usize, 8, 12, 16, 20, 24, 28, 32] {
+        let sizes = vec![n; batch];
+        let mut row = format!("{n:>5}");
+        for k in FactorKernel::ALL {
+            let g = estimate_factor::<f64>(&device, k, &sizes)
+                .map(|r| r.gflops())
+                .unwrap_or(f64::NAN);
+            row.push_str(&format!(" {g:>14.1}"));
+        }
+        println!("{row}");
+    }
+
+    println!("\n== batched triangular solves, DP, batch = {batch} ==");
+    println!(
+        "{:>5} {:>14} {:>14} {:>14} {:>14}",
+        "size", "Small-Size LU", "Gauss-Huard", "Gauss-Huard-T", "cuBLAS LU"
+    );
+    for n in [4usize, 8, 12, 16, 20, 24, 28, 32] {
+        let sizes = vec![n; batch];
+        let mut row = format!("{n:>5}");
+        for k in SolveKernel::ALL {
+            let g = estimate_solve::<f64>(&device, k, &sizes)
+                .map(|r| r.gflops())
+                .unwrap_or(f64::NAN);
+            row.push_str(&format!(" {g:>14.1}"));
+        }
+        println!("{row}");
+    }
+
+    // a variable-size batch — the case the vendor kernel cannot handle
+    let var_sizes: Vec<usize> = (0..batch).map(|i| 4 + (i % 29)).collect();
+    println!("\n== variable-size batch (4..32), DP ==");
+    for k in [
+        FactorKernel::SmallSizeLu,
+        FactorKernel::GaussHuard,
+        FactorKernel::GaussHuardT,
+    ] {
+        let r = estimate_factor::<f64>(&device, k, &var_sizes).unwrap();
+        println!(
+            "  {:<14} {:>8.1} GFLOPS  ({:.2} ms, bound: {:?})",
+            k.label(),
+            r.gflops(),
+            r.time.seconds * 1e3,
+            r.time.bound()
+        );
+    }
+    match estimate_factor::<f64>(&device, FactorKernel::VendorLu, &var_sizes) {
+        Err(e) => println!("  cuBLAS LU      unsupported: {e}"),
+        Ok(_) => unreachable!("vendor interface must reject variable sizes"),
+    }
+}

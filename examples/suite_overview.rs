@@ -1,0 +1,37 @@
+//! Print an overview of the synthetic Table-I suite: per-problem
+//! statistics, supervariable structure and the extraction-relevant
+//! imbalance metrics.
+//!
+//! ```sh
+//! cargo run --release --example suite_overview
+//! ```
+
+use vbatch_lu::prelude::*;
+use vbatch_sparse::{block_coverage, find_supervariables, matrix_stats, partition_stats};
+
+fn main() {
+    println!(
+        "{:>3} {:<18} {:>7} {:>9} {:>7} {:>9} {:>7} {:>7} {:>9}",
+        "ID", "matrix", "n", "nnz", "max/avg", "sv count", "blocks", "max bs", "coverage"
+    );
+    for p in table1_suite() {
+        let a = p.build();
+        let s = matrix_stats(&a);
+        let sv = find_supervariables(&a);
+        let part = supervariable_blocking(&a, 32);
+        let ps = partition_stats(&part);
+        let cov = block_coverage(&a, &part);
+        println!(
+            "{:>3} {:<18} {:>7} {:>9} {:>7.1} {:>9} {:>7} {:>7} {:>8.1}%",
+            p.id,
+            p.name,
+            s.n,
+            s.nnz,
+            s.imbalance,
+            sv.len(),
+            ps.blocks,
+            ps.max_size,
+            cov * 100.0
+        );
+    }
+}
