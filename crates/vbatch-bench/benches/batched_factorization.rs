@@ -1,14 +1,16 @@
-//! Criterion micro-benchmarks of the native batched factorization
-//! kernels (the CPU layer the figures' SIMT estimates sit on): LU with
+//! Micro-benchmarks of the native batched factorization kernels (the
+//! CPU layer the figures' SIMT estimates sit on): LU with
 //! implicit/explicit/no pivoting, Gauss-Huard (both layouts), GJE
-//! inversion and Cholesky, across block sizes.
+//! inversion and Cholesky, across block sizes. Kernel selection for the
+//! planner-driven entries goes through `vbatch-exec`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
+use std::sync::Arc;
 use vbatch_core::{
-    batched_getrf, batched_gh, batched_gje_invert, make_spd, potrf, DenseMat, Exec, GhLayout,
-    MatrixBatch, PivotStrategy,
+    batched_gh, batched_gje_invert, make_spd, potrf, DenseMat, Exec, GhLayout, MatrixBatch,
 };
+use vbatch_exec::{backend_for_exec, Backend, BatchPlan, ExecStats, PlanMethod};
+use vbatch_rt::bench::{bench, group};
 
 fn batch(n: usize, count: usize) -> MatrixBatch<f64> {
     let mats: Vec<DenseMat<f64>> = (0..count)
@@ -22,31 +24,25 @@ fn batch(n: usize, count: usize) -> MatrixBatch<f64> {
     MatrixBatch::from_matrices(&mats)
 }
 
-fn bench_getrf(c: &mut Criterion) {
-    let mut g = c.benchmark_group("batched_getrf");
+fn bench_getrf() {
+    group("batched_getrf (planner-selected LU family)");
+    let backend: Arc<dyn Backend<f64>> = backend_for_exec(Exec::Sequential);
     let count = 1_000;
     for n in [8usize, 16, 32] {
         let b = batch(n, count);
-        g.throughput(Throughput::Elements((count * n * n * n) as u64));
-        for (label, strat) in [
-            ("implicit", PivotStrategy::Implicit),
-            ("explicit", PivotStrategy::Explicit),
-            ("nopivot", PivotStrategy::None),
-        ] {
-            g.bench_with_input(BenchmarkId::new(label, n), &b, |bench, b| {
-                bench.iter(|| {
-                    let f =
-                        batched_getrf(black_box(b.clone()), strat, Exec::Sequential).unwrap();
-                    black_box(f.perms.len())
-                })
+        for method in [PlanMethod::Auto, PlanMethod::SmallLu] {
+            let plan = BatchPlan::for_method::<f64>(b.sizes(), method);
+            bench(&format!("getrf/{method:?}/{n}"), || {
+                let mut stats = ExecStats::new();
+                let f = backend.factorize(black_box(b.clone()), &plan, &mut stats);
+                black_box(f.len())
             });
         }
     }
-    g.finish();
 }
 
-fn bench_gh(c: &mut Criterion) {
-    let mut g = c.benchmark_group("batched_gauss_huard");
+fn bench_gh() {
+    group("batched_gauss_huard");
     let count = 1_000;
     for n in [8usize, 16, 32] {
         let b = batch(n, count);
@@ -54,27 +50,22 @@ fn bench_gh(c: &mut Criterion) {
             ("normal", GhLayout::Normal),
             ("transposed", GhLayout::Transposed),
         ] {
-            g.bench_with_input(BenchmarkId::new(label, n), &b, |bench, b| {
-                bench.iter(|| {
-                    let f = batched_gh(black_box(b), layout, Exec::Sequential).unwrap();
-                    black_box(f.len())
-                })
+            bench(&format!("gh/{label}/{n}"), || {
+                let f = batched_gh(black_box(&b), layout, Exec::Sequential).unwrap();
+                black_box(f.len())
             });
         }
     }
-    g.finish();
 }
 
-fn bench_inversion_and_cholesky(c: &mut Criterion) {
-    let mut g = c.benchmark_group("batched_inversion");
+fn bench_inversion_and_cholesky() {
+    group("batched_inversion");
     let count = 500;
     for n in [16usize, 32] {
         let b = batch(n, count);
-        g.bench_with_input(BenchmarkId::new("gje_invert", n), &b, |bench, b| {
-            bench.iter(|| {
-                let inv = batched_gje_invert(black_box(b), Exec::Sequential).unwrap();
-                black_box(inv.len())
-            })
+        bench(&format!("gje_invert/{n}"), || {
+            let inv = batched_gje_invert(black_box(&b), Exec::Sequential).unwrap();
+            black_box(inv.len())
         });
         // SPD variants for Cholesky
         let spd: Vec<DenseMat<f64>> = (0..count)
@@ -85,48 +76,33 @@ fn bench_inversion_and_cholesky(c: &mut Criterion) {
                 make_spd(&seed)
             })
             .collect();
-        g.bench_with_input(BenchmarkId::new("cholesky", n), &spd, |bench, spd| {
-            bench.iter(|| {
-                let mut ok = 0usize;
-                for m in spd.iter() {
-                    ok += potrf(black_box(m)).is_ok() as usize;
-                }
-                black_box(ok)
-            })
+        bench(&format!("cholesky/{n}"), || {
+            let mut ok = 0usize;
+            for m in spd.iter() {
+                ok += potrf(black_box(m)).is_ok() as usize;
+            }
+            black_box(ok)
         });
     }
-    g.finish();
 }
 
-fn bench_parallel_scaling(c: &mut Criterion) {
-    let mut g = c.benchmark_group("getrf_parallel_scaling");
-    g.sample_size(10);
+fn bench_parallel_scaling() {
+    group("getrf_parallel_scaling (4000x32)");
     let b = batch(32, 4_000);
-    for (label, exec) in [("sequential", Exec::Sequential), ("rayon", Exec::Parallel)] {
-        g.bench_with_input(BenchmarkId::new(label, "4000x32"), &b, |bench, b| {
-            bench.iter(|| {
-                let f = batched_getrf(black_box(b.clone()), PivotStrategy::Implicit, exec)
-                    .unwrap();
-                black_box(f.perms.len())
-            })
+    let plan = BatchPlan::auto::<f64>(b.sizes());
+    for exec in [Exec::Sequential, Exec::Parallel] {
+        let backend: Arc<dyn Backend<f64>> = backend_for_exec(exec);
+        bench(&format!("getrf/{}", backend.name()), || {
+            let mut stats = ExecStats::new();
+            let f = backend.factorize(black_box(b.clone()), &plan, &mut stats);
+            black_box(f.len())
         });
     }
-    g.finish();
 }
 
-
-/// Short, CI-friendly measurement configuration.
-fn config() -> Criterion {
-    Criterion::default()
-        .sample_size(10)
-        .warm_up_time(std::time::Duration::from_millis(300))
-        .measurement_time(std::time::Duration::from_millis(900))
+fn main() {
+    bench_getrf();
+    bench_gh();
+    bench_inversion_and_cholesky();
+    bench_parallel_scaling();
 }
-
-criterion_group!(name = benches; config = config(); targets =
-    bench_getrf,
-    bench_gh,
-    bench_inversion_and_cholesky,
-    bench_parallel_scaling
-);
-criterion_main!(benches);

@@ -1,13 +1,12 @@
-//! Criterion micro-benchmarks of the batched triangular solves: lazy vs
-//! eager variants (Fig. 2 of the paper) and LU-based vs Gauss-Huard
-//! solves.
+//! Micro-benchmarks of the batched triangular solves: lazy vs eager
+//! variants (Fig. 2 of the paper) and LU-based vs Gauss-Huard solves.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use vbatch_core::{
     batched_getrf, batched_gh, DenseMat, Exec, GhLayout, MatrixBatch, PivotStrategy, TrsvVariant,
     VectorBatch,
 };
+use vbatch_rt::bench::{bench, group};
 
 fn batch(n: usize, count: usize) -> MatrixBatch<f64> {
     let mats: Vec<DenseMat<f64>> = (0..count)
@@ -30,28 +29,25 @@ fn rhs_like(b: &MatrixBatch<f64>) -> VectorBatch<f64> {
     v
 }
 
-fn bench_lu_trsv_variants(c: &mut Criterion) {
-    let mut g = c.benchmark_group("batched_trsv_lu");
+fn bench_lu_trsv_variants() {
+    group("batched_trsv_lu");
     let count = 2_000;
     for n in [8usize, 16, 32] {
         let b = batch(n, count);
         let rhs = rhs_like(&b);
         let f = batched_getrf(b, PivotStrategy::Implicit, Exec::Sequential).unwrap();
         for (label, variant) in [("lazy", TrsvVariant::Lazy), ("eager", TrsvVariant::Eager)] {
-            g.bench_with_input(BenchmarkId::new(label, n), &f, |bench, f| {
-                bench.iter(|| {
-                    let mut x = rhs.clone();
-                    f.solve(&mut x, variant, Exec::Sequential);
-                    black_box(x.as_slice()[0])
-                })
+            bench(&format!("lu_trsv/{label}/{n}"), || {
+                let mut x = rhs.clone();
+                f.solve(&mut x, variant, Exec::Sequential);
+                black_box(x.as_slice()[0])
             });
         }
     }
-    g.finish();
 }
 
-fn bench_gh_solve(c: &mut Criterion) {
-    let mut g = c.benchmark_group("batched_solve_gh");
+fn bench_gh_solve() {
+    group("batched_solve_gh");
     let count = 2_000;
     for n in [16usize, 32] {
         let b = batch(n, count);
@@ -61,26 +57,16 @@ fn bench_gh_solve(c: &mut Criterion) {
             ("transposed", GhLayout::Transposed),
         ] {
             let f = batched_gh(&b, layout, Exec::Sequential).unwrap();
-            g.bench_with_input(BenchmarkId::new(label, n), &f, |bench, f| {
-                bench.iter(|| {
-                    let mut x = rhs.clone();
-                    f.solve(&mut x, Exec::Sequential);
-                    black_box(x.as_slice()[0])
-                })
+            bench(&format!("gh_solve/{label}/{n}"), || {
+                let mut x = rhs.clone();
+                f.solve(&mut x, Exec::Sequential);
+                black_box(x.as_slice()[0])
             });
         }
     }
-    g.finish();
 }
 
-
-/// Short, CI-friendly measurement configuration.
-fn config() -> Criterion {
-    Criterion::default()
-        .sample_size(10)
-        .warm_up_time(std::time::Duration::from_millis(300))
-        .measurement_time(std::time::Duration::from_millis(900))
+fn main() {
+    bench_lu_trsv_variants();
+    bench_gh_solve();
 }
-
-criterion_group!(name = benches; config = config(); targets = bench_lu_trsv_variants, bench_gh_solve);
-criterion_main!(benches);

@@ -1,12 +1,12 @@
-//! Criterion benchmarks of the block-Jacobi pipeline: supervariable
-//! blocking, extraction, preconditioner setup per method, and the
-//! per-iteration application cost (the trade-off §II-C discusses:
-//! factorization-based solves versus inversion-based GEMV).
+//! Benchmarks of the block-Jacobi pipeline: supervariable blocking,
+//! extraction, preconditioner setup per method, and the per-iteration
+//! application cost (the trade-off §II-C discusses: factorization-based
+//! solves versus inversion-based GEMV).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use vbatch_core::Exec;
 use vbatch_precond::{BjMethod, BlockJacobi, Preconditioner};
+use vbatch_rt::bench::{bench, group};
 use vbatch_sparse::gen::fem::{fem_block_matrix, MeshGraph};
 use vbatch_sparse::{extract_diag_blocks, supervariable_blocking, CsrMatrix};
 
@@ -15,75 +15,52 @@ fn problem() -> CsrMatrix<f64> {
     fem_block_matrix::<f64>(&mesh, 4, 0.4, 0.1, 13)
 }
 
-fn bench_blocking_and_extraction(c: &mut Criterion) {
-    let a = problem();
-    let mut g = c.benchmark_group("blocking_extraction");
-    g.bench_function("supervariable_blocking(32)", |b| {
-        b.iter(|| black_box(supervariable_blocking(&a, 32)).len())
+const METHODS: [BjMethod; 4] = [
+    BjMethod::SmallLu,
+    BjMethod::GaussHuard,
+    BjMethod::GaussHuardT,
+    BjMethod::GjeInvert,
+];
+
+fn bench_blocking_and_extraction(a: &CsrMatrix<f64>) {
+    group("blocking_extraction");
+    bench("supervariable_blocking(32)", || {
+        black_box(supervariable_blocking(a, 32)).len()
     });
-    let part = supervariable_blocking(&a, 32);
-    g.bench_function("extract_diag_blocks", |b| {
-        b.iter(|| black_box(extract_diag_blocks(&a, &part)).len())
+    let part = supervariable_blocking(a, 32);
+    bench("extract_diag_blocks", || {
+        black_box(extract_diag_blocks(a, &part)).len()
     });
-    g.finish();
 }
 
-fn bench_setup(c: &mut Criterion) {
-    let a = problem();
-    let part = supervariable_blocking(&a, 32);
-    let mut g = c.benchmark_group("bj_setup");
-    g.sample_size(20);
-    for method in [
-        BjMethod::SmallLu,
-        BjMethod::GaussHuard,
-        BjMethod::GaussHuardT,
-        BjMethod::GjeInvert,
-    ] {
-        g.bench_with_input(
-            BenchmarkId::new(method.label(), part.len()),
-            &a,
-            |bench, a| {
-                bench.iter(|| {
-                    let m = BlockJacobi::setup(a, &part, method, Exec::Parallel).unwrap();
-                    black_box(m.partition().len())
-                })
-            },
-        );
-    }
-    g.finish();
-}
-
-fn bench_apply(c: &mut Criterion) {
-    let a = problem();
-    let part = supervariable_blocking(&a, 32);
-    let v: Vec<f64> = (0..a.nrows()).map(|i| (i % 11) as f64 - 5.0).collect();
-    let mut g = c.benchmark_group("bj_apply");
-    for method in [
-        BjMethod::SmallLu,
-        BjMethod::GaussHuard,
-        BjMethod::GaussHuardT,
-        BjMethod::GjeInvert,
-    ] {
-        let m = BlockJacobi::setup(&a, &part, method, Exec::Parallel).unwrap();
-        g.bench_with_input(BenchmarkId::new(method.label(), a.nrows()), &m, |bench, m| {
-            bench.iter(|| {
-                let mut x = v.clone();
-                m.apply_inplace(&mut x);
-                black_box(x[0])
-            })
+fn bench_setup(a: &CsrMatrix<f64>) {
+    group("bj_setup");
+    let part = supervariable_blocking(a, 32);
+    for method in METHODS {
+        bench(&format!("setup/{}/{}", method.label(), part.len()), || {
+            let m = BlockJacobi::setup(a, &part, method, Exec::Parallel).unwrap();
+            black_box(m.partition().len())
         });
     }
-    g.finish();
 }
 
-
-/// Short, CI-friendly measurement configuration.
-fn config() -> Criterion {
-    Criterion::default()
-        .sample_size(10)
-        .warm_up_time(std::time::Duration::from_millis(300))
-        .measurement_time(std::time::Duration::from_millis(900))
+fn bench_apply(a: &CsrMatrix<f64>) {
+    group("bj_apply");
+    let part = supervariable_blocking(a, 32);
+    let v: Vec<f64> = (0..a.nrows()).map(|i| (i % 11) as f64 - 5.0).collect();
+    for method in METHODS {
+        let m = BlockJacobi::setup(a, &part, method, Exec::Parallel).unwrap();
+        bench(&format!("apply/{}/{}", method.label(), a.nrows()), || {
+            let mut x = v.clone();
+            m.apply_inplace(&mut x);
+            black_box(x[0])
+        });
+    }
 }
 
-criterion_group!(name = benches; config = config(); targets = bench_blocking_and_extraction, bench_setup, bench_apply);
-criterion_main!(benches);
+fn main() {
+    let a = problem();
+    bench_blocking_and_extraction(&a);
+    bench_setup(&a);
+    bench_apply(&a);
+}

@@ -1,70 +1,54 @@
-//! Criterion benchmarks of the sparse substrate: SpMV (sequential vs
-//! Rayon), RCM reordering, and one full preconditioned IDR(4) solve.
+//! Benchmarks of the sparse substrate: SpMV (sequential vs parallel),
+//! RCM reordering, and one full preconditioned IDR(4) solve.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use vbatch_core::Exec;
 use vbatch_precond::{BjMethod, BlockJacobi};
+use vbatch_rt::bench::{bench, group};
 use vbatch_solver::{idr, SolveParams};
 use vbatch_sparse::gen::fem::{fem_block_matrix, MeshGraph};
 use vbatch_sparse::gen::laplace::laplace_2d;
 use vbatch_sparse::{reverse_cuthill_mckee, spmv, spmv_par, supervariable_blocking};
 
-fn bench_spmv(c: &mut Criterion) {
-    let mut g = c.benchmark_group("spmv");
+fn bench_spmv() {
+    group("spmv");
     for grid in [64usize, 128] {
         let a = laplace_2d::<f64>(grid, grid);
         let x: Vec<f64> = (0..a.nrows()).map(|i| (i % 5) as f64).collect();
         let mut y = vec![0.0; a.nrows()];
-        g.bench_with_input(BenchmarkId::new("sequential", a.nrows()), &a, |b, a| {
-            b.iter(|| {
-                spmv(a, &x, &mut y);
-                black_box(y[0])
-            })
+        bench(&format!("sequential/{}", a.nrows()), || {
+            spmv(&a, &x, &mut y);
+            black_box(y[0])
         });
-        g.bench_with_input(BenchmarkId::new("rayon", a.nrows()), &a, |b, a| {
-            b.iter(|| {
-                spmv_par(a, &x, &mut y);
-                black_box(y[0])
-            })
+        bench(&format!("parallel/{}", a.nrows()), || {
+            spmv_par(&a, &x, &mut y);
+            black_box(y[0])
         });
     }
-    g.finish();
 }
 
-fn bench_rcm(c: &mut Criterion) {
+fn bench_rcm() {
+    group("rcm");
     let a = laplace_2d::<f64>(60, 60);
-    c.bench_function("rcm_3600", |b| {
-        b.iter(|| black_box(reverse_cuthill_mckee(&a)).len())
-    });
+    bench("rcm_3600", || black_box(reverse_cuthill_mckee(&a)).len());
 }
 
-fn bench_full_solve(c: &mut Criterion) {
+fn bench_full_solve() {
+    group("idr4_block_jacobi");
     let mesh = MeshGraph::grid2d(16, 16);
     let a = fem_block_matrix::<f64>(&mesh, 4, 0.4, 0.1, 5);
     let part = supervariable_blocking(&a, 32);
     let rhs = vec![1.0; a.nrows()];
-    let mut g = c.benchmark_group("idr4_block_jacobi");
-    g.sample_size(10);
-    g.bench_function("setup_plus_solve", |b| {
-        b.iter(|| {
-            let m = BlockJacobi::setup(&a, &part, BjMethod::SmallLu, Exec::Parallel).unwrap();
-            let r = idr(&a, &rhs, 4, &m, &SolveParams::default());
-            assert!(r.converged());
-            black_box(r.iterations)
-        })
+    bench("setup_plus_solve", || {
+        let m = BlockJacobi::setup(&a, &part, BjMethod::SmallLu, Exec::Parallel).unwrap();
+        let r = idr(&a, &rhs, 4, &m, &SolveParams::default());
+        assert!(r.converged());
+        black_box(r.iterations)
     });
-    g.finish();
 }
 
-
-/// Short, CI-friendly measurement configuration.
-fn config() -> Criterion {
-    Criterion::default()
-        .sample_size(10)
-        .warm_up_time(std::time::Duration::from_millis(300))
-        .measurement_time(std::time::Duration::from_millis(900))
+fn main() {
+    bench_spmv();
+    bench_rcm();
+    bench_full_solve();
 }
-
-criterion_group!(name = benches; config = config(); targets = bench_spmv, bench_rcm, bench_full_solve);
-criterion_main!(benches);

@@ -71,7 +71,14 @@ fn main() {
     );
     let path = write_csv(
         "ablation_apply",
-        &["size", "trsv_apply_s", "gemv_apply_s", "lu_setup_s", "inv_setup_s", "break_even_iters"],
+        &[
+            "size",
+            "trsv_apply_s",
+            "gemv_apply_s",
+            "lu_setup_s",
+            "inv_setup_s",
+            "break_even_iters",
+        ],
         &rows,
     );
     println!("CSV written to {}", path.display());

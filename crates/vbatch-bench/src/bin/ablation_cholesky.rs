@@ -46,7 +46,8 @@ fn main() {
         let lu = BlockJacobi::setup(&a, &part, BjMethod::SmallLu, Exec::Parallel).unwrap();
         let lu_setup = t.elapsed().as_secs_f64();
         let t = Instant::now();
-        let Ok(chol) = BlockJacobi::setup(&a, &part, BjMethod::Cholesky, Exec::Parallel) else {
+        let Ok(chol) = BlockJacobi::setup_strict(&a, &part, BjMethod::Cholesky, Exec::Parallel)
+        else {
             println!("{:<18} blocks not SPD, skipped", p.name);
             continue;
         };
@@ -85,7 +86,15 @@ fn main() {
     }
     let path = write_csv(
         "ablation_cholesky",
-        &["matrix", "n", "lu_setup_s", "chol_setup_s", "cg_lu_iters", "cg_chol_iters", "idr_chol_iters"],
+        &[
+            "matrix",
+            "n",
+            "lu_setup_s",
+            "chol_setup_s",
+            "cg_lu_iters",
+            "cg_chol_iters",
+            "idr_chol_iters",
+        ],
         &rows,
     );
     println!("\nCSV written to {}", path.display());

@@ -20,7 +20,12 @@ fn run_case(name: &str, a: &CsrMatrix<f64>, rows: &mut Vec<Vec<String>>) {
 
     let device = DeviceModel::p100();
     let table = CostTable::for_element_bytes(8);
-    println!("\n-- {name}: n = {}, nnz = {}, {} blocks --", a.nrows(), a.nnz(), part.len());
+    println!(
+        "\n-- {name}: n = {}, nnz = {}, {} blocks --",
+        a.nrows(),
+        a.nnz(),
+        part.len()
+    );
     println!(
         "{:>14} {:>12} {:>12} {:>12} {:>12}",
         "strategy", "instrs", "ld sectors", "st sectors", "est time"
@@ -77,7 +82,14 @@ fn main() {
 
     let path = write_csv(
         "ablation_extract",
-        &["pattern", "strategy", "instructions", "ld_sectors", "st_sectors", "est_seconds"],
+        &[
+            "pattern",
+            "strategy",
+            "instructions",
+            "ld_sectors",
+            "st_sectors",
+            "est_seconds",
+        ],
         &rows,
     );
     println!("\nCSV written to {}", path.display());

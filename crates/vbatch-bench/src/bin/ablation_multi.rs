@@ -7,9 +7,7 @@
 use vbatch_bench::write_csv;
 use vbatch_core::Scalar;
 use vbatch_simt::kernels::multi::{problems_per_warp, warp_cost as multi_warp_cost};
-use vbatch_simt::{
-    estimate_factor, CostTable, DeviceModel, FactorKernel,
-};
+use vbatch_simt::{estimate_factor, CostTable, DeviceModel, FactorKernel};
 
 fn gflops_packed<T: Scalar>(device: &DeviceModel, n: usize, batch: usize) -> f64 {
     let k = problems_per_warp(n);
@@ -71,7 +69,14 @@ fn main() {
         }
         let path = write_csv(
             &format!("ablation_multi_{precision}"),
-            &["precision", "size", "per_warp", "plain_lu", "packed_lu", "gauss_huard"],
+            &[
+                "precision",
+                "size",
+                "per_warp",
+                "plain_lu",
+                "packed_lu",
+                "gauss_huard",
+            ],
             &rows,
         );
         println!("CSV written to {}", path.display());

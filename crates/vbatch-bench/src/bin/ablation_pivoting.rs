@@ -61,7 +61,11 @@ fn main() {
         })
         .collect();
     let base = MatrixBatch::from_matrices(&mats);
-    for strat in [PivotStrategy::Implicit, PivotStrategy::Explicit, PivotStrategy::None] {
+    for strat in [
+        PivotStrategy::Implicit,
+        PivotStrategy::Explicit,
+        PivotStrategy::None,
+    ] {
         let b = base.clone();
         let t = Instant::now();
         let f = batched_getrf(b, strat, Exec::Parallel).unwrap();
@@ -69,7 +73,13 @@ fn main() {
     }
     let path = write_csv(
         "ablation_pivoting",
-        &["size", "shfl_implicit", "shfl_explicit", "gflops_implicit", "gflops_explicit"],
+        &[
+            "size",
+            "shfl_implicit",
+            "shfl_explicit",
+            "gflops_implicit",
+            "gflops_explicit",
+        ],
         &rows,
     );
     println!("\nCSV written to {}", path.display());

@@ -6,19 +6,21 @@
 //! size 16 the GH family leads (the padded eager LU wastes flops) and
 //! the vendor baseline trails slightly; at block size 32 the small-size
 //! LU wins by a wide margin (~3.5x over the vendor kernel).
+//!
+//! On top of the paper's fixed-kernel curves, each row reports what the
+//! `vbatch-exec` planner would pick for the batch (the `planner` GFLOPS
+//! column) and the kernel-choice histogram behind that number.
 
 use vbatch_bench::{write_csv, BATCH_SWEEP};
 use vbatch_core::Scalar;
+use vbatch_exec::{estimate_planned_factor, BatchPlan};
 use vbatch_simt::{estimate_factor, DeviceModel, FactorKernel};
 
 fn sweep<T: Scalar>(device: &DeviceModel, block: usize) -> Vec<Vec<String>> {
+    println!("\n-- {} precision, block size {block} --", T::PRECISION);
     println!(
-        "\n-- {} precision, block size {block} --",
-        T::PRECISION
-    );
-    println!(
-        "{:>8} {:>15} {:>15} {:>15} {:>15}",
-        "batch", "Small-Size LU", "Gauss-Huard", "Gauss-Huard-T", "cuBLAS LU"
+        "{:>8} {:>15} {:>15} {:>15} {:>15} {:>15}",
+        "batch", "Small-Size LU", "Gauss-Huard", "Gauss-Huard-T", "cuBLAS LU", "planner"
     );
     let mut rows = Vec::new();
     for &batch in BATCH_SWEEP.iter() {
@@ -36,6 +38,12 @@ fn sweep<T: Scalar>(device: &DeviceModel, block: usize) -> Vec<Vec<String>> {
             line.push_str(&format!(" {g:>15.1}"));
             row.push(format!("{g:.2}"));
         }
+        let plan = BatchPlan::auto::<T>(&sizes);
+        let planned = estimate_planned_factor::<T>(device, &plan, &sizes);
+        let g = planned.report.gflops();
+        line.push_str(&format!(" {g:>15.1}"));
+        row.push(format!("{g:.2}"));
+        row.push(planned.histogram.clone());
         println!("{line}");
         rows.push(row);
     }
@@ -63,6 +71,8 @@ fn main() {
             "gauss_huard",
             "gauss_huard_t",
             "cublas_lu",
+            "planner",
+            "plan_kernels",
         ],
         &rows,
     );

@@ -7,9 +7,15 @@
 //! slightly at the top end (its extra transposed off-load); the vendor
 //! baseline stays low and flat with local peaks at its specialized
 //! sizes.
+//!
+//! Each row also reports the `vbatch-exec` planner's pick for the batch
+//! (the `planner` GFLOPS column plus its kernel-choice histogram): the
+//! planner curve should hug the upper envelope of the fixed-kernel
+//! curves, switching families at the crossover orders.
 
 use vbatch_bench::{size_sweep, write_csv};
 use vbatch_core::Scalar;
+use vbatch_exec::{estimate_planned_factor, BatchPlan};
 use vbatch_simt::{estimate_factor, DeviceModel, FactorKernel};
 
 const BATCH: usize = 40_000;
@@ -17,8 +23,8 @@ const BATCH: usize = 40_000;
 fn sweep<T: Scalar>(device: &DeviceModel) -> (Vec<Vec<String>>, Option<usize>) {
     println!("\n-- {} precision, batch = {BATCH} --", T::PRECISION);
     println!(
-        "{:>5} {:>15} {:>15} {:>15} {:>15}",
-        "size", "Small-Size LU", "Gauss-Huard", "Gauss-Huard-T", "cuBLAS LU"
+        "{:>5} {:>15} {:>15} {:>15} {:>15} {:>15}  plan",
+        "size", "Small-Size LU", "Gauss-Huard", "Gauss-Huard-T", "cuBLAS LU", "planner"
     );
     let mut rows = Vec::new();
     let mut crossover = None;
@@ -44,6 +50,12 @@ fn sweep<T: Scalar>(device: &DeviceModel) -> (Vec<Vec<String>>, Option<usize>) {
         if crossover.is_none() && n >= 4 && g_lu >= g_gh {
             crossover = Some(n);
         }
+        let plan = BatchPlan::auto::<T>(&sizes);
+        let planned = estimate_planned_factor::<T>(device, &plan, &sizes);
+        let g = planned.report.gflops();
+        line.push_str(&format!(" {g:>15.1}  {}", planned.histogram));
+        row.push(format!("{g:.2}"));
+        row.push(planned.histogram.clone());
         println!("{line}");
         rows.push(row);
     }
@@ -70,6 +82,8 @@ fn main() {
             "gauss_huard",
             "gauss_huard_t",
             "cublas_lu",
+            "planner",
+            "plan_kernels",
         ],
         &rows,
     );

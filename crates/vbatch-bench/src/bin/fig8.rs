@@ -87,9 +87,7 @@ fn main() {
                 println!("  {:>12}: {}", bucket_label(i), "#".repeat(count));
             }
         }
-        println!(
-            "  LU better: {lu_better}   identical: {same}   GH better: {gh_better}"
-        );
+        println!("  LU better: {lu_better}   identical: {same}   GH better: {gh_better}");
     }
     let path = write_csv(
         "fig8",

@@ -21,14 +21,22 @@ fn main() {
         suite
     };
     println!("Figure 9: total time (setup+solve), IDR(4) + block-Jacobi(32)");
-    println!("{} problems{}", problems.len(), if quick { " (quick)" } else { "" });
+    println!(
+        "{} problems{}",
+        problems.len(),
+        if quick { " (quick)" } else { "" }
+    );
 
     struct Entry {
         id: usize,
         name: &'static str,
         times: [Option<f64>; 3],
     }
-    let methods = [BjMethod::SmallLu, BjMethod::GaussHuard, BjMethod::GaussHuardT];
+    let methods = [
+        BjMethod::SmallLu,
+        BjMethod::GaussHuard,
+        BjMethod::GaussHuardT,
+    ];
     let mut entries = Vec::new();
     for p in &problems {
         let a = p.build();

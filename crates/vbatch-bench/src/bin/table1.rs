@@ -26,7 +26,10 @@ fn main() {
         problems.len(),
         if quick { " (quick)" } else { "" }
     );
-    print!("{:<18} {:>7} {:>9} {:>3} | {:>6} {:>8}", "Matrix", "n", "nnz", "ID", "Jac it", "time[s]");
+    print!(
+        "{:<18} {:>7} {:>9} {:>3} | {:>6} {:>8}",
+        "Matrix", "n", "nnz", "ID", "Jac it", "time[s]"
+    );
     for b in BLOCK_BOUNDS {
         print!(" | {:>6} {:>8}", format!("BJ({b})"), "time[s]");
     }

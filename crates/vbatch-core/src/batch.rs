@@ -174,7 +174,9 @@ impl<T: Scalar> MatrixBatch<T> {
 
     /// Immutable per-block slices.
     pub fn blocks(&self) -> Vec<(usize, &[T])> {
-        (0..self.len()).map(|i| (self.sizes[i], self.block(i))).collect()
+        (0..self.len())
+            .map(|i| (self.sizes[i], self.block(i)))
+            .collect()
     }
 
     /// Total useful flops of an LU factorization of the whole batch,
@@ -386,9 +388,8 @@ mod tests {
 
     #[test]
     fn uniform_from_fn_builds_expected_blocks() {
-        let b = MatrixBatch::<f64>::uniform_from_fn(3, 2, |blk, i, j| {
-            (blk * 100 + i * 10 + j) as f64
-        });
+        let b =
+            MatrixBatch::<f64>::uniform_from_fn(3, 2, |blk, i, j| (blk * 100 + i * 10 + j) as f64);
         assert_eq!(b.block_as_mat(2)[(1, 0)], 210.0);
         assert_eq!(b.block_as_mat(0)[(0, 1)], 1.0);
     }

@@ -6,7 +6,7 @@
 //! blocks — the embarrassingly-parallel structure is identical, only the
 //! meaning of "processing element" changes.
 
-use rayon::prelude::*;
+use vbatch_rt::prelude::*;
 
 use crate::batch::{MatrixBatch, VectorBatch};
 use crate::error::FactorResult;
@@ -301,7 +301,8 @@ mod tests {
     #[test]
     fn sequential_and_parallel_identical() {
         let (batch, rhs, _) = test_batch(33);
-        let f_seq = batched_getrf(batch.clone(), PivotStrategy::Implicit, Exec::Sequential).unwrap();
+        let f_seq =
+            batched_getrf(batch.clone(), PivotStrategy::Implicit, Exec::Sequential).unwrap();
         let f_par = batched_getrf(batch, PivotStrategy::Implicit, Exec::Parallel).unwrap();
         assert_eq!(f_seq.factors.as_slice(), f_par.factors.as_slice());
         let mut xs = rhs.clone();

@@ -120,12 +120,18 @@ mod tests {
     #[test]
     fn multipliers_bounded_by_one() {
         // partial pivoting guarantees |L(i,j)| <= 1
-        let a = DenseMat::from_fn(16, 16, |i, j| ((i * 7 + j * 3) % 11) as f64 - 5.0 + if i == j { 0.5 } else { 0.0 });
+        let a = DenseMat::from_fn(16, 16, |i, j| {
+            ((i * 7 + j * 3) % 11) as f64 - 5.0 + if i == j { 0.5 } else { 0.0 }
+        });
         let mut lu = a.clone();
         let _ = getrf_explicit_inplace(16, lu.as_mut_slice()).unwrap();
         for j in 0..16 {
             for i in j + 1..16 {
-                assert!(lu[(i, j)].abs() <= 1.0 + 1e-15, "L({i},{j}) = {}", lu[(i, j)]);
+                assert!(
+                    lu[(i, j)].abs() <= 1.0 + 1e-15,
+                    "L({i},{j}) = {}",
+                    lu[(i, j)]
+                );
             }
         }
     }

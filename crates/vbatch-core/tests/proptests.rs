@@ -1,67 +1,71 @@
 //! Property-based tests for the dense kernel layer: factorization
 //! identities, solver agreement across algorithms, permutation algebra
-//! and batch container invariants, over randomly generated inputs.
+//! and batch container invariants, over randomly generated inputs
+//! (seeded, reproducible cases via `vbatch_rt::run_cases`).
 
-use proptest::prelude::*;
 use vbatch_core::{
     batched_getrf, getrf, gh_factorize, gje_invert, lu_solve_inplace, make_spd, potrf,
-    trsv_lower_unit, trsv_upper, DenseMat, Exec, GhLayout, MatrixBatch, Permutation,
-    PivotStrategy, Scalar, TrsvVariant, VectorBatch,
+    trsv_lower_unit, trsv_upper, DenseMat, Exec, GhLayout, MatrixBatch, Permutation, PivotStrategy,
+    Scalar, TrsvVariant, VectorBatch,
 };
+use vbatch_rt::{run_cases, SmallRng};
 
 /// A well-conditioned random square matrix: random entries in [-1, 1]
 /// with a diagonal shift keeping it invertible.
-fn well_conditioned(n: usize) -> impl Strategy<Value = DenseMat<f64>> {
-    prop::collection::vec(-1.0f64..1.0, n * n).prop_map(move |data| {
-        let mut m = DenseMat::from_col_major(n, n, &data);
-        for i in 0..n {
-            let d = m[(i, i)];
-            m[(i, i)] = d + if d >= 0.0 { n as f64 } else { -(n as f64) };
-        }
-        m
-    })
+fn well_conditioned(n: usize, rng: &mut SmallRng) -> DenseMat<f64> {
+    let data: Vec<f64> = (0..n * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let mut m = DenseMat::from_col_major(n, n, &data);
+    for i in 0..n {
+        let d = m[(i, i)];
+        m[(i, i)] = d + if d >= 0.0 { n as f64 } else { -(n as f64) };
+    }
+    m
 }
 
 /// An arbitrary small dimension.
-fn dim() -> impl Strategy<Value = usize> {
-    1usize..=24
+fn dim(rng: &mut SmallRng) -> usize {
+    rng.gen_range(1usize..25)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn lu_reconstructs_pa((n, seed) in dim().prop_flat_map(|n| (Just(n), any::<u64>()))) {
-        // deterministic matrix from the seed (cheaper than a vec strategy
-        // at every size)
+#[test]
+fn lu_reconstructs_pa() {
+    run_cases("lu_reconstructs_pa", 64, |rng, _case| {
+        let n = dim(rng);
+        let seed = rng.next_u64();
         let a = DenseMat::from_fn(n, n, |i, j| {
             let h = (i.wrapping_mul(2654435761) ^ j.wrapping_mul(40503) ^ seed as usize) % 1024;
             h as f64 / 512.0 - 1.0 + if i == j { 3.0 } else { 0.0 }
         });
         for strat in [PivotStrategy::Explicit, PivotStrategy::Implicit] {
             let f = getrf(&a, strat).unwrap();
-            prop_assert!(f.residual(&a).to_f64() < 1e-10 * (n as f64 + 1.0));
+            assert!(f.residual(&a).to_f64() < 1e-10 * (n as f64 + 1.0));
         }
-    }
+    });
+}
 
-    #[test]
-    fn implicit_and_explicit_agree(a in dim().prop_flat_map(well_conditioned)) {
+#[test]
+fn implicit_and_explicit_agree() {
+    run_cases("implicit_and_explicit_agree", 64, |rng, _case| {
+        let n = dim(rng);
+        let a = well_conditioned(n, rng);
         let fi = getrf(&a, PivotStrategy::Implicit).unwrap();
         let fe = getrf(&a, PivotStrategy::Explicit).unwrap();
         // ties in pivot selection can reorder, so compare behaviour:
         // both must solve the same system to the same answer
-        let n = a.rows();
         let b: Vec<f64> = (0..n).map(|i| (i as f64) * 0.5 - 1.0).collect();
         let xi = fi.solve(&b);
         let xe = fe.solve(&b);
         for (p, q) in xi.iter().zip(&xe) {
-            prop_assert!((p - q).abs() < 1e-8, "{p} vs {q}");
+            assert!((p - q).abs() < 1e-8, "{p} vs {q}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn gh_solves_like_lu(a in dim().prop_flat_map(well_conditioned)) {
-        let n = a.rows();
+#[test]
+fn gh_solves_like_lu() {
+    run_cases("gh_solves_like_lu", 64, |rng, _case| {
+        let n = dim(rng);
+        let a = well_conditioned(n, rng);
         let b: Vec<f64> = (0..n).map(|i| 1.0 - (i % 3) as f64).collect();
         let lu = getrf(&a, PivotStrategy::Implicit).unwrap();
         let x_lu = lu.solve(&b);
@@ -69,52 +73,76 @@ proptest! {
             let gh = gh_factorize(&a, layout).unwrap();
             let x_gh = gh.solve(&b);
             for (p, q) in x_lu.iter().zip(&x_gh) {
-                prop_assert!((p - q).abs() < 1e-8);
+                assert!((p - q).abs() < 1e-8);
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn gje_inverse_is_two_sided(a in dim().prop_flat_map(well_conditioned)) {
-        let n = a.rows();
+#[test]
+fn gje_inverse_is_two_sided() {
+    run_cases("gje_inverse_is_two_sided", 64, |rng, _case| {
+        let n = dim(rng);
+        let a = well_conditioned(n, rng);
         let inv = gje_invert(&a).unwrap();
         let id = DenseMat::identity(n);
-        prop_assert!(a.matmul(&inv).sub(&id).norm_max() < 1e-9);
-        prop_assert!(inv.matmul(&a).sub(&id).norm_max() < 1e-9);
-    }
+        assert!(a.matmul(&inv).sub(&id).norm_max() < 1e-9);
+        assert!(inv.matmul(&a).sub(&id).norm_max() < 1e-9);
+    });
+}
 
-    #[test]
-    fn cholesky_solves_spd(a in (1usize..=16).prop_flat_map(well_conditioned)) {
+#[test]
+fn cholesky_solves_spd() {
+    run_cases("cholesky_solves_spd", 64, |rng, _case| {
+        let n = rng.gen_range(1usize..17);
+        let a = well_conditioned(n, rng);
         let spd = make_spd(&a);
-        let n = spd.rows();
         let x_true: Vec<f64> = (0..n).map(|i| (i as f64 - 2.0) / 3.0).collect();
         let b = spd.matvec(&x_true);
         let f = potrf(&spd).unwrap();
         let x = f.solve(&b);
         for (p, q) in x.iter().zip(&x_true) {
-            prop_assert!((p - q).abs() < 1e-7);
+            assert!((p - q).abs() < 1e-7);
         }
-        prop_assert!(f.residual(&spd).to_f64() < 1e-8 * (n as f64 + 1.0));
-    }
+        assert!(f.residual(&spd).to_f64() < 1e-8 * (n as f64 + 1.0));
+    });
+}
 
-    #[test]
-    fn trsv_variants_agree(a in dim().prop_flat_map(well_conditioned)) {
-        let n = a.rows();
+#[test]
+fn trsv_variants_agree() {
+    run_cases("trsv_variants_agree", 64, |rng, _case| {
+        let n = dim(rng);
+        let a = well_conditioned(n, rng);
         let f = getrf(&a, PivotStrategy::Implicit).unwrap();
         let b: Vec<f64> = (0..n).map(|i| (i * i % 7) as f64 - 3.0).collect();
         let mut lazy = b.clone();
-        let mut eager = b.clone();
-        lu_solve_inplace(TrsvVariant::Lazy, n, f.lu.as_slice(), f.perm.as_slice(), &mut lazy);
-        lu_solve_inplace(TrsvVariant::Eager, n, f.lu.as_slice(), f.perm.as_slice(), &mut eager);
+        let mut eager = b;
+        lu_solve_inplace(
+            TrsvVariant::Lazy,
+            n,
+            f.lu.as_slice(),
+            f.perm.as_slice(),
+            &mut lazy,
+        );
+        lu_solve_inplace(
+            TrsvVariant::Eager,
+            n,
+            f.lu.as_slice(),
+            f.perm.as_slice(),
+            &mut eager,
+        );
         for (p, q) in lazy.iter().zip(&eager) {
-            prop_assert!((p - q).abs() < 1e-8);
+            assert!((p - q).abs() < 1e-8);
         }
-    }
+    });
+}
 
-    #[test]
-    fn lower_then_upper_inverts_matvec(a in dim().prop_flat_map(well_conditioned)) {
+#[test]
+fn lower_then_upper_inverts_matvec() {
+    run_cases("lower_then_upper_inverts_matvec", 64, |rng, _case| {
         // y = L (U x) then the two sweeps must return x
-        let n = a.rows();
+        let n = dim(rng);
+        let a = well_conditioned(n, rng);
         let f = getrf(&a, PivotStrategy::Implicit).unwrap();
         let x: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
         let ux = f.lu.upper().matvec(&x);
@@ -122,35 +150,47 @@ proptest! {
         trsv_lower_unit(TrsvVariant::Eager, n, f.lu.as_slice(), &mut y);
         trsv_upper(TrsvVariant::Eager, n, f.lu.as_slice(), &mut y);
         for (p, q) in y.iter().zip(&x) {
-            prop_assert!((p - q).abs() < 1e-7);
+            assert!((p - q).abs() < 1e-7);
         }
-    }
+    });
+}
 
-    #[test]
-    fn permutation_roundtrip(perm in prop::collection::vec(0usize..100, 1..40)) {
+#[test]
+fn permutation_roundtrip() {
+    run_cases("permutation_roundtrip", 64, |rng, _case| {
         // build a permutation by sorting indices of random keys
-        let n = perm.len();
+        let n = rng.gen_range(1usize..40);
+        let keys: Vec<usize> = (0..n).map(|_| rng.gen_range(0usize..100)).collect();
         let mut idx: Vec<usize> = (0..n).collect();
-        idx.sort_by_key(|&i| (perm[i], i));
+        idx.sort_by_key(|&i| (keys[i], i));
         let p = Permutation::from_row_of_step(idx);
         let v: Vec<i64> = (0..n as i64).collect();
         let w = p.apply(&v);
         let back = p.apply_inverse(&w);
-        prop_assert_eq!(back, v);
+        assert_eq!(back, v);
         let inv = p.inverse();
         let double_inv = inv.inverse();
-        prop_assert_eq!(double_inv.as_slice(), p.as_slice());
-        prop_assert_eq!(p.is_odd(), inv.is_odd());
-    }
+        assert_eq!(double_inv.as_slice(), p.as_slice());
+        assert_eq!(p.is_odd(), inv.is_odd());
+    });
+}
 
-    #[test]
-    fn batched_solve_matches_per_block(sizes in prop::collection::vec(1usize..=12, 1..12), seed in any::<u64>()) {
-        let mats: Vec<DenseMat<f64>> = sizes.iter().enumerate().map(|(s, &n)| {
-            DenseMat::from_fn(n, n, |i, j| {
-                let h = (i * 97 + j * 31 + s * 7 + seed as usize) % 256;
-                h as f64 / 128.0 - 1.0 + if i == j { 4.0 } else { 0.0 }
+#[test]
+fn batched_solve_matches_per_block() {
+    run_cases("batched_solve_matches_per_block", 48, |rng, _case| {
+        let count = rng.gen_range(1usize..12);
+        let sizes: Vec<usize> = (0..count).map(|_| rng.gen_range(1usize..13)).collect();
+        let seed = rng.next_u64();
+        let mats: Vec<DenseMat<f64>> = sizes
+            .iter()
+            .enumerate()
+            .map(|(s, &n)| {
+                DenseMat::from_fn(n, n, |i, j| {
+                    let h = (i * 97 + j * 31 + s * 7 + seed as usize) % 256;
+                    h as f64 / 128.0 - 1.0 + if i == j { 4.0 } else { 0.0 }
+                })
             })
-        }).collect();
+            .collect();
         let batch = MatrixBatch::from_matrices(&mats);
         let mut rhs = VectorBatch::zeros(&sizes);
         for (i, m) in mats.iter().enumerate() {
@@ -165,39 +205,57 @@ proptest! {
         for (i, m) in mats.iter().enumerate() {
             let xi = vbatch_core::solve_system(m, rhs.seg(i)).unwrap();
             for (p, q) in x.seg(i).iter().zip(&xi) {
-                prop_assert!((p - q).abs() < 1e-9);
+                assert!((p - q).abs() < 1e-9);
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn batch_container_roundtrip(sizes in prop::collection::vec(1usize..=10, 0..16)) {
+#[test]
+fn batch_container_roundtrip() {
+    run_cases("batch_container_roundtrip", 64, |rng, _case| {
+        let count = rng.gen_range(0usize..16);
+        let sizes: Vec<usize> = (0..count).map(|_| rng.gen_range(1usize..11)).collect();
         let batch = MatrixBatch::<f64>::zeros(&sizes);
-        prop_assert_eq!(batch.len(), sizes.len());
+        assert_eq!(batch.len(), sizes.len());
         let total: usize = sizes.iter().map(|&n| n * n).sum();
-        prop_assert_eq!(batch.total_elements(), total);
+        assert_eq!(batch.total_elements(), total);
         for (i, &n) in sizes.iter().enumerate() {
-            prop_assert_eq!(batch.size(i), n);
-            prop_assert_eq!(batch.block(i).len(), n * n);
+            assert_eq!(batch.size(i), n);
+            assert_eq!(batch.block(i).len(), n * n);
         }
         // offsets are a prefix sum
         for i in 0..sizes.len() {
-            prop_assert_eq!(batch.offsets()[i + 1] - batch.offsets()[i], sizes[i] * sizes[i]);
+            assert_eq!(
+                batch.offsets()[i + 1] - batch.offsets()[i],
+                sizes[i] * sizes[i]
+            );
         }
-    }
+    });
+}
 
-    #[test]
-    fn determinant_multiplies_for_diagonal_scaling(a in (2usize..=10).prop_flat_map(well_conditioned), alpha in 0.5f64..2.0) {
-        let n = a.rows();
-        let f = getrf(&a, PivotStrategy::Implicit).unwrap();
-        // scale the first row by alpha => det scales by alpha
-        let mut b = a.clone();
-        for j in 0..n {
-            let v = b[(0, j)];
-            b[(0, j)] = v * alpha;
-        }
-        let fb = getrf(&b, PivotStrategy::Implicit).unwrap();
-        let ratio = fb.det() / f.det();
-        prop_assert!((ratio - alpha).abs() < 1e-6 * alpha.max(1.0), "ratio {ratio} vs {alpha}");
-    }
+#[test]
+fn determinant_multiplies_for_diagonal_scaling() {
+    run_cases(
+        "determinant_multiplies_for_diagonal_scaling",
+        64,
+        |rng, _case| {
+            let n = rng.gen_range(2usize..11);
+            let a = well_conditioned(n, rng);
+            let alpha = rng.gen_range(0.5f64..2.0);
+            let f = getrf(&a, PivotStrategy::Implicit).unwrap();
+            // scale the first row by alpha => det scales by alpha
+            let mut b = a.clone();
+            for j in 0..n {
+                let v = b[(0, j)];
+                b[(0, j)] = v * alpha;
+            }
+            let fb = getrf(&b, PivotStrategy::Implicit).unwrap();
+            let ratio = fb.det() / f.det();
+            assert!(
+                (ratio - alpha).abs() < 1e-6 * alpha.max(1.0),
+                "ratio {ratio} vs {alpha}"
+            );
+        },
+    );
 }

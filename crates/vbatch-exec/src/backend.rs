@@ -1,0 +1,68 @@
+//! The [`Backend`] trait: one interface over batch extraction,
+//! factorization, solve, inversion and GEMV application.
+
+use crate::factors::{BlockStatus, FactorizedBatch};
+use crate::plan::BatchPlan;
+use crate::stats::ExecStats;
+use std::sync::Arc;
+use vbatch_core::{Exec, MatrixBatch, Scalar, VectorBatch};
+use vbatch_sparse::{BlockPartition, CsrMatrix};
+
+/// An executor for variable-size batched work. Implementations:
+/// [`crate::CpuSequential`], [`crate::CpuRayon`] and
+/// [`crate::SimtSim`]. All methods take an [`ExecStats`] sink; every
+/// backend fills in the kernel histogram, flops, failures and phase
+/// timings the same way, so consumers can compare runs across backends.
+pub trait Backend<T: Scalar>: Send + Sync {
+    /// Short display name ("cpu-seq", "cpu-par", "simt-sim").
+    fn name(&self) -> &'static str;
+
+    /// Extract the diagonal blocks described by `part` from `a`.
+    fn extract_blocks(
+        &self,
+        a: &CsrMatrix<T>,
+        part: &BlockPartition,
+        stats: &mut ExecStats,
+    ) -> MatrixBatch<T>;
+
+    /// Factorize every block of `blocks` with the kernels selected by
+    /// `plan`. Never fails as a whole: singular blocks degrade to the
+    /// scalar-Jacobi fallback and are reported per block in the result's
+    /// [`BlockStatus`] vector (and counted in `stats.failures`).
+    fn factorize(
+        &self,
+        blocks: MatrixBatch<T>,
+        plan: &BatchPlan,
+        stats: &mut ExecStats,
+    ) -> FactorizedBatch<T>;
+
+    /// Solve every block system in place: `rhs[i] := A_i^{-1} rhs[i]`.
+    fn solve(&self, factors: &FactorizedBatch<T>, rhs: &mut VectorBatch<T>, stats: &mut ExecStats);
+
+    /// Explicitly invert every block, with the same per-block fallback
+    /// semantics as [`Backend::factorize`] (a failed block's "inverse"
+    /// is the scalar-Jacobi diagonal matrix).
+    fn invert(
+        &self,
+        blocks: &MatrixBatch<T>,
+        stats: &mut ExecStats,
+    ) -> (MatrixBatch<T>, Vec<BlockStatus>);
+
+    /// Batched GEMV: `y[i] := blocks[i] * x[i]`.
+    fn apply_gemv(
+        &self,
+        blocks: &MatrixBatch<T>,
+        x: &VectorBatch<T>,
+        y: &mut VectorBatch<T>,
+        stats: &mut ExecStats,
+    );
+}
+
+/// Map the legacy [`vbatch_core::Exec`] toggle to a backend, for
+/// callers migrating from the old sequential/parallel API.
+pub fn backend_for_exec<T: Scalar>(exec: Exec) -> Arc<dyn Backend<T>> {
+    match exec {
+        Exec::Sequential => Arc::new(crate::cpu::CpuSequential),
+        Exec::Parallel => Arc::new(crate::cpu::CpuRayon),
+    }
+}

@@ -1,0 +1,400 @@
+//! Host backends: sequential reference and the scoped-thread parallel
+//! driver (`CpuRayon`, named for the rayon-style parallel surface it
+//! uses from `vbatch-rt`). Both wrap the native kernels of
+//! `vbatch-core`; they differ only in how blocks are distributed.
+
+use crate::backend::Backend;
+use crate::factors::{
+    block_diag, scalar_jacobi_from_diag, BlockFactor, BlockStatus, FactorizedBatch,
+};
+use crate::plan::{BatchPlan, KernelChoice};
+use crate::stats::{ExecStats, Phase};
+use std::time::Instant;
+use vbatch_core::lu::implicit::getrf_implicit_inplace;
+use vbatch_core::{
+    batched_gemv, gh_factorize, gje_invert, potrf, DenseMat, Exec, FactorError, GhLayout,
+    MatrixBatch, Scalar, VectorBatch,
+};
+use vbatch_rt::par::par_map_vec;
+use vbatch_rt::prelude::*;
+use vbatch_sparse::{extract_diag_blocks, BlockPartition, CsrMatrix};
+
+/// One block after another; deterministic reference execution.
+pub struct CpuSequential;
+
+/// Blocks distributed over the scoped-thread pool of `vbatch-rt`.
+pub struct CpuRayon;
+
+/// Factorize one block with the planned kernel, degrading to scalar
+/// Jacobi on failure.
+pub(crate) fn factor_block<T: Scalar>(
+    n: usize,
+    mut data: Vec<T>,
+    kernel: KernelChoice,
+) -> (BlockFactor<T>, BlockStatus) {
+    let diag = block_diag(n, &data);
+    let fallback = |kernel: KernelChoice, error: FactorError, diag: &[T]| {
+        (
+            scalar_jacobi_from_diag(diag),
+            BlockStatus::FallbackScalarJacobi { kernel, error },
+        )
+    };
+    match kernel {
+        KernelChoice::PackedLu | KernelChoice::SmallLu | KernelChoice::BlockedLu => {
+            match getrf_implicit_inplace(n, &mut data) {
+                Ok(perm) => (
+                    BlockFactor::Lu { n, lu: data, perm },
+                    BlockStatus::Factorized(kernel),
+                ),
+                Err(e) => fallback(kernel, e, &diag),
+            }
+        }
+        KernelChoice::GaussHuard | KernelChoice::GaussHuardT => {
+            let layout = if kernel == KernelChoice::GaussHuardT {
+                GhLayout::Transposed
+            } else {
+                GhLayout::Normal
+            };
+            let mat = DenseMat::from_col_major(n, n, &data);
+            match gh_factorize(&mat, layout) {
+                Ok(f) => (BlockFactor::Gh(f), BlockStatus::Factorized(kernel)),
+                Err(e) => fallback(kernel, e, &diag),
+            }
+        }
+        KernelChoice::GjeInvert => {
+            let mat = DenseMat::from_col_major(n, n, &data);
+            match gje_invert(&mat) {
+                Ok(inv) => (
+                    BlockFactor::Inv {
+                        n,
+                        inv: inv.as_slice().to_vec(),
+                    },
+                    BlockStatus::Factorized(kernel),
+                ),
+                Err(e) => fallback(kernel, e, &diag),
+            }
+        }
+        KernelChoice::Cholesky => {
+            let mat = DenseMat::from_col_major(n, n, &data);
+            match potrf(&mat) {
+                Ok(f) => (BlockFactor::Chol(f), BlockStatus::Factorized(kernel)),
+                Err(e) => fallback(kernel, e, &diag),
+            }
+        }
+    }
+}
+
+pub(crate) fn record_statuses(status: &[BlockStatus], stats: &mut ExecStats) {
+    for s in status {
+        match s {
+            BlockStatus::Factorized(k) => stats.record_kernel(*k, 1),
+            BlockStatus::FallbackScalarJacobi { .. } => stats.record_failure(),
+        }
+    }
+}
+
+fn factorize_cpu<T: Scalar>(
+    blocks: MatrixBatch<T>,
+    plan: &BatchPlan,
+    parallel: bool,
+    stats: &mut ExecStats,
+) -> FactorizedBatch<T> {
+    assert_eq!(plan.len(), blocks.len(), "plan does not match batch");
+    let t0 = Instant::now();
+    stats.add_flops(blocks.getrf_flops());
+    let sizes = blocks.sizes().to_vec();
+    let items: Vec<(usize, Vec<T>)> = (0..blocks.len())
+        .map(|i| (sizes[i], blocks.block(i).to_vec()))
+        .collect();
+    let work =
+        move |(i, (n, data)): (usize, (usize, Vec<T>))| factor_block(n, data, plan.kernel_for(i));
+    let indexed: Vec<(usize, (usize, Vec<T>))> = items.into_iter().enumerate().collect();
+    let results: Vec<(BlockFactor<T>, BlockStatus)> = if parallel {
+        par_map_vec(indexed, work)
+    } else {
+        indexed.into_iter().map(work).collect()
+    };
+    let (factors, status): (Vec<_>, Vec<_>) = results.into_iter().unzip();
+    record_statuses(&status, stats);
+    stats.add_phase(Phase::Factorize, t0.elapsed());
+    FactorizedBatch {
+        sizes,
+        factors,
+        status,
+    }
+}
+
+fn solve_cpu<T: Scalar>(
+    factors: &FactorizedBatch<T>,
+    rhs: &mut VectorBatch<T>,
+    parallel: bool,
+    stats: &mut ExecStats,
+) {
+    assert_eq!(factors.sizes, rhs.sizes(), "factors do not match rhs");
+    let t0 = Instant::now();
+    if parallel {
+        rhs.segs_mut()
+            .into_par_iter()
+            .enumerate()
+            .for_each(|(i, seg)| factors.solve_block_inplace(i, seg));
+    } else {
+        factors.solve_all_inplace(rhs);
+    }
+    stats.add_flops(factors.sizes.iter().map(|&n| 2.0 * (n * n) as f64).sum());
+    stats.add_phase(Phase::Solve, t0.elapsed());
+}
+
+pub(crate) fn invert_cpu<T: Scalar>(
+    blocks: &MatrixBatch<T>,
+    parallel: bool,
+    stats: &mut ExecStats,
+) -> (MatrixBatch<T>, Vec<BlockStatus>) {
+    let t0 = Instant::now();
+    let sizes = blocks.sizes().to_vec();
+    let items: Vec<(usize, Vec<T>)> = (0..blocks.len())
+        .map(|i| (sizes[i], blocks.block(i).to_vec()))
+        .collect();
+    let work = |(n, data): (usize, Vec<T>)| -> (Vec<T>, BlockStatus) {
+        let diag = block_diag(n, &data);
+        let mat = DenseMat::from_col_major(n, n, &data);
+        match gje_invert(&mat) {
+            Ok(inv) => (
+                inv.as_slice().to_vec(),
+                BlockStatus::Factorized(KernelChoice::GjeInvert),
+            ),
+            Err(error) => {
+                // diagonal fallback "inverse"
+                let mut d = vec![T::ZERO; n * n];
+                if let BlockFactor::ScalarJacobi { inv_diag } = scalar_jacobi_from_diag(&diag) {
+                    for (i, &v) in inv_diag.iter().enumerate() {
+                        d[i * n + i] = v;
+                    }
+                }
+                (
+                    d,
+                    BlockStatus::FallbackScalarJacobi {
+                        kernel: KernelChoice::GjeInvert,
+                        error,
+                    },
+                )
+            }
+        }
+    };
+    let results: Vec<(Vec<T>, BlockStatus)> = if parallel {
+        par_map_vec(items, work)
+    } else {
+        items.into_iter().map(work).collect()
+    };
+    let mut out = MatrixBatch::zeros(&sizes);
+    let mut status = Vec::with_capacity(results.len());
+    for (i, (data, st)) in results.into_iter().enumerate() {
+        out.block_mut(i).copy_from_slice(&data);
+        status.push(st);
+    }
+    record_statuses(&status, stats);
+    stats.add_flops(sizes.iter().map(|&n| 2.0 * (n * n * n) as f64).sum());
+    stats.add_phase(Phase::Invert, t0.elapsed());
+    (out, status)
+}
+
+fn gemv_cpu<T: Scalar>(
+    blocks: &MatrixBatch<T>,
+    x: &VectorBatch<T>,
+    y: &mut VectorBatch<T>,
+    exec: Exec,
+    stats: &mut ExecStats,
+) {
+    let t0 = Instant::now();
+    batched_gemv(blocks, x, y, exec);
+    stats.add_flops(blocks.sizes().iter().map(|&n| 2.0 * (n * n) as f64).sum());
+    stats.add_phase(Phase::Gemv, t0.elapsed());
+}
+
+fn extract_cpu<T: Scalar>(
+    a: &CsrMatrix<T>,
+    part: &BlockPartition,
+    stats: &mut ExecStats,
+) -> MatrixBatch<T> {
+    let t0 = Instant::now();
+    let batch = extract_diag_blocks(a, part);
+    stats.add_phase(Phase::Extract, t0.elapsed());
+    batch
+}
+
+macro_rules! impl_cpu_backend {
+    ($ty:ty, $name:literal, $parallel:literal, $exec:expr) => {
+        impl<T: Scalar> Backend<T> for $ty {
+            fn name(&self) -> &'static str {
+                $name
+            }
+
+            fn extract_blocks(
+                &self,
+                a: &CsrMatrix<T>,
+                part: &BlockPartition,
+                stats: &mut ExecStats,
+            ) -> MatrixBatch<T> {
+                extract_cpu(a, part, stats)
+            }
+
+            fn factorize(
+                &self,
+                blocks: MatrixBatch<T>,
+                plan: &BatchPlan,
+                stats: &mut ExecStats,
+            ) -> FactorizedBatch<T> {
+                factorize_cpu(blocks, plan, $parallel, stats)
+            }
+
+            fn solve(
+                &self,
+                factors: &FactorizedBatch<T>,
+                rhs: &mut VectorBatch<T>,
+                stats: &mut ExecStats,
+            ) {
+                solve_cpu(factors, rhs, $parallel, stats)
+            }
+
+            fn invert(
+                &self,
+                blocks: &MatrixBatch<T>,
+                stats: &mut ExecStats,
+            ) -> (MatrixBatch<T>, Vec<BlockStatus>) {
+                invert_cpu(blocks, $parallel, stats)
+            }
+
+            fn apply_gemv(
+                &self,
+                blocks: &MatrixBatch<T>,
+                x: &VectorBatch<T>,
+                y: &mut VectorBatch<T>,
+                stats: &mut ExecStats,
+            ) {
+                gemv_cpu(blocks, x, y, $exec, stats)
+            }
+        }
+    };
+}
+
+impl_cpu_backend!(CpuSequential, "cpu-seq", false, Exec::Sequential);
+impl_cpu_backend!(CpuRayon, "cpu-par", true, Exec::Parallel);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::PlanMethod;
+    use vbatch_rt::SmallRng;
+
+    fn random_batch(sizes: &[usize], seed: u64) -> MatrixBatch<f64> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut batch = MatrixBatch::zeros(sizes);
+        for i in 0..batch.len() {
+            let n = sizes[i];
+            let block = batch.block_mut(i);
+            for c in 0..n {
+                for r in 0..n {
+                    let v = rng.gen_range(-1.0..1.0);
+                    block[c * n + r] = if r == c { v + n as f64 } else { v };
+                }
+            }
+        }
+        batch
+    }
+
+    #[test]
+    fn factorize_solve_roundtrip() {
+        let sizes = [3usize, 7, 12, 1, 24];
+        let batch = random_batch(&sizes, 42);
+        let plan = BatchPlan::auto::<f64>(&sizes);
+        let mut stats = ExecStats::new();
+        let fact = CpuSequential.factorize(batch.clone(), &plan, &mut stats);
+        assert_eq!(fact.fallback_count(), 0);
+
+        // rhs = A * ones → solution ≈ ones
+        let ones = VectorBatch::from_flat(&sizes, &vec![1.0; sizes.iter().sum()]);
+        let mut rhs = VectorBatch::zeros(&sizes);
+        CpuSequential.apply_gemv(&batch, &ones, &mut rhs, &mut stats);
+        CpuSequential.solve(&fact, &mut rhs, &mut stats);
+        for v in rhs.as_slice() {
+            assert!((v - 1.0).abs() < 1e-9, "got {v}");
+        }
+        assert!(stats.flops > 0.0);
+        assert!(!stats.histogram_compact().is_empty());
+    }
+
+    #[test]
+    fn sequential_and_parallel_agree_exactly() {
+        let sizes = [5usize, 5, 18, 30, 2, 9];
+        let batch = random_batch(&sizes, 7);
+        for method in [
+            PlanMethod::Auto,
+            PlanMethod::SmallLu,
+            PlanMethod::GaussHuard,
+            PlanMethod::GaussHuardT,
+            PlanMethod::GjeInvert,
+        ] {
+            let plan = BatchPlan::for_method::<f64>(&sizes, method);
+            let mut s1 = ExecStats::new();
+            let mut s2 = ExecStats::new();
+            let f1 = CpuSequential.factorize(batch.clone(), &plan, &mut s1);
+            let f2 = CpuRayon.factorize(batch.clone(), &plan, &mut s2);
+            let total: usize = sizes.iter().sum();
+            let flat: Vec<f64> = (0..total).map(|i| (i % 13) as f64 - 6.0).collect();
+            let mut r1 = VectorBatch::from_flat(&sizes, &flat);
+            let mut r2 = VectorBatch::from_flat(&sizes, &flat);
+            CpuSequential.solve(&f1, &mut r1, &mut s1);
+            CpuRayon.solve(&f2, &mut r2, &mut s2);
+            // same kernels on the same data: bitwise identical
+            assert_eq!(r1.as_slice(), r2.as_slice(), "{method:?}");
+        }
+    }
+
+    #[test]
+    fn singular_block_degrades_not_aborts() {
+        let sizes = [4usize, 3, 5];
+        let mut batch = random_batch(&sizes, 11);
+        // make the middle block exactly singular (two equal rows)
+        {
+            let n = 3;
+            let block = batch.block_mut(1);
+            for c in 0..n {
+                block[c * n + 1] = block[c * n];
+            }
+        }
+        let plan = BatchPlan::auto::<f64>(&sizes);
+        let mut stats = ExecStats::new();
+        let fact = CpuSequential.factorize(batch, &plan, &mut stats);
+        assert_eq!(fact.fallback_count(), 1);
+        assert_eq!(stats.failures, 1);
+        assert!(fact.status[1].is_fallback());
+        assert!(!fact.status[0].is_fallback());
+        assert!(!fact.status[2].is_fallback());
+        // solving still works and leaves finite values everywhere
+        let total: usize = sizes.iter().sum();
+        let mut rhs = VectorBatch::from_flat(&sizes, &vec![1.0; total]);
+        CpuSequential.solve(&fact, &mut rhs, &mut stats);
+        assert!(rhs.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn invert_matches_solve() {
+        let sizes = [6usize, 11];
+        let batch = random_batch(&sizes, 3);
+        let mut stats = ExecStats::new();
+        let (inv, status) = CpuRayon.invert(&batch, &mut stats);
+        assert!(status.iter().all(|s| !s.is_fallback()));
+        let total: usize = sizes.iter().sum();
+        let flat: Vec<f64> = (0..total).map(|i| 1.0 + i as f64).collect();
+        let x = VectorBatch::from_flat(&sizes, &flat);
+        let mut via_inv = VectorBatch::zeros(&sizes);
+        CpuRayon.apply_gemv(&inv, &x, &mut via_inv, &mut stats);
+
+        let plan = BatchPlan::auto::<f64>(&sizes);
+        let fact = CpuSequential.factorize(batch, &plan, &mut stats);
+        let mut via_solve = VectorBatch::from_flat(&sizes, &flat);
+        CpuSequential.solve(&fact, &mut via_solve, &mut stats);
+        for (a, b) in via_inv.as_slice().iter().zip(via_solve.as_slice()) {
+            assert!((a - b).abs() < 1e-8, "{a} vs {b}");
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Launch-time estimation for *planned* batches: charge the device
+//! model with the per-warp cost of whatever kernel the planner selected
+//! for each size class. This is what the figure bins report when they
+//! let the planner (instead of a fixed kernel) choose.
+
+use crate::plan::{BatchPlan, KernelChoice};
+use vbatch_core::Scalar;
+use vbatch_simt::kernels::multi::problems_per_warp;
+use vbatch_simt::kernels::{gauss_huard, getrf, large, multi};
+use vbatch_simt::{
+    factor_nominal_flops, CostCounter, CostTable, DeviceModel, GhStorage, LaunchReport,
+};
+
+/// Estimate of a planner-driven factorization launch.
+pub struct PlannedEstimate {
+    /// Device-model timing of the planned kernels plus nominal flops.
+    pub report: LaunchReport,
+    /// Compact kernel-choice histogram (`label=count;...`).
+    pub histogram: String,
+    /// Blocks charged to the device model.
+    pub device_blocks: usize,
+    /// Blocks the plan routes to host paths the device model does not
+    /// cover (GJE, Cholesky, orders above the blocked-LU limit).
+    pub host_blocks: usize,
+}
+
+/// Per-warp cost of one block of order `n` under kernel `k`, plus the
+/// number of warps a class of `count` such blocks launches. `None` for
+/// kernels the simulator does not model.
+fn class_cost<T: Scalar>(k: KernelChoice, n: usize, count: usize) -> Option<(CostCounter, u64)> {
+    match k {
+        KernelChoice::SmallLu => Some((getrf::warp_cost::<T>(n), count as u64)),
+        KernelChoice::GaussHuard => Some((
+            gauss_huard::warp_cost::<T>(n, GhStorage::RowMajor),
+            count as u64,
+        )),
+        KernelChoice::GaussHuardT => Some((
+            gauss_huard::warp_cost::<T>(n, GhStorage::Dual),
+            count as u64,
+        )),
+        KernelChoice::PackedLu => {
+            let per_warp = problems_per_warp(n).max(1);
+            Some((multi::warp_cost::<T>(n), count.div_ceil(per_warp) as u64))
+        }
+        KernelChoice::BlockedLu if n <= large::MAX_N => {
+            Some((large::warp_cost::<T>(n), count as u64))
+        }
+        _ => None,
+    }
+}
+
+/// Estimate the factorization launch of `plan` over blocks of `sizes`
+/// on `device`.
+pub fn estimate_planned_factor<T: Scalar>(
+    device: &DeviceModel,
+    plan: &BatchPlan,
+    sizes: &[usize],
+) -> PlannedEstimate {
+    let mut costs = Vec::new();
+    let mut device_blocks = 0usize;
+    let mut host_blocks = 0usize;
+    for class in &plan.classes {
+        match class_cost::<T>(class.kernel, class.n, class.count) {
+            Some(c) => {
+                device_blocks += class.count;
+                costs.push(c);
+            }
+            None => host_blocks += class.count,
+        }
+    }
+    let table = CostTable::for_element_bytes(T::BYTES);
+    PlannedEstimate {
+        report: LaunchReport {
+            time: device.estimate(&costs, &table),
+            nominal_flops: factor_nominal_flops(sizes),
+        },
+        histogram: plan.histogram_compact(),
+        device_blocks,
+        host_blocks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::BatchPlan;
+
+    #[test]
+    fn planned_estimate_covers_all_blocks() {
+        let sizes: Vec<usize> = vec![8; 50].into_iter().chain(vec![24; 30]).collect();
+        let plan = BatchPlan::auto::<f64>(&sizes);
+        let est = estimate_planned_factor::<f64>(&DeviceModel::p100(), &plan, &sizes);
+        assert_eq!(est.device_blocks, 80);
+        assert_eq!(est.host_blocks, 0);
+        assert!(est.report.time.seconds > 0.0);
+        assert!(est.report.gflops() > 0.0);
+        assert!(est.histogram.contains("packed-lu=50"));
+    }
+
+    #[test]
+    fn packed_classes_charge_fewer_warps_than_blocks() {
+        // 32 blocks of order 8 pack 4 per warp: the packed estimate must
+        // beat one-warp-per-block small LU on time
+        let sizes = vec![8usize; 32];
+        let packed = BatchPlan::auto::<f64>(&sizes);
+        let unpacked = BatchPlan::for_method::<f64>(&sizes, crate::plan::PlanMethod::SmallLu);
+        let dev = DeviceModel::p100();
+        let a = estimate_planned_factor::<f64>(&dev, &packed, &sizes);
+        let b = estimate_planned_factor::<f64>(&dev, &unpacked, &sizes);
+        assert!(
+            a.report.time.seconds < b.report.time.seconds,
+            "packed {} >= unpacked {}",
+            a.report.time.seconds,
+            b.report.time.seconds
+        );
+    }
+}

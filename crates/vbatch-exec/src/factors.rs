@@ -1,0 +1,182 @@
+//! Host-side factorized batch: the interchange format between a
+//! backend's `factorize` and `solve` calls, with per-block status.
+
+use crate::plan::KernelChoice;
+use vbatch_core::{
+    lu_solve_inplace, CholeskyFactors, FactorError, GhFactors, Permutation, Scalar, TrsvVariant,
+    VectorBatch,
+};
+
+/// Outcome of factorizing one block.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BlockStatus {
+    /// Factorized successfully with the planned kernel.
+    Factorized(KernelChoice),
+    /// Factorization failed; the block degraded to scalar Jacobi
+    /// (diagonal) so the preconditioner stays usable.
+    FallbackScalarJacobi {
+        /// The kernel that was attempted.
+        kernel: KernelChoice,
+        /// Why it failed.
+        error: FactorError,
+    },
+}
+
+impl BlockStatus {
+    /// `true` when the block fell back to scalar Jacobi.
+    pub fn is_fallback(&self) -> bool {
+        matches!(self, BlockStatus::FallbackScalarJacobi { .. })
+    }
+}
+
+/// One block's factors, in whatever form the planned kernel produces.
+#[derive(Clone, Debug)]
+pub enum BlockFactor<T: Scalar> {
+    /// Combined `L\U` (column-major, pivot order) plus the pivot
+    /// sequence, from any of the LU kernels.
+    Lu {
+        /// Block order.
+        n: usize,
+        /// Combined factors, column-major.
+        lu: Vec<T>,
+        /// Row-of-step pivot sequence.
+        perm: Permutation,
+    },
+    /// Gauss-Huard factors (either storage layout).
+    Gh(GhFactors<T>),
+    /// Explicit inverse (column-major), from GJE inversion.
+    Inv {
+        /// Block order.
+        n: usize,
+        /// Inverse matrix, column-major.
+        inv: Vec<T>,
+    },
+    /// Cholesky factor for SPD blocks.
+    Chol(CholeskyFactors<T>),
+    /// Scalar-Jacobi fallback: the reciprocal diagonal of the original
+    /// block (identity where the diagonal was zero or non-finite).
+    ScalarJacobi {
+        /// Reciprocal diagonal entries.
+        inv_diag: Vec<T>,
+    },
+}
+
+/// Build the scalar-Jacobi fallback factor from a block's original
+/// diagonal.
+pub(crate) fn scalar_jacobi_from_diag<T: Scalar>(diag: &[T]) -> BlockFactor<T> {
+    let inv_diag = diag
+        .iter()
+        .map(|&d| {
+            if d != T::ZERO && d.is_finite() {
+                T::ONE / d
+            } else {
+                T::ONE
+            }
+        })
+        .collect();
+    BlockFactor::ScalarJacobi { inv_diag }
+}
+
+/// Extract the diagonal of a column-major `n × n` block.
+pub(crate) fn block_diag<T: Scalar>(n: usize, data: &[T]) -> Vec<T> {
+    (0..n).map(|i| data[i * n + i]).collect()
+}
+
+/// A factorized variable-size batch with per-block status, produced by
+/// [`crate::Backend::factorize`] and consumed by
+/// [`crate::Backend::solve`].
+#[derive(Clone, Debug)]
+pub struct FactorizedBatch<T: Scalar> {
+    /// Block orders.
+    pub sizes: Vec<usize>,
+    /// Per-block factors.
+    pub factors: Vec<BlockFactor<T>>,
+    /// Per-block factorization status.
+    pub status: Vec<BlockStatus>,
+}
+
+impl<T: Scalar> FactorizedBatch<T> {
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// `true` when the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sizes.is_empty()
+    }
+
+    /// Number of blocks that degraded to the scalar-Jacobi fallback.
+    pub fn fallback_count(&self) -> usize {
+        self.status.iter().filter(|s| s.is_fallback()).count()
+    }
+
+    /// Host reference solve of block `block` against segment `seg`
+    /// (used by the CPU backends and as the simulator's host path).
+    pub fn solve_block_inplace(&self, block: usize, seg: &mut [T]) {
+        let n = self.sizes[block];
+        debug_assert_eq!(seg.len(), n);
+        match &self.factors[block] {
+            BlockFactor::Lu { n, lu, perm } => {
+                lu_solve_inplace(TrsvVariant::Eager, *n, lu, perm.as_slice(), seg);
+            }
+            BlockFactor::Gh(f) => f.solve_inplace(seg),
+            BlockFactor::Inv { n, inv } => {
+                let x: Vec<T> = seg.to_vec();
+                for (i, out) in seg.iter_mut().enumerate() {
+                    let mut acc = T::ZERO;
+                    for (j, &xj) in x.iter().enumerate() {
+                        acc = inv[j * n + i].mul_add(xj, acc);
+                    }
+                    *out = acc;
+                }
+            }
+            BlockFactor::Chol(f) => f.solve_inplace(TrsvVariant::Eager, seg),
+            BlockFactor::ScalarJacobi { inv_diag } => {
+                for (s, &d) in seg.iter_mut().zip(inv_diag) {
+                    *s *= d;
+                }
+            }
+        }
+    }
+
+    /// Host reference solve over a whole vector batch, sequentially.
+    pub fn solve_all_inplace(&self, rhs: &mut VectorBatch<T>) {
+        for (i, seg) in rhs.segs_mut().into_iter().enumerate() {
+            self.solve_block_inplace(i, seg);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_jacobi_guards_bad_diagonal() {
+        let f = scalar_jacobi_from_diag(&[2.0f64, 0.0, f64::NAN, -4.0]);
+        match f {
+            BlockFactor::ScalarJacobi { inv_diag } => {
+                assert_eq!(inv_diag, vec![0.5, 1.0, 1.0, -0.25]);
+            }
+            _ => panic!("wrong factor kind"),
+        }
+    }
+
+    #[test]
+    fn inv_factor_applies_inverse() {
+        // A = [[2, 0], [0, 4]], inv = [[0.5, 0], [0, 0.25]] col-major
+        let fb = FactorizedBatch {
+            sizes: vec![2],
+            factors: vec![BlockFactor::Inv {
+                n: 2,
+                inv: vec![0.5, 0.0, 0.0, 0.25],
+            }],
+            status: vec![BlockStatus::Factorized(KernelChoice::GjeInvert)],
+        };
+        let mut seg = [8.0f64, 8.0];
+        fb.solve_block_inplace(0, &mut seg);
+        assert_eq!(seg, [4.0, 2.0]);
+        assert_eq!(fb.fallback_count(), 0);
+    }
+}

@@ -1,0 +1,39 @@
+//! # vbatch-exec
+//!
+//! The batch *execution layer*: every consumer of the variable-size
+//! batched kernels (block-Jacobi setup/apply, the benchmark figure
+//! bins, the solvers) goes through two abstractions defined here
+//! instead of matching on kernels directly:
+//!
+//! * [`BatchPlan`] — the *planner*. Given the size distribution of a
+//!   batch it picks a kernel per size class following the paper's
+//!   crossovers: Gauss-Huard below ≈16 (SP) / ≈23 (DP), the small-size
+//!   LU up to 32, multi-problem-per-warp packing for n ≤ 16, and the
+//!   two-rows-per-lane blocked LU above 32.
+//! * [`Backend`] — the *executor*. Three implementations share one
+//!   interface over [`vbatch_core::MatrixBatch`]es:
+//!   [`CpuSequential`], [`CpuRayon`] (the scoped-thread parallel
+//!   driver from `vbatch-rt`), and [`SimtSim`] (the warp-lockstep
+//!   functional simulator of `vbatch-simt`).
+//!
+//! Factorization never aborts on the first singular block: each block
+//! carries its own [`BlockStatus`], and singular blocks degrade to a
+//! scalar-Jacobi (diagonal) fallback so the preconditioner stays
+//! usable. [`ExecStats`] threads a kernel-choice histogram, flop
+//! counts, failure counts and per-phase timings through every backend.
+
+pub mod backend;
+pub mod cpu;
+pub mod estimate;
+pub mod factors;
+pub mod plan;
+pub mod simt;
+pub mod stats;
+
+pub use backend::{backend_for_exec, Backend};
+pub use cpu::{CpuRayon, CpuSequential};
+pub use estimate::{estimate_planned_factor, PlannedEstimate};
+pub use factors::{BlockFactor, BlockStatus, FactorizedBatch};
+pub use plan::{gh_crossover_order, BatchPlan, KernelChoice, PlanMethod, PlanParams, SizeClass};
+pub use simt::SimtSim;
+pub use stats::{ExecStats, Phase};

@@ -1,0 +1,281 @@
+//! Kernel planning: map a batch's size distribution to concrete kernel
+//! choices using the paper's crossover points.
+
+use vbatch_core::Scalar;
+
+/// A concrete kernel selected for a size class of a batch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum KernelChoice {
+    /// Multi-problem-per-warp packed LU (`⌊32/n⌋` problems per warp,
+    /// n ≤ 16).
+    PackedLu,
+    /// Register-resident small-size LU with implicit pivoting (n ≤ 32).
+    SmallLu,
+    /// Two-rows-per-lane blocked LU (n > 32; the simulator kernel
+    /// covers up to 64, larger orders run on the host).
+    BlockedLu,
+    /// Gauss-Huard with row-major factor storage.
+    GaussHuard,
+    /// Gauss-Huard-T: dual storage with a coalesced column copy.
+    GaussHuardT,
+    /// Gauss-Jordan explicit inversion (apply becomes a GEMV).
+    GjeInvert,
+    /// Cholesky for SPD blocks.
+    Cholesky,
+}
+
+impl KernelChoice {
+    /// Every choice, in display order.
+    pub const ALL: [KernelChoice; 7] = [
+        KernelChoice::PackedLu,
+        KernelChoice::SmallLu,
+        KernelChoice::BlockedLu,
+        KernelChoice::GaussHuard,
+        KernelChoice::GaussHuardT,
+        KernelChoice::GjeInvert,
+        KernelChoice::Cholesky,
+    ];
+
+    /// Stable label used in stats histograms and CSV columns.
+    pub fn label(self) -> &'static str {
+        match self {
+            KernelChoice::PackedLu => "packed-lu",
+            KernelChoice::SmallLu => "small-lu",
+            KernelChoice::BlockedLu => "blocked-lu",
+            KernelChoice::GaussHuard => "gauss-huard",
+            KernelChoice::GaussHuardT => "gauss-huard-t",
+            KernelChoice::GjeInvert => "gje-invert",
+            KernelChoice::Cholesky => "cholesky",
+        }
+    }
+}
+
+/// What the caller asks the planner for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PlanMethod {
+    /// Let the planner pick per size class (paper crossovers).
+    Auto,
+    /// Force the LU family (small-size LU ≤ 32, blocked LU above).
+    SmallLu,
+    /// Force Gauss-Huard (falls back to blocked LU above 32).
+    GaussHuard,
+    /// Force Gauss-Huard-T (falls back to blocked LU above 32).
+    GaussHuardT,
+    /// Force explicit inversion.
+    GjeInvert,
+    /// Force Cholesky (SPD blocks).
+    Cholesky,
+}
+
+/// Crossover order below which Gauss-Huard beats the small-size LU
+/// (Fig. 6: ≈16 in single precision, ≈23 in double).
+pub fn gh_crossover_order(element_bytes: usize) -> usize {
+    if element_bytes <= 4 {
+        16
+    } else {
+        23
+    }
+}
+
+/// Tunable planner thresholds. [`PlanParams::for_scalar`] gives the
+/// paper's values for the element type.
+#[derive(Clone, Copy, Debug)]
+pub struct PlanParams {
+    /// Below this order GH wins over the small-size LU.
+    pub gh_crossover: usize,
+    /// Largest order eligible for multi-problem-per-warp packing.
+    pub pack_max: usize,
+    /// Largest order the one-row-per-lane kernels handle (warp width).
+    pub small_max: usize,
+}
+
+impl PlanParams {
+    /// Paper thresholds for scalar type `T`.
+    pub fn for_scalar<T: Scalar>() -> Self {
+        PlanParams {
+            gh_crossover: gh_crossover_order(T::BYTES),
+            pack_max: 16,
+            small_max: 32,
+        }
+    }
+}
+
+/// One size class of a plan: `count` blocks of order `n`, all executed
+/// with the same kernel.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeClass {
+    /// Block order.
+    pub n: usize,
+    /// Number of blocks of this order.
+    pub count: usize,
+    /// Kernel the planner selected for the class.
+    pub kernel: KernelChoice,
+}
+
+/// A kernel assignment for every block of a batch.
+#[derive(Clone, Debug)]
+pub struct BatchPlan {
+    /// Distinct size classes, ascending by order.
+    pub classes: Vec<SizeClass>,
+    choice: Vec<KernelChoice>,
+}
+
+fn pick(n: usize, count: usize, method: PlanMethod, p: &PlanParams) -> KernelChoice {
+    match method {
+        PlanMethod::GjeInvert => KernelChoice::GjeInvert,
+        PlanMethod::Cholesky => KernelChoice::Cholesky,
+        _ if n > p.small_max => KernelChoice::BlockedLu,
+        PlanMethod::SmallLu => KernelChoice::SmallLu,
+        PlanMethod::GaussHuard => KernelChoice::GaussHuard,
+        PlanMethod::GaussHuardT => KernelChoice::GaussHuardT,
+        PlanMethod::Auto => {
+            if n <= p.pack_max && count >= 2 {
+                KernelChoice::PackedLu
+            } else if n < p.gh_crossover {
+                KernelChoice::GaussHuard
+            } else {
+                KernelChoice::SmallLu
+            }
+        }
+    }
+}
+
+impl BatchPlan {
+    /// Plan with explicit parameters.
+    pub fn with_params(sizes: &[usize], method: PlanMethod, params: &PlanParams) -> Self {
+        let mut counts = std::collections::BTreeMap::new();
+        for &n in sizes {
+            *counts.entry(n).or_insert(0usize) += 1;
+        }
+        let classes: Vec<SizeClass> = counts
+            .iter()
+            .map(|(&n, &count)| SizeClass {
+                n,
+                count,
+                kernel: pick(n, count, method, params),
+            })
+            .collect();
+        let by_n = |n: usize| classes[classes.binary_search_by_key(&n, |c| c.n).unwrap()].kernel;
+        let choice = sizes.iter().map(|&n| by_n(n)).collect();
+        BatchPlan { classes, choice }
+    }
+
+    /// Paper-crossover automatic plan for scalar type `T`.
+    pub fn auto<T: Scalar>(sizes: &[usize]) -> Self {
+        Self::with_params(sizes, PlanMethod::Auto, &PlanParams::for_scalar::<T>())
+    }
+
+    /// Plan honouring a forced method where the sizes allow it.
+    pub fn for_method<T: Scalar>(sizes: &[usize], method: PlanMethod) -> Self {
+        Self::with_params(sizes, method, &PlanParams::for_scalar::<T>())
+    }
+
+    /// Kernel selected for block `block`.
+    pub fn kernel_for(&self, block: usize) -> KernelChoice {
+        self.choice[block]
+    }
+
+    /// Number of blocks planned.
+    pub fn len(&self) -> usize {
+        self.choice.len()
+    }
+
+    /// `true` when the plan covers no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.choice.is_empty()
+    }
+
+    /// Kernel-choice histogram over blocks, in [`KernelChoice::ALL`]
+    /// order, zero-count entries omitted.
+    pub fn histogram(&self) -> Vec<(KernelChoice, usize)> {
+        KernelChoice::ALL
+            .iter()
+            .filter_map(|&k| {
+                let c: usize = self
+                    .classes
+                    .iter()
+                    .filter(|cl| cl.kernel == k)
+                    .map(|cl| cl.count)
+                    .sum();
+                (c > 0).then_some((k, c))
+            })
+            .collect()
+    }
+
+    /// Histogram as a compact `label=count;label=count` string for CSV
+    /// columns.
+    pub fn histogram_compact(&self) -> String {
+        self.histogram()
+            .iter()
+            .map(|(k, c)| format!("{}={c}", k.label()))
+            .collect::<Vec<_>>()
+            .join(";")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auto_follows_paper_crossovers_f64() {
+        // singleton sizes so packing does not kick in
+        let plan = BatchPlan::auto::<f64>(&[4, 22, 23, 32, 33, 64, 100]);
+        // pack needs count >= 2, so these fall through to GH / small LU
+        assert_eq!(plan.kernel_for(0), KernelChoice::GaussHuard);
+        assert_eq!(plan.kernel_for(1), KernelChoice::GaussHuard); // 22 < 23
+        assert_eq!(plan.kernel_for(2), KernelChoice::SmallLu); // 23
+        assert_eq!(plan.kernel_for(3), KernelChoice::SmallLu);
+        assert_eq!(plan.kernel_for(4), KernelChoice::BlockedLu);
+        assert_eq!(plan.kernel_for(5), KernelChoice::BlockedLu);
+        assert_eq!(plan.kernel_for(6), KernelChoice::BlockedLu);
+    }
+
+    #[test]
+    fn auto_crossover_is_lower_in_single_precision() {
+        let plan32 = BatchPlan::auto::<f32>(&[16, 22]);
+        assert_eq!(plan32.kernel_for(0), KernelChoice::SmallLu);
+        assert_eq!(plan32.kernel_for(1), KernelChoice::SmallLu);
+        let plan64 = BatchPlan::auto::<f64>(&[16, 22]);
+        assert_eq!(plan64.kernel_for(0), KernelChoice::GaussHuard);
+        assert_eq!(plan64.kernel_for(1), KernelChoice::GaussHuard);
+    }
+
+    #[test]
+    fn packing_requires_multiplicity() {
+        let plan = BatchPlan::auto::<f64>(&[8, 8, 8, 16, 16, 17, 17]);
+        for b in 0..5 {
+            assert_eq!(plan.kernel_for(b), KernelChoice::PackedLu, "block {b}");
+        }
+        // 17 > pack_max: two of them still are not packed
+        assert_eq!(plan.kernel_for(5), KernelChoice::GaussHuard);
+    }
+
+    #[test]
+    fn forced_methods_respect_size_limits() {
+        let plan = BatchPlan::for_method::<f64>(&[8, 40], PlanMethod::GaussHuardT);
+        assert_eq!(plan.kernel_for(0), KernelChoice::GaussHuardT);
+        assert_eq!(plan.kernel_for(1), KernelChoice::BlockedLu);
+        let plan = BatchPlan::for_method::<f64>(&[8, 40], PlanMethod::GjeInvert);
+        assert_eq!(plan.kernel_for(0), KernelChoice::GjeInvert);
+        assert_eq!(plan.kernel_for(1), KernelChoice::GjeInvert);
+    }
+
+    #[test]
+    fn histogram_counts_blocks() {
+        let plan = BatchPlan::auto::<f64>(&[8, 8, 30, 40]);
+        let h = plan.histogram();
+        assert_eq!(
+            h,
+            vec![
+                (KernelChoice::PackedLu, 2),
+                (KernelChoice::SmallLu, 1),
+                (KernelChoice::BlockedLu, 1),
+            ]
+        );
+        assert_eq!(
+            plan.histogram_compact(),
+            "packed-lu=2;small-lu=1;blocked-lu=1"
+        );
+    }
+}

@@ -1,0 +1,168 @@
+//! Execution statistics threaded through every backend call.
+
+use crate::plan::KernelChoice;
+use std::collections::BTreeMap;
+use std::time::Duration;
+use vbatch_simt::CostCounter;
+
+/// Phases a backend reports timings for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Phase {
+    /// Diagonal-block extraction from the sparse matrix.
+    Extract,
+    /// Batched factorization.
+    Factorize,
+    /// Batched triangular / replay solves.
+    Solve,
+    /// Batched explicit inversion.
+    Invert,
+    /// Batched GEMV application.
+    Gemv,
+}
+
+impl Phase {
+    /// Stable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::Extract => "extract",
+            Phase::Factorize => "factorize",
+            Phase::Solve => "solve",
+            Phase::Invert => "invert",
+            Phase::Gemv => "gemv",
+        }
+    }
+}
+
+/// Counters a backend fills in while executing a plan: which kernels
+/// ran on how many blocks, nominal flops, factorization failures (blocks
+/// that fell back to scalar Jacobi), wall-clock per phase, and — for the
+/// SIMT backend — the accumulated device cost counter.
+#[derive(Clone, Debug, Default)]
+pub struct ExecStats {
+    kernels: BTreeMap<&'static str, u64>,
+    /// Nominal floating-point operations of the executed batched calls.
+    pub flops: f64,
+    /// Blocks whose factorization failed and degraded to the fallback.
+    pub failures: usize,
+    phase_times: BTreeMap<&'static str, Duration>,
+    /// Summed device cost counters (SIMT backend only).
+    pub device_cost: Option<CostCounter>,
+}
+
+impl ExecStats {
+    /// Fresh, empty statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record `blocks` blocks executed with kernel `k`.
+    pub fn record_kernel(&mut self, k: KernelChoice, blocks: u64) {
+        if blocks > 0 {
+            *self.kernels.entry(k.label()).or_insert(0) += blocks;
+        }
+    }
+
+    /// Record `blocks` blocks handled by a host path outside the planned
+    /// kernel set (e.g. the simulator falling back above order 64).
+    pub fn record_host(&mut self, label: &'static str, blocks: u64) {
+        if blocks > 0 {
+            *self.kernels.entry(label).or_insert(0) += blocks;
+        }
+    }
+
+    /// Record one singular-block fallback.
+    pub fn record_failure(&mut self) {
+        self.failures += 1;
+    }
+
+    /// Accumulate nominal flops.
+    pub fn add_flops(&mut self, f: f64) {
+        self.flops += f;
+    }
+
+    /// Accumulate wall-clock time for a phase.
+    pub fn add_phase(&mut self, phase: Phase, d: Duration) {
+        *self.phase_times.entry(phase.label()).or_default() += d;
+    }
+
+    /// Total recorded time for a phase.
+    pub fn phase_time(&self, phase: Phase) -> Duration {
+        self.phase_times
+            .get(phase.label())
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// Merge a device cost counter into the accumulated total.
+    pub fn add_device_cost(&mut self, c: &CostCounter) {
+        self.device_cost
+            .get_or_insert_with(CostCounter::new)
+            .merge(c);
+    }
+
+    /// Kernel-choice histogram (label → block count).
+    pub fn kernel_histogram(&self) -> &BTreeMap<&'static str, u64> {
+        &self.kernels
+    }
+
+    /// Histogram as a compact `label=count;label=count` string for CSV.
+    pub fn histogram_compact(&self) -> String {
+        self.kernels
+            .iter()
+            .map(|(k, c)| format!("{k}={c}"))
+            .collect::<Vec<_>>()
+            .join(";")
+    }
+
+    /// Fold another stats object into this one.
+    pub fn merge(&mut self, other: &ExecStats) {
+        for (k, c) in &other.kernels {
+            *self.kernels.entry(k).or_insert(0) += c;
+        }
+        self.flops += other.flops;
+        self.failures += other.failures;
+        for (p, d) in &other.phase_times {
+            *self.phase_times.entry(p).or_default() += *d;
+        }
+        if let Some(c) = &other.device_cost {
+            self.add_device_cost(c);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_and_merge() {
+        let mut a = ExecStats::new();
+        a.record_kernel(KernelChoice::SmallLu, 3);
+        a.record_kernel(KernelChoice::GaussHuard, 2);
+        a.add_flops(100.0);
+        a.record_failure();
+        a.add_phase(Phase::Factorize, Duration::from_millis(5));
+
+        let mut b = ExecStats::new();
+        b.record_kernel(KernelChoice::SmallLu, 1);
+        b.add_phase(Phase::Factorize, Duration::from_millis(3));
+        b.add_phase(Phase::Solve, Duration::from_millis(2));
+
+        a.merge(&b);
+        assert_eq!(a.kernel_histogram()["small-lu"], 4);
+        assert_eq!(a.kernel_histogram()["gauss-huard"], 2);
+        assert_eq!(a.failures, 1);
+        assert_eq!(a.phase_time(Phase::Factorize), Duration::from_millis(8));
+        assert_eq!(a.phase_time(Phase::Solve), Duration::from_millis(2));
+        // BTreeMap ordering: alphabetical by label
+        assert_eq!(a.histogram_compact(), "gauss-huard=2;small-lu=4");
+    }
+
+    #[test]
+    fn zero_counts_are_not_recorded() {
+        let mut s = ExecStats::new();
+        s.record_kernel(KernelChoice::SmallLu, 0);
+        assert!(s.kernel_histogram().is_empty());
+        assert_eq!(s.histogram_compact(), "");
+    }
+}

@@ -1,0 +1,155 @@
+//! Property-based tests of the execution layer: the three backends
+//! (`CpuSequential`, `CpuRayon`, `SimtSim`) must produce identical (to
+//! roundoff) solutions on random variable-size batches under every plan
+//! method, and the planner must honor the paper's kernel-selection
+//! rules (blocked LU above order 32, warp packing for uniform n ≤ 16).
+
+use vbatch_core::{DenseMat, MatrixBatch, Scalar, VectorBatch};
+use vbatch_exec::{
+    Backend, BatchPlan, CpuRayon, CpuSequential, ExecStats, KernelChoice, PlanMethod, SimtSim,
+};
+use vbatch_rt::{run_cases, SmallRng};
+
+fn random_batch(rng: &mut SmallRng, max_n: usize) -> (Vec<usize>, MatrixBatch<f64>) {
+    let count = rng.gen_range(1usize..10);
+    let sizes: Vec<usize> = (0..count)
+        .map(|_| rng.gen_range(1usize..max_n + 1))
+        .collect();
+    let seed = rng.next_u64() as usize;
+    let mats: Vec<DenseMat<f64>> = sizes
+        .iter()
+        .enumerate()
+        .map(|(s, &n)| {
+            DenseMat::from_fn(n, n, |i, j| {
+                let h = (i.wrapping_mul(97) ^ j.wrapping_mul(131) ^ s.wrapping_mul(7) ^ seed) % 512;
+                h as f64 / 256.0 - 1.0 + if i == j { 4.0 } else { 0.0 }
+            })
+        })
+        .collect();
+    (sizes, MatrixBatch::from_matrices(&mats))
+}
+
+fn rhs_for(sizes: &[usize]) -> VectorBatch<f64> {
+    let mut rhs = VectorBatch::zeros(sizes);
+    for (i, x) in rhs.as_mut_slice().iter_mut().enumerate() {
+        *x = (i % 13) as f64 / 3.0 - 2.0;
+    }
+    rhs
+}
+
+fn solve_on(
+    backend: &dyn Backend<f64>,
+    batch: &MatrixBatch<f64>,
+    plan: &BatchPlan,
+    rhs: &VectorBatch<f64>,
+) -> (Vec<f64>, usize) {
+    let mut stats = ExecStats::new();
+    let f = backend.factorize(batch.clone(), plan, &mut stats);
+    let mut x = rhs.clone();
+    backend.solve(&f, &mut x, &mut stats);
+    (x.as_slice().to_vec(), f.fallback_count())
+}
+
+#[test]
+fn backends_agree_on_random_variable_size_batches() {
+    run_cases(
+        "backends_agree_on_random_variable_size_batches",
+        32,
+        |rng, _case| {
+            // up to order 40 so the blocked-LU path is exercised too
+            let (sizes, batch) = random_batch(rng, 40);
+            let rhs = rhs_for(&sizes);
+            let plan = BatchPlan::auto::<f64>(&sizes);
+            let backends: [&dyn Backend<f64>; 3] = [&CpuSequential, &CpuRayon, &SimtSim::new()];
+            let results: Vec<(Vec<f64>, usize)> = backends
+                .iter()
+                .map(|b| solve_on(*b, &batch, &plan, &rhs))
+                .collect();
+            for (b, r) in backends.iter().zip(&results).skip(1) {
+                assert_eq!(r.1, results[0].1, "{} fallback count", b.name());
+                for (p, q) in r.0.iter().zip(&results[0].0) {
+                    assert!(
+                        (p - q).abs() < 1e-8,
+                        "{}: {p} vs {q} (sizes {sizes:?})",
+                        b.name()
+                    );
+                }
+            }
+        },
+    );
+}
+
+#[test]
+fn backends_agree_under_every_plan_method() {
+    run_cases(
+        "backends_agree_under_every_plan_method",
+        24,
+        |rng, _case| {
+            let (sizes, batch) = random_batch(rng, 32);
+            let rhs = rhs_for(&sizes);
+            for method in [
+                PlanMethod::Auto,
+                PlanMethod::SmallLu,
+                PlanMethod::GaussHuard,
+                PlanMethod::GaussHuardT,
+                PlanMethod::GjeInvert,
+            ] {
+                let plan = BatchPlan::for_method::<f64>(&sizes, method);
+                let (seq, _) = solve_on(&CpuSequential, &batch, &plan, &rhs);
+                let (par, _) = solve_on(&CpuRayon, &batch, &plan, &rhs);
+                let (simt, _) = solve_on(&SimtSim::new(), &batch, &plan, &rhs);
+                for ((p, q), r) in seq.iter().zip(&par).zip(&simt) {
+                    // the two CPU backends run the same scalar code
+                    assert_eq!(p, q, "{method:?}");
+                    assert!((p - r).abs() < 1e-8, "{method:?}: {p} vs {r}");
+                }
+            }
+        },
+    );
+}
+
+#[test]
+fn plan_selects_blocked_lu_above_32() {
+    run_cases("plan_selects_blocked_lu_above_32", 64, |rng, _case| {
+        let count = rng.gen_range(1usize..20);
+        let sizes: Vec<usize> = (0..count).map(|_| rng.gen_range(1usize..80)).collect();
+        let plan = BatchPlan::auto::<f64>(&sizes);
+        for (i, &n) in sizes.iter().enumerate() {
+            if n > 32 {
+                assert_eq!(
+                    plan.kernel_for(i),
+                    KernelChoice::BlockedLu,
+                    "block {i} of order {n}"
+                );
+            } else {
+                assert_ne!(plan.kernel_for(i), KernelChoice::BlockedLu);
+            }
+        }
+    });
+}
+
+#[test]
+fn plan_packs_uniform_small_batches() {
+    run_cases("plan_packs_uniform_small_batches", 64, |rng, _case| {
+        let n = rng.gen_range(1usize..17);
+        let count = rng.gen_range(2usize..50);
+        let plan = BatchPlan::auto::<f64>(&vec![n; count]);
+        for i in 0..count {
+            assert_eq!(plan.kernel_for(i), KernelChoice::PackedLu, "n={n}");
+        }
+    });
+}
+
+#[test]
+fn crossover_depends_on_precision() {
+    // order 20 sits between the SP (~16) and DP (~23) crossovers: the
+    // planner must keep GH in double precision but switch to the
+    // small-size LU in single precision (paper Fig. 6)
+    let sizes = vec![20usize; 1];
+    let dp = BatchPlan::auto::<f64>(&sizes);
+    let sp = BatchPlan::auto::<f32>(&sizes);
+    assert_eq!(dp.kernel_for(0), KernelChoice::GaussHuard);
+    assert_eq!(sp.kernel_for(0), KernelChoice::SmallLu);
+    assert_eq!(f32::BYTES, 4);
+    assert_eq!(f64::BYTES, 8);
+}

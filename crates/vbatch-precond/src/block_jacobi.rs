@@ -7,21 +7,25 @@
 //! baselines), explicit Gauss-Jordan inversion (PMAM'17, ref.\[4\]) or
 //! Cholesky (the paper's future-work extension, SPD blocks only).
 //!
-//! Application: one batched block solve per Krylov iteration —
-//! triangular solves for the factorization-based variants, a batched
-//! GEMV for the inversion-based one.
+//! Both phases run through the `vbatch-exec` execution layer: a
+//! [`Backend`] owns extraction, factorization and the per-iteration
+//! batched block solves, and a [`BatchPlan`] picks the kernel for every
+//! size class (the paper's crossovers, warp packing and blocked-LU
+//! escalation). Singular diagonal blocks degrade to a scalar-Jacobi
+//! fallback per block instead of aborting the whole setup; use
+//! [`BlockJacobi::setup_strict`] to restore fail-fast semantics.
 
 use crate::traits::Preconditioner;
+use std::sync::Arc;
 use std::time::Duration;
-use vbatch_core::{
-    batched_gemv, batched_getrf, batched_gh, batched_gje_invert, potrf, BatchedGh, BatchedLu,
-    CholeskyFactors, Exec, FactorError, GhLayout, MatrixBatch, PivotStrategy, Scalar,
-    TrsvVariant, VectorBatch,
+use vbatch_core::{Exec, FactorError, Scalar, VectorBatch};
+use vbatch_exec::{
+    backend_for_exec, Backend, BatchPlan, BlockStatus, ExecStats, FactorizedBatch, PlanMethod,
 };
-use vbatch_sparse::{extract_diag_blocks, BlockPartition, CsrMatrix};
+use vbatch_sparse::{BlockPartition, CsrMatrix};
 
 /// The batched factorization driving the preconditioner (the four
-/// methods of §IV plus the Cholesky extension).
+/// methods of §IV plus the Cholesky extension and the planner).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum BjMethod {
     /// Small-size LU with implicit partial pivoting (this paper).
@@ -34,10 +38,16 @@ pub enum BjMethod {
     GjeInvert,
     /// Cholesky (`L L^T`), for SPD diagonal blocks.
     Cholesky,
+    /// Let the [`BatchPlan`] pick per size class: warp packing below
+    /// the packing bound, Gauss-Huard below the crossover order,
+    /// small-size LU up to 32, blocked LU above.
+    Auto,
 }
 
 impl BjMethod {
-    /// All methods, in the paper's comparison order.
+    /// All fixed-kernel methods, in the paper's comparison order (the
+    /// planner-driven [`BjMethod::Auto`] is intentionally excluded: it
+    /// mixes the others).
     pub const ALL: [BjMethod; 5] = [
         BjMethod::SmallLu,
         BjMethod::GaussHuard,
@@ -54,94 +64,104 @@ impl BjMethod {
             BjMethod::GaussHuardT => "GH-T",
             BjMethod::GjeInvert => "GJE-inv",
             BjMethod::Cholesky => "Cholesky",
+            BjMethod::Auto => "auto",
         }
     }
-}
 
-enum Factors<T: Scalar> {
-    Lu(BatchedLu<T>),
-    Gh(BatchedGh<T>),
-    Inv(MatrixBatch<T>),
-    Chol(Vec<CholeskyFactors<T>>),
+    /// The planner method this preconditioner method corresponds to.
+    pub fn plan_method(self) -> PlanMethod {
+        match self {
+            BjMethod::SmallLu => PlanMethod::SmallLu,
+            BjMethod::GaussHuard => PlanMethod::GaussHuard,
+            BjMethod::GaussHuardT => PlanMethod::GaussHuardT,
+            BjMethod::GjeInvert => PlanMethod::GjeInvert,
+            BjMethod::Cholesky => PlanMethod::Cholesky,
+            BjMethod::Auto => PlanMethod::Auto,
+        }
+    }
 }
 
 /// The assembled block-Jacobi preconditioner.
 pub struct BlockJacobi<T: Scalar> {
     part: BlockPartition,
-    factors: Factors<T>,
+    factors: FactorizedBatch<T>,
     method: BjMethod,
+    backend: Arc<dyn Backend<T>>,
     /// Wall-clock time of extraction + batched factorization.
     pub setup_time: Duration,
-    /// Number of singular blocks replaced by their diagonal (only when
-    /// setup ran with `allow_fallback`).
+    /// Number of singular blocks degraded to the scalar-Jacobi fallback.
     pub fallback_blocks: usize,
+    /// Execution statistics of the setup phase (kernel histogram,
+    /// flops, per-phase timings).
+    pub stats: ExecStats,
 }
 
 impl<T: Scalar> BlockJacobi<T> {
-    /// Set up from a matrix and a block partition. Fails on the first
-    /// singular diagonal block.
+    /// Set up from a matrix and a block partition on the default
+    /// backend for `exec`. Singular diagonal blocks degrade to a
+    /// scalar-Jacobi fallback (reported per block in
+    /// [`BlockJacobi::statuses`]) instead of failing the setup.
     pub fn setup(
         a: &CsrMatrix<T>,
         part: &BlockPartition,
         method: BjMethod,
         exec: Exec,
     ) -> Result<Self, FactorError> {
-        Self::setup_impl(a, part, method, exec, false)
+        Self::setup_with_backend(a, part, method, backend_for_exec(exec))
     }
 
-    /// Set up, replacing singular diagonal blocks by their (regularized)
-    /// diagonal — keeps the preconditioner usable on matrices whose
-    /// blocks are occasionally rank-deficient.
+    /// Backwards-compatible alias of [`BlockJacobi::setup`]: fallback
+    /// on singular blocks is now the default behaviour.
     pub fn setup_with_fallback(
         a: &CsrMatrix<T>,
         part: &BlockPartition,
         method: BjMethod,
         exec: Exec,
     ) -> Result<Self, FactorError> {
-        Self::setup_impl(a, part, method, exec, true)
+        Self::setup(a, part, method, exec)
     }
 
-    fn setup_impl(
+    /// Set up, failing on the first singular diagonal block instead of
+    /// degrading it — for callers that must know the factorization is
+    /// exact everywhere (e.g. method-comparison experiments).
+    pub fn setup_strict(
         a: &CsrMatrix<T>,
         part: &BlockPartition,
         method: BjMethod,
         exec: Exec,
-        allow_fallback: bool,
+    ) -> Result<Self, FactorError> {
+        let m = Self::setup_with_backend(a, part, method, backend_for_exec(exec))?;
+        for status in m.statuses() {
+            if let BlockStatus::FallbackScalarJacobi { error, .. } = status {
+                return Err(error.clone());
+            }
+        }
+        Ok(m)
+    }
+
+    /// Set up on an explicit execution backend (CPU sequential, CPU
+    /// parallel, or the SIMT simulator).
+    pub fn setup_with_backend(
+        a: &CsrMatrix<T>,
+        part: &BlockPartition,
+        method: BjMethod,
+        backend: Arc<dyn Backend<T>>,
     ) -> Result<Self, FactorError> {
         assert_eq!(part.total(), a.nrows(), "partition must cover the matrix");
         let start = std::time::Instant::now();
-        let mut blocks = extract_diag_blocks(a, part);
-        let mut fallback_blocks = 0usize;
-        if allow_fallback {
-            fallback_blocks = regularize_singular_blocks(&mut blocks, method);
-        }
-        let factors = match method {
-            BjMethod::SmallLu => Factors::Lu(batched_getrf(
-                blocks,
-                PivotStrategy::Implicit,
-                exec,
-            )?),
-            BjMethod::GaussHuard => {
-                Factors::Gh(batched_gh(&blocks, GhLayout::Normal, exec)?)
-            }
-            BjMethod::GaussHuardT => {
-                Factors::Gh(batched_gh(&blocks, GhLayout::Transposed, exec)?)
-            }
-            BjMethod::GjeInvert => Factors::Inv(batched_gje_invert(&blocks, exec)?),
-            BjMethod::Cholesky => {
-                let mut fs = Vec::with_capacity(blocks.len());
-                for i in 0..blocks.len() {
-                    fs.push(potrf(&blocks.block_as_mat(i))?);
-                }
-                Factors::Chol(fs)
-            }
-        };
+        let mut stats = ExecStats::new();
+        let blocks = backend.extract_blocks(a, part, &mut stats);
+        let plan = BatchPlan::for_method::<T>(blocks.sizes(), method.plan_method());
+        let factors = backend.factorize(blocks, &plan, &mut stats);
+        let fallback_blocks = factors.fallback_count();
         Ok(BlockJacobi {
             part: part.clone(),
             factors,
             method,
+            backend,
             setup_time: start.elapsed(),
             fallback_blocks,
+            stats,
         })
     }
 
@@ -154,36 +174,17 @@ impl<T: Scalar> BlockJacobi<T> {
     pub fn method(&self) -> BjMethod {
         self.method
     }
-}
 
-/// Detect singular blocks by attempting a (cheap) LU factorization and
-/// replace offenders by their diagonal, regularized to be nonzero.
-fn regularize_singular_blocks<T: Scalar>(blocks: &mut MatrixBatch<T>, method: BjMethod) -> usize {
-    let mut fixed = 0usize;
-    for i in 0..blocks.len() {
-        let m = blocks.block_as_mat(i);
-        let singular = match method {
-            BjMethod::Cholesky => potrf(&m).is_err(),
-            _ => vbatch_core::getrf(&m, PivotStrategy::Implicit).is_err(),
-        };
-        if singular {
-            let n = m.rows();
-            let data = blocks.block_mut(i);
-            for v in data.iter_mut() {
-                *v = T::ZERO;
-            }
-            for k in 0..n {
-                let d = m[(k, k)];
-                data[k * n + k] = if d == T::ZERO || !d.is_finite() {
-                    T::ONE
-                } else {
-                    d
-                };
-            }
-            fixed += 1;
-        }
+    /// Per-block factorization status: which kernel factorized each
+    /// block, or which error degraded it to the scalar-Jacobi fallback.
+    pub fn statuses(&self) -> &[BlockStatus] {
+        &self.factors.status
     }
-    fixed
+
+    /// The execution backend applying the block solves.
+    pub fn backend(&self) -> &dyn Backend<T> {
+        self.backend.as_ref()
+    }
 }
 
 impl<T: Scalar> Preconditioner<T> for BlockJacobi<T> {
@@ -191,21 +192,8 @@ impl<T: Scalar> Preconditioner<T> for BlockJacobi<T> {
         debug_assert_eq!(v.len(), self.part.total());
         let sizes = self.part.sizes();
         let mut rhs = VectorBatch::from_flat(&sizes, v);
-        match &self.factors {
-            Factors::Lu(f) => f.solve(&mut rhs, TrsvVariant::Eager, Exec::Parallel),
-            Factors::Gh(f) => f.solve(&mut rhs, Exec::Parallel),
-            Factors::Inv(inv) => {
-                let x = rhs.clone();
-                batched_gemv(inv, &x, &mut rhs, Exec::Parallel);
-            }
-            Factors::Chol(fs) => {
-                use rayon::prelude::*;
-                rhs.segs_mut()
-                    .into_par_iter()
-                    .enumerate()
-                    .for_each(|(i, seg)| fs[i].solve_inplace(TrsvVariant::Eager, seg));
-            }
-        }
+        let mut stats = ExecStats::new();
+        self.backend.solve(&self.factors, &mut rhs, &mut stats);
         v.copy_from_slice(rhs.as_slice());
     }
 
@@ -241,7 +229,13 @@ mod tests {
         let (a, part) = test_problem();
         let d = a.to_dense();
         // reference: solve each diagonal block densely
-        for method in [BjMethod::SmallLu, BjMethod::GaussHuard, BjMethod::GaussHuardT, BjMethod::GjeInvert] {
+        for method in [
+            BjMethod::SmallLu,
+            BjMethod::GaussHuard,
+            BjMethod::GaussHuardT,
+            BjMethod::GjeInvert,
+            BjMethod::Auto,
+        ] {
             let m = BlockJacobi::setup(&a, &part, method, Exec::Sequential).unwrap();
             let v: Vec<f64> = (0..a.nrows()).map(|i| (i as f64) * 0.1 - 2.0).collect();
             let w = m.apply(&v);
@@ -267,7 +261,7 @@ mod tests {
     fn cholesky_method_on_spd_blocks() {
         let a = laplace_2d::<f64>(6, 6);
         let part = BlockPartition::uniform(36, 6);
-        let m = BlockJacobi::setup(&a, &part, BjMethod::Cholesky, Exec::Parallel).unwrap();
+        let m = BlockJacobi::setup_strict(&a, &part, BjMethod::Cholesky, Exec::Parallel).unwrap();
         let lu = BlockJacobi::setup(&a, &part, BjMethod::SmallLu, Exec::Parallel).unwrap();
         let v = vec![1.0; 36];
         let wc = m.apply(&v);
@@ -280,12 +274,15 @@ mod tests {
     #[test]
     fn methods_agree_with_each_other() {
         let (a, part) = test_problem();
-        let v: Vec<f64> = (0..a.nrows()).map(|i| ((i * 7) % 13) as f64 - 6.0).collect();
+        let v: Vec<f64> = (0..a.nrows())
+            .map(|i| ((i * 7) % 13) as f64 - 6.0)
+            .collect();
         let results: Vec<Vec<f64>> = [
             BjMethod::SmallLu,
             BjMethod::GaussHuard,
             BjMethod::GaussHuardT,
             BjMethod::GjeInvert,
+            BjMethod::Auto,
         ]
         .iter()
         .map(|&m| {
@@ -302,7 +299,7 @@ mod tests {
     }
 
     #[test]
-    fn singular_block_fails_without_fallback() {
+    fn singular_block_degrades_to_scalar_jacobi() {
         // a matrix whose second diagonal block is singular
         let mut coo = vbatch_sparse::CooMatrix::new(4, 4);
         coo.push(0, 0, 2.0);
@@ -314,15 +311,27 @@ mod tests {
         coo.push(3, 3, 4.0);
         let a = coo.to_csr();
         let part = BlockPartition::uniform(4, 2);
-        assert!(BlockJacobi::setup(&a, &part, BjMethod::SmallLu, Exec::Sequential).is_err());
-        let m =
-            BlockJacobi::setup_with_fallback(&a, &part, BjMethod::SmallLu, Exec::Sequential)
-                .unwrap();
+        // strict setup keeps the historical fail-fast contract
+        assert!(BlockJacobi::setup_strict(&a, &part, BjMethod::SmallLu, Exec::Sequential).is_err());
+        // default setup degrades only the offending block
+        let m = BlockJacobi::setup(&a, &part, BjMethod::SmallLu, Exec::Sequential).unwrap();
         assert_eq!(m.fallback_blocks, 1);
+        assert!(!m.statuses()[0].is_fallback());
+        assert!(m.statuses()[1].is_fallback());
         // the fallback block acts like scalar Jacobi
         let w = m.apply(&[1.0, 1.0, 1.0, 4.0]);
+        assert!((w[0] - 0.5).abs() < 1e-14);
         assert!((w[2] - 1.0).abs() < 1e-14);
         assert!((w[3] - 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn setup_records_kernel_histogram() {
+        let (a, part) = test_problem();
+        let m = BlockJacobi::setup(&a, &part, BjMethod::Auto, Exec::Sequential).unwrap();
+        let hist = m.stats.histogram_compact();
+        assert!(!hist.is_empty(), "setup must record kernel choices");
+        assert!(m.stats.flops > 0.0);
     }
 
     #[test]

@@ -2,16 +2,12 @@
 //! any factorization method must apply the exact block-diagonal inverse,
 //! and all methods must agree with each other on arbitrary matrices.
 
-use proptest::prelude::*;
 use vbatch_core::{DenseMat, Exec};
 use vbatch_precond::{BjMethod, BlockJacobi, Jacobi, Preconditioner};
+use vbatch_rt::{run_cases, SmallRng};
 use vbatch_sparse::{supervariable_blocking, BlockPartition, CooMatrix, CsrMatrix};
 
-fn random_block_system(
-    nodes: usize,
-    dof: usize,
-    extra: &[(usize, usize, f64)],
-) -> CsrMatrix<f64> {
+fn random_block_system(nodes: usize, dof: usize, extra: &[(usize, usize, f64)]) -> CsrMatrix<f64> {
     let n = nodes * dof;
     let mut c = CooMatrix::new(n, n);
     let mut rowsum = vec![0.0f64; n];
@@ -40,43 +36,53 @@ fn random_block_system(
     c.to_csr()
 }
 
-fn params() -> impl Strategy<Value = (usize, usize, Vec<(usize, usize, f64)>)> {
-    (2usize..=8, 1usize..=5).prop_flat_map(|(nodes, dof)| {
-        (
-            Just(nodes),
-            Just(dof),
-            prop::collection::vec(
-                ((0usize..64), (0usize..64), -0.5f64..0.5).prop_map(|t| t),
-                0..30,
-            ),
-        )
-    })
+fn params(rng: &mut SmallRng) -> (usize, usize, Vec<(usize, usize, f64)>) {
+    let nodes = rng.gen_range(2usize..9);
+    let dof = rng.gen_range(1usize..6);
+    let extra_count = rng.gen_range(0usize..30);
+    let extra = (0..extra_count)
+        .map(|_| {
+            (
+                rng.gen_range(0usize..64),
+                rng.gen_range(0usize..64),
+                rng.gen_range(-0.5f64..0.5),
+            )
+        })
+        .collect();
+    (nodes, dof, extra)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(40))]
-
-    #[test]
-    fn block_jacobi_applies_exact_block_inverse((nodes, dof, extra) in params()) {
-        let a = random_block_system(nodes, dof, &extra);
-        let n = a.nrows();
-        let part = BlockPartition::uniform(n, dof);
-        let d = a.to_dense();
-        let v: Vec<f64> = (0..n).map(|i| (i as f64) * 0.17 - 1.0).collect();
-        let m = BlockJacobi::setup(&a, &part, BjMethod::SmallLu, Exec::Sequential).unwrap();
-        let w = m.apply(&v);
-        for b in 0..part.len() {
-            let r = part.range(b);
-            let block = DenseMat::from_fn(r.len(), r.len(), |i, j| d[(r.start + i, r.start + j)]);
-            let x = vbatch_core::solve_system(&block, &v[r.clone()]).unwrap();
-            for (k, gi) in r.clone().enumerate() {
-                prop_assert!((w[gi] - x[k]).abs() < 1e-8);
+#[test]
+fn block_jacobi_applies_exact_block_inverse() {
+    run_cases(
+        "block_jacobi_applies_exact_block_inverse",
+        40,
+        |rng, _case| {
+            let (nodes, dof, extra) = params(rng);
+            let a = random_block_system(nodes, dof, &extra);
+            let n = a.nrows();
+            let part = BlockPartition::uniform(n, dof);
+            let d = a.to_dense();
+            let v: Vec<f64> = (0..n).map(|i| (i as f64) * 0.17 - 1.0).collect();
+            let m = BlockJacobi::setup(&a, &part, BjMethod::SmallLu, Exec::Sequential).unwrap();
+            let w = m.apply(&v);
+            for b in 0..part.len() {
+                let r = part.range(b);
+                let block =
+                    DenseMat::from_fn(r.len(), r.len(), |i, j| d[(r.start + i, r.start + j)]);
+                let x = vbatch_core::solve_system(&block, &v[r.clone()]).unwrap();
+                for (k, gi) in r.clone().enumerate() {
+                    assert!((w[gi] - x[k]).abs() < 1e-8);
+                }
             }
-        }
-    }
+        },
+    );
+}
 
-    #[test]
-    fn all_methods_agree((nodes, dof, extra) in params()) {
+#[test]
+fn all_methods_agree() {
+    run_cases("all_methods_agree", 40, |rng, _case| {
+        let (nodes, dof, extra) = params(rng);
         let a = random_block_system(nodes, dof, &extra);
         let part = supervariable_blocking(&a, (dof * 2).max(2));
         let n = a.nrows();
@@ -84,33 +90,48 @@ proptest! {
         let reference = BlockJacobi::setup(&a, &part, BjMethod::SmallLu, Exec::Sequential)
             .unwrap()
             .apply(&v);
-        for method in [BjMethod::GaussHuard, BjMethod::GaussHuardT, BjMethod::GjeInvert] {
+        for method in [
+            BjMethod::GaussHuard,
+            BjMethod::GaussHuardT,
+            BjMethod::GjeInvert,
+        ] {
             let w = BlockJacobi::setup(&a, &part, method, Exec::Parallel)
                 .unwrap()
                 .apply(&v);
             for (p, q) in reference.iter().zip(&w) {
-                prop_assert!((p - q).abs() < 1e-8, "{method:?}");
+                assert!((p - q).abs() < 1e-8, "{method:?}");
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn size_one_partition_equals_scalar_jacobi((nodes, dof, extra) in params()) {
-        let a = random_block_system(nodes, dof, &extra);
-        let n = a.nrows();
-        let part = BlockPartition::uniform(n, 1);
-        let bj = BlockJacobi::setup(&a, &part, BjMethod::SmallLu, Exec::Sequential).unwrap();
-        let jac = Jacobi::setup(&a).unwrap();
-        let v: Vec<f64> = (0..n).map(|i| (i % 9) as f64 - 4.0).collect();
-        let w1 = bj.apply(&v);
-        let w2 = jac.apply(&v);
-        for (p, q) in w1.iter().zip(&w2) {
-            prop_assert!((p - q).abs() < 1e-12);
-        }
-    }
+#[test]
+fn size_one_partition_equals_scalar_jacobi() {
+    run_cases(
+        "size_one_partition_equals_scalar_jacobi",
+        40,
+        |rng, _case| {
+            let (nodes, dof, extra) = params(rng);
+            let a = random_block_system(nodes, dof, &extra);
+            let n = a.nrows();
+            let part = BlockPartition::uniform(n, 1);
+            let bj = BlockJacobi::setup(&a, &part, BjMethod::SmallLu, Exec::Sequential).unwrap();
+            let jac = Jacobi::setup(&a).unwrap();
+            let v: Vec<f64> = (0..n).map(|i| (i % 9) as f64 - 4.0).collect();
+            let w1 = bj.apply(&v);
+            let w2 = jac.apply(&v);
+            for (p, q) in w1.iter().zip(&w2) {
+                assert!((p - q).abs() < 1e-12);
+            }
+        },
+    );
+}
 
-    #[test]
-    fn apply_is_linear((nodes, dof, extra) in params(), alpha in -2.0f64..2.0) {
+#[test]
+fn apply_is_linear() {
+    run_cases("apply_is_linear", 40, |rng, _case| {
+        let (nodes, dof, extra) = params(rng);
+        let alpha = rng.gen_range(-2.0f64..2.0);
         let a = random_block_system(nodes, dof, &extra);
         let n = a.nrows();
         let part = supervariable_blocking(&a, 8);
@@ -124,7 +145,7 @@ proptest! {
         let mu = m.apply(&u);
         for i in 0..n {
             let rhs = alpha * mv[i] + mu[i];
-            prop_assert!((lhs[i] - rhs).abs() < 1e-7 * (1.0 + rhs.abs()));
+            assert!((lhs[i] - rhs).abs() < 1e-7 * (1.0 + rhs.abs()));
         }
-    }
+    });
 }

@@ -1,0 +1,39 @@
+//! A minimal wall-clock micro-benchmark harness (`std`-only), used by
+//! the `harness = false` bench targets. Each measurement warms up once,
+//! then doubles the iteration count until the timed window exceeds a
+//! floor, reporting ns/iter — enough to compare kernel variants without
+//! an external benchmarking dependency.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Minimum measured window per benchmark; short enough for CI, long
+/// enough to dominate timer noise on the block sizes we test.
+const WINDOW: Duration = Duration::from_millis(200);
+
+/// Hard cap on iterations so trivially cheap closures still terminate.
+const MAX_ITERS: u64 = 1 << 22;
+
+/// Time `f`, printing `label` and ns/iter.
+pub fn bench<R>(label: &str, mut f: impl FnMut() -> R) {
+    black_box(f());
+    let mut iters = 1u64;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let elapsed = start.elapsed();
+        if elapsed >= WINDOW || iters >= MAX_ITERS {
+            let per = elapsed.as_nanos() as f64 / iters as f64;
+            println!("{label:<56} {per:>14.1} ns/iter  ({iters} iters)");
+            return;
+        }
+        iters = iters.saturating_mul(2);
+    }
+}
+
+/// Print a section header separating benchmark groups.
+pub fn group(name: &str) {
+    println!("\n== {name} ==");
+}

@@ -1,0 +1,26 @@
+//! # vbatch-rt
+//!
+//! The runtime substrate every other crate in the workspace builds on,
+//! written against `std` only so the whole system builds in hermetic
+//! (network-less) environments:
+//!
+//! * [`par`] — data-parallel iteration over owned collections and
+//!   mutable slices with scoped threads (the CPU analogue of launching
+//!   one warp per block), exposed through a small rayon-style
+//!   [`par::prelude`];
+//! * [`rng`] — a deterministic splitmix64 PRNG with a `rand`-style
+//!   `gen_range` surface, used by the problem generators, IDR's shadow
+//!   space and the test harnesses;
+//! * [`check`] — a seeded random-case harness for property tests
+//!   (deterministic, shrink-free, zero-dependency);
+//! * [`bench`] — a wall-clock micro-benchmark harness for the
+//!   `harness = false` bench targets.
+
+pub mod bench;
+pub mod check;
+pub mod par;
+pub mod rng;
+
+pub use check::run_cases;
+pub use par::prelude;
+pub use rng::SmallRng;

@@ -1,0 +1,179 @@
+//! Scoped-thread data parallelism with a rayon-style surface.
+//!
+//! The batched workloads in this workspace are embarrassingly parallel
+//! collections of independent small problems; all we need is an ordered
+//! parallel `map`/`for_each` over an owned `Vec` (or over the disjoint
+//! mutable slices of a batch). Work is split into one contiguous chunk
+//! per available core and executed on `std::thread::scope` threads, so
+//! there is no global pool, no unsafe code and no dependency.
+
+use std::ops::Range;
+
+/// Number of worker threads a parallel call will use.
+pub fn num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Ordered parallel map over an owned collection: results arrive in
+/// input order. Falls back to a plain sequential map for tiny inputs.
+pub fn par_map_vec<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let threads = num_threads().min(items.len());
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut it = items.into_iter();
+    loop {
+        let c: Vec<T> = it.by_ref().take(chunk).collect();
+        if c.is_empty() {
+            break;
+        }
+        chunks.push(c);
+    }
+    let f = &f;
+    let outs: Vec<Vec<U>> = std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| s.spawn(move || c.into_iter().map(f).collect::<Vec<U>>()))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel worker panicked"))
+            .collect()
+    });
+    outs.into_iter().flatten().collect()
+}
+
+/// An eager parallel iterator: adapters like [`ParIter::map`] execute
+/// immediately across threads and hand back the (ordered) results.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Pair every item with its input index.
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter {
+            items: self.items.into_iter().enumerate().collect(),
+        }
+    }
+
+    /// Parallel map preserving input order.
+    pub fn map<U: Send, F: Fn(T) -> U + Sync>(self, f: F) -> ParIter<U> {
+        ParIter {
+            items: par_map_vec(self.items, f),
+        }
+    }
+
+    /// Parallel side-effecting visit of every item.
+    pub fn for_each<F: Fn(T) + Sync>(self, f: F) {
+        par_map_vec(self.items, f);
+    }
+
+    /// Gather the items into any collection (no further parallelism —
+    /// upstream adapters already ran).
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+}
+
+/// Conversion into a [`ParIter`] (rayon's `IntoParallelIterator`).
+pub trait IntoParallelIterator {
+    /// Item type of the produced iterator.
+    type Item: Send;
+    /// Convert into an eager parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+/// Parallel views over mutable slices (rayon's `ParallelSliceMut`).
+pub trait ParallelSliceMut<T: Send> {
+    /// One mutable reference per element.
+    fn par_iter_mut(&mut self) -> ParIter<&mut T>;
+    /// Disjoint mutable chunks of at most `size` elements.
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<&mut [T]>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> ParIter<&mut T> {
+        ParIter {
+            items: self.iter_mut().collect(),
+        }
+    }
+
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<&mut [T]> {
+        ParIter {
+            items: self.chunks_mut(size).collect(),
+        }
+    }
+}
+
+/// Rayon-style prelude: `use vbatch_rt::prelude::*;` at the sites that
+/// previously imported `rayon::prelude::*`.
+pub mod prelude {
+    pub use super::{IntoParallelIterator, ParIter, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let v: Vec<usize> = (0..1000).collect();
+        let out: Vec<usize> = v.into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn range_and_enumerate() {
+        let out: Vec<(usize, usize)> = (10..15).into_par_iter().enumerate().collect();
+        assert_eq!(out, vec![(0, 10), (1, 11), (2, 12), (3, 13), (4, 14)]);
+    }
+
+    #[test]
+    fn for_each_on_mut_slices() {
+        let mut data = vec![0usize; 64];
+        data.par_iter_mut()
+            .enumerate()
+            .for_each(|(i, v)| *v = i * i);
+        assert!(data.iter().enumerate().all(|(i, &v)| v == i * i));
+        let mut chunked = vec![0usize; 10];
+        chunked
+            .par_chunks_mut(3)
+            .enumerate()
+            .for_each(|(c, chunk)| chunk.iter_mut().for_each(|v| *v = c));
+        assert_eq!(chunked, vec![0, 0, 0, 1, 1, 1, 2, 2, 2, 3]);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let out: Vec<i32> = Vec::<i32>::new().into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+        let out: Vec<i32> = vec![7].into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(out, vec![8]);
+    }
+}

@@ -187,8 +187,7 @@ impl CostCounter {
         let dependent_loads = self
             .get(InstrClass::GMemLd)
             .saturating_sub(self.gmem_ld_streamed);
-        alu as f64 * table.dependent_issue_latency
-            + dependent_loads as f64 * table.gmem_latency
+        alu as f64 * table.dependent_issue_latency + dependent_loads as f64 * table.gmem_latency
     }
 }
 

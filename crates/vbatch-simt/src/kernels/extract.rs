@@ -132,8 +132,8 @@ impl<T: Scalar> ExtractBatch<T> {
             }
             let cols = self.col_idx.warp_load(&ia, &mut ctx.counter);
             ctx.ialu(2); // range compare + predicate
-            // lanes whose element lies inside the diagonal block fetch the
-            // value and scatter it straight to the dense output
+                         // lanes whose element lies inside the diagonal block fetch the
+                         // value and scatter it straight to the dense output
             let mut va: LaneAddrs = [None; WARP_SIZE];
             let mut oa: LaneAddrs = [None; WARP_SIZE];
             for lane in 0..bs {
@@ -259,13 +259,7 @@ mod tests {
         ])
     }
 
-    fn reference_block(
-        rp: &[u32],
-        ci: &[u32],
-        v: &[f64],
-        start: usize,
-        bs: usize,
-    ) -> Vec<f64> {
+    fn reference_block(rp: &[u32], ci: &[u32], v: &[f64], start: usize, bs: usize) -> Vec<f64> {
         let mut out = vec![0.0; bs * bs];
         for r in 0..bs {
             for p in rp[start + r] as usize..rp[start + r + 1] as usize {

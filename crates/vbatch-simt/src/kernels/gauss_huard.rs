@@ -90,7 +90,7 @@ impl<T: Scalar> GhBatch<T> {
             GhStorage::RowMajor => GlobalMem::from_slice(batch.as_slice()),
             GhStorage::Dual => {
                 let mut v = batch.as_slice().to_vec();
-                v.extend(std::iter::repeat(T::ZERO).take(batch.total_elements()));
+                v.extend(std::iter::repeat_n(T::ZERO, batch.total_elements()));
                 GlobalMem::from_slice(&v)
             }
         };
@@ -252,7 +252,9 @@ impl<T: Scalar> GhBatch<T> {
         let base = self.offsets[block];
         let data: Vec<T> = (0..n * n).map(|i| self.values.peek(base + i)).collect();
         let piv_base = self.piv_offsets[block];
-        let q: Vec<usize> = (0..n).map(|k| self.piv.peek(piv_base + k) as usize).collect();
+        let q: Vec<usize> = (0..n)
+            .map(|k| self.piv.peek(piv_base + k) as usize)
+            .collect();
         vbatch_core::GhFactors {
             m: vbatch_core::DenseMat::from_col_major(n, n, &data),
             q: Permutation::from_row_of_step(q),
@@ -333,7 +335,11 @@ mod tests {
             dev.run_all().unwrap();
             let x = dev.factors_host(0).solve(&b);
             for i in 0..9 {
-                assert!((x[i] - x_true[i]).abs() < 1e-10, "{storage:?} x[{i}]={}", x[i]);
+                assert!(
+                    (x[i] - x_true[i]).abs() < 1e-10,
+                    "{storage:?} x[{i}]={}",
+                    x[i]
+                );
             }
         }
     }

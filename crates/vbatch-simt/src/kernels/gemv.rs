@@ -172,10 +172,7 @@ mod tests {
         let t = crate::kernels::trsv::lu_trsv_warp_cost::<f64>(32);
         // every GEMV load is streamed; the trisolve's column loads are
         // dependent on the sweep
-        assert_eq!(
-            g.get(crate::cost::InstrClass::GMemLd),
-            g.gmem_ld_streamed
-        );
+        assert_eq!(g.get(crate::cost::InstrClass::GMemLd), g.gmem_ld_streamed);
         assert!(t.get(crate::cost::InstrClass::GMemLd) > t.gmem_ld_streamed);
         // no divisions in GEMV
         assert_eq!(g.get(crate::cost::InstrClass::FDiv), 0);
@@ -188,9 +185,6 @@ mod tests {
         let batch = MatrixBatch::from_matrices(&[a]);
         let x = vec![0.0; 33];
         let mut dev = GemvBatch::upload(&batch, &x);
-        assert!(matches!(
-            dev.run_warp(0),
-            Err(FactorError::TooLarge { .. })
-        ));
+        assert!(matches!(dev.run_warp(0), Err(FactorError::TooLarge { .. })));
     }
 }

@@ -165,9 +165,7 @@ impl<T: Scalar> GetrfSmallSize<T> {
     pub fn perm_host(&self, block: usize) -> Permutation {
         let n = self.sizes[block];
         let base = self.piv_offsets[block];
-        Permutation::from_row_of_step(
-            (0..n).map(|k| self.piv.peek(base + k) as usize).collect(),
-        )
+        Permutation::from_row_of_step((0..n).map(|k| self.piv.peek(base + k) as usize).collect())
     }
 }
 
@@ -186,9 +184,8 @@ pub fn warp_cost_explicit_pivot<T: Scalar>(n: usize) -> CostCounter {
     // later row: partial pivoting then swaps at almost every step, the
     // realistic case for matrices that are not diagonally dominant
     let base = super::representative_block::<T>(n, n + 23);
-    let block = vbatch_core::DenseMat::from_fn(n, n, |i, j| {
-        base[(i, j)] * T::from_f64(1.0 + i as f64)
-    });
+    let block =
+        vbatch_core::DenseMat::from_fn(n, n, |i, j| base[(i, j)] * T::from_f64(1.0 + i as f64));
     let mut ctx = WarpCtx::new();
     let mem = GlobalMem::from_slice(block.as_slice());
     let act = mask_below(n);

@@ -207,9 +207,7 @@ impl<T: Scalar> GetrfLarge<T> {
     pub fn perm_host(&self, block: usize) -> Permutation {
         let n = self.sizes[block];
         let base = self.piv_offsets[block];
-        Permutation::from_row_of_step(
-            (0..n).map(|k| self.piv.peek(base + k) as usize).collect(),
-        )
+        Permutation::from_row_of_step((0..n).map(|k| self.piv.peek(base + k) as usize).collect())
     }
 }
 

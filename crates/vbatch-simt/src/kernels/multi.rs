@@ -22,10 +22,9 @@ use vbatch_core::{FactorError, FactorResult, MatrixBatch, Permutation, Scalar};
 
 /// How many systems of order `n` fit in one warp.
 pub fn problems_per_warp(n: usize) -> usize {
-    if n == 0 {
-        0
-    } else {
-        (WARP_SIZE / n).max(1)
+    match WARP_SIZE.checked_div(n) {
+        None => 0,
+        Some(k) => k.max(1),
     }
 }
 
@@ -386,9 +385,8 @@ mod tests {
     fn matches_cpu_on_every_packed_problem() {
         for n in [1usize, 2, 3, 5, 8, 11, 16] {
             let count = problems_per_warp(n) * 2 + 1; // forces a partial warp
-            let mats: Vec<vbatch_core::DenseMat<f64>> = (0..count)
-                .map(|s| representative_block(n, s + 5))
-                .collect();
+            let mats: Vec<vbatch_core::DenseMat<f64>> =
+                (0..count).map(|s| representative_block(n, s + 5)).collect();
             let batch = MatrixBatch::from_matrices(&mats);
             let mut dev = GetrfMultiPerWarp::upload(&batch).unwrap();
             dev.run_all().unwrap();

@@ -197,7 +197,13 @@ impl<T: Scalar> VendorLu<T> {
         Ok(ctx.counter)
     }
 
-    fn store_piv(&mut self, block: usize, row_of_step: &[u32; WARP_SIZE], n: usize, ctx: &mut WarpCtx) {
+    fn store_piv(
+        &mut self,
+        block: usize,
+        row_of_step: &[u32; WARP_SIZE],
+        n: usize,
+        ctx: &mut WarpCtx,
+    ) {
         let mut paddrs: LaneAddrs = [None; WARP_SIZE];
         for (lane, slot) in paddrs.iter_mut().enumerate().take(n) {
             *slot = Some(block * n + lane);

@@ -185,9 +185,7 @@ impl GlobalMemU32 {
 
     /// Allocate zeroed index memory.
     pub fn zeros(len: usize) -> Self {
-        Self {
-            data: vec![0; len],
-        }
+        Self { data: vec![0; len] }
     }
 
     /// Copy back to host.

@@ -33,7 +33,11 @@ pub fn bank_transactions(addrs: &LaneAddrs, bytes: usize) -> u64 {
         }
     }
     let worst = per_bank.iter().map(|v| v.len()).max().unwrap_or(0);
-    worst.max(if addrs.iter().any(|a| a.is_some()) { 1 } else { 0 }) as u64
+    worst.max(if addrs.iter().any(|a| a.is_some()) {
+        1
+    } else {
+        0
+    }) as u64
 }
 
 /// A block of simulated shared memory.

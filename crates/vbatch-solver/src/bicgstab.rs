@@ -145,7 +145,7 @@ mod tests {
     #[test]
     fn zero_rhs() {
         let a = laplace_2d::<f64>(4, 4);
-        let r = bicgstab(&a, &vec![0.0; 16], &Identity::new(16), &SolveParams::default());
+        let r = bicgstab(&a, &[0.0; 16], &Identity::new(16), &SolveParams::default());
         assert!(r.converged());
         assert_eq!(r.iterations, 0);
     }

@@ -122,7 +122,7 @@ mod tests {
     #[test]
     fn zero_rhs() {
         let a = laplace_2d::<f64>(3, 3);
-        let r = cg(&a, &vec![0.0; 9], &Identity::new(9), &SolveParams::default());
+        let r = cg(&a, &[0.0; 9], &Identity::new(9), &SolveParams::default());
         assert!(r.converged());
         assert_eq!(r.iterations, 0);
     }
@@ -131,7 +131,12 @@ mod tests {
     fn iteration_cap() {
         let a = laplace_2d::<f64>(30, 30);
         let b = vec![1.0; 900];
-        let r = cg(&a, &b, &Identity::new(900), &SolveParams::default().with_max_iters(3));
+        let r = cg(
+            &a,
+            &b,
+            &Identity::new(900),
+            &SolveParams::default().with_max_iters(3),
+        );
         assert_eq!(r.reason, StopReason::MaxIterations);
         assert_eq!(r.iterations, 3);
     }

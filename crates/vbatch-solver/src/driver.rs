@@ -1,0 +1,51 @@
+//! Backend-parameterized preconditioned solve driver: build a
+//! block-Jacobi preconditioner on an explicit `vbatch-exec` backend and
+//! run the paper's IDR(s) on it, reporting the solve outcome together
+//! with the preconditioner setup statistics (kernel histogram, flops,
+//! fallback blocks). This is the seam experiments use to swap the CPU
+//! backends and the SIMT simulator without touching solver code.
+
+use crate::{idr, SolveParams, SolveResult};
+use std::sync::Arc;
+use std::time::Duration;
+use vbatch_core::{FactorError, Scalar};
+use vbatch_exec::{Backend, ExecStats};
+use vbatch_precond::{BjMethod, BlockJacobi};
+use vbatch_sparse::{BlockPartition, CsrMatrix};
+
+/// A preconditioned solve plus the setup-phase execution statistics.
+pub struct PrecondSolve<T> {
+    /// The Krylov solve outcome.
+    pub result: SolveResult<T>,
+    /// Wall-clock time of preconditioner setup (extract + factorize).
+    pub setup_time: Duration,
+    /// Singular blocks degraded to the scalar-Jacobi fallback.
+    pub fallback_blocks: usize,
+    /// Execution statistics of the setup phase.
+    pub setup_stats: ExecStats,
+    /// Backend the preconditioner ran on.
+    pub backend_name: &'static str,
+}
+
+/// Solve `A x = b` with IDR(s) preconditioned by block-Jacobi set up on
+/// the given execution backend.
+pub fn idr_block_jacobi<T: Scalar>(
+    a: &CsrMatrix<T>,
+    b: &[T],
+    s: usize,
+    part: &BlockPartition,
+    method: BjMethod,
+    backend: Arc<dyn Backend<T>>,
+    params: &SolveParams,
+) -> Result<PrecondSolve<T>, FactorError> {
+    let name = backend.name();
+    let m = BlockJacobi::setup_with_backend(a, part, method, backend)?;
+    let result = idr(a, b, s, &m, params);
+    Ok(PrecondSolve {
+        result,
+        setup_time: m.setup_time,
+        fallback_blocks: m.fallback_blocks,
+        setup_stats: m.stats,
+        backend_name: name,
+    })
+}

@@ -177,7 +177,7 @@ mod tests {
     #[test]
     fn zero_rhs() {
         let a = laplace_2d::<f64>(3, 3);
-        let r = gmres(&a, &vec![0.0; 9], 5, &Identity::new(9), &SolveParams::default());
+        let r = gmres(&a, &[0.0; 9], 5, &Identity::new(9), &SolveParams::default());
         assert!(r.converged());
         assert_eq!(r.iterations, 0);
     }

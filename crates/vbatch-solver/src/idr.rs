@@ -10,11 +10,10 @@
 //! reproducible.
 
 use crate::control::{SolveParams, SolveResult, StopReason};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::time::Instant;
 use vbatch_core::Scalar;
 use vbatch_precond::Preconditioner;
+use vbatch_rt::SmallRng;
 use vbatch_sparse::{axpy, dot, nrm2, residual, spmv, CsrMatrix};
 
 /// Angle safeguard for the omega computation ("maintaining the
@@ -49,11 +48,7 @@ impl<T: Scalar> Smoother<T> {
         }
         if ss > T::ZERO {
             let eta = rss / ss;
-            for ((xsi, &xi), (rsi, &ri)) in self
-                .xs
-                .iter_mut()
-                .zip(x)
-                .zip(self.rs.iter_mut().zip(r))
+            for ((xsi, &xi), (rsi, &ri)) in self.xs.iter_mut().zip(x).zip(self.rs.iter_mut().zip(r))
             {
                 *xsi = *xsi - eta * (*xsi - xi);
                 *rsi = *rsi - eta * (*rsi - ri);
@@ -104,25 +99,22 @@ fn idr_impl<T: Scalar, M: Preconditioner<T>>(
 
     let normb = nrm2(b).to_f64();
     let mut history = Vec::new();
-    let finish = |x: Vec<T>,
-                  iterations: usize,
-                  reason: StopReason,
-                  history: Vec<f64>,
-                  start: Instant| {
-        let relres = if normb == 0.0 {
-            0.0
-        } else {
-            nrm2(&residual(a, &x, b)).to_f64() / normb
+    let finish =
+        |x: Vec<T>, iterations: usize, reason: StopReason, history: Vec<f64>, start: Instant| {
+            let relres = if normb == 0.0 {
+                0.0
+            } else {
+                nrm2(&residual(a, &x, b)).to_f64() / normb
+            };
+            SolveResult {
+                x,
+                iterations,
+                final_relres: relres,
+                reason,
+                solve_time: start.elapsed(),
+                history,
+            }
         };
-        SolveResult {
-            x,
-            iterations,
-            final_relres: relres,
-            reason,
-            solve_time: start.elapsed(),
-            history,
-        }
-    };
     if normb == 0.0 {
         return finish(vec![T::ZERO; n], 0, StopReason::Converged, history, start);
     }
@@ -279,7 +271,7 @@ fn idr_impl<T: Scalar, M: Preconditioner<T>>(
 /// Build an orthonormal shadow block (modified Gram-Schmidt on seeded
 /// Gaussian-ish vectors).
 fn shadow_space<T: Scalar>(n: usize, s: usize, seed: u64) -> Vec<Vec<T>> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SmallRng::seed_from_u64(seed);
     let mut p: Vec<Vec<T>> = Vec::with_capacity(s);
     for _ in 0..s {
         let mut v: Vec<T> = (0..n)
@@ -365,7 +357,13 @@ mod tests {
     #[test]
     fn zero_rhs_returns_zero() {
         let a = laplace_2d::<f64>(4, 4);
-        let r = idr(&a, &vec![0.0; 16], 4, &Identity::new(16), &SolveParams::default());
+        let r = idr(
+            &a,
+            &[0.0; 16],
+            4,
+            &Identity::new(16),
+            &SolveParams::default(),
+        );
         assert!(r.converged());
         assert_eq!(r.iterations, 0);
         assert!(r.x.iter().all(|&v| v == 0.0));

@@ -7,15 +7,20 @@
 //! `vbatch_precond::Preconditioner`, use the paper's stopping protocol
 //! ([`control`]: relative residual `1e-6`, cap 10,000) and report
 //! iterations, true final residual, timing and optional histories.
+//! The [`driver`] module adds a backend-parameterized entry point that
+//! builds the block-Jacobi preconditioner on an explicit
+//! `vbatch-exec` [`vbatch_exec::Backend`].
 
 pub mod bicgstab;
 pub mod cg;
 pub mod control;
+pub mod driver;
 pub mod gmres;
 pub mod idr;
 
 pub use bicgstab::bicgstab;
 pub use cg::cg;
 pub use control::{SolveParams, SolveResult, StopReason};
+pub use driver::{idr_block_jacobi, PrecondSolve};
 pub use gmres::gmres;
 pub use idr::{idr, idr_smoothed};

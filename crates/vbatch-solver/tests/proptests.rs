@@ -3,8 +3,8 @@
 //! each other, and respect their contracts (residual reporting,
 //! iteration caps, determinism).
 
-use proptest::prelude::*;
 use vbatch_precond::{Identity, Jacobi};
+use vbatch_rt::{run_cases, SmallRng};
 use vbatch_solver::{bicgstab, cg, gmres, idr, SolveParams, StopReason};
 use vbatch_sparse::{nrm2, residual, CooMatrix, CsrMatrix};
 
@@ -32,23 +32,25 @@ fn random_system(n: usize, extra: &[(usize, usize, f64)]) -> CsrMatrix<f64> {
     c.to_csr()
 }
 
-fn entries() -> impl Strategy<Value = (usize, Vec<(usize, usize, f64)>)> {
-    (4usize..=40).prop_flat_map(|n| {
-        (
-            Just(n),
-            prop::collection::vec(
-                ((0usize..64), (0usize..64), -1.0f64..1.0).prop_map(|(i, j, v)| (i, j, v)),
-                0..60,
-            ),
-        )
-    })
+fn entries(rng: &mut SmallRng) -> (usize, Vec<(usize, usize, f64)>) {
+    let n = rng.gen_range(4usize..41);
+    let count = rng.gen_range(0usize..60);
+    let extra = (0..count)
+        .map(|_| {
+            (
+                rng.gen_range(0usize..64),
+                rng.gen_range(0usize..64),
+                rng.gen_range(-1.0f64..1.0),
+            )
+        })
+        .collect();
+    (n, extra)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn all_solvers_reach_tolerance((n, extra) in entries()) {
+#[test]
+fn all_solvers_reach_tolerance() {
+    run_cases("all_solvers_reach_tolerance", 32, |rng, _case| {
+        let (n, extra) = entries(rng);
         let a = random_system(n, &extra);
         let b: Vec<f64> = (0..n).map(|i| 1.0 + (i % 3) as f64).collect();
         let params = SolveParams::default();
@@ -61,22 +63,25 @@ proptest! {
             gmres(&a, &b, 20, &m, &params),
         ];
         for r in &solutions {
-            prop_assert!(r.converged(), "{:?}", r.reason);
+            assert!(r.converged(), "{:?}", r.reason);
             // reported residual must match a recomputed one
             let true_res = nrm2(&residual(&a, &r.x, &b)) / normb;
-            prop_assert!((true_res - r.final_relres).abs() < 1e-9);
-            prop_assert!(true_res <= 1e-6 * 1.001);
+            assert!((true_res - r.final_relres).abs() < 1e-9);
+            assert!(true_res <= 1e-6 * 1.001);
         }
         // solutions agree pairwise
         for w in solutions.windows(2) {
             for (p, q) in w[0].x.iter().zip(&w[1].x) {
-                prop_assert!((p - q).abs() < 1e-4, "{p} vs {q}");
+                assert!((p - q).abs() < 1e-4, "{p} vs {q}");
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn cg_matches_idr_on_spd((n, extra) in entries()) {
+#[test]
+fn cg_matches_idr_on_spd() {
+    run_cases("cg_matches_idr_on_spd", 32, |rng, _case| {
+        let (n, extra) = entries(rng);
         // build symmetric + strictly dominant directly => SPD
         let mut c = CooMatrix::new(n, n);
         let mut rowsum = vec![0.0f64; n];
@@ -102,15 +107,19 @@ proptest! {
         let m = Identity::new(n);
         let rc = cg(&a, &b, &m, &params);
         let ri = idr(&a, &b, 4, &m, &params);
-        prop_assert!(rc.converged());
-        prop_assert!(ri.converged());
+        assert!(rc.converged());
+        assert!(ri.converged());
         for (p, q) in rc.x.iter().zip(&ri.x) {
-            prop_assert!((p - q).abs() < 1e-4);
+            assert!((p - q).abs() < 1e-4);
         }
-    }
+    });
+}
 
-    #[test]
-    fn jacobi_never_hurts_scaled_systems((n, extra) in entries(), scale_pow in 0u32..6) {
+#[test]
+fn jacobi_never_hurts_scaled_systems() {
+    run_cases("jacobi_never_hurts_scaled_systems", 32, |rng, _case| {
+        let (n, extra) = entries(rng);
+        let scale_pow = rng.gen_range(0usize..6) as u32;
         // scale rows to create a badly-equilibrated system
         let base = random_system(n, &extra);
         let mut c = CooMatrix::new(n, n);
@@ -125,28 +134,38 @@ proptest! {
         let params = SolveParams::default();
         let jac = Jacobi::setup(&a).unwrap();
         let r = idr(&a, &b, 4, &jac, &params);
-        prop_assert!(r.converged());
-    }
+        assert!(r.converged());
+    });
+}
 
-    #[test]
-    fn iteration_cap_is_hard((n, extra) in entries(), cap in 1usize..5) {
+#[test]
+fn iteration_cap_is_hard() {
+    run_cases("iteration_cap_is_hard", 32, |rng, _case| {
+        let (n, extra) = entries(rng);
+        let cap = rng.gen_range(1usize..5);
         let a = random_system(n, &extra);
         let b = vec![1.0; n];
         let params = SolveParams::default().with_max_iters(cap).with_tol(1e-30);
         let r = idr(&a, &b, 4, &Identity::new(n), &params);
-        prop_assert!(r.iterations <= cap + 1);
-        prop_assert!(matches!(r.reason, StopReason::MaxIterations | StopReason::Breakdown));
-    }
+        assert!(r.iterations <= cap + 1);
+        assert!(matches!(
+            r.reason,
+            StopReason::MaxIterations | StopReason::Breakdown
+        ));
+    });
+}
 
-    #[test]
-    fn deterministic_across_runs((n, extra) in entries()) {
+#[test]
+fn deterministic_across_runs() {
+    run_cases("deterministic_across_runs", 32, |rng, _case| {
+        let (n, extra) = entries(rng);
         let a = random_system(n, &extra);
         let b: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
         let params = SolveParams::default();
         let m = Identity::new(n);
         let r1 = idr(&a, &b, 4, &m, &params);
         let r2 = idr(&a, &b, 4, &m, &params);
-        prop_assert_eq!(r1.iterations, r2.iterations);
-        prop_assert_eq!(r1.x, r2.x);
-    }
+        assert_eq!(r1.iterations, r2.iterations);
+        assert_eq!(r1.x, r2.x);
+    });
 }

@@ -160,7 +160,11 @@ mod tests {
         for node in 0..nodes {
             for i in 0..dof {
                 for j in 0..dof {
-                    c.push(node * dof + i, node * dof + j, if i == j { 4.0 } else { 0.5 });
+                    c.push(
+                        node * dof + i,
+                        node * dof + j,
+                        if i == j { 4.0 } else { 0.5 },
+                    );
                 }
                 if node + 1 < nodes {
                     for j in 0..dof {

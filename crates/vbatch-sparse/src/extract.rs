@@ -5,8 +5,8 @@
 
 use crate::blocking::BlockPartition;
 use crate::csr::CsrMatrix;
-use rayon::prelude::*;
 use vbatch_core::{MatrixBatch, Scalar};
+use vbatch_rt::prelude::*;
 
 /// Extract the diagonal blocks of `a` given by `part` into a batch of
 /// dense column-major blocks. Positions absent from the sparsity

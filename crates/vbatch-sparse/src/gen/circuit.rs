@@ -5,7 +5,6 @@
 
 use crate::coo::CooMatrix;
 use crate::csr::CsrMatrix;
-use rand::Rng;
 use vbatch_core::Scalar;
 
 /// Preferential-attachment circuit matrix: node `i` connects to `m`
@@ -82,8 +81,7 @@ pub fn nd_graph<T: Scalar>(nx: usize, ny: usize, nz: usize, seed: u64) -> CsrMat
                             if di == 0 && dj == 0 && dk == 0 {
                                 continue;
                             }
-                            let (ni, nj, nk) =
-                                (i as i64 + di, j as i64 + dj, k as i64 + dk);
+                            let (ni, nj, nk) = (i as i64 + di, j as i64 + dj, k as i64 + dk);
                             if ni < 0
                                 || nj < 0
                                 || nk < 0
@@ -160,8 +158,20 @@ pub fn chem_banded<T: Scalar>(n: usize, offset: usize, seed: u64) -> CsrMatrix<T
     };
     for i in 0..n {
         if i + 1 < n {
-            push(&mut c, &mut rowsum, i, i + 1, -1.0 + super::uni(&mut r, -0.2, 0.2));
-            push(&mut c, &mut rowsum, i + 1, i, -1.5 + super::uni(&mut r, -0.2, 0.2));
+            push(
+                &mut c,
+                &mut rowsum,
+                i,
+                i + 1,
+                -1.0 + super::uni(&mut r, -0.2, 0.2),
+            );
+            push(
+                &mut c,
+                &mut rowsum,
+                i + 1,
+                i,
+                -1.5 + super::uni(&mut r, -0.2, 0.2),
+            );
         }
         if i + offset < n {
             push(&mut c, &mut rowsum, i, i + offset, -0.3);
@@ -169,7 +179,11 @@ pub fn chem_banded<T: Scalar>(n: usize, offset: usize, seed: u64) -> CsrMatrix<T
         }
     }
     for (i, &sum) in rowsum.iter().enumerate() {
-        c.push(i, i, T::from_f64(sum.max(0.5) * (1.005 + super::uni(&mut r, 0.0, 0.01))));
+        c.push(
+            i,
+            i,
+            T::from_f64(sum.max(0.5) * (1.005 + super::uni(&mut r, 0.0, 0.01))),
+        );
     }
     c.to_csr()
 }

@@ -5,7 +5,6 @@
 
 use crate::coo::CooMatrix;
 use crate::csr::CsrMatrix;
-use rand::rngs::StdRng;
 use vbatch_core::Scalar;
 
 /// Mesh adjacency as an edge list over `nodes` vertices.
@@ -180,8 +179,7 @@ pub fn stiffness_block_matrix<T: Scalar>(
 /// Draw a pseudo-random variable-dof assignment for "mixed" meshes
 /// (e.g. shell models that combine translational and rotational dofs).
 pub fn mixed_dofs(nodes: usize, choices: &[usize], seed: u64) -> Vec<usize> {
-    use rand::Rng;
-    let mut r: StdRng = super::rng(seed);
+    let mut r = super::rng(seed);
     (0..nodes)
         .map(|_| choices[r.gen_range(0..choices.len())])
         .collect()
@@ -265,7 +263,7 @@ mod tests {
     }
 
     #[test]
-    fn stiffness_matrix_is_symmetric(){
+    fn stiffness_matrix_is_symmetric() {
         let mesh = MeshGraph::grid2d(3, 3);
         let a = stiffness_block_matrix::<f64>(&mesh, 2, 0.5, 3);
         assert!(a.is_symmetric(1e-12));

@@ -139,7 +139,7 @@ mod tests {
         assert!(a.is_symmetric(0.0));
         assert_eq!(a.get(0, 0), 4.0);
         // interior row has 5 entries
-        let interior = 1 * 3 + 1;
+        let interior = 3 + 1;
         assert_eq!(a.row_nnz(interior), 5);
     }
 

@@ -15,16 +15,15 @@ pub mod fem;
 pub mod laplace;
 pub mod suite;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use vbatch_rt::SmallRng;
 
 /// Deterministic RNG for a generator seed.
-pub(crate) fn rng(seed: u64) -> StdRng {
-    StdRng::seed_from_u64(seed ^ 0x5eed_ba5e_0123_4567)
+pub(crate) fn rng(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed ^ 0x5eed_ba5e_0123_4567)
 }
 
 /// Uniform value in `[lo, hi)` from the generator RNG.
-pub(crate) fn uni(r: &mut StdRng, lo: f64, hi: f64) -> f64 {
+pub(crate) fn uni(r: &mut SmallRng, lo: f64, hi: f64) -> f64 {
     r.gen_range(lo..hi)
 }
 

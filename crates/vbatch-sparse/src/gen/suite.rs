@@ -8,10 +8,10 @@
 //! original's name for cross-referencing with Table I.
 
 use super::circuit::{chem_banded, circuit, nd_graph, thermal};
-use super::laplace::{anisotropic_2d, laplace_2d, laplace_3d};
 use super::fem::{
     fem_block_matrix, fem_variable_block_matrix, mixed_dofs, stiffness_block_matrix, MeshGraph,
 };
+use super::laplace::{anisotropic_2d, laplace_2d, laplace_3d};
 use super::laplace::{convection_diffusion_2d, waveguide};
 use crate::csr::CsrMatrix;
 

@@ -25,8 +25,11 @@ pub use coo::CooMatrix;
 pub use csr::CsrMatrix;
 pub use extract::{block_coverage, extract_diag_blocks};
 pub use gen::suite::{by_name, table1_suite, ProblemClass, SuiteProblem};
-pub use mm_io::{read_matrix_market, read_matrix_market_str, write_matrix_market, write_matrix_market_str, MmError};
+pub use mm_io::{
+    read_matrix_market, read_matrix_market_str, write_matrix_market, write_matrix_market_str,
+    MmError,
+};
 pub use reorder::{is_permutation, reverse_cuthill_mckee};
 pub use sellp::SellPMatrix;
-pub use stats::{matrix_stats, partition_stats, row_length_histogram, MatrixStats, PartitionStats};
 pub use spmv::{axpy, dot, nrm2, residual, scal, spmv, spmv_alloc, spmv_par, xpby};
+pub use stats::{matrix_stats, partition_stats, row_length_histogram, MatrixStats, PartitionStats};

@@ -75,10 +75,12 @@ pub fn read_matrix_market_str<T: Scalar>(text: &str) -> Result<CsrMatrix<T>, MmE
     let (no, size) = size_line.ok_or_else(|| MmError::BadHeader("missing size line".into()))?;
     let dims: Vec<usize> = size
         .split_whitespace()
-        .map(|s| s.parse().map_err(|_| MmError::BadLine {
-            line_no: no + 1,
-            content: size.clone(),
-        }))
+        .map(|s| {
+            s.parse().map_err(|_| MmError::BadLine {
+                line_no: no + 1,
+                content: size.clone(),
+            })
+        })
         .collect::<Result<_, _>>()?;
     if dims.len() != 3 {
         return Err(MmError::BadLine {

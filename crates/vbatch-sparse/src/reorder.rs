@@ -31,17 +31,9 @@ pub fn reverse_cuthill_mckee<T: Scalar>(a: &CsrMatrix<T>) -> Vec<usize> {
 
     let mut order: Vec<usize> = Vec::with_capacity(n);
     let mut visited = vec![false; n];
-    // process every connected component
-    loop {
-        // pick the unvisited vertex of minimum degree as a pseudo-
-        // peripheral start
-        let start = match (0..n)
-            .filter(|&v| !visited[v])
-            .min_by_key(|&v| degree[v])
-        {
-            Some(s) => s,
-            None => break,
-        };
+    // process every connected component, picking the unvisited vertex
+    // of minimum degree as a pseudo-peripheral start each time
+    while let Some(start) = (0..n).filter(|&v| !visited[v]).min_by_key(|&v| degree[v]) {
         let mut queue = std::collections::VecDeque::new();
         queue.push_back(start);
         visited[start] = true;

@@ -12,8 +12,8 @@
 //! extraction discussion of §III-C cares about nonzero distributions).
 
 use crate::csr::CsrMatrix;
-use rayon::prelude::*;
 use vbatch_core::Scalar;
+use vbatch_rt::prelude::*;
 
 /// A sparse matrix in SELL-P format.
 #[derive(Clone, Debug)]

@@ -3,8 +3,8 @@
 //! application per inner step).
 
 use crate::csr::CsrMatrix;
-use rayon::prelude::*;
 use vbatch_core::Scalar;
+use vbatch_rt::prelude::*;
 
 /// `y = A x` (sequential reference).
 pub fn spmv<T: Scalar>(a: &CsrMatrix<T>, x: &[T], y: &mut [T]) {
@@ -48,9 +48,7 @@ pub fn residual<T: Scalar>(a: &CsrMatrix<T>, x: &[T], b: &[T]) -> Vec<T> {
 
 /// Euclidean norm.
 pub fn nrm2<T: Scalar>(v: &[T]) -> T {
-    v.iter()
-        .fold(T::ZERO, |acc, &x| x.mul_add(x, acc))
-        .sqrt()
+    v.iter().fold(T::ZERO, |acc, &x| x.mul_add(x, acc)).sqrt()
 }
 
 /// Dot product.

@@ -56,7 +56,11 @@ pub fn matrix_stats<T: Scalar>(a: &CsrMatrix<T>) -> MatrixStats {
         imbalance: if avg > 0.0 { max as f64 / avg } else { 0.0 },
         row_nnz_stddev: var.sqrt(),
         bandwidth: a.bandwidth(),
-        diag_coverage: if n == 0 { 1.0 } else { diag_ok as f64 / n as f64 },
+        diag_coverage: if n == 0 {
+            1.0
+        } else {
+            diag_ok as f64 / n as f64
+        },
     }
 }
 

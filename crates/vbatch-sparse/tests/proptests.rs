@@ -2,23 +2,28 @@
 //! invariants, transpose algebra, SpMV against the dense reference,
 //! Matrix Market round-trips, blocking partitions and RCM permutations.
 
-use proptest::prelude::*;
+use vbatch_rt::{run_cases, SmallRng};
 use vbatch_sparse::{
     block_coverage, extract_diag_blocks, find_supervariables, is_permutation,
     read_matrix_market_str, reverse_cuthill_mckee, spmv_alloc, spmv_par, supervariable_blocking,
     write_matrix_market_str, BlockPartition, CooMatrix, CsrMatrix,
 };
 
-/// Strategy: a random sparse square matrix as triplets (duplicates
-/// allowed — the conversion must sum them).
-fn coo_matrix() -> impl Strategy<Value = (usize, Vec<(usize, usize, f64)>)> {
-    (2usize..=20).prop_flat_map(|n| {
-        let entries = prop::collection::vec(
-            ((0..n), (0..n), -2.0f64..2.0).prop_map(|(i, j, v)| (i, j, v)),
-            0..80,
-        );
-        (Just(n), entries)
-    })
+/// A random sparse square matrix as triplets (duplicates allowed — the
+/// conversion must sum them).
+fn coo_matrix(rng: &mut SmallRng) -> (usize, Vec<(usize, usize, f64)>) {
+    let n = rng.gen_range(2usize..21);
+    let count = rng.gen_range(0usize..80);
+    let entries = (0..count)
+        .map(|_| {
+            (
+                rng.gen_range(0..n),
+                rng.gen_range(0..n),
+                rng.gen_range(-2.0f64..2.0),
+            )
+        })
+        .collect();
+    (n, entries)
 }
 
 fn build(n: usize, entries: &[(usize, usize, f64)]) -> CsrMatrix<f64> {
@@ -33,11 +38,10 @@ fn build(n: usize, entries: &[(usize, usize, f64)]) -> CsrMatrix<f64> {
     c.to_csr()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn coo_to_csr_preserves_sums((n, entries) in coo_matrix()) {
+#[test]
+fn coo_to_csr_preserves_sums() {
+    run_cases("coo_to_csr_preserves_sums", 64, |rng, _case| {
+        let (n, entries) = coo_matrix(rng);
         let a = build(n, &entries);
         // reference accumulation in a dense map
         let mut dense = vec![0.0f64; n * n];
@@ -50,117 +54,153 @@ proptest! {
         for i in 0..n {
             for j in 0..n {
                 let want = dense[i * n + j];
-                prop_assert!((a.get(i, j) - want).abs() < 1e-12);
+                assert!((a.get(i, j) - want).abs() < 1e-12);
             }
         }
         // structural invariants
-        prop_assert_eq!(*a.row_ptr().last().unwrap(), a.nnz());
+        assert_eq!(*a.row_ptr().last().unwrap(), a.nnz());
         for r in 0..n {
             let cols = a.row_cols(r);
             for w in cols.windows(2) {
-                prop_assert!(w[0] < w[1]);
+                assert!(w[0] < w[1]);
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn transpose_is_involution((n, entries) in coo_matrix()) {
+#[test]
+fn transpose_is_involution() {
+    run_cases("transpose_is_involution", 64, |rng, _case| {
+        let (n, entries) = coo_matrix(rng);
         let a = build(n, &entries);
-        prop_assert_eq!(a.transpose().transpose(), a);
-    }
+        assert_eq!(a.transpose().transpose(), a);
+    });
+}
 
-    #[test]
-    fn spmv_matches_dense((n, entries) in coo_matrix(), x_seed in any::<u64>()) {
+#[test]
+fn spmv_matches_dense() {
+    run_cases("spmv_matches_dense", 64, |rng, _case| {
+        let (n, entries) = coo_matrix(rng);
+        let x_seed = rng.next_u64();
         let a = build(n, &entries);
-        let x: Vec<f64> = (0..n).map(|i| ((i as u64 ^ x_seed) % 17) as f64 / 8.0 - 1.0).collect();
+        let x: Vec<f64> = (0..n)
+            .map(|i| ((i as u64 ^ x_seed) % 17) as f64 / 8.0 - 1.0)
+            .collect();
         let y = spmv_alloc(&a, &x);
         let yd = a.to_dense().matvec(&x);
         for (p, q) in y.iter().zip(&yd) {
-            prop_assert!((p - q).abs() < 1e-10);
+            assert!((p - q).abs() < 1e-10);
         }
         // parallel SpMV is bit-identical
         let mut yp = vec![0.0; n];
         spmv_par(&a, &x, &mut yp);
-        prop_assert_eq!(y, yp);
-    }
+        assert_eq!(y, yp);
+    });
+}
 
-    #[test]
-    fn matrix_market_roundtrip((n, entries) in coo_matrix()) {
+#[test]
+fn matrix_market_roundtrip() {
+    run_cases("matrix_market_roundtrip", 64, |rng, _case| {
+        let (n, entries) = coo_matrix(rng);
         let a = build(n, &entries);
         let text = write_matrix_market_str(&a);
         let b: CsrMatrix<f64> = read_matrix_market_str(&text).unwrap();
-        prop_assert_eq!(a.nrows(), b.nrows());
-        prop_assert_eq!(a.nnz(), b.nnz());
+        assert_eq!(a.nrows(), b.nrows());
+        assert_eq!(a.nnz(), b.nnz());
         for i in 0..n {
             for j in 0..n {
-                prop_assert!((a.get(i, j) - b.get(i, j)).abs() < 1e-12);
+                assert!((a.get(i, j) - b.get(i, j)).abs() < 1e-12);
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn symmetric_permutation_is_similarity((n, entries) in coo_matrix(), shift in any::<usize>()) {
+#[test]
+fn symmetric_permutation_is_similarity() {
+    run_cases("symmetric_permutation_is_similarity", 64, |rng, _case| {
+        let (n, entries) = coo_matrix(rng);
+        let shift = rng.next_u64() as usize;
         let a = build(n, &entries);
         // a rotation permutation
         let perm: Vec<usize> = (0..n).map(|i| (i + shift) % n).collect();
         let p = a.permute_symmetric(&perm);
-        prop_assert_eq!(p.nnz(), a.nnz());
+        assert_eq!(p.nnz(), a.nnz());
         // entries move consistently: P(i,j) = A(perm[i], perm[j])... via inverse
         let mut inv = vec![0usize; n];
-        for (k, &v) in perm.iter().enumerate() { inv[v] = k; }
+        for (k, &v) in perm.iter().enumerate() {
+            inv[v] = k;
+        }
         for i in 0..n {
             for j in 0..n {
-                prop_assert!((p.get(inv[i], inv[j]) - a.get(i, j)).abs() < 1e-12);
+                assert!((p.get(inv[i], inv[j]) - a.get(i, j)).abs() < 1e-12);
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn rcm_always_yields_permutation((n, entries) in coo_matrix()) {
+#[test]
+fn rcm_always_yields_permutation() {
+    run_cases("rcm_always_yields_permutation", 64, |rng, _case| {
+        let (n, entries) = coo_matrix(rng);
         let a = build(n, &entries);
         let p = reverse_cuthill_mckee(&a);
-        prop_assert_eq!(p.len(), n);
-        prop_assert!(is_permutation(&p));
-    }
+        assert_eq!(p.len(), n);
+        assert!(is_permutation(&p));
+    });
+}
 
-    #[test]
-    fn blocking_partitions_are_valid((n, entries) in coo_matrix(), bound in 1usize..=8) {
+#[test]
+fn blocking_partitions_are_valid() {
+    run_cases("blocking_partitions_are_valid", 64, |rng, _case| {
+        let (n, entries) = coo_matrix(rng);
+        let bound = rng.gen_range(1usize..9);
         let a = build(n, &entries);
         let part = supervariable_blocking(&a, bound);
-        prop_assert_eq!(part.total(), n);
-        prop_assert!(part.max_size() <= bound);
+        assert_eq!(part.total(), n);
+        assert!(part.max_size() <= bound);
         // block_of is consistent with ranges
         for b in 0..part.len() {
             for r in part.range(b) {
-                prop_assert_eq!(part.block_of(r), b);
+                assert_eq!(part.block_of(r), b);
             }
         }
         // coverage is a fraction
         let cov = block_coverage(&a, &part);
-        prop_assert!((0.0..=1.0).contains(&cov));
-    }
+        assert!((0.0..=1.0).contains(&cov));
+    });
+}
 
-    #[test]
-    fn supervariables_never_split_identical_runs((n, entries) in coo_matrix()) {
-        let a = build(n, &entries);
-        let sv = find_supervariables(&a);
-        prop_assert_eq!(sv.total(), n);
-        // rows inside one supervariable share the pattern; rows across a
-        // boundary differ
-        for b in 0..sv.len() {
-            let r0 = sv.range(b).start;
-            for r in sv.range(b) {
-                prop_assert_eq!(a.row_cols(r), a.row_cols(r0));
+#[test]
+fn supervariables_never_split_identical_runs() {
+    run_cases(
+        "supervariables_never_split_identical_runs",
+        64,
+        |rng, _case| {
+            let (n, entries) = coo_matrix(rng);
+            let a = build(n, &entries);
+            let sv = find_supervariables(&a);
+            assert_eq!(sv.total(), n);
+            // rows inside one supervariable share the pattern; rows across a
+            // boundary differ
+            for b in 0..sv.len() {
+                let r0 = sv.range(b).start;
+                for r in sv.range(b) {
+                    assert_eq!(a.row_cols(r), a.row_cols(r0));
+                }
+                if b + 1 < sv.len() {
+                    let next = sv.range(b + 1).start;
+                    assert_ne!(a.row_cols(next - 1), a.row_cols(next));
+                }
             }
-            if b + 1 < sv.len() {
-                let next = sv.range(b + 1).start;
-                prop_assert_ne!(a.row_cols(next - 1), a.row_cols(next));
-            }
-        }
-    }
+        },
+    );
+}
 
-    #[test]
-    fn extraction_matches_dense_slices((n, entries) in coo_matrix(), bound in 1usize..=6) {
+#[test]
+fn extraction_matches_dense_slices() {
+    run_cases("extraction_matches_dense_slices", 64, |rng, _case| {
+        let (n, entries) = coo_matrix(rng);
+        let bound = rng.gen_range(1usize..7);
         let a = build(n, &entries);
         let part = BlockPartition::uniform(n, bound);
         let batch = extract_diag_blocks(&a, &part);
@@ -170,9 +210,9 @@ proptest! {
             let m = batch.block_as_mat(b);
             for (bi, i) in r.clone().enumerate() {
                 for (bj, j) in r.clone().enumerate() {
-                    prop_assert_eq!(m[(bi, bj)], d[(i, j)]);
+                    assert_eq!(m[(bi, bj)], d[(i, j)]);
                 }
             }
         }
-    }
+    });
 }

@@ -39,7 +39,12 @@ fn main() {
         part.sizes().iter().min().unwrap(),
         part.max_size()
     );
-    for method in [BjMethod::SmallLu, BjMethod::GaussHuard, BjMethod::GaussHuardT, BjMethod::GjeInvert] {
+    for method in [
+        BjMethod::SmallLu,
+        BjMethod::GaussHuard,
+        BjMethod::GaussHuardT,
+        BjMethod::GjeInvert,
+    ] {
         let t = std::time::Instant::now();
         let bj = BlockJacobi::setup(&a, &part, method, Exec::Parallel).unwrap();
         let setup = bj.setup_time.as_secs_f64();

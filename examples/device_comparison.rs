@@ -41,9 +41,7 @@ fn sweep(device: &DeviceModel) {
         if crossover.is_none() && lu >= gh {
             crossover = Some(n);
         }
-        println!(
-            "{n:>5} {lu:>14.1} {gh:>14.1} {vendor:>14.1} | {lus:>14.1} {ghs:>14.1}"
-        );
+        println!("{n:>5} {lu:>14.1} {gh:>14.1} {vendor:>14.1} | {lus:>14.1} {ghs:>14.1}");
     }
     println!("LU-vs-GH factorization crossover: {crossover:?}");
 }

@@ -22,7 +22,10 @@ fn main() {
             let a = fem_block_matrix::<f64>(&mesh, 3, 0.4, 0.05, 31);
             let p = std::env::temp_dir().join("vbatch_sample.mtx");
             write_matrix_market(&a, &p).expect("write sample");
-            println!("no input given — wrote a sample FEM matrix to {}", p.display());
+            println!(
+                "no input given — wrote a sample FEM matrix to {}",
+                p.display()
+            );
             (p, true)
         }
     };

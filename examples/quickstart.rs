@@ -14,14 +14,16 @@ fn main() {
         3,
         &[
             1e-10, 2.0, 3.0, // tiny leading pivot: pivoting required
-            4.0, 5.0, 6.0,
-            7.0, 8.0, 10.0,
+            4.0, 5.0, 6.0, 7.0, 8.0, 10.0,
         ],
     );
     let f = getrf(&a, PivotStrategy::Implicit).expect("nonsingular");
     let x = f.solve(&[1.0, 2.0, 3.0]);
     println!("single 3x3 solve:        x = {x:?}");
-    println!("residual |PA - LU|_max    = {:.3e}", f.residual(&a).to_f64());
+    println!(
+        "residual |PA - LU|_max    = {:.3e}",
+        f.residual(&a).to_f64()
+    );
 
     // --- a variable-size batch, factorized in parallel ---------------------
     let sizes: Vec<usize> = (0..10_000).map(|i| 4 + (i % 29)).collect();
@@ -49,9 +51,17 @@ fn main() {
         batch.total_elements()
     );
 
+    // construct an execution backend explicitly — CpuSequential, CpuRayon
+    // and SimtSim are interchangeable behind the `Backend` trait — and let
+    // the planner pick a kernel per block (packed LU / GH / small LU).
+    let backend: std::sync::Arc<dyn Backend<f64>> = std::sync::Arc::new(CpuRayon);
+    let plan = BatchPlan::auto::<f64>(&sizes);
+    let mut stats = ExecStats::new();
     let t = std::time::Instant::now();
-    let factors = batched_getrf(batch, PivotStrategy::Implicit, Exec::Parallel).unwrap();
-    println!("batched GETRF (parallel): {:?}", t.elapsed());
+    let factors = backend.factorize(batch, &plan, &mut stats);
+    println!("batched GETRF ({}): {:?}", backend.name(), t.elapsed());
+    println!("kernels used:             {}", stats.histogram_compact());
+    assert_eq!(factors.fallback_count(), 0);
 
     // right-hand sides: b_i = A_i * ones
     let mut rhs = VectorBatch::zeros(&sizes);
@@ -60,8 +70,8 @@ fn main() {
         rhs.seg_mut(i).copy_from_slice(&m.matvec(&ones));
     }
     let t = std::time::Instant::now();
-    factors.solve(&mut rhs, TrsvVariant::Eager, Exec::Parallel);
-    println!("batched GETRS (parallel): {:?}", t.elapsed());
+    backend.solve(&factors, &mut rhs, &mut stats);
+    println!("batched GETRS ({}): {:?}", backend.name(), t.elapsed());
 
     // verify: every solution is the all-ones vector
     let worst = rhs

@@ -9,8 +9,8 @@
 
 use vbatch_lu::prelude::*;
 use vbatch_sparse::block_coverage;
-use vbatch_sparse::gen::fem::{fem_variable_block_matrix, mixed_dofs, MeshGraph};
 use vbatch_sparse::find_supervariables;
+use vbatch_sparse::gen::fem::{fem_variable_block_matrix, mixed_dofs, MeshGraph};
 
 fn main() {
     // a mesh whose nodes carry 2, 3 or 5 unknowns — variable supervariables
@@ -24,7 +24,10 @@ fn main() {
     for s in sv.sizes() {
         *hist.entry(s).or_insert(0usize) += 1;
     }
-    println!("supervariables detected: {} — size histogram {hist:?}", sv.len());
+    println!(
+        "supervariables detected: {} — size histogram {hist:?}",
+        sv.len()
+    );
 
     println!(
         "\n{:>6} {:>8} {:>10} {:>10} {:>10}",

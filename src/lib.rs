@@ -11,6 +11,10 @@
 //! * [`simt`] — the warp-lockstep GPU simulator + P100 cost model that
 //!   stands in for the paper's CUDA layer;
 //! * [`sparse`] — CSR, supervariable blocking, extraction, generators;
+//! * [`exec`] — the execution layer: [`exec::Backend`] implementations
+//!   (sequential / parallel CPU, SIMT simulator) behind a
+//!   [`exec::BatchPlan`] that picks kernels per block using the paper's
+//!   crossovers;
 //! * [`precond`] — scalar and block-Jacobi preconditioners;
 //! * [`solver`] — IDR(s), BiCGSTAB, CG, GMRES(m).
 //!
@@ -25,6 +29,7 @@
 //! ```
 
 pub use vbatch_core as core;
+pub use vbatch_exec as exec;
 pub use vbatch_precond as precond;
 pub use vbatch_simt as simt;
 pub use vbatch_solver as solver;
@@ -34,14 +39,20 @@ pub use vbatch_sparse as sparse;
 pub mod prelude {
     pub use vbatch_core::{
         batched_getrf, condest1, getrf, getrf_blocked, gh_factorize, gje_invert, potrf,
-        solve_system, DenseMat, Exec, GhLayout, LuFactors, MatrixBatch, Permutation,
-        PivotStrategy, Scalar, TrsvVariant, VectorBatch,
+        solve_system, DenseMat, Exec, GhLayout, LuFactors, MatrixBatch, Permutation, PivotStrategy,
+        Scalar, TrsvVariant, VectorBatch,
+    };
+    pub use vbatch_exec::{
+        backend_for_exec, Backend, BatchPlan, BlockStatus, CpuRayon, CpuSequential, ExecStats,
+        KernelChoice, PlanMethod, SimtSim,
     };
     pub use vbatch_precond::{BjMethod, BlockJacobi, Identity, Jacobi, Preconditioner};
     pub use vbatch_simt::{
         estimate_factor, estimate_solve, DeviceModel, FactorKernel, SolveKernel,
     };
-    pub use vbatch_solver::{bicgstab, cg, gmres, idr, idr_smoothed, SolveParams, SolveResult, StopReason};
+    pub use vbatch_solver::{
+        bicgstab, cg, gmres, idr, idr_smoothed, SolveParams, SolveResult, StopReason,
+    };
     pub use vbatch_sparse::{
         extract_diag_blocks, reverse_cuthill_mckee, spmv_alloc, supervariable_blocking,
         table1_suite, BlockPartition, CooMatrix, CsrMatrix, SuiteProblem,

@@ -24,7 +24,11 @@ fn block_jacobi_idr_beats_scalar_jacobi() {
     let bj = BlockJacobi::setup(&a, &part, BjMethod::SmallLu, Exec::Parallel).unwrap();
     let r_block = idr(&a, &b, 4, &bj, &params);
 
-    assert!(r_block.converged(), "block-Jacobi run failed: {:?}", r_block.reason);
+    assert!(
+        r_block.converged(),
+        "block-Jacobi run failed: {:?}",
+        r_block.reason
+    );
     assert!(r_scalar.converged());
     assert!(
         r_block.iterations < r_scalar.iterations,
@@ -42,7 +46,11 @@ fn all_factorization_methods_give_same_preconditioner_quality() {
     let part = supervariable_blocking(&a, 24);
     let params = SolveParams::default();
     let mut iters = Vec::new();
-    for m in [BjMethod::SmallLu, BjMethod::GaussHuard, BjMethod::GaussHuardT] {
+    for m in [
+        BjMethod::SmallLu,
+        BjMethod::GaussHuard,
+        BjMethod::GaussHuardT,
+    ] {
         let bj = BlockJacobi::setup(&a, &part, m, Exec::Parallel).unwrap();
         let r = idr(&a, &b, 4, &bj, &params);
         assert!(r.converged(), "{m:?} failed");

@@ -13,7 +13,10 @@ fn large_blocks_flow_through_block_jacobi_via_blocked_lu() {
     let dofs = mixed_dofs(mesh.nodes, &[3, 5], 4);
     let a = fem_variable_block_matrix::<f64>(&mesh, &dofs, 0.3, 9);
     let part = supervariable_blocking(&a, 64);
-    assert!(part.max_size() > 32, "test needs blocks beyond the warp limit");
+    assert!(
+        part.max_size() > 32,
+        "test needs blocks beyond the warp limit"
+    );
     let m = BlockJacobi::setup(&a, &part, BjMethod::SmallLu, Exec::Parallel).unwrap();
     let b = vec![1.0; a.nrows()];
     let r = idr(&a, &b, 4, &m, &SolveParams::default());
@@ -97,9 +100,8 @@ fn sellp_spmv_drives_a_richardson_iteration() {
         }
     }
     sp.spmv(&x, &mut ax);
-    let rel = vbatch_sparse::nrm2(
-        &b.iter().zip(&ax).map(|(p, q)| p - q).collect::<Vec<_>>(),
-    ) / vbatch_sparse::nrm2(&b);
+    let rel = vbatch_sparse::nrm2(&b.iter().zip(&ax).map(|(p, q)| p - q).collect::<Vec<_>>())
+        / vbatch_sparse::nrm2(&b);
     assert!(rel < 1e-6, "Richardson on SELL-P stalled: {rel}");
 }
 

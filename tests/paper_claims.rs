@@ -45,15 +45,16 @@ fn claim_small_size_lu_dominates_at_32() {
 fn claim_crossover_ordering() {
     let cross = |sp: bool| {
         (4..=32)
-            .find(|&n| {
-                gf(sp, FactorKernel::SmallSizeLu, n) >= gf(sp, FactorKernel::GaussHuard, n)
-            })
+            .find(|&n| gf(sp, FactorKernel::SmallSizeLu, n) >= gf(sp, FactorKernel::GaussHuard, n))
             .unwrap_or(33)
     };
     let sp = cross(true);
     let dp = cross(false);
-    assert!(sp >= 10 && sp <= 20, "SP crossover {sp} (paper ~16)");
-    assert!(dp > sp, "DP crossover {dp} must exceed SP {sp} (paper 23 vs 16)");
+    assert!((10..=20).contains(&sp), "SP crossover {sp} (paper ~16)");
+    assert!(
+        dp > sp,
+        "DP crossover {dp} must exceed SP {sp} (paper 23 vs 16)"
+    );
     // below the crossover GH leads
     assert!(gf(false, FactorKernel::GaussHuard, 8) > gf(false, FactorKernel::SmallSizeLu, 8));
 }
@@ -94,8 +95,7 @@ fn claim_block_jacobi_helps() {
         let r_j = idr(&a, &b, 4, &jac, &params);
         let part = supervariable_blocking(&a, 32);
         let bj =
-            BlockJacobi::setup_with_fallback(&a, &part, BjMethod::SmallLu, Exec::Parallel)
-                .unwrap();
+            BlockJacobi::setup_with_fallback(&a, &part, BjMethod::SmallLu, Exec::Parallel).unwrap();
         let r_b = idr(&a, &b, 4, &bj, &params);
         assert!(r_j.converged() && r_b.converged(), "{name}");
         if r_b.iterations < r_j.iterations {
@@ -118,11 +118,10 @@ fn claim_lu_gh_preconditioners_equivalent() {
         let b = vec![1.0; a.nrows()];
         let params = SolveParams::default();
         let part = supervariable_blocking(&a, 24);
-        let lu = BlockJacobi::setup_with_fallback(&a, &part, BjMethod::SmallLu, Exec::Parallel)
+        let lu =
+            BlockJacobi::setup_with_fallback(&a, &part, BjMethod::SmallLu, Exec::Parallel).unwrap();
+        let gh = BlockJacobi::setup_with_fallback(&a, &part, BjMethod::GaussHuard, Exec::Parallel)
             .unwrap();
-        let gh =
-            BlockJacobi::setup_with_fallback(&a, &part, BjMethod::GaussHuard, Exec::Parallel)
-                .unwrap();
         let r_lu = idr(&a, &b, 4, &lu, &params);
         let r_gh = idr(&a, &b, 4, &gh, &params);
         assert!(r_lu.converged() && r_gh.converged());
