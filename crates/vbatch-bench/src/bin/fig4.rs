@@ -9,18 +9,30 @@
 //!
 //! On top of the paper's fixed-kernel curves, each row reports what the
 //! `vbatch-exec` planner would pick for the batch (the `planner` GFLOPS
-//! column) and the kernel-choice histogram behind that number.
+//! column plus its kernel-choice histogram), and two *measured* host
+//! columns: factorizing the same batch on `CpuSequential` with blocked
+//! vs interleaved storage (the CPU analogue of the paper's coalescing
+//! argument, see DESIGN.md "Interleaved layout").
 
-use vbatch_bench::{write_csv, BATCH_SWEEP};
-use vbatch_core::Scalar;
+use vbatch_bench::{
+    measure_cpu_factor_gflops, uniform_bench_batch, write_csv, BATCH_SWEEP, FIG4_HEADER,
+};
+use vbatch_core::{BatchLayout, Scalar};
 use vbatch_exec::{estimate_planned_factor, BatchPlan};
 use vbatch_simt::{estimate_factor, DeviceModel, FactorKernel};
 
 fn sweep<T: Scalar>(device: &DeviceModel, block: usize) -> Vec<Vec<String>> {
     println!("\n-- {} precision, block size {block} --", T::PRECISION);
     println!(
-        "{:>8} {:>15} {:>15} {:>15} {:>15} {:>15}",
-        "batch", "Small-Size LU", "Gauss-Huard", "Gauss-Huard-T", "cuBLAS LU", "planner"
+        "{:>8} {:>15} {:>15} {:>15} {:>15} {:>15} {:>12} {:>12}",
+        "batch",
+        "Small-Size LU",
+        "Gauss-Huard",
+        "Gauss-Huard-T",
+        "cuBLAS LU",
+        "planner",
+        "cpu-blocked",
+        "cpu-interlvd"
     );
     let mut rows = Vec::new();
     for &batch in BATCH_SWEEP.iter() {
@@ -44,6 +56,13 @@ fn sweep<T: Scalar>(device: &DeviceModel, block: usize) -> Vec<Vec<String>> {
         line.push_str(&format!(" {g:>15.1}"));
         row.push(format!("{g:.2}"));
         row.push(planned.histogram.clone());
+        let bench = uniform_bench_batch::<T>(batch, block);
+        let g_blocked = measure_cpu_factor_gflops(&bench, BatchLayout::Blocked);
+        let g_il = measure_cpu_factor_gflops(&bench, BatchLayout::interleaved());
+        line.push_str(&format!(" {g_blocked:>12.2} {g_il:>12.2}"));
+        row.push(format!("{g_blocked:.3}"));
+        row.push(format!("{g_il:.3}"));
+        row.push(plan.layout_compact());
         println!("{line}");
         rows.push(row);
     }
@@ -61,20 +80,6 @@ fn main() {
     for block in [16usize, 32] {
         rows.extend(sweep::<f64>(&device, block));
     }
-    let path = write_csv(
-        "fig4",
-        &[
-            "precision",
-            "block",
-            "batch",
-            "small_size_lu",
-            "gauss_huard",
-            "gauss_huard_t",
-            "cublas_lu",
-            "planner",
-            "plan_kernels",
-        ],
-        &rows,
-    );
+    let path = write_csv("fig4", &FIG4_HEADER, &rows);
     println!("\nCSV written to {}", path.display());
 }

@@ -9,12 +9,14 @@
 //! sizes.
 //!
 //! Each row also reports the `vbatch-exec` planner's pick for the batch
-//! (the `planner` GFLOPS column plus its kernel-choice histogram): the
-//! planner curve should hug the upper envelope of the fixed-kernel
-//! curves, switching families at the crossover orders.
+//! (the `planner` GFLOPS column plus its kernel-choice histogram), the
+//! planner's layout histogram, and measured host GFLOPS of the same
+//! batch factorized blocked vs interleaved on `CpuSequential`.
 
-use vbatch_bench::{size_sweep, write_csv};
-use vbatch_core::Scalar;
+use vbatch_bench::{
+    measure_cpu_factor_gflops, size_sweep, uniform_bench_batch, write_csv, FIG5_HEADER,
+};
+use vbatch_core::{BatchLayout, Scalar};
 use vbatch_exec::{estimate_planned_factor, BatchPlan};
 use vbatch_simt::{estimate_factor, DeviceModel, FactorKernel};
 
@@ -56,6 +58,13 @@ fn sweep<T: Scalar>(device: &DeviceModel) -> (Vec<Vec<String>>, Option<usize>) {
         line.push_str(&format!(" {g:>15.1}  {}", planned.histogram));
         row.push(format!("{g:.2}"));
         row.push(planned.histogram.clone());
+        let bench = uniform_bench_batch::<T>(BATCH, n);
+        let g_blocked = measure_cpu_factor_gflops(&bench, BatchLayout::Blocked);
+        let g_il = measure_cpu_factor_gflops(&bench, BatchLayout::interleaved());
+        line.push_str(&format!("  cpu {g_blocked:.2}/{g_il:.2}"));
+        row.push(format!("{g_blocked:.3}"));
+        row.push(format!("{g_il:.3}"));
+        row.push(plan.layout_compact());
         println!("{line}");
         rows.push(row);
     }
@@ -73,19 +82,6 @@ fn main() {
         "\nLU-vs-GH crossover: SP at size {:?} (paper: ~16), DP at size {:?} (paper: ~23)",
         sp_cross, dp_cross
     );
-    let path = write_csv(
-        "fig5",
-        &[
-            "precision",
-            "size",
-            "small_size_lu",
-            "gauss_huard",
-            "gauss_huard_t",
-            "cublas_lu",
-            "planner",
-            "plan_kernels",
-        ],
-        &rows,
-    );
+    let path = write_csv("fig5", &FIG5_HEADER, &rows);
     println!("CSV written to {}", path.display());
 }

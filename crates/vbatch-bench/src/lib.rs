@@ -8,8 +8,8 @@ use std::fs;
 use std::path::PathBuf;
 use std::time::Instant;
 
-use vbatch_core::Exec;
-use vbatch_exec::backend_for_exec;
+use vbatch_core::{BatchLayout, Exec, MatrixBatch, Scalar};
+use vbatch_exec::{backend_for_exec, Backend, BatchPlan, CpuSequential, ExecStats};
 use vbatch_precond::{BjMethod, Jacobi, Preconditioner};
 use vbatch_solver::{idr, idr_block_jacobi, SolveParams};
 use vbatch_sparse::{supervariable_blocking, CsrMatrix};
@@ -27,6 +27,69 @@ pub fn size_sweep() -> Vec<usize> {
 
 /// Block-size upper bounds of Fig. 8 / Table I.
 pub const BLOCK_BOUNDS: [usize; 5] = [8, 12, 16, 24, 32];
+
+/// CSV schema of the Fig. 4 artifact. The `cpu_blocked` /
+/// `cpu_interleaved` columns are *measured* host GFLOPS of the same
+/// batch under the two memory layouts; `plan_layouts` records the
+/// planner's per-class layout histogram.
+pub const FIG4_HEADER: [&str; 12] = [
+    "precision",
+    "block",
+    "batch",
+    "small_size_lu",
+    "gauss_huard",
+    "gauss_huard_t",
+    "cublas_lu",
+    "planner",
+    "plan_kernels",
+    "cpu_blocked",
+    "cpu_interleaved",
+    "plan_layouts",
+];
+
+/// CSV schema of the Fig. 5 artifact (layout columns as in
+/// [`FIG4_HEADER`]).
+pub const FIG5_HEADER: [&str; 11] = [
+    "precision",
+    "size",
+    "small_size_lu",
+    "gauss_huard",
+    "gauss_huard_t",
+    "cublas_lu",
+    "planner",
+    "plan_kernels",
+    "cpu_blocked",
+    "cpu_interleaved",
+    "plan_layouts",
+];
+
+/// Deterministic diagonally-dominant uniform batch used by the measured
+/// host-throughput columns of Figs. 4/5.
+pub fn uniform_bench_batch<T: Scalar>(count: usize, n: usize) -> MatrixBatch<T> {
+    MatrixBatch::uniform_from_fn(count, n, |blk, i, j| {
+        let h = (i * 131 + j * 37 + blk * 17 + 3) % 1024;
+        T::from_f64(h as f64 / 512.0 - 1.0 + if i == j { (n + 2) as f64 } else { 0.0 })
+    })
+}
+
+/// Measured host (CpuSequential) factorization throughput in GFLOPS
+/// under a forced batch layout, using the paper's `2/3 n³` flop count.
+pub fn measure_cpu_factor_gflops<T: Scalar>(batch: &MatrixBatch<T>, layout: BatchLayout) -> f64 {
+    let plan = BatchPlan::auto_with_layout::<T>(batch.sizes(), layout);
+    // best of three runs: a single run is dominated by allocator and
+    // page-fault noise at the small end of the sweep
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let mut stats = ExecStats::new();
+        let copy = batch.clone();
+        let t0 = Instant::now();
+        let factors = CpuSequential.factorize(copy, &plan, &mut stats);
+        let dt = t0.elapsed().as_secs_f64();
+        assert_eq!(factors.fallback_count(), 0, "bench batch must be regular");
+        best = best.min(dt);
+    }
+    batch.getrf_flops() / best / 1e9
+}
 
 /// Output directory for CSV artifacts.
 pub fn out_dir() -> PathBuf {
@@ -156,6 +219,30 @@ mod tests {
         let a = laplace_2d::<f64>(12, 12);
         let o = run_bj_idr(&a, 16, BjMethod::SmallLu).unwrap();
         assert!(o.converged);
+    }
+
+    #[test]
+    fn fig_csv_schemas_are_stable() {
+        // snapshot: bench output schema changes must be deliberate
+        assert_eq!(
+            FIG4_HEADER.join(","),
+            "precision,block,batch,small_size_lu,gauss_huard,gauss_huard_t,\
+             cublas_lu,planner,plan_kernels,cpu_blocked,cpu_interleaved,plan_layouts"
+        );
+        assert_eq!(
+            FIG5_HEADER.join(","),
+            "precision,size,small_size_lu,gauss_huard,gauss_huard_t,\
+             cublas_lu,planner,plan_kernels,cpu_blocked,cpu_interleaved,plan_layouts"
+        );
+    }
+
+    #[test]
+    fn measured_layout_gflops_are_finite_and_positive() {
+        let batch = uniform_bench_batch::<f64>(64, 8);
+        for layout in [BatchLayout::Blocked, BatchLayout::interleaved()] {
+            let g = measure_cpu_factor_gflops(&batch, layout);
+            assert!(g.is_finite() && g > 0.0, "{layout:?}: {g}");
+        }
     }
 
     #[test]

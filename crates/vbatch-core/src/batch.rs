@@ -30,12 +30,22 @@ impl<T: Scalar> MatrixBatch<T> {
     }
 
     /// Batch with the given block sizes, zero-initialized.
+    ///
+    /// # Panics
+    /// Panics with a clear message when the element count (`Σ n_i²`)
+    /// overflows `usize` — pathological size lists must not wrap around
+    /// into a silently undersized allocation.
     pub fn zeros(sizes: &[usize]) -> Self {
         let mut offsets = Vec::with_capacity(sizes.len() + 1);
         offsets.push(0usize);
         let mut total = 0usize;
         for &n in sizes {
-            total += n * n;
+            let sq = n.checked_mul(n).unwrap_or_else(|| {
+                panic!("MatrixBatch::zeros: block order {n} squared overflows usize")
+            });
+            total = total.checked_add(sq).unwrap_or_else(|| {
+                panic!("MatrixBatch::zeros: total element count overflows usize (block order {n})")
+            });
             offsets.push(total);
         }
         Self {
@@ -314,6 +324,20 @@ mod tests {
         assert_eq!(b.total_elements(), 14);
         assert_eq!(b.max_size(), 3);
         assert_eq!(b.size(1), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "squared overflows usize")]
+    fn zeros_rejects_order_whose_square_overflows() {
+        let _ = MatrixBatch::<f64>::zeros(&[usize::MAX]);
+    }
+
+    #[test]
+    #[should_panic(expected = "total element count overflows usize")]
+    fn zeros_rejects_total_overflow() {
+        // each n^2 fits in usize, but their sum wraps
+        let n = 1usize << (usize::BITS / 2 - 1);
+        let _ = MatrixBatch::<f64>::zeros(&[n, n, n, n, n]);
     }
 
     #[test]

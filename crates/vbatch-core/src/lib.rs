@@ -34,6 +34,7 @@ pub mod dense;
 pub mod error;
 pub mod gauss_huard;
 pub mod gje;
+pub mod interleaved;
 pub mod lu;
 pub mod perm;
 pub mod scalar;
@@ -50,6 +51,10 @@ pub use dense::DenseMat;
 pub use error::{FactorError, FactorResult};
 pub use gauss_huard::{gh_factorize, GhFactors, GhLayout};
 pub use gje::gje_invert;
+pub use interleaved::{
+    getrf_interleaved_class, lu_solve_interleaved_class, lu_solve_interleaved_slot, BatchLayout,
+    InterleavedBatch, InterleavedClass, DEFAULT_CLASS_CAPACITY,
+};
 pub use lu::blocked::getrf_blocked;
 pub use lu::{getrf, solve_system, LuFactors, PivotStrategy};
 pub use perm::Permutation;

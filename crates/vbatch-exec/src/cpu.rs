@@ -6,16 +6,18 @@
 use crate::backend::Backend;
 use crate::factors::{
     block_diag, scalar_jacobi_from_diag, BlockFactor, BlockStatus, FactorizedBatch,
+    InterleavedLuClass,
 };
-use crate::plan::{BatchPlan, KernelChoice};
+use crate::plan::{BatchPlan, ClassLayout, KernelChoice};
 use crate::stats::{ExecStats, Phase};
 use std::time::Instant;
 use vbatch_core::lu::implicit::getrf_implicit_inplace;
 use vbatch_core::{
-    batched_gemv, gh_factorize, gje_invert, potrf, DenseMat, Exec, FactorError, GhLayout,
-    MatrixBatch, Scalar, VectorBatch,
+    batched_gemv, getrf_interleaved_class, gh_factorize, gje_invert, lu_solve_interleaved_class,
+    potrf, DenseMat, Exec, FactorError, GhLayout, InterleavedClass, MatrixBatch, Scalar,
+    VectorBatch,
 };
-use vbatch_rt::par::par_map_vec;
+use vbatch_rt::par::{num_threads, par_map_vec};
 use vbatch_rt::prelude::*;
 use vbatch_sparse::{extract_diag_blocks, BlockPartition, CsrMatrix};
 
@@ -93,6 +95,46 @@ pub(crate) fn record_statuses(status: &[BlockStatus], stats: &mut ExecStats) {
     }
 }
 
+/// Per-chunk working-set budget for interleaved classes. Each
+/// elimination step revisits the whole chunk, so the chunk must stay
+/// cache-resident or every step streams it from memory and the layout
+/// loses to blocked storage (whose 2 KB blocks never leave L1). L2 is
+/// the sweet spot: wider lanes amortize the per-step lane bookkeeping
+/// better than the extra L1 misses cost.
+const INTERLEAVED_CHUNK_BYTES: usize = 128 * 1024;
+
+/// Slots per interleaved chunk: bound `n² · slots · sizeof(T)` by the
+/// cache budget, keeping at least a SIMD-width-friendly floor.
+fn interleaved_chunk_slots<T>(n: usize) -> usize {
+    let block_bytes = (n * n).max(1) * std::mem::size_of::<T>();
+    (INTERLEAVED_CHUNK_BYTES / block_bytes).max(8)
+}
+
+/// Factorize one interleaved chunk (a contiguous span of one size
+/// class): pack, run the class-wide sweep, and report per-slot errors.
+/// Slots are numerically independent, so chunking never changes
+/// results — only locality and how much parallelism the class exposes.
+fn factor_interleaved_chunk<T: Scalar>(
+    blocks: &MatrixBatch<T>,
+    n: usize,
+    members: Vec<usize>,
+) -> (InterleavedLuClass<T>, Vec<Option<FactorError>>) {
+    let packed = InterleavedClass::pack_from(blocks, &members);
+    let (_, member_idx, mut data) = packed.into_parts();
+    let count = member_idx.len();
+    let mut piv = vec![0usize; n * count];
+    let errs = getrf_interleaved_class(n, count, &mut data, &mut piv);
+    (
+        InterleavedLuClass {
+            n,
+            blocks: member_idx,
+            data,
+            piv,
+        },
+        errs,
+    )
+}
+
 fn factorize_cpu<T: Scalar>(
     blocks: MatrixBatch<T>,
     plan: &BatchPlan,
@@ -103,24 +145,136 @@ fn factorize_cpu<T: Scalar>(
     let t0 = Instant::now();
     stats.add_flops(blocks.getrf_flops());
     let sizes = blocks.sizes().to_vec();
-    let items: Vec<(usize, Vec<T>)> = (0..blocks.len())
-        .map(|i| (sizes[i], blocks.block(i).to_vec()))
+
+    // Partition blocks by the plan's per-class layout choice.
+    let mut blocked_idx: Vec<usize> = Vec::new();
+    let mut class_members = std::collections::BTreeMap::<usize, Vec<usize>>::new();
+    for i in 0..blocks.len() {
+        match plan.layout_for(i) {
+            ClassLayout::Blocked => blocked_idx.push(i),
+            ClassLayout::Interleaved => class_members.entry(sizes[i]).or_default().push(i),
+        }
+    }
+    stats.record_layout(ClassLayout::Blocked, blocked_idx.len() as u64);
+    stats.record_layout(
+        ClassLayout::Interleaved,
+        (blocks.len() - blocked_idx.len()) as u64,
+    );
+
+    let mut factors: Vec<Option<BlockFactor<T>>> = (0..blocks.len()).map(|_| None).collect();
+    let mut status: Vec<Option<BlockStatus>> = (0..blocks.len()).map(|_| None).collect();
+
+    // Blocked blocks: one isolated factorization per block.
+    let items: Vec<(usize, Vec<T>)> = blocked_idx
+        .iter()
+        .map(|&i| (i, blocks.block(i).to_vec()))
         .collect();
-    let work =
-        move |(i, (n, data)): (usize, (usize, Vec<T>))| factor_block(n, data, plan.kernel_for(i));
-    let indexed: Vec<(usize, (usize, Vec<T>))> = items.into_iter().enumerate().collect();
-    let results: Vec<(BlockFactor<T>, BlockStatus)> = if parallel {
-        par_map_vec(indexed, work)
-    } else {
-        indexed.into_iter().map(work).collect()
+    let block_work = |(i, data): (usize, Vec<T>)| {
+        let (f, s) = factor_block(sizes[i], data, plan.kernel_for(i));
+        (i, f, s)
     };
-    let (factors, status): (Vec<_>, Vec<_>) = results.into_iter().unzip();
+    let block_results: Vec<(usize, BlockFactor<T>, BlockStatus)> = if parallel {
+        par_map_vec(items, block_work)
+    } else {
+        items.into_iter().map(block_work).collect()
+    };
+    for (i, f, s) in block_results {
+        factors[i] = Some(f);
+        status[i] = Some(s);
+    }
+
+    // Interleaved classes: split each class into cache-sized chunks
+    // (further divided for the thread pool when parallel) and run the
+    // class-wide sweep on each.
+    let chunk_target = if parallel { num_threads().max(1) } else { 1 };
+    let mut chunks: Vec<(usize, Vec<usize>)> = Vec::new();
+    for (n, members) in class_members {
+        let per_thread = members.len().div_ceil(chunk_target).max(1);
+        let chunk_len = per_thread.min(interleaved_chunk_slots::<T>(n));
+        for c in members.chunks(chunk_len) {
+            chunks.push((n, c.to_vec()));
+        }
+    }
+    let blocks_ref = &blocks;
+    let chunk_work =
+        |(n, members): (usize, Vec<usize>)| factor_interleaved_chunk(blocks_ref, n, members);
+    let chunk_results: Vec<(InterleavedLuClass<T>, Vec<Option<FactorError>>)> = if parallel {
+        par_map_vec(chunks, chunk_work)
+    } else {
+        chunks.into_iter().map(chunk_work).collect()
+    };
+    let mut interleaved = Vec::with_capacity(chunk_results.len());
+    for (class, errs) in chunk_results {
+        let class_idx = interleaved.len();
+        for (slot, err) in errs.into_iter().enumerate() {
+            let blk = class.blocks[slot];
+            let kernel = plan.kernel_for(blk);
+            match err {
+                None => {
+                    factors[blk] = Some(BlockFactor::InterleavedLu {
+                        class: class_idx,
+                        slot,
+                    });
+                    status[blk] = Some(BlockStatus::Factorized(kernel));
+                }
+                Some(error) => {
+                    let diag = block_diag(class.n, blocks.block(blk));
+                    factors[blk] = Some(scalar_jacobi_from_diag(&diag));
+                    status[blk] = Some(BlockStatus::FallbackScalarJacobi { kernel, error });
+                }
+            }
+        }
+        interleaved.push(class);
+    }
+
+    let factors: Vec<BlockFactor<T>> = factors
+        .into_iter()
+        .map(|f| f.expect("every block factored"))
+        .collect();
+    let status: Vec<BlockStatus> = status
+        .into_iter()
+        .map(|s| s.expect("every block has a status"))
+        .collect();
     record_statuses(&status, stats);
     stats.add_phase(Phase::Factorize, t0.elapsed());
     FactorizedBatch {
         sizes,
         factors,
         status,
+        interleaved,
+    }
+}
+
+/// One unit of solve work: either a single blocked system or all the
+/// healthy slots of one interleaved class (gather → class-wide sweep →
+/// scatter).
+enum SolveUnit<'a, T> {
+    Block(usize, &'a mut [T]),
+    Class(usize, Vec<(usize, &'a mut [T])>),
+}
+
+fn run_solve_unit<T: Scalar>(factors: &FactorizedBatch<T>, unit: SolveUnit<'_, T>) {
+    match unit {
+        SolveUnit::Block(i, seg) => factors.solve_block_inplace(i, seg),
+        SolveUnit::Class(c, mut members) => {
+            let cls = &factors.interleaved[c];
+            let (n, count) = (cls.n, cls.count());
+            // Gather into full-width lanes: absent slots (fallbacks,
+            // sanitized to identity factors) solve a zero rhs and are
+            // simply not scattered back.
+            let mut x = vec![T::ZERO; n * count];
+            for (slot, seg) in &members {
+                for i in 0..n {
+                    x[i * count + slot] = seg[i];
+                }
+            }
+            lu_solve_interleaved_class(n, count, &cls.data, &cls.piv, &mut x);
+            for (slot, seg) in &mut members {
+                for i in 0..n {
+                    seg[i] = x[i * count + *slot];
+                }
+            }
+        }
     }
 }
 
@@ -132,13 +286,41 @@ fn solve_cpu<T: Scalar>(
 ) {
     assert_eq!(factors.sizes, rhs.sizes(), "factors do not match rhs");
     let t0 = Instant::now();
-    if parallel {
-        rhs.segs_mut()
-            .into_par_iter()
-            .enumerate()
-            .for_each(|(i, seg)| factors.solve_block_inplace(i, seg));
+    if factors.interleaved.is_empty() {
+        if parallel {
+            rhs.segs_mut()
+                .into_par_iter()
+                .enumerate()
+                .for_each(|(i, seg)| factors.solve_block_inplace(i, seg));
+        } else {
+            factors.solve_all_inplace(rhs);
+        }
     } else {
-        factors.solve_all_inplace(rhs);
+        let mut segs: Vec<Option<&mut [T]>> = rhs.segs_mut().into_iter().map(Some).collect();
+        let mut units: Vec<SolveUnit<'_, T>> = Vec::new();
+        for (c, cls) in factors.interleaved.iter().enumerate() {
+            let mut members = Vec::with_capacity(cls.count());
+            for (slot, &blk) in cls.blocks.iter().enumerate() {
+                if matches!(factors.factors[blk], BlockFactor::InterleavedLu { .. }) {
+                    members.push((slot, segs[blk].take().expect("segment claimed twice")));
+                }
+            }
+            if !members.is_empty() {
+                units.push(SolveUnit::Class(c, members));
+            }
+        }
+        for (i, seg) in segs.into_iter().enumerate() {
+            if let Some(seg) = seg {
+                units.push(SolveUnit::Block(i, seg));
+            }
+        }
+        if parallel {
+            par_map_vec(units, |u| run_solve_unit(factors, u));
+        } else {
+            for u in units {
+                run_solve_unit(factors, u);
+            }
+        }
     }
     stats.add_flops(factors.sizes.iter().map(|&n| 2.0 * (n * n) as f64).sum());
     stats.add_phase(Phase::Solve, t0.elapsed());
@@ -374,6 +556,56 @@ mod tests {
         let mut rhs = VectorBatch::from_flat(&sizes, &vec![1.0; total]);
         CpuSequential.solve(&fact, &mut rhs, &mut stats);
         assert!(rhs.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn interleaved_layout_matches_blocked_bitwise() {
+        use vbatch_core::BatchLayout;
+        // 12 blocks of order 6 + a ragged tail of order 9
+        let mut sizes = vec![6usize; 12];
+        sizes.push(9);
+        let mut batch = random_batch(&sizes, 23);
+        // one singular block inside the interleaved class
+        {
+            let n = 6;
+            let block = batch.block_mut(4);
+            for c in 0..n {
+                block[c * n + 2] = block[c * n + 1];
+            }
+        }
+        let blocked_plan = BatchPlan::auto_with_layout::<f64>(&sizes, BatchLayout::Blocked);
+        let il_plan = BatchPlan::auto_with_layout::<f64>(
+            &sizes,
+            BatchLayout::Interleaved { class_capacity: 2 },
+        );
+        assert_eq!(il_plan.layout_for(0), ClassLayout::Interleaved);
+        assert_eq!(il_plan.layout_for(12), ClassLayout::Blocked);
+
+        let total: usize = sizes.iter().sum();
+        let flat: Vec<f64> = (0..total).map(|i| (i % 11) as f64 / 2.0 - 2.0).collect();
+        for backend in [&CpuSequential as &dyn Backend<f64>, &CpuRayon] {
+            let mut sb = ExecStats::new();
+            let mut si = ExecStats::new();
+            let fb = backend.factorize(batch.clone(), &blocked_plan, &mut sb);
+            let fi = backend.factorize(batch.clone(), &il_plan, &mut si);
+            assert!(fi.interleaved.iter().map(|c| c.count()).sum::<usize>() >= 12);
+            assert_eq!(fb.fallback_count(), 1);
+            assert_eq!(fi.fallback_count(), 1);
+            assert_eq!(si.layout_histogram()["interleaved"], 12);
+            assert_eq!(si.layout_histogram()["blocked"], 1);
+            // bitwise-identical pivots for every LU block
+            for blk in 0..sizes.len() {
+                assert_eq!(fb.row_of_step(blk), fi.row_of_step(blk), "block {blk}");
+                assert_eq!(fb.status[blk].is_fallback(), fi.status[blk].is_fallback());
+            }
+            // bitwise-identical solutions
+            let mut rb = VectorBatch::from_flat(&sizes, &flat);
+            let mut ri = VectorBatch::from_flat(&sizes, &flat);
+            backend.solve(&fb, &mut rb, &mut sb);
+            backend.solve(&fi, &mut ri, &mut si);
+            assert_eq!(rb.as_slice(), ri.as_slice(), "{}", backend.name());
+            assert!(ri.as_slice().iter().all(|v| v.is_finite()));
+        }
     }
 
     #[test]

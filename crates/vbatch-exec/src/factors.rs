@@ -3,8 +3,8 @@
 
 use crate::plan::KernelChoice;
 use vbatch_core::{
-    lu_solve_inplace, CholeskyFactors, FactorError, GhFactors, Permutation, Scalar, TrsvVariant,
-    VectorBatch,
+    lu_solve_inplace, lu_solve_interleaved_slot, CholeskyFactors, FactorError, GhFactors,
+    Permutation, Scalar, TrsvVariant, VectorBatch,
 };
 
 /// Outcome of factorizing one block.
@@ -59,6 +59,50 @@ pub enum BlockFactor<T: Scalar> {
         /// Reciprocal diagonal entries.
         inv_diag: Vec<T>,
     },
+    /// The block's LU factors live in an interleaved size class
+    /// ([`FactorizedBatch::interleaved`]) rather than a per-block
+    /// allocation.
+    InterleavedLu {
+        /// Index into [`FactorizedBatch::interleaved`].
+        class: usize,
+        /// Slot of this block within the class.
+        slot: usize,
+    },
+}
+
+/// LU factors of one interleaved size class: `blocks.len()` systems of
+/// order `n`, with combined `L\U` values stored element-interleaved
+/// (`data[(j*n + i) * count + slot]`) and row-of-step pivot lanes
+/// (`piv[k * count + slot]`).
+#[derive(Clone, Debug)]
+pub struct InterleavedLuClass<T> {
+    /// Block order of the class.
+    pub n: usize,
+    /// Slot → original block index.
+    pub blocks: Vec<usize>,
+    /// Interleaved combined `L\U` factors.
+    pub data: Vec<T>,
+    /// Interleaved row-of-step pivot lanes.
+    pub piv: Vec<usize>,
+}
+
+impl<T: Scalar> InterleavedLuClass<T> {
+    /// Number of slots in the class.
+    pub fn count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Solve one slot's system in place (strided host path; bitwise
+    /// identical to the class-wide sweep).
+    pub fn solve_slot_inplace(&self, slot: usize, seg: &mut [T]) {
+        lu_solve_interleaved_slot(self.n, self.count(), slot, &self.data, &self.piv, seg);
+    }
+
+    /// Row-of-step pivot sequence of one slot.
+    pub fn slot_row_of_step(&self, slot: usize) -> Vec<usize> {
+        let count = self.count();
+        (0..self.n).map(|k| self.piv[k * count + slot]).collect()
+    }
 }
 
 /// Build the scalar-Jacobi fallback factor from a block's original
@@ -93,6 +137,10 @@ pub struct FactorizedBatch<T: Scalar> {
     pub factors: Vec<BlockFactor<T>>,
     /// Per-block factorization status.
     pub status: Vec<BlockStatus>,
+    /// Interleaved size classes referenced by
+    /// [`BlockFactor::InterleavedLu`] entries (empty for a fully
+    /// blocked factorization).
+    pub interleaved: Vec<InterleavedLuClass<T>>,
 }
 
 impl<T: Scalar> FactorizedBatch<T> {
@@ -137,6 +185,22 @@ impl<T: Scalar> FactorizedBatch<T> {
                     *s *= d;
                 }
             }
+            BlockFactor::InterleavedLu { class, slot } => {
+                self.interleaved[*class].solve_slot_inplace(*slot, seg);
+            }
+        }
+    }
+
+    /// Row-of-step pivot sequence of block `block`, when its factors
+    /// are an LU form (blocked or interleaved). Used by the golden
+    /// differential suite to assert bitwise pivot agreement.
+    pub fn row_of_step(&self, block: usize) -> Option<Vec<usize>> {
+        match &self.factors[block] {
+            BlockFactor::Lu { perm, .. } => Some(perm.as_slice().to_vec()),
+            BlockFactor::InterleavedLu { class, slot } => {
+                Some(self.interleaved[*class].slot_row_of_step(*slot))
+            }
+            _ => None,
         }
     }
 
@@ -173,6 +237,7 @@ mod tests {
                 inv: vec![0.5, 0.0, 0.0, 0.25],
             }],
             status: vec![BlockStatus::Factorized(KernelChoice::GjeInvert)],
+            interleaved: Vec::new(),
         };
         let mut seg = [8.0f64, 8.0];
         fb.solve_block_inplace(0, &mut seg);

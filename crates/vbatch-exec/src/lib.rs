@@ -33,7 +33,9 @@ pub mod stats;
 pub use backend::{backend_for_exec, Backend};
 pub use cpu::{CpuRayon, CpuSequential};
 pub use estimate::{estimate_planned_factor, PlannedEstimate};
-pub use factors::{BlockFactor, BlockStatus, FactorizedBatch};
-pub use plan::{gh_crossover_order, BatchPlan, KernelChoice, PlanMethod, PlanParams, SizeClass};
+pub use factors::{BlockFactor, BlockStatus, FactorizedBatch, InterleavedLuClass};
+pub use plan::{
+    gh_crossover_order, BatchPlan, ClassLayout, KernelChoice, PlanMethod, PlanParams, SizeClass,
+};
 pub use simt::SimtSim;
 pub use stats::{ExecStats, Phase};

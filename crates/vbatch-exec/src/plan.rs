@@ -1,7 +1,9 @@
 //! Kernel planning: map a batch's size distribution to concrete kernel
-//! choices using the paper's crossover points.
+//! choices using the paper's crossover points, and to a memory layout
+//! per size class (interleave populous uniform classes, keep ragged
+//! tails blocked).
 
-use vbatch_core::Scalar;
+use vbatch_core::{BatchLayout, Scalar};
 
 /// A concrete kernel selected for a size class of a batch.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -77,6 +79,26 @@ pub fn gh_crossover_order(element_bytes: usize) -> usize {
     }
 }
 
+/// The memory layout the planner settled on for one size class.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ClassLayout {
+    /// One contiguous column-major slice per block.
+    Blocked,
+    /// The class is packed element-interleaved and processed by the
+    /// class-wide sweep kernels.
+    Interleaved,
+}
+
+impl ClassLayout {
+    /// Stable label used in stats histograms and CSV columns.
+    pub fn label(self) -> &'static str {
+        match self {
+            ClassLayout::Blocked => "blocked",
+            ClassLayout::Interleaved => "interleaved",
+        }
+    }
+}
+
 /// Tunable planner thresholds. [`PlanParams::for_scalar`] gives the
 /// paper's values for the element type.
 #[derive(Clone, Copy, Debug)]
@@ -87,21 +109,27 @@ pub struct PlanParams {
     pub pack_max: usize,
     /// Largest order the one-row-per-lane kernels handle (warp width).
     pub small_max: usize,
+    /// Batch layout policy: with [`BatchLayout::Interleaved`], LU-family
+    /// size classes whose population reaches `class_capacity` are
+    /// stored interleaved; everything else stays blocked.
+    pub layout: BatchLayout,
 }
 
 impl PlanParams {
-    /// Paper thresholds for scalar type `T`.
+    /// Paper thresholds for scalar type `T`, with the default
+    /// interleaving policy.
     pub fn for_scalar<T: Scalar>() -> Self {
         PlanParams {
             gh_crossover: gh_crossover_order(T::BYTES),
             pack_max: 16,
             small_max: 32,
+            layout: BatchLayout::interleaved(),
         }
     }
 }
 
 /// One size class of a plan: `count` blocks of order `n`, all executed
-/// with the same kernel.
+/// with the same kernel on the same layout.
 #[derive(Clone, Copy, Debug)]
 pub struct SizeClass {
     /// Block order.
@@ -110,14 +138,30 @@ pub struct SizeClass {
     pub count: usize,
     /// Kernel the planner selected for the class.
     pub kernel: KernelChoice,
+    /// Memory layout the planner selected for the class.
+    pub layout: ClassLayout,
 }
 
-/// A kernel assignment for every block of a batch.
+/// A kernel and layout assignment for every block of a batch.
 #[derive(Clone, Debug)]
 pub struct BatchPlan {
     /// Distinct size classes, ascending by order.
     pub classes: Vec<SizeClass>,
     choice: Vec<KernelChoice>,
+    layouts: Vec<ClassLayout>,
+}
+
+/// Interleaving pays only for the LU-family sweep kernels on small
+/// orders and needs enough slots per class to amortize the pack/unpack
+/// copies; ragged tails and the >32 blocked-LU path stay blocked.
+fn pick_layout(kernel: KernelChoice, count: usize, p: &PlanParams) -> ClassLayout {
+    let interleavable = matches!(kernel, KernelChoice::PackedLu | KernelChoice::SmallLu);
+    match p.layout {
+        BatchLayout::Interleaved { class_capacity } if interleavable && count >= class_capacity => {
+            ClassLayout::Interleaved
+        }
+        _ => ClassLayout::Blocked,
+    }
 }
 
 fn pick(n: usize, count: usize, method: PlanMethod, p: &PlanParams) -> KernelChoice {
@@ -149,15 +193,24 @@ impl BatchPlan {
         }
         let classes: Vec<SizeClass> = counts
             .iter()
-            .map(|(&n, &count)| SizeClass {
-                n,
-                count,
-                kernel: pick(n, count, method, params),
+            .map(|(&n, &count)| {
+                let kernel = pick(n, count, method, params);
+                SizeClass {
+                    n,
+                    count,
+                    kernel,
+                    layout: pick_layout(kernel, count, params),
+                }
             })
             .collect();
-        let by_n = |n: usize| classes[classes.binary_search_by_key(&n, |c| c.n).unwrap()].kernel;
-        let choice = sizes.iter().map(|&n| by_n(n)).collect();
-        BatchPlan { classes, choice }
+        let by_n = |n: usize| &classes[classes.binary_search_by_key(&n, |c| c.n).unwrap()];
+        let choice = sizes.iter().map(|&n| by_n(n).kernel).collect();
+        let layouts = sizes.iter().map(|&n| by_n(n).layout).collect();
+        BatchPlan {
+            classes,
+            choice,
+            layouts,
+        }
     }
 
     /// Paper-crossover automatic plan for scalar type `T`.
@@ -170,9 +223,36 @@ impl BatchPlan {
         Self::with_params(sizes, method, &PlanParams::for_scalar::<T>())
     }
 
+    /// Automatic plan with an explicit layout policy.
+    pub fn auto_with_layout<T: Scalar>(sizes: &[usize], layout: BatchLayout) -> Self {
+        let params = PlanParams {
+            layout,
+            ..PlanParams::for_scalar::<T>()
+        };
+        Self::with_params(sizes, PlanMethod::Auto, &params)
+    }
+
+    /// Forced-method plan with an explicit layout policy.
+    pub fn for_method_with_layout<T: Scalar>(
+        sizes: &[usize],
+        method: PlanMethod,
+        layout: BatchLayout,
+    ) -> Self {
+        let params = PlanParams {
+            layout,
+            ..PlanParams::for_scalar::<T>()
+        };
+        Self::with_params(sizes, method, &params)
+    }
+
     /// Kernel selected for block `block`.
     pub fn kernel_for(&self, block: usize) -> KernelChoice {
         self.choice[block]
+    }
+
+    /// Layout selected for block `block`'s size class.
+    pub fn layout_for(&self, block: usize) -> ClassLayout {
+        self.layouts[block]
     }
 
     /// Number of blocks planned.
@@ -208,6 +288,31 @@ impl BatchPlan {
         self.histogram()
             .iter()
             .map(|(k, c)| format!("{}={c}", k.label()))
+            .collect::<Vec<_>>()
+            .join(";")
+    }
+
+    /// Layout histogram over blocks, zero-count entries omitted.
+    pub fn layout_histogram(&self) -> Vec<(ClassLayout, usize)> {
+        [ClassLayout::Blocked, ClassLayout::Interleaved]
+            .iter()
+            .filter_map(|&l| {
+                let c: usize = self
+                    .classes
+                    .iter()
+                    .filter(|cl| cl.layout == l)
+                    .map(|cl| cl.count)
+                    .sum();
+                (c > 0).then_some((l, c))
+            })
+            .collect()
+    }
+
+    /// Layout histogram as a compact `label=count;...` string for CSV.
+    pub fn layout_compact(&self) -> String {
+        self.layout_histogram()
+            .iter()
+            .map(|(l, c)| format!("{}={c}", l.label()))
             .collect::<Vec<_>>()
             .join(";")
     }
@@ -259,6 +364,35 @@ mod tests {
         let plan = BatchPlan::for_method::<f64>(&[8, 40], PlanMethod::GjeInvert);
         assert_eq!(plan.kernel_for(0), KernelChoice::GjeInvert);
         assert_eq!(plan.kernel_for(1), KernelChoice::GjeInvert);
+    }
+
+    #[test]
+    fn layout_interleaves_populous_lu_classes_only() {
+        // 40 blocks of order 8 (PackedLu, >= capacity) + 3 of order 20
+        // (GaussHuard in f64) + 2 of order 40 (BlockedLu)
+        let mut sizes = vec![8usize; 40];
+        sizes.extend([20, 20, 20, 40, 40]);
+        let plan = BatchPlan::auto::<f64>(&sizes);
+        for b in 0..40 {
+            assert_eq!(plan.layout_for(b), ClassLayout::Interleaved, "block {b}");
+        }
+        for b in 40..45 {
+            assert_eq!(plan.layout_for(b), ClassLayout::Blocked, "block {b}");
+        }
+        assert_eq!(plan.layout_compact(), "blocked=5;interleaved=40");
+    }
+
+    #[test]
+    fn layout_respects_class_capacity_and_blocked_policy() {
+        let sizes = vec![8usize; 40];
+        let small_cap = BatchPlan::auto_with_layout::<f64>(
+            &sizes,
+            BatchLayout::Interleaved { class_capacity: 41 },
+        );
+        assert_eq!(small_cap.layout_for(0), ClassLayout::Blocked);
+        let forced_blocked = BatchPlan::auto_with_layout::<f64>(&sizes, BatchLayout::Blocked);
+        assert_eq!(forced_blocked.layout_for(0), ClassLayout::Blocked);
+        assert_eq!(forced_blocked.layout_compact(), "blocked=40");
     }
 
     #[test]

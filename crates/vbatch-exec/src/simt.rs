@@ -10,7 +10,7 @@ use crate::cpu::{factor_block, invert_cpu, record_statuses};
 use crate::factors::{
     block_diag, scalar_jacobi_from_diag, BlockFactor, BlockStatus, FactorizedBatch,
 };
-use crate::plan::{BatchPlan, KernelChoice};
+use crate::plan::{BatchPlan, ClassLayout, KernelChoice};
 use crate::stats::{ExecStats, Phase};
 use std::collections::BTreeMap;
 use std::time::Instant;
@@ -134,6 +134,9 @@ impl<T: Scalar> Backend<T> for SimtSim {
         assert_eq!(plan.len(), blocks.len(), "plan does not match batch");
         let t0 = Instant::now();
         stats.add_flops(blocks.getrf_flops());
+        // The simulated device reads the batch coalesced regardless of
+        // host layout: every block executes the blocked path here.
+        stats.record_layout(ClassLayout::Blocked, blocks.len() as u64);
         let sizes = blocks.sizes().to_vec();
         let mut results: Vec<Option<(BlockFactor<T>, BlockStatus)>> = vec![None; blocks.len()];
 
@@ -289,6 +292,7 @@ impl<T: Scalar> Backend<T> for SimtSim {
             sizes,
             factors,
             status,
+            interleaved: Vec::new(),
         }
     }
 

@@ -1,6 +1,6 @@
 //! Execution statistics threaded through every backend call.
 
-use crate::plan::KernelChoice;
+use crate::plan::{ClassLayout, KernelChoice};
 use std::collections::BTreeMap;
 use std::time::Duration;
 use vbatch_simt::CostCounter;
@@ -40,6 +40,7 @@ impl Phase {
 #[derive(Clone, Debug, Default)]
 pub struct ExecStats {
     kernels: BTreeMap<&'static str, u64>,
+    layouts: BTreeMap<&'static str, u64>,
     /// Nominal floating-point operations of the executed batched calls.
     pub flops: f64,
     /// Blocks whose factorization failed and degraded to the fallback.
@@ -67,6 +68,13 @@ impl ExecStats {
     pub fn record_host(&mut self, label: &'static str, blocks: u64) {
         if blocks > 0 {
             *self.kernels.entry(label).or_insert(0) += blocks;
+        }
+    }
+
+    /// Record `blocks` blocks executed in layout `l`.
+    pub fn record_layout(&mut self, l: ClassLayout, blocks: u64) {
+        if blocks > 0 {
+            *self.layouts.entry(l.label()).or_insert(0) += blocks;
         }
     }
 
@@ -114,10 +122,27 @@ impl ExecStats {
             .join(";")
     }
 
+    /// Layout histogram (label → block count).
+    pub fn layout_histogram(&self) -> &BTreeMap<&'static str, u64> {
+        &self.layouts
+    }
+
+    /// Layout histogram as a compact `label=count;...` string for CSV.
+    pub fn layout_compact(&self) -> String {
+        self.layouts
+            .iter()
+            .map(|(k, c)| format!("{k}={c}"))
+            .collect::<Vec<_>>()
+            .join(";")
+    }
+
     /// Fold another stats object into this one.
     pub fn merge(&mut self, other: &ExecStats) {
         for (k, c) in &other.kernels {
             *self.kernels.entry(k).or_insert(0) += c;
+        }
+        for (k, c) in &other.layouts {
+            *self.layouts.entry(k).or_insert(0) += c;
         }
         self.flops += other.flops;
         self.failures += other.failures;
@@ -148,7 +173,12 @@ mod tests {
         b.add_phase(Phase::Factorize, Duration::from_millis(3));
         b.add_phase(Phase::Solve, Duration::from_millis(2));
 
+        a.record_layout(ClassLayout::Interleaved, 3);
+        b.record_layout(ClassLayout::Interleaved, 2);
+        b.record_layout(ClassLayout::Blocked, 1);
         a.merge(&b);
+        assert_eq!(a.layout_histogram()["interleaved"], 5);
+        assert_eq!(a.layout_compact(), "blocked=1;interleaved=5");
         assert_eq!(a.kernel_histogram()["small-lu"], 4);
         assert_eq!(a.kernel_histogram()["gauss-huard"], 2);
         assert_eq!(a.failures, 1);

@@ -1,0 +1,214 @@
+//! Golden differential suite: the same randomized variable-size batches
+//! run through every (backend × layout) combination, and the results
+//! are pinned against each other and against the naive dense LU
+//! reference of `vbatch-core`.
+//!
+//! Contracts locked down here:
+//!
+//! * the two CPU backends agree **bitwise** across both layouts —
+//!   identical pivot sequences and identical solution bits, because the
+//!   interleaved sweeps execute the exact per-slot operation order of
+//!   the blocked kernels;
+//! * every combination stays within `c · n · eps` of the dense
+//!   reference solve (`vbatch_core::solve_system`);
+//! * the SIMT simulator agrees with the CPU combinations to roundoff;
+//! * singular blocks degrade to the scalar-Jacobi fallback identically
+//!   in every combination, with finite outputs everywhere.
+
+use vbatch_core::{BatchLayout, MatrixBatch, Scalar, VectorBatch};
+use vbatch_exec::{
+    Backend, BatchPlan, CpuRayon, CpuSequential, ExecStats, FactorizedBatch, PlanMethod, SimtSim,
+};
+use vbatch_rt::{run_cases, SmallRng};
+
+/// Residual agreement bound: `GOLDEN_C · n · eps` relative to the
+/// reference solution's magnitude.
+const GOLDEN_C: f64 = 256.0;
+
+fn random_batch(rng: &mut SmallRng, max_n: usize, max_count: usize) -> MatrixBatch<f64> {
+    let count = rng.gen_range(2usize..max_count + 1);
+    let sizes: Vec<usize> = (0..count)
+        .map(|_| rng.gen_range(1usize..max_n + 1))
+        .collect();
+    let mut batch = MatrixBatch::zeros(&sizes);
+    for i in 0..batch.len() {
+        let n = sizes[i];
+        let block = batch.block_mut(i);
+        for c in 0..n {
+            for r in 0..n {
+                let v = rng.gen_range(-1.0..1.0);
+                block[c * n + r] = if r == c { v + 2.0 + n as f64 } else { v };
+            }
+        }
+    }
+    batch
+}
+
+fn rhs_for(rng: &mut SmallRng, sizes: &[usize]) -> VectorBatch<f64> {
+    let mut rhs = VectorBatch::zeros(sizes);
+    for v in rhs.as_mut_slice().iter_mut() {
+        *v = rng.gen_range(-4.0..4.0);
+    }
+    rhs
+}
+
+/// The layouts every batch is pushed through. `class_capacity: 2` makes
+/// even small random classes take the interleaved path.
+const LAYOUTS: [BatchLayout; 2] = [
+    BatchLayout::Blocked,
+    BatchLayout::Interleaved { class_capacity: 2 },
+];
+
+struct Combo {
+    label: String,
+    factors: FactorizedBatch<f64>,
+    solution: Vec<f64>,
+    /// `true` for combinations whose results must agree bitwise with
+    /// each other (the host CPU paths).
+    bitwise: bool,
+}
+
+fn run_all_combos(
+    batch: &MatrixBatch<f64>,
+    rhs: &VectorBatch<f64>,
+    method: PlanMethod,
+) -> Vec<Combo> {
+    let mut combos = Vec::new();
+    let backends: [(&dyn Backend<f64>, bool); 3] = [
+        (&CpuSequential, true),
+        (&CpuRayon, true),
+        (&SimtSim::new(), false),
+    ];
+    for layout in LAYOUTS {
+        let plan = BatchPlan::for_method_with_layout::<f64>(batch.sizes(), method, layout);
+        for (backend, bitwise) in backends {
+            let mut stats = ExecStats::new();
+            let factors = backend.factorize(batch.clone(), &plan, &mut stats);
+            let mut x = rhs.clone();
+            backend.solve(&factors, &mut x, &mut stats);
+            combos.push(Combo {
+                label: format!("{}/{}", backend.name(), layout.label()),
+                factors,
+                solution: x.as_slice().to_vec(),
+                bitwise,
+            });
+        }
+    }
+    combos
+}
+
+fn assert_matches_dense_reference(batch: &MatrixBatch<f64>, rhs: &VectorBatch<f64>, combo: &Combo) {
+    let solved = VectorBatch::from_flat(batch.sizes(), &combo.solution);
+    for blk in 0..batch.len() {
+        if combo.factors.status[blk].is_fallback() {
+            continue;
+        }
+        let n = batch.size(blk);
+        let a = batch.block_as_mat(blk);
+        let x_ref = vbatch_core::solve_system(&a, rhs.seg(blk)).expect("reference solve");
+        let scale = x_ref.iter().fold(1.0f64, |m, v| m.max(v.abs()));
+        let tol = GOLDEN_C * n as f64 * f64::epsilon() * scale;
+        for (i, (&got, &want)) in solved.seg(blk).iter().zip(&x_ref).enumerate() {
+            assert!(
+                (got - want).abs() <= tol,
+                "{}: block {blk} row {i}: {got} vs reference {want} (tol {tol:.3e})",
+                combo.label
+            );
+        }
+    }
+}
+
+#[test]
+fn all_backend_layout_combos_agree_on_random_batches() {
+    run_cases("golden_backend_layout_agreement", 24, |rng, _case| {
+        let batch = random_batch(rng, 12, 24);
+        let rhs = rhs_for(rng, batch.sizes());
+        for method in [PlanMethod::SmallLu, PlanMethod::Auto] {
+            let combos = run_all_combos(&batch, &rhs, method);
+            let baseline = &combos[0];
+
+            for combo in &combos {
+                // every combination within c·n·eps of the dense reference
+                assert_matches_dense_reference(&batch, &rhs, combo);
+                assert_eq!(
+                    combo.factors.fallback_count(),
+                    baseline.factors.fallback_count(),
+                    "{}",
+                    combo.label
+                );
+                for (p, q) in combo.solution.iter().zip(&baseline.solution) {
+                    assert!(
+                        (p - q).abs() < 1e-8,
+                        "{} vs {}: {p} vs {q}",
+                        combo.label,
+                        baseline.label
+                    );
+                }
+            }
+
+            // CPU combinations: bitwise-identical pivots and solutions
+            let cpu: Vec<&Combo> = combos.iter().filter(|c| c.bitwise).collect();
+            for combo in &cpu[1..] {
+                assert_eq!(
+                    combo.solution, cpu[0].solution,
+                    "{} vs {} must agree bitwise",
+                    combo.label, cpu[0].label
+                );
+                for blk in 0..batch.len() {
+                    assert_eq!(
+                        combo.factors.row_of_step(blk),
+                        cpu[0].factors.row_of_step(blk),
+                        "{} block {blk} pivots",
+                        combo.label
+                    );
+                }
+            }
+        }
+    });
+}
+
+#[test]
+fn singular_blocks_fall_back_identically_in_every_combo() {
+    run_cases("golden_singular_fallback", 16, |rng, _case| {
+        let mut batch = random_batch(rng, 8, 16);
+        let rhs = rhs_for(rng, batch.sizes());
+        // make one block with n >= 2 exactly singular (two equal rows)
+        let victim = (0..batch.len()).find(|&i| batch.size(i) >= 2);
+        let Some(victim) = victim else { return };
+        {
+            let n = batch.size(victim);
+            let block = batch.block_mut(victim);
+            for c in 0..n {
+                block[c * n + 1] = block[c * n];
+            }
+        }
+        let combos = run_all_combos(&batch, &rhs, PlanMethod::SmallLu);
+        let expected_fallbacks = combos[0].factors.fallback_count();
+        assert!(expected_fallbacks >= 1);
+        for combo in &combos {
+            assert_eq!(
+                combo.factors.fallback_count(),
+                expected_fallbacks,
+                "{}",
+                combo.label
+            );
+            assert!(
+                combo.factors.status[victim].is_fallback(),
+                "{}: victim block must degrade",
+                combo.label
+            );
+            assert!(
+                combo.solution.iter().all(|v| v.is_finite()),
+                "{}: fallback must keep outputs finite",
+                combo.label
+            );
+            // healthy blocks still match the dense reference
+            assert_matches_dense_reference(&batch, &rhs, combo);
+        }
+        // CPU paths stay bitwise-identical even with fallbacks present
+        let cpu: Vec<&Combo> = combos.iter().filter(|c| c.bitwise).collect();
+        for combo in &cpu[1..] {
+            assert_eq!(combo.solution, cpu[0].solution, "{}", combo.label);
+        }
+    });
+}

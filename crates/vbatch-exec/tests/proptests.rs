@@ -4,9 +4,10 @@
 //! method, and the planner must honor the paper's kernel-selection
 //! rules (blocked LU above order 32, warp packing for uniform n ≤ 16).
 
-use vbatch_core::{DenseMat, MatrixBatch, Scalar, VectorBatch};
+use vbatch_core::{BatchLayout, DenseMat, MatrixBatch, Scalar, VectorBatch};
 use vbatch_exec::{
-    Backend, BatchPlan, CpuRayon, CpuSequential, ExecStats, KernelChoice, PlanMethod, SimtSim,
+    Backend, BatchPlan, ClassLayout, CpuRayon, CpuSequential, ExecStats, KernelChoice, PlanMethod,
+    SimtSim,
 };
 use vbatch_rt::{run_cases, SmallRng};
 
@@ -137,6 +138,46 @@ fn plan_packs_uniform_small_batches() {
         for i in 0..count {
             assert_eq!(plan.kernel_for(i), KernelChoice::PackedLu, "n={n}");
         }
+    });
+}
+
+#[test]
+fn plan_layout_follows_capacity_and_kernel_family() {
+    run_cases("plan_layout_follows_capacity", 48, |rng, _case| {
+        let count = rng.gen_range(1usize..60);
+        let n = rng.gen_range(1usize..50);
+        let cap = rng.gen_range(1usize..40);
+        let sizes = vec![n; count];
+        let plan = BatchPlan::auto_with_layout::<f64>(
+            &sizes,
+            BatchLayout::Interleaved {
+                class_capacity: cap,
+            },
+        );
+        let lu_family = matches!(
+            plan.kernel_for(0),
+            KernelChoice::PackedLu | KernelChoice::SmallLu
+        );
+        let expected = if lu_family && count >= cap {
+            ClassLayout::Interleaved
+        } else {
+            ClassLayout::Blocked
+        };
+        for b in 0..count {
+            assert_eq!(
+                plan.layout_for(b),
+                expected,
+                "n={n} count={count} cap={cap}"
+            );
+        }
+        // a Blocked policy never interleaves anything
+        let blocked = BatchPlan::auto_with_layout::<f64>(&sizes, BatchLayout::Blocked);
+        for b in 0..count {
+            assert_eq!(blocked.layout_for(b), ClassLayout::Blocked);
+        }
+        // layout histogram covers every block exactly once
+        let total: usize = plan.layout_histogram().iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, count);
     });
 }
 

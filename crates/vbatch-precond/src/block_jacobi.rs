@@ -18,7 +18,7 @@
 use crate::traits::Preconditioner;
 use std::sync::Arc;
 use std::time::Duration;
-use vbatch_core::{Exec, FactorError, Scalar, VectorBatch};
+use vbatch_core::{BatchLayout, Exec, FactorError, Scalar, VectorBatch};
 use vbatch_exec::{
     backend_for_exec, Backend, BatchPlan, BlockStatus, ExecStats, FactorizedBatch, PlanMethod,
 };
@@ -140,18 +140,33 @@ impl<T: Scalar> BlockJacobi<T> {
     }
 
     /// Set up on an explicit execution backend (CPU sequential, CPU
-    /// parallel, or the SIMT simulator).
+    /// parallel, or the SIMT simulator), with the default batch layout
+    /// policy (populous uniform LU classes are interleaved).
     pub fn setup_with_backend(
         a: &CsrMatrix<T>,
         part: &BlockPartition,
         method: BjMethod,
         backend: Arc<dyn Backend<T>>,
     ) -> Result<Self, FactorError> {
+        Self::setup_with_layout(a, part, method, backend, BatchLayout::interleaved())
+    }
+
+    /// Set up with an explicit batch layout policy: the plan passes it
+    /// through to the backend, so both the batched factorization and
+    /// every per-iteration block solve use the chosen storage.
+    pub fn setup_with_layout(
+        a: &CsrMatrix<T>,
+        part: &BlockPartition,
+        method: BjMethod,
+        backend: Arc<dyn Backend<T>>,
+        layout: BatchLayout,
+    ) -> Result<Self, FactorError> {
         assert_eq!(part.total(), a.nrows(), "partition must cover the matrix");
         let start = std::time::Instant::now();
         let mut stats = ExecStats::new();
         let blocks = backend.extract_blocks(a, part, &mut stats);
-        let plan = BatchPlan::for_method::<T>(blocks.sizes(), method.plan_method());
+        let plan =
+            BatchPlan::for_method_with_layout::<T>(blocks.sizes(), method.plan_method(), layout);
         let factors = backend.factorize(blocks, &plan, &mut stats);
         let fallback_blocks = factors.fallback_count();
         Ok(BlockJacobi {
@@ -332,6 +347,33 @@ mod tests {
         let hist = m.stats.histogram_compact();
         assert!(!hist.is_empty(), "setup must record kernel choices");
         assert!(m.stats.flops > 0.0);
+    }
+
+    #[test]
+    fn layouts_produce_identical_preconditioners() {
+        let a = laplace_2d::<f64>(8, 8);
+        let part = BlockPartition::uniform(64, 4); // 16 uniform blocks
+        let v: Vec<f64> = (0..64).map(|i| ((i * 5) % 17) as f64 - 8.0).collect();
+        let blocked = BlockJacobi::setup_with_layout(
+            &a,
+            &part,
+            BjMethod::SmallLu,
+            backend_for_exec(Exec::Sequential),
+            BatchLayout::Blocked,
+        )
+        .unwrap();
+        let interleaved = BlockJacobi::setup_with_layout(
+            &a,
+            &part,
+            BjMethod::SmallLu,
+            backend_for_exec(Exec::Sequential),
+            BatchLayout::Interleaved { class_capacity: 2 },
+        )
+        .unwrap();
+        assert_eq!(interleaved.stats.layout_histogram()["interleaved"], 16);
+        assert_eq!(blocked.stats.layout_histogram()["blocked"], 16);
+        // same arithmetic order per block: bitwise-identical applies
+        assert_eq!(blocked.apply(&v), interleaved.apply(&v));
     }
 
     #[test]
