@@ -1,0 +1,48 @@
+//! Ablation: cost of guarded health triage (condition estimation after
+//! factorization) relative to the unguarded default, on the host
+//! backend. Produces the guarded-vs-unguarded row of EXPERIMENTS.md
+//! (double precision, n = 16, batch 20,000) plus neighbouring sizes.
+//!
+//! Guarded triage runs one Hager/Higham 1-norm condition estimate per
+//! block on top of the factorization; for the regular bench batches no
+//! block crosses the ill-conditioning threshold, so the ratio isolates
+//! the pure estimation overhead.
+
+use vbatch_bench::{measure_guarded_overhead, write_csv};
+
+fn main() {
+    println!("Ablation: guarded health triage overhead (CpuSequential, best of 3)");
+    println!(
+        "{:>5} {:>8} {:>12} {:>12} {:>9}",
+        "size", "batch", "off [s]", "guarded [s]", "ratio"
+    );
+    let mut rows = Vec::new();
+    for (n, batch) in [(8usize, 20_000usize), (16, 20_000), (32, 20_000)] {
+        let (off, guarded) = measure_guarded_overhead::<f64>(batch, n);
+        println!(
+            "{n:>5} {batch:>8} {off:>12.4} {guarded:>12.4} {:>8.2}x",
+            guarded / off
+        );
+        rows.push(vec![
+            "double".into(),
+            n.to_string(),
+            batch.to_string(),
+            format!("{off:.5}"),
+            format!("{guarded:.5}"),
+            format!("{:.3}", guarded / off),
+        ]);
+    }
+    let path = write_csv(
+        "ablation_guarded",
+        &[
+            "precision",
+            "size",
+            "batch",
+            "unguarded_s",
+            "guarded_s",
+            "ratio",
+        ],
+        &rows,
+    );
+    println!("CSV written to {}", path.display());
+}

@@ -35,20 +35,20 @@ fn main() {
             let (plain, gh, packed) = if precision == "single" {
                 (
                     estimate_factor::<f32>(&device, FactorKernel::SmallSizeLu, &sizes)
-                        .unwrap()
+                        .expect("uniform batch")
                         .gflops(),
                     estimate_factor::<f32>(&device, FactorKernel::GaussHuard, &sizes)
-                        .unwrap()
+                        .expect("uniform batch")
                         .gflops(),
                     gflops_packed::<f32>(&device, n, batch),
                 )
             } else {
                 (
                     estimate_factor::<f64>(&device, FactorKernel::SmallSizeLu, &sizes)
-                        .unwrap()
+                        .expect("uniform batch")
                         .gflops(),
                     estimate_factor::<f64>(&device, FactorKernel::GaussHuard, &sizes)
-                        .unwrap()
+                        .expect("uniform batch")
                         .gflops(),
                     gflops_packed::<f64>(&device, n, batch),
                 )

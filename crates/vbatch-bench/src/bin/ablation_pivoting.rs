@@ -68,7 +68,8 @@ fn main() {
     ] {
         let b = base.clone();
         let t = Instant::now();
-        let f = batched_getrf(b, strat, Exec::Parallel).unwrap();
+        let f = batched_getrf(b, strat, Exec::Parallel)
+            .expect("diagonally dominant bench batch factorizes");
         println!("  {strat:?}: {:?} ({} blocks)", t.elapsed(), f.len());
     }
     let path = write_csv(

@@ -63,7 +63,8 @@ fn main() {
         .collect();
     let base = MatrixBatch::from_matrices(&mats);
     let sizes = base.sizes().to_vec();
-    let factors = batched_getrf(base, PivotStrategy::Implicit, Exec::Parallel).unwrap();
+    let factors = batched_getrf(base, PivotStrategy::Implicit, Exec::Parallel)
+        .expect("diagonally dominant bench batch factorizes");
     for variant in TrsvVariant::ALL {
         let mut rhs = VectorBatch::zeros(&sizes);
         rhs.as_mut_slice().iter_mut().for_each(|v| *v = 1.0);

@@ -15,7 +15,8 @@
 //! argument, see DESIGN.md "Interleaved layout").
 
 use vbatch_bench::{
-    measure_cpu_factor_gflops, uniform_bench_batch, write_csv, BATCH_SWEEP, FIG4_HEADER,
+    factor_health_compact, measure_cpu_factor_gflops, uniform_bench_batch, write_csv, BATCH_SWEEP,
+    FIG4_HEADER,
 };
 use vbatch_core::{BatchLayout, Scalar};
 use vbatch_exec::{estimate_planned_factor, BatchPlan};
@@ -63,6 +64,7 @@ fn sweep<T: Scalar>(device: &DeviceModel, block: usize) -> Vec<Vec<String>> {
         row.push(format!("{g_blocked:.3}"));
         row.push(format!("{g_il:.3}"));
         row.push(plan.layout_compact());
+        row.push(factor_health_compact(&bench));
         println!("{line}");
         rows.push(row);
     }

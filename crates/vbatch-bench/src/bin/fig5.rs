@@ -14,7 +14,8 @@
 //! batch factorized blocked vs interleaved on `CpuSequential`.
 
 use vbatch_bench::{
-    measure_cpu_factor_gflops, size_sweep, uniform_bench_batch, write_csv, FIG5_HEADER,
+    factor_health_compact, measure_cpu_factor_gflops, size_sweep, uniform_bench_batch, write_csv,
+    FIG5_HEADER,
 };
 use vbatch_core::{BatchLayout, Scalar};
 use vbatch_exec::{estimate_planned_factor, BatchPlan};
@@ -65,6 +66,7 @@ fn sweep<T: Scalar>(device: &DeviceModel) -> (Vec<Vec<String>>, Option<usize>) {
         row.push(format!("{g_blocked:.3}"));
         row.push(format!("{g_il:.3}"));
         row.push(plan.layout_compact());
+        row.push(factor_health_compact(&bench));
         println!("{line}");
         rows.push(row);
     }

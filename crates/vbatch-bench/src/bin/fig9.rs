@@ -58,7 +58,7 @@ fn main() {
     entries.sort_by(|a, b| {
         let ka = a.times[0].unwrap_or(f64::INFINITY);
         let kb = b.times[0].unwrap_or(f64::INFINITY);
-        ka.partial_cmp(&kb).unwrap()
+        ka.total_cmp(&kb)
     });
 
     println!(

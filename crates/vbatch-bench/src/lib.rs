@@ -9,7 +9,7 @@ use std::path::PathBuf;
 use std::time::Instant;
 
 use vbatch_core::{BatchLayout, Exec, MatrixBatch, Scalar};
-use vbatch_exec::{backend_for_exec, Backend, BatchPlan, CpuSequential, ExecStats};
+use vbatch_exec::{backend_for_exec, Backend, BatchPlan, CpuSequential, ExecStats, HealthPolicy};
 use vbatch_precond::{BjMethod, Jacobi, Preconditioner};
 use vbatch_solver::{idr, idr_block_jacobi, SolveParams};
 use vbatch_sparse::{supervariable_blocking, CsrMatrix};
@@ -32,7 +32,7 @@ pub const BLOCK_BOUNDS: [usize; 5] = [8, 12, 16, 24, 32];
 /// `cpu_interleaved` columns are *measured* host GFLOPS of the same
 /// batch under the two memory layouts; `plan_layouts` records the
 /// planner's per-class layout histogram.
-pub const FIG4_HEADER: [&str; 12] = [
+pub const FIG4_HEADER: [&str; 13] = [
     "precision",
     "block",
     "batch",
@@ -45,11 +45,12 @@ pub const FIG4_HEADER: [&str; 12] = [
     "cpu_blocked",
     "cpu_interleaved",
     "plan_layouts",
+    "health",
 ];
 
 /// CSV schema of the Fig. 5 artifact (layout columns as in
 /// [`FIG4_HEADER`]).
-pub const FIG5_HEADER: [&str; 11] = [
+pub const FIG5_HEADER: [&str; 12] = [
     "precision",
     "size",
     "small_size_lu",
@@ -61,6 +62,7 @@ pub const FIG5_HEADER: [&str; 11] = [
     "cpu_blocked",
     "cpu_interleaved",
     "plan_layouts",
+    "health",
 ];
 
 /// Deterministic diagonally-dominant uniform batch used by the measured
@@ -89,6 +91,36 @@ pub fn measure_cpu_factor_gflops<T: Scalar>(batch: &MatrixBatch<T>, layout: Batc
         best = best.min(dt);
     }
     batch.getrf_flops() / best / 1e9
+}
+
+/// Health histogram of a bench batch under guarded triage on the host
+/// backend (the `health` CSV column of Figs. 4/5) — e.g.
+/// `"healthy=40000"` for the regular bench batches.
+pub fn factor_health_compact<T: Scalar>(batch: &MatrixBatch<T>) -> String {
+    let plan = BatchPlan::auto::<T>(batch.sizes()).with_health(HealthPolicy::guarded::<T>());
+    let mut stats = ExecStats::new();
+    let _ = CpuSequential.factorize(batch.clone(), &plan, &mut stats);
+    stats.health_compact()
+}
+
+/// Best-of-three host factorization seconds for one sweep point, with
+/// and without guarded health triage — the guarded-vs-unguarded row of
+/// EXPERIMENTS.md. Returns `(unguarded_s, guarded_s)`.
+pub fn measure_guarded_overhead<T: Scalar>(count: usize, n: usize) -> (f64, f64) {
+    let batch = uniform_bench_batch::<T>(count, n);
+    let time = |health: HealthPolicy| {
+        let plan = BatchPlan::auto::<T>(batch.sizes()).with_health(health);
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            let mut stats = ExecStats::new();
+            let copy = batch.clone();
+            let t0 = Instant::now();
+            let _ = CpuSequential.factorize(copy, &plan, &mut stats);
+            best = best.min(t0.elapsed().as_secs_f64());
+        }
+        best
+    };
+    (time(HealthPolicy::Off), time(HealthPolicy::guarded::<T>()))
 }
 
 /// Output directory for CSV artifacts.
@@ -227,13 +259,26 @@ mod tests {
         assert_eq!(
             FIG4_HEADER.join(","),
             "precision,block,batch,small_size_lu,gauss_huard,gauss_huard_t,\
-             cublas_lu,planner,plan_kernels,cpu_blocked,cpu_interleaved,plan_layouts"
+             cublas_lu,planner,plan_kernels,cpu_blocked,cpu_interleaved,plan_layouts,health"
         );
         assert_eq!(
             FIG5_HEADER.join(","),
             "precision,size,small_size_lu,gauss_huard,gauss_huard_t,\
-             cublas_lu,planner,plan_kernels,cpu_blocked,cpu_interleaved,plan_layouts"
+             cublas_lu,planner,plan_kernels,cpu_blocked,cpu_interleaved,plan_layouts,health"
         );
+    }
+
+    #[test]
+    fn health_column_reports_all_healthy_for_bench_batches() {
+        let batch = uniform_bench_batch::<f64>(48, 8);
+        assert_eq!(factor_health_compact(&batch), "healthy=48");
+    }
+
+    #[test]
+    fn guarded_overhead_measurement_is_finite() {
+        let (off, guarded) = measure_guarded_overhead::<f64>(64, 8);
+        assert!(off > 0.0 && off.is_finite());
+        assert!(guarded > 0.0 && guarded.is_finite());
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! becomes `L L^T x = b` (two triangular sweeps with the same factor).
 
 use crate::dense::DenseMat;
-use crate::error::{FactorError, FactorResult};
+use crate::error::{check_finite, FactorError, FactorResult};
 use crate::scalar::Scalar;
 use crate::trsv::TrsvVariant;
 
@@ -27,6 +27,7 @@ pub fn potrf<T: Scalar>(a: &DenseMat<T>) -> FactorResult<CholeskyFactors<T>> {
         });
     }
     let n = a.rows();
+    check_finite(n, a.as_slice())?;
     let mut l = a.clone();
     for k in 0..n {
         let dkk = l[(k, k)];

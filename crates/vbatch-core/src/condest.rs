@@ -217,4 +217,59 @@ mod tests {
         let a = DenseMat::from_row_major(2, 2, &[0.0, 0.0, 1.0, 2.0]);
         assert!(equilibrate(&a).is_none());
     }
+
+    #[test]
+    fn zero_column_rejected() {
+        // rows all have a nonzero entry, column 1 is entirely zero: the
+        // second (column) pass of the geequ scan must return None
+        let a = DenseMat::from_row_major(2, 2, &[1.0, 0.0, 2.0, 0.0]);
+        assert!(equilibrate(&a).is_none());
+    }
+
+    /// The `n x n` Hilbert matrix `H[i][j] = 1 / (i + j + 1)`.
+    fn hilbert(n: usize) -> DenseMat<f64> {
+        DenseMat::from_fn(n, n, |i, j| 1.0 / (i + j + 1) as f64)
+    }
+
+    #[test]
+    fn condest_tracks_exact_hilbert_condition_numbers() {
+        // Exact 1-norm condition numbers of the Hilbert matrices
+        // (kappa_1(H_3) = 748 etc.); the explicit inverse computed from
+        // the LU factors reproduces them to full precision at these
+        // orders, and Hager's estimate must stay within [exact/10, exact].
+        let known_h3 = 748.0;
+        for n in [3usize, 4, 5, 6] {
+            let a = hilbert(n);
+            let f = getrf(&a, PivotStrategy::Implicit).unwrap();
+            let exact = norm1(&a).to_f64() * norm1(&f.inverse()).to_f64();
+            if n == 3 {
+                assert!(
+                    (exact - known_h3).abs() / known_h3 < 1e-9,
+                    "exact kappa_1(H_3) = {exact}"
+                );
+            }
+            let k = condest1(&a, &f).to_f64();
+            assert!(k <= exact * 1.0001, "n={n}: estimate {k} > exact {exact}");
+            assert!(k >= exact / 10.0, "n={n}: estimate {k} << exact {exact}");
+        }
+    }
+
+    #[test]
+    fn condest_exact_on_scaled_identity() {
+        // diag(s): kappa_1 = max|s| / min|s| exactly, and the estimator
+        // attains it (the power iteration finds the extremal column)
+        let s = [2.0f64, 0.5, 8.0, 1.0];
+        let a = DenseMat::from_fn(4, 4, |i, j| if i == j { s[i] } else { 0.0 });
+        let f = getrf(&a, PivotStrategy::Implicit).unwrap();
+        let k = condest1(&a, &f).to_f64();
+        assert!((k - 16.0).abs() < 1e-12, "kappa = {k}");
+
+        // pure scaled identity alpha*I: kappa_1 = 1 for any alpha
+        for alpha in [1e-8f64, 1.0, 4096.0] {
+            let a = DenseMat::from_fn(5, 5, |i, j| if i == j { alpha } else { 0.0 });
+            let f = getrf(&a, PivotStrategy::Implicit).unwrap();
+            let k = condest1(&a, &f).to_f64();
+            assert!((k - 1.0).abs() < 1e-12, "alpha={alpha}: kappa = {k}");
+        }
+    }
 }

@@ -16,6 +16,11 @@ pub enum FactorError {
     /// A Cholesky pivot was not positive; the block is not positive
     /// definite.
     NotPositiveDefinite { step: usize },
+    /// The input matrix contains a NaN or infinity at the given
+    /// position. Distinguished from [`FactorError::SingularPivot`] so
+    /// corrupted data is diagnosed as such rather than as a rank
+    /// deficiency.
+    NonFinite { row: usize, col: usize },
 }
 
 impl fmt::Display for FactorError {
@@ -33,6 +38,9 @@ impl fmt::Display for FactorError {
             FactorError::NotPositiveDefinite { step } => {
                 write!(f, "non-positive Cholesky pivot at step {step}")
             }
+            FactorError::NonFinite { row, col } => {
+                write!(f, "non-finite entry at ({row}, {col})")
+            }
         }
     }
 }
@@ -41,6 +49,21 @@ impl std::error::Error for FactorError {}
 
 /// Result alias for factorization kernels.
 pub type FactorResult<V> = Result<V, FactorError>;
+
+/// Scan a column-major `n x n` block for NaN/Inf entries before
+/// factorization, so corrupted inputs surface as
+/// [`FactorError::NonFinite`] rather than as a misleading
+/// `SingularPivot` partway through the elimination.
+pub fn check_finite<T: crate::scalar::Scalar>(n: usize, a: &[T]) -> FactorResult<()> {
+    for col in 0..n {
+        for row in 0..n {
+            if !a[col * n + row].is_finite() {
+                return Err(FactorError::NonFinite { row, col });
+            }
+        }
+    }
+    Ok(())
+}
 
 #[cfg(test)]
 mod tests {
@@ -60,5 +83,8 @@ mod tests {
         assert!(FactorError::NotPositiveDefinite { step: 0 }
             .to_string()
             .contains("Cholesky"));
+        assert!(FactorError::NonFinite { row: 1, col: 2 }
+            .to_string()
+            .contains("(1, 2)"));
     }
 }

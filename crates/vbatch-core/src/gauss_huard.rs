@@ -29,7 +29,7 @@
 //! model measures.
 
 use crate::dense::DenseMat;
-use crate::error::{FactorError, FactorResult};
+use crate::error::{check_finite, FactorError, FactorResult};
 use crate::perm::Permutation;
 use crate::scalar::Scalar;
 
@@ -81,6 +81,7 @@ pub fn gh_factorize<T: Scalar>(a: &DenseMat<T>, layout: GhLayout) -> FactorResul
         });
     }
     let n = a.rows();
+    check_finite(n, a.as_slice())?;
     let mut m = match layout {
         GhLayout::Normal => a.clone(),
         GhLayout::Transposed => a.transpose(),

@@ -11,7 +11,7 @@
 //! the factorization-based approach of the paper is measured against.
 
 use crate::dense::DenseMat;
-use crate::error::{FactorError, FactorResult};
+use crate::error::{check_finite, FactorError, FactorResult};
 use crate::scalar::Scalar;
 
 /// Invert the square matrix `a` by in-place Gauss-Jordan elimination with
@@ -30,6 +30,7 @@ pub fn gje_invert<T: Scalar>(a: &DenseMat<T>) -> FactorResult<DenseMat<T>> {
         });
     }
     let n = a.rows();
+    check_finite(n, a.as_slice())?;
     let mut m = a.clone();
     // pivot_row[k] = row chosen at step k (rows are swapped explicitly
     // here; the SIMT kernel variant uses the implicit form)

@@ -284,6 +284,22 @@ pub fn getrf_interleaved_class<T: Scalar>(
     // instead of striding over `Option` discriminants
     let mut alive = vec![true; count];
 
+    // per-slot finite pre-scan, mirroring the blocked kernel's
+    // `check_finite`: corrupted slots are diagnosed as `NonFinite` (at
+    // the same column-major-first position) instead of failing later
+    // with a misleading `SingularPivot`
+    for col in 0..n {
+        for row in 0..n {
+            let lane = &data[(col * n + row) * count..(col * n + row + 1) * count];
+            for s in 0..count {
+                if alive[s] && !lane[s].is_finite() {
+                    failed[s] = Some(FactorError::NonFinite { row, col });
+                    alive[s] = false;
+                }
+            }
+        }
+    }
+
     for k in 0..n {
         // --- implicit pivot selection per slot over unpivoted rows ----
         let mut ipiv = vec![UNPIVOTED; count];
@@ -649,6 +665,46 @@ mod tests {
         }
         // healthy slots still match the blocked kernel bitwise
         for slot in [0usize, 1, 3] {
+            let mut blocked = b.block(slot).to_vec();
+            let perm = getrf_implicit_inplace(n, &mut blocked).unwrap();
+            let mut unpacked = vec![0.0; n * n];
+            cls.unpack_slot(slot, &mut unpacked);
+            assert_eq!(unpacked, blocked, "slot {slot}");
+            let lane: Vec<usize> = (0..n).map(|k| piv[k * count + slot]).collect();
+            assert_eq!(lane, perm.as_slice());
+        }
+    }
+
+    #[test]
+    fn non_finite_slot_reported_per_slot_and_sanitized() {
+        let n = 3;
+        let count = 4;
+        let mut b = MatrixBatch::<f64>::uniform_from_fn(count, n, |s, i, j| {
+            ((i * 7 + j * 13 + s * 3 + 1) % 16) as f64 / 8.0 + if i == j { 2.0 } else { 0.0 }
+        });
+        b.block_mut(1)[2 * n] = f64::NAN; // element (0, 2) of slot 1
+        b.block_mut(3)[n + 1] = f64::INFINITY; // element (1, 1) of slot 3
+        let il = InterleavedBatch::pack(&b);
+        let mut cls = il.classes()[0].clone();
+        let mut piv = vec![0usize; n * count];
+        let errs = getrf_interleaved_class(n, count, cls.data_mut(), &mut piv);
+        assert_eq!(errs[1], Some(FactorError::NonFinite { row: 0, col: 2 }));
+        assert_eq!(errs[3], Some(FactorError::NonFinite { row: 1, col: 1 }));
+        assert!(errs[0].is_none() && errs[2].is_none());
+        // corrupted slots sanitized to identity factors + identity pivots
+        for slot in [1usize, 3] {
+            for j in 0..n {
+                for i in 0..n {
+                    let want = if i == j { 1.0 } else { 0.0 };
+                    assert_eq!(cls.get(slot, i, j), want, "slot {slot}");
+                }
+            }
+            for k in 0..n {
+                assert_eq!(piv[k * count + slot], k);
+            }
+        }
+        // healthy slots still match the blocked kernel bitwise
+        for slot in [0usize, 2] {
             let mut blocked = b.block(slot).to_vec();
             let perm = getrf_implicit_inplace(n, &mut blocked).unwrap();
             let mut unpacked = vec![0.0; n * n];

@@ -48,7 +48,7 @@ pub use batched::{
 pub use cholesky::{make_spd, potrf, CholeskyFactors};
 pub use condest::{apply_equilibration, condest1, equilibrate, inverse_norm1_est, norm1};
 pub use dense::DenseMat;
-pub use error::{FactorError, FactorResult};
+pub use error::{check_finite, FactorError, FactorResult};
 pub use gauss_huard::{gh_factorize, GhFactors, GhLayout};
 pub use gje::gje_invert;
 pub use interleaved::{

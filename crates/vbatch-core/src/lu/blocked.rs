@@ -16,7 +16,7 @@
 //! the tests compare against [`crate::lu::getrf`] directly.
 
 use crate::dense::DenseMat;
-use crate::error::{FactorError, FactorResult};
+use crate::error::{check_finite, FactorError, FactorResult};
 use crate::lu::LuFactors;
 use crate::perm::Permutation;
 use crate::scalar::Scalar;
@@ -36,6 +36,7 @@ pub fn getrf_blocked<T: Scalar>(a: &DenseMat<T>, nb: usize) -> FactorResult<LuFa
     }
     assert!(nb > 0, "panel width must be positive");
     let n = a.rows();
+    check_finite(n, a.as_slice())?;
     let mut lu = a.clone();
     // ipiv[k] = row swapped with row k at step k (LAPACK convention)
     let mut ipiv = vec![0usize; n];

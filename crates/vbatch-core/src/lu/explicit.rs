@@ -6,7 +6,7 @@
 //! is scaled (SCAL) and the trailing submatrix receives a rank-1 update
 //! (GER).
 
-use crate::error::{FactorError, FactorResult};
+use crate::error::{check_finite, FactorError, FactorResult};
 use crate::perm::Permutation;
 use crate::scalar::Scalar;
 
@@ -14,6 +14,7 @@ use crate::scalar::Scalar;
 /// partial pivoting. Returns the row permutation in `row_of_step` form.
 pub fn getrf_explicit_inplace<T: Scalar>(n: usize, a: &mut [T]) -> FactorResult<Permutation> {
     debug_assert_eq!(a.len(), n * n);
+    check_finite(n, a)?;
     let mut perm = Permutation::identity(n);
     for k in 0..n {
         // --- pivot selection: argmax |a(k:n, k)| -------------------------
@@ -61,6 +62,7 @@ pub fn getrf_explicit_inplace<T: Scalar>(n: usize, a: &mut [T]) -> FactorResult<
 /// identity permutation; fails on a zero pivot.
 pub fn getrf_nopivot_inplace<T: Scalar>(n: usize, a: &mut [T]) -> FactorResult<Permutation> {
     debug_assert_eq!(a.len(), n * n);
+    check_finite(n, a)?;
     for k in 0..n {
         let d = a[k * n + k];
         if d.abs() == T::ZERO || !d.is_finite() {

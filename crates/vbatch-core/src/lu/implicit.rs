@@ -17,7 +17,7 @@
 //! work does not depend on the history of pivot choices, so no pivot
 //! list must be replicated per thread.
 
-use crate::error::{FactorError, FactorResult};
+use crate::error::{check_finite, FactorError, FactorResult};
 use crate::perm::Permutation;
 use crate::scalar::Scalar;
 
@@ -31,6 +31,7 @@ const UNPIVOTED: usize = usize::MAX;
 /// elimination steps to original rows.
 pub fn getrf_implicit_inplace<T: Scalar>(n: usize, a: &mut [T]) -> FactorResult<Permutation> {
     debug_assert_eq!(a.len(), n * n);
+    check_finite(n, a)?;
     // p[r] = elimination step at which original row r became the pivot
     let mut step_of_row = vec![UNPIVOTED; n];
 
@@ -159,6 +160,23 @@ mod tests {
         let mut lu = a.clone();
         let e = getrf_implicit_inplace(3, lu.as_mut_slice());
         assert_eq!(e, Err(FactorError::SingularPivot { step: 2 }));
+    }
+
+    #[test]
+    fn non_finite_input_diagnosed_as_such() {
+        let mut a = pseudo_random(4, 1);
+        a[(2, 1)] = f64::NAN;
+        let mut lu = a.clone();
+        assert_eq!(
+            getrf_implicit_inplace(4, lu.as_mut_slice()),
+            Err(FactorError::NonFinite { row: 2, col: 1 })
+        );
+        a[(2, 1)] = f64::INFINITY;
+        let mut lu = a.clone();
+        assert_eq!(
+            getrf_implicit_inplace(4, lu.as_mut_slice()),
+            Err(FactorError::NonFinite { row: 2, col: 1 })
+        );
     }
 
     #[test]

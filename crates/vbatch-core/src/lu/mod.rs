@@ -217,6 +217,19 @@ mod tests {
     }
 
     #[test]
+    fn non_finite_input_detected_by_all_strategies() {
+        let mut a = wilkinson_like();
+        a[(1, 2)] = f64::NAN;
+        for strat in PivotStrategy::ALL {
+            assert_eq!(
+                getrf(&a, strat),
+                Err(FactorError::NonFinite { row: 1, col: 2 }),
+                "{strat:?} should diagnose the NaN input"
+            );
+        }
+    }
+
+    #[test]
     fn singular_matrix_detected() {
         let a = DenseMat::from_row_major(2, 2, &[1.0, 2.0, 2.0, 4.0]);
         for strat in PivotStrategy::ALL {

@@ -36,17 +36,15 @@ pub(crate) fn factor_block<T: Scalar>(
 ) -> (BlockFactor<T>, BlockStatus) {
     let diag = block_diag(n, &data);
     let fallback = |kernel: KernelChoice, error: FactorError, diag: &[T]| {
-        (
-            scalar_jacobi_from_diag(diag),
-            BlockStatus::FallbackScalarJacobi { kernel, error },
-        )
+        let (factor, sanitized) = scalar_jacobi_from_diag(diag);
+        (factor, BlockStatus::fallback(kernel, error, sanitized, n))
     };
     match kernel {
         KernelChoice::PackedLu | KernelChoice::SmallLu | KernelChoice::BlockedLu => {
             match getrf_implicit_inplace(n, &mut data) {
                 Ok(perm) => (
                     BlockFactor::Lu { n, lu: data, perm },
-                    BlockStatus::Factorized(kernel),
+                    BlockStatus::factorized(kernel),
                 ),
                 Err(e) => fallback(kernel, e, &diag),
             }
@@ -59,7 +57,7 @@ pub(crate) fn factor_block<T: Scalar>(
             };
             let mat = DenseMat::from_col_major(n, n, &data);
             match gh_factorize(&mat, layout) {
-                Ok(f) => (BlockFactor::Gh(f), BlockStatus::Factorized(kernel)),
+                Ok(f) => (BlockFactor::Gh(f), BlockStatus::factorized(kernel)),
                 Err(e) => fallback(kernel, e, &diag),
             }
         }
@@ -71,7 +69,7 @@ pub(crate) fn factor_block<T: Scalar>(
                         n,
                         inv: inv.as_slice().to_vec(),
                     },
-                    BlockStatus::Factorized(kernel),
+                    BlockStatus::factorized(kernel),
                 ),
                 Err(e) => fallback(kernel, e, &diag),
             }
@@ -79,7 +77,7 @@ pub(crate) fn factor_block<T: Scalar>(
         KernelChoice::Cholesky => {
             let mat = DenseMat::from_col_major(n, n, &data);
             match potrf(&mat) {
-                Ok(f) => (BlockFactor::Chol(f), BlockStatus::Factorized(kernel)),
+                Ok(f) => (BlockFactor::Chol(f), BlockStatus::factorized(kernel)),
                 Err(e) => fallback(kernel, e, &diag),
             }
         }
@@ -88,9 +86,14 @@ pub(crate) fn factor_block<T: Scalar>(
 
 pub(crate) fn record_statuses(status: &[BlockStatus], stats: &mut ExecStats) {
     for s in status {
-        match s {
-            BlockStatus::Factorized(k) => stats.record_kernel(*k, 1),
-            BlockStatus::FallbackScalarJacobi { .. } => stats.record_failure(),
+        if s.is_fallback() {
+            stats.record_failure();
+        } else {
+            stats.record_kernel(s.kernel, 1);
+        }
+        stats.record_health(s.health);
+        for &step in &s.recovery {
+            stats.record_recovery(step);
         }
     }
 }
@@ -215,34 +218,39 @@ fn factorize_cpu<T: Scalar>(
                         class: class_idx,
                         slot,
                     });
-                    status[blk] = Some(BlockStatus::Factorized(kernel));
+                    status[blk] = Some(BlockStatus::factorized(kernel));
                 }
                 Some(error) => {
                     let diag = block_diag(class.n, blocks.block(blk));
-                    factors[blk] = Some(scalar_jacobi_from_diag(&diag));
-                    status[blk] = Some(BlockStatus::FallbackScalarJacobi { kernel, error });
+                    let (factor, sanitized) = scalar_jacobi_from_diag(&diag);
+                    factors[blk] = Some(factor);
+                    status[blk] = Some(BlockStatus::fallback(kernel, error, sanitized, class.n));
                 }
             }
         }
         interleaved.push(class);
     }
 
+    // Every index was routed to exactly one of the two partitions
+    // above, so both vectors are fully populated.
     let factors: Vec<BlockFactor<T>> = factors
         .into_iter()
-        .map(|f| f.expect("every block factored"))
+        .map(|f| f.expect("block covered by neither layout partition"))
         .collect();
     let status: Vec<BlockStatus> = status
         .into_iter()
-        .map(|s| s.expect("every block has a status"))
+        .map(|s| s.expect("block covered by neither layout partition"))
         .collect();
-    record_statuses(&status, stats);
-    stats.add_phase(Phase::Factorize, t0.elapsed());
-    FactorizedBatch {
+    let mut batch = FactorizedBatch {
         sizes,
         factors,
         status,
         interleaved,
-    }
+    };
+    crate::health::triage_batch(&blocks, &mut batch, plan.health());
+    record_statuses(&batch.status, stats);
+    stats.add_phase(Phase::Factorize, t0.elapsed());
+    batch
 }
 
 /// One unit of solve work: either a single blocked system or all the
@@ -342,22 +350,20 @@ pub(crate) fn invert_cpu<T: Scalar>(
         match gje_invert(&mat) {
             Ok(inv) => (
                 inv.as_slice().to_vec(),
-                BlockStatus::Factorized(KernelChoice::GjeInvert),
+                BlockStatus::factorized(KernelChoice::GjeInvert),
             ),
             Err(error) => {
                 // diagonal fallback "inverse"
                 let mut d = vec![T::ZERO; n * n];
-                if let BlockFactor::ScalarJacobi { inv_diag } = scalar_jacobi_from_diag(&diag) {
+                let (factor, sanitized) = scalar_jacobi_from_diag(&diag);
+                if let BlockFactor::ScalarJacobi { inv_diag } = factor {
                     for (i, &v) in inv_diag.iter().enumerate() {
                         d[i * n + i] = v;
                     }
                 }
                 (
                     d,
-                    BlockStatus::FallbackScalarJacobi {
-                        kernel: KernelChoice::GjeInvert,
-                        error,
-                    },
+                    BlockStatus::fallback(KernelChoice::GjeInvert, error, sanitized, n),
                 )
             }
         }

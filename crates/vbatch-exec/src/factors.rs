@@ -7,25 +7,122 @@ use vbatch_core::{
     Permutation, Scalar, TrsvVariant, VectorBatch,
 };
 
-/// Outcome of factorizing one block.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub enum BlockStatus {
-    /// Factorized successfully with the planned kernel.
-    Factorized(KernelChoice),
-    /// Factorization failed; the block degraded to scalar Jacobi
-    /// (diagonal) so the preconditioner stays usable.
-    FallbackScalarJacobi {
-        /// The kernel that was attempted.
-        kernel: KernelChoice,
-        /// Why it failed.
-        error: FactorError,
-    },
+/// Numerical health classification of one factorized block, assigned by
+/// the post-factorization triage pass (see `crate::health`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BlockHealth {
+    /// Factorized cleanly, condition estimate below the ill threshold.
+    Healthy,
+    /// Factorized, but the condition estimate exceeds the policy
+    /// threshold: the apply may lose most of its accuracy.
+    IllConditioned,
+    /// Factorization hit an (exactly or numerically) zero pivot.
+    Singular,
+    /// The block contained NaN/Inf entries.
+    NonFinite,
+}
+
+impl BlockHealth {
+    /// Stable label used in stats histograms and CSV output.
+    pub fn label(self) -> &'static str {
+        match self {
+            BlockHealth::Healthy => "healthy",
+            BlockHealth::IllConditioned => "ill_conditioned",
+            BlockHealth::Singular => "singular",
+            BlockHealth::NonFinite => "non_finite",
+        }
+    }
+}
+
+/// One step in a block's recovery escalation chain, in the order it was
+/// applied.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RecoveryStep {
+    /// Row/column equilibration + refactorization (the block keeps an
+    /// exact — now better-conditioned — LU; the apply adds one step of
+    /// iterative refinement).
+    Equilibrated,
+    /// Degraded to the scalar-Jacobi (reciprocal diagonal) fallback.
+    ScalarJacobi,
+    /// Diagonal entries that were zero or non-finite were replaced by
+    /// ones: those rows act as the identity.
+    Identity,
+}
+
+impl RecoveryStep {
+    /// Stable label used in stats histograms and test diagnostics.
+    pub fn label(self) -> &'static str {
+        match self {
+            RecoveryStep::Equilibrated => "equilibrated",
+            RecoveryStep::ScalarJacobi => "scalar_jacobi",
+            RecoveryStep::Identity => "identity",
+        }
+    }
+}
+
+/// Outcome of factorizing one block: the kernel that ran, the triaged
+/// health of the block, and any recovery escalation that was applied.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BlockStatus {
+    /// The kernel that was planned (and attempted) for the block.
+    pub kernel: KernelChoice,
+    /// Triaged numerical health. Without a health policy this is
+    /// [`BlockHealth::Healthy`] for factorized blocks and
+    /// [`BlockHealth::Singular`]/[`BlockHealth::NonFinite`] for blocks
+    /// that failed to factorize.
+    pub health: BlockHealth,
+    /// 1-norm condition estimate, when the triage pass computed one.
+    pub condest: Option<f64>,
+    /// The factorization error that triggered recovery, if any.
+    pub error: Option<FactorError>,
+    /// Recovery escalation chain, in application order. Empty for
+    /// blocks that factorized cleanly.
+    pub recovery: Vec<RecoveryStep>,
 }
 
 impl BlockStatus {
-    /// `true` when the block fell back to scalar Jacobi.
+    /// A block factorized cleanly by `kernel`.
+    pub fn factorized(kernel: KernelChoice) -> Self {
+        BlockStatus {
+            kernel,
+            health: BlockHealth::Healthy,
+            condest: None,
+            error: None,
+            recovery: Vec::new(),
+        }
+    }
+
+    /// A block whose factorization failed with `error` and degraded to
+    /// the scalar-Jacobi fallback; `sanitized` counts diagonal entries
+    /// that had to be replaced by identity rows.
+    pub fn fallback(kernel: KernelChoice, error: FactorError, sanitized: usize, n: usize) -> Self {
+        let health = match error {
+            FactorError::NonFinite { .. } => BlockHealth::NonFinite,
+            _ => BlockHealth::Singular,
+        };
+        let mut recovery = Vec::new();
+        if sanitized < n {
+            recovery.push(RecoveryStep::ScalarJacobi);
+        }
+        if sanitized > 0 {
+            recovery.push(RecoveryStep::Identity);
+        }
+        BlockStatus {
+            kernel,
+            health,
+            condest: None,
+            error: Some(error),
+            recovery,
+        }
+    }
+
+    /// `true` when the block lost its exact factorization — degraded to
+    /// scalar Jacobi or identity rows. Equilibration alone does *not*
+    /// count: the block still applies an exact block inverse.
     pub fn is_fallback(&self) -> bool {
-        matches!(self, BlockStatus::FallbackScalarJacobi { .. })
+        self.recovery
+            .iter()
+            .any(|&s| matches!(s, RecoveryStep::ScalarJacobi | RecoveryStep::Identity))
     }
 }
 
@@ -58,6 +155,25 @@ pub enum BlockFactor<T: Scalar> {
     ScalarJacobi {
         /// Reciprocal diagonal entries.
         inv_diag: Vec<T>,
+    },
+    /// LU of the equilibrated block `diag(r) * A * diag(c)`, produced by
+    /// the health triage pass for ill-conditioned blocks. The apply
+    /// solves through the scalings and adds one step of iterative
+    /// refinement against the retained original block.
+    EquilibratedLu {
+        /// Block order.
+        n: usize,
+        /// Combined factors of the equilibrated block, column-major.
+        lu: Vec<T>,
+        /// Row-of-step pivot sequence.
+        perm: Permutation,
+        /// Row scalings.
+        r: Vec<T>,
+        /// Column scalings.
+        c: Vec<T>,
+        /// The original (unequilibrated) block, column-major, kept for
+        /// the refinement residual.
+        a: Vec<T>,
     },
     /// The block's LU factors live in an interleaved size class
     /// ([`FactorizedBatch::interleaved`]) rather than a per-block
@@ -106,19 +222,22 @@ impl<T: Scalar> InterleavedLuClass<T> {
 }
 
 /// Build the scalar-Jacobi fallback factor from a block's original
-/// diagonal.
-pub(crate) fn scalar_jacobi_from_diag<T: Scalar>(diag: &[T]) -> BlockFactor<T> {
+/// diagonal; also reports how many entries had to be sanitized to the
+/// identity (zero or non-finite diagonal).
+pub(crate) fn scalar_jacobi_from_diag<T: Scalar>(diag: &[T]) -> (BlockFactor<T>, usize) {
+    let mut sanitized = 0usize;
     let inv_diag = diag
         .iter()
         .map(|&d| {
             if d != T::ZERO && d.is_finite() {
                 T::ONE / d
             } else {
+                sanitized += 1;
                 T::ONE
             }
         })
         .collect();
-    BlockFactor::ScalarJacobi { inv_diag }
+    (BlockFactor::ScalarJacobi { inv_diag }, sanitized)
 }
 
 /// Extract the diagonal of a column-major `n × n` block.
@@ -185,6 +304,43 @@ impl<T: Scalar> FactorizedBatch<T> {
                     *s *= d;
                 }
             }
+            BlockFactor::EquilibratedLu {
+                n,
+                lu,
+                perm,
+                r,
+                c,
+                a,
+            } => {
+                let n = *n;
+                let b: Vec<T> = seg.to_vec();
+                // x = diag(c) * (LU)^{-1} * diag(r) * b
+                let solve_scaled = |rhs: &[T], out: &mut [T]| {
+                    for (o, (&ri, &bi)) in out.iter_mut().zip(r.iter().zip(rhs)) {
+                        *o = ri * bi;
+                    }
+                    lu_solve_inplace(TrsvVariant::Eager, n, lu, perm.as_slice(), out);
+                    for (o, &ci) in out.iter_mut().zip(c) {
+                        *o *= ci;
+                    }
+                };
+                solve_scaled(&b, seg);
+                // one step of iterative refinement against the original
+                // block: e = solve(b - A x), x += e
+                let mut resid = b.clone();
+                for (j, &xj) in seg.iter().enumerate() {
+                    for (i, ri) in resid.iter_mut().enumerate() {
+                        *ri = (-a[j * n + i]).mul_add(xj, *ri);
+                    }
+                }
+                let mut e = vec![T::ZERO; n];
+                solve_scaled(&resid, &mut e);
+                for (x, &ei) in seg.iter_mut().zip(&e) {
+                    if ei.is_finite() {
+                        *x += ei;
+                    }
+                }
+            }
             BlockFactor::InterleavedLu { class, slot } => {
                 self.interleaved[*class].solve_slot_inplace(*slot, seg);
             }
@@ -215,10 +371,12 @@ impl<T: Scalar> FactorizedBatch<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use vbatch_core::{getrf, DenseMat, PivotStrategy};
 
     #[test]
     fn scalar_jacobi_guards_bad_diagonal() {
-        let f = scalar_jacobi_from_diag(&[2.0f64, 0.0, f64::NAN, -4.0]);
+        let (f, sanitized) = scalar_jacobi_from_diag(&[2.0f64, 0.0, f64::NAN, -4.0]);
+        assert_eq!(sanitized, 2);
         match f {
             BlockFactor::ScalarJacobi { inv_diag } => {
                 assert_eq!(inv_diag, vec![0.5, 1.0, 1.0, -0.25]);
@@ -236,12 +394,81 @@ mod tests {
                 n: 2,
                 inv: vec![0.5, 0.0, 0.0, 0.25],
             }],
-            status: vec![BlockStatus::Factorized(KernelChoice::GjeInvert)],
+            status: vec![BlockStatus::factorized(KernelChoice::GjeInvert)],
             interleaved: Vec::new(),
         };
         let mut seg = [8.0f64, 8.0];
         fb.solve_block_inplace(0, &mut seg);
         assert_eq!(seg, [4.0, 2.0]);
         assert_eq!(fb.fallback_count(), 0);
+    }
+
+    #[test]
+    fn fallback_status_classifies_health_and_chain() {
+        let s = BlockStatus::fallback(
+            KernelChoice::SmallLu,
+            FactorError::SingularPivot { step: 1 },
+            0,
+            4,
+        );
+        assert_eq!(s.health, BlockHealth::Singular);
+        assert_eq!(s.recovery, vec![RecoveryStep::ScalarJacobi]);
+        assert!(s.is_fallback());
+
+        let s = BlockStatus::fallback(
+            KernelChoice::SmallLu,
+            FactorError::NonFinite { row: 0, col: 1 },
+            2,
+            4,
+        );
+        assert_eq!(s.health, BlockHealth::NonFinite);
+        assert_eq!(
+            s.recovery,
+            vec![RecoveryStep::ScalarJacobi, RecoveryStep::Identity]
+        );
+
+        // fully sanitized diagonal: pure identity fallback
+        let s = BlockStatus::fallback(
+            KernelChoice::SmallLu,
+            FactorError::NonFinite { row: 0, col: 0 },
+            3,
+            3,
+        );
+        assert_eq!(s.recovery, vec![RecoveryStep::Identity]);
+        assert!(s.is_fallback());
+
+        // clean factorization is not a fallback
+        assert!(!BlockStatus::factorized(KernelChoice::SmallLu).is_fallback());
+    }
+
+    #[test]
+    fn equilibrated_lu_solves_badly_scaled_block() {
+        // severely scaled block; the equilibrated path must recover the
+        // true solution to near machine precision
+        let a = DenseMat::from_row_major(2, 2, &[1e9, 2e9, 3e-9, 1e-9]);
+        let (r, c) = vbatch_core::equilibrate(&a).unwrap();
+        let e = vbatch_core::apply_equilibration(&a, &r, &c);
+        let f = getrf(&e, PivotStrategy::Implicit).unwrap();
+        let fb = FactorizedBatch {
+            sizes: vec![2],
+            factors: vec![BlockFactor::EquilibratedLu {
+                n: 2,
+                lu: f.lu.as_slice().to_vec(),
+                perm: f.perm,
+                r,
+                c,
+                a: a.as_slice().to_vec(),
+            }],
+            status: vec![BlockStatus::factorized(KernelChoice::SmallLu)],
+            interleaved: Vec::new(),
+        };
+        let x_true = [1.5f64, -0.25];
+        let mut seg = [
+            a[(0, 0)] * x_true[0] + a[(0, 1)] * x_true[1],
+            a[(1, 0)] * x_true[0] + a[(1, 1)] * x_true[1],
+        ];
+        fb.solve_block_inplace(0, &mut seg);
+        assert!((seg[0] - x_true[0]).abs() < 1e-10, "{seg:?}");
+        assert!((seg[1] - x_true[1]).abs() < 1e-10, "{seg:?}");
     }
 }

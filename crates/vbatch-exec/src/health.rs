@@ -1,0 +1,262 @@
+//! Post-factorization health triage (the fault-tolerance layer's
+//! middle stage).
+//!
+//! With [`HealthPolicy::Guarded`], every block that factorized exactly
+//! gets a Hager/Higham 1-norm condition estimate. Blocks whose estimate
+//! exceeds the policy threshold are *recovered in place*: the original
+//! block is equilibrated (LAPACK `geequ`-style row/column scalings),
+//! refactorized, and replaced by a [`BlockFactor::EquilibratedLu`] whose
+//! apply adds one step of iterative refinement. Blocks that cannot be
+//! recovered escalate through the scalar-Jacobi fallback down to
+//! identity rows, and every step taken is recorded in the block's
+//! [`BlockStatus::recovery`] chain — so the caller can always tell the
+//! difference between "factorized cleanly", "recovered exactly" and
+//! "degraded".
+//!
+//! The triage pass never touches blocks that already fell back during
+//! factorization (their health was classified from the factor error),
+//! and [`HealthPolicy::Off`] skips it entirely, preserving the bitwise
+//! layout-equivalence contract of the unguarded path.
+
+use crate::factors::{
+    block_diag, scalar_jacobi_from_diag, BlockFactor, BlockHealth, BlockStatus, FactorizedBatch,
+    RecoveryStep,
+};
+use crate::plan::HealthPolicy;
+use vbatch_core::lu::LuFactors;
+use vbatch_core::{
+    apply_equilibration, condest1, equilibrate, getrf, norm1, DenseMat, MatrixBatch, Permutation,
+    PivotStrategy, Scalar,
+};
+
+/// Condition estimate of one exactly-factorized block, reusing the
+/// factors where they are an LU form and refactorizing on the host
+/// otherwise. Returns `None` for factor kinds that are not an exact
+/// block inverse (the scalar-Jacobi fallback) or were already triaged.
+fn condest_block<T: Scalar>(
+    a: &DenseMat<T>,
+    factor: &BlockFactor<T>,
+    batch: &FactorizedBatch<T>,
+) -> Option<f64> {
+    match factor {
+        BlockFactor::Lu { n, lu, perm } => {
+            let f = LuFactors {
+                lu: DenseMat::from_col_major(*n, *n, lu),
+                perm: perm.clone(),
+            };
+            Some(condest1(a, &f).to_f64())
+        }
+        BlockFactor::InterleavedLu { class, slot } => {
+            let cls = &batch.interleaved[*class];
+            let (n, count) = (cls.n, cls.count());
+            let lu = DenseMat::from_fn(n, n, |i, j| cls.data[(j * n + i) * count + slot]);
+            let f = LuFactors {
+                lu,
+                perm: Permutation::from_row_of_step(cls.slot_row_of_step(*slot)),
+            };
+            Some(condest1(a, &f).to_f64())
+        }
+        BlockFactor::Inv { n, inv } => {
+            // exact: the explicit inverse is already materialized
+            let inv = DenseMat::from_col_major(*n, *n, inv);
+            Some((norm1(a) * norm1(&inv)).to_f64())
+        }
+        BlockFactor::Gh(_) | BlockFactor::Chol(_) => {
+            // the GH / Cholesky factor forms don't expose the LU solve
+            // shape the estimator needs; refactorize on the host
+            match getrf(a, PivotStrategy::Implicit) {
+                Ok(f) => Some(condest1(a, &f).to_f64()),
+                Err(_) => Some(f64::INFINITY),
+            }
+        }
+        BlockFactor::ScalarJacobi { .. } | BlockFactor::EquilibratedLu { .. } => None,
+    }
+}
+
+/// Escalate one unrecoverable block to scalar Jacobi (and, for rows
+/// whose diagonal is unusable, identity), extending its recovery chain.
+fn escalate_to_scalar_jacobi<T: Scalar>(
+    n: usize,
+    block: &[T],
+    status: &mut BlockStatus,
+) -> BlockFactor<T> {
+    let diag = block_diag(n, block);
+    let (factor, sanitized) = scalar_jacobi_from_diag(&diag);
+    if sanitized < n {
+        status.recovery.push(RecoveryStep::ScalarJacobi);
+    }
+    if sanitized > 0 {
+        status.recovery.push(RecoveryStep::Identity);
+    }
+    factor
+}
+
+/// Run health triage over a freshly factorized batch. `blocks` must be
+/// the original (uncorrupted by factorization — extraction keeps its
+/// own copy) block data the batch was factorized from.
+pub(crate) fn triage_batch<T: Scalar>(
+    blocks: &MatrixBatch<T>,
+    batch: &mut FactorizedBatch<T>,
+    policy: HealthPolicy,
+) {
+    let HealthPolicy::Guarded { ill_threshold } = policy else {
+        return;
+    };
+    for i in 0..batch.len() {
+        if batch.status[i].is_fallback() {
+            continue;
+        }
+        let n = batch.sizes[i];
+        let a = DenseMat::from_col_major(n, n, blocks.block(i));
+        let Some(k) = condest_block(&a, &batch.factors[i], batch) else {
+            continue;
+        };
+        batch.status[i].condest = Some(k);
+        if !(k > ill_threshold) {
+            batch.status[i].health = BlockHealth::Healthy;
+            continue;
+        }
+        batch.status[i].health = BlockHealth::IllConditioned;
+        // recover: equilibrate + refactorize, escalate on failure
+        let recovered = equilibrate(&a).and_then(|(r, c)| {
+            let e = apply_equilibration(&a, &r, &c);
+            getrf(&e, PivotStrategy::Implicit)
+                .ok()
+                .map(|f| BlockFactor::EquilibratedLu {
+                    n,
+                    lu: f.lu.as_slice().to_vec(),
+                    perm: f.perm,
+                    r,
+                    c,
+                    a: blocks.block(i).to_vec(),
+                })
+        });
+        match recovered {
+            Some(factor) => {
+                batch.factors[i] = factor;
+                batch.status[i].recovery.push(RecoveryStep::Equilibrated);
+            }
+            None => {
+                batch.factors[i] =
+                    escalate_to_scalar_jacobi(n, blocks.block(i), &mut batch.status[i]);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::Backend;
+    use crate::cpu::CpuSequential;
+    use crate::plan::{BatchPlan, KernelChoice, PlanMethod};
+    use crate::stats::ExecStats;
+    use vbatch_core::{BatchLayout, VectorBatch};
+
+    fn batch_with_scaled_block() -> (Vec<usize>, MatrixBatch<f64>) {
+        let sizes = vec![3usize, 3, 3];
+        let mut batch = MatrixBatch::zeros(&sizes);
+        for i in 0..3 {
+            let b = batch.block_mut(i);
+            for c in 0..3 {
+                for r in 0..3 {
+                    b[c * 3 + r] = if r == c { 4.0 } else { 0.5 };
+                }
+            }
+        }
+        // block 1: wildly scaled rows — huge condition number, but
+        // exactly recoverable by equilibration
+        {
+            let b = batch.block_mut(1);
+            for c in 0..3 {
+                b[c * 3] *= 1e12;
+                b[c * 3 + 2] *= 1e-12;
+            }
+        }
+        (sizes, batch)
+    }
+
+    #[test]
+    fn guarded_plan_equilibrates_ill_conditioned_blocks() {
+        let (sizes, batch) = batch_with_scaled_block();
+        let plan = BatchPlan::for_method_with_layout::<f64>(
+            &sizes,
+            PlanMethod::SmallLu,
+            BatchLayout::Blocked,
+        )
+        .with_health(HealthPolicy::guarded::<f64>());
+        let mut stats = ExecStats::new();
+        let fact = CpuSequential.factorize(batch.clone(), &plan, &mut stats);
+        assert_eq!(fact.status[1].health, BlockHealth::IllConditioned);
+        assert_eq!(fact.status[1].recovery, vec![RecoveryStep::Equilibrated]);
+        assert!(!fact.status[1].is_fallback(), "equilibration is exact");
+        assert_eq!(fact.fallback_count(), 0);
+        assert!(fact.status[1].condest.unwrap() > 1e12);
+        for i in [0usize, 2] {
+            assert_eq!(fact.status[i].health, BlockHealth::Healthy);
+            assert!(fact.status[i].condest.unwrap() < 10.0);
+            assert!(fact.status[i].recovery.is_empty());
+        }
+        assert_eq!(stats.health_histogram()["healthy"], 2);
+        assert_eq!(stats.health_histogram()["ill_conditioned"], 1);
+        assert_eq!(stats.recovery_histogram()["equilibrated"], 1);
+
+        // the recovered block still applies the exact block inverse
+        let x_true: Vec<f64> = (0..9).map(|i| 1.0 + 0.25 * i as f64).collect();
+        let xb = VectorBatch::from_flat(&sizes, &x_true);
+        let mut rhs = VectorBatch::zeros(&sizes);
+        CpuSequential.apply_gemv(&batch, &xb, &mut rhs, &mut stats);
+        CpuSequential.solve(&fact, &mut rhs, &mut stats);
+        for (got, want) in rhs.as_slice().iter().zip(&x_true) {
+            assert!((got - want).abs() < 1e-6 * want.abs(), "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn triage_covers_interleaved_and_inverse_factors() {
+        let (sizes, batch) = batch_with_scaled_block();
+        // interleaved layout: all three order-3 blocks form one class
+        let il = BatchPlan::for_method_with_layout::<f64>(
+            &sizes,
+            PlanMethod::SmallLu,
+            BatchLayout::Interleaved { class_capacity: 2 },
+        )
+        .with_health(HealthPolicy::guarded::<f64>());
+        let mut stats = ExecStats::new();
+        let fact = CpuSequential.factorize(batch.clone(), &il, &mut stats);
+        assert_eq!(fact.status[1].health, BlockHealth::IllConditioned);
+        assert!(matches!(
+            fact.factors[1],
+            BlockFactor::EquilibratedLu { .. }
+        ));
+        // healthy slots stay in the interleaved class
+        assert!(matches!(fact.factors[0], BlockFactor::InterleavedLu { .. }));
+
+        // explicit-inverse method: condest is exact
+        let gje = BatchPlan::for_method::<f64>(&sizes, PlanMethod::GjeInvert)
+            .with_health(HealthPolicy::guarded::<f64>());
+        let fact = CpuSequential.factorize(batch.clone(), &gje, &mut stats);
+        assert_eq!(fact.status[1].health, BlockHealth::IllConditioned);
+        assert_eq!(fact.status[0].health, BlockHealth::Healthy);
+
+        // GH method: triage refactorizes on the host
+        let gh = BatchPlan::for_method::<f64>(&sizes, PlanMethod::GaussHuard)
+            .with_health(HealthPolicy::guarded::<f64>());
+        let fact = CpuSequential.factorize(batch, &gh, &mut stats);
+        assert_eq!(fact.status[1].health, BlockHealth::IllConditioned);
+        assert_eq!(fact.status[1].kernel, KernelChoice::GaussHuard);
+    }
+
+    #[test]
+    fn health_off_leaves_factors_untouched() {
+        let (sizes, batch) = batch_with_scaled_block();
+        let plan = BatchPlan::for_method::<f64>(&sizes, PlanMethod::SmallLu);
+        let mut stats = ExecStats::new();
+        let fact = CpuSequential.factorize(batch, &plan, &mut stats);
+        for s in &fact.status {
+            assert_eq!(s.health, BlockHealth::Healthy);
+            assert!(s.condest.is_none());
+            assert!(s.recovery.is_empty());
+        }
+    }
+}

@@ -17,15 +17,23 @@
 //!   functional simulator of `vbatch-simt`).
 //!
 //! Factorization never aborts on the first singular block: each block
-//! carries its own [`BlockStatus`], and singular blocks degrade to a
+//! carries its own [`BlockStatus`] — which kernel ran, the triaged
+//! [`BlockHealth`], an optional condition estimate, and the recovery
+//! escalation chain — and singular blocks degrade through a
 //! scalar-Jacobi (diagonal) fallback so the preconditioner stays
-//! usable. [`ExecStats`] threads a kernel-choice histogram, flop
-//! counts, failure counts and per-phase timings through every backend.
+//! usable. With [`HealthPolicy::Guarded`], ill-conditioned blocks are
+//! additionally equilibrated and refactorized ([`health`]), and the
+//! [`fault`] module can corrupt batches deterministically to exercise
+//! every one of these paths. [`ExecStats`] threads kernel/health
+//! histograms, flop counts, failure counts and per-phase timings
+//! through every backend.
 
 pub mod backend;
 pub mod cpu;
 pub mod estimate;
 pub mod factors;
+pub mod fault;
+pub mod health;
 pub mod plan;
 pub mod simt;
 pub mod stats;
@@ -33,9 +41,14 @@ pub mod stats;
 pub use backend::{backend_for_exec, Backend};
 pub use cpu::{CpuRayon, CpuSequential};
 pub use estimate::{estimate_planned_factor, PlannedEstimate};
-pub use factors::{BlockFactor, BlockStatus, FactorizedBatch, InterleavedLuClass};
+pub use factors::{
+    BlockFactor, BlockHealth, BlockStatus, FactorizedBatch, InterleavedLuClass, RecoveryStep,
+};
+pub use fault::{apply_fault, expected_health, inject_batch, inject_rhs};
 pub use plan::{
-    gh_crossover_order, BatchPlan, ClassLayout, KernelChoice, PlanMethod, PlanParams, SizeClass,
+    gh_crossover_order, BatchPlan, ClassLayout, HealthPolicy, KernelChoice, PlanMethod, PlanParams,
+    SizeClass,
 };
 pub use simt::SimtSim;
 pub use stats::{ExecStats, Phase};
+pub use vbatch_rt::fault::{FaultClass, FaultPlan};

@@ -99,6 +99,44 @@ impl ClassLayout {
     }
 }
 
+/// Post-factorization health triage policy.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub enum HealthPolicy {
+    /// No triage: factorized blocks are reported healthy, failed blocks
+    /// fall straight back to scalar Jacobi. This is the default — it
+    /// preserves the bitwise layout-equivalence contract and adds zero
+    /// overhead.
+    #[default]
+    Off,
+    /// Estimate every block's 1-norm condition number after
+    /// factorization; blocks whose estimate exceeds `ill_threshold` are
+    /// equilibrated and refactorized (with one step of iterative
+    /// refinement in the apply), and blocks that cannot be recovered
+    /// escalate through scalar Jacobi down to identity.
+    Guarded {
+        /// Condition-estimate threshold above which a block counts as
+        /// ill-conditioned. [`HealthPolicy::guarded`] picks
+        /// `0.25 / sqrt(eps)` for the scalar type.
+        ill_threshold: f64,
+    },
+}
+
+impl HealthPolicy {
+    /// Guarded triage with the default threshold for scalar type `T`:
+    /// `0.25 / sqrt(eps)` (≈ 1.7e7 in double, ≈ 724 in single) — the
+    /// point where a block solve loses about half the mantissa.
+    pub fn guarded<T: Scalar>() -> Self {
+        HealthPolicy::Guarded {
+            ill_threshold: 0.25 / T::epsilon().to_f64().sqrt(),
+        }
+    }
+
+    /// `true` when triage is enabled.
+    pub fn is_guarded(&self) -> bool {
+        matches!(self, HealthPolicy::Guarded { .. })
+    }
+}
+
 /// Tunable planner thresholds. [`PlanParams::for_scalar`] gives the
 /// paper's values for the element type.
 #[derive(Clone, Copy, Debug)]
@@ -113,17 +151,20 @@ pub struct PlanParams {
     /// size classes whose population reaches `class_capacity` are
     /// stored interleaved; everything else stays blocked.
     pub layout: BatchLayout,
+    /// Post-factorization health triage policy.
+    pub health: HealthPolicy,
 }
 
 impl PlanParams {
     /// Paper thresholds for scalar type `T`, with the default
-    /// interleaving policy.
+    /// interleaving policy and triage off.
     pub fn for_scalar<T: Scalar>() -> Self {
         PlanParams {
             gh_crossover: gh_crossover_order(T::BYTES),
             pack_max: 16,
             small_max: 32,
             layout: BatchLayout::interleaved(),
+            health: HealthPolicy::Off,
         }
     }
 }
@@ -149,6 +190,7 @@ pub struct BatchPlan {
     pub classes: Vec<SizeClass>,
     choice: Vec<KernelChoice>,
     layouts: Vec<ClassLayout>,
+    health: HealthPolicy,
 }
 
 /// Interleaving pays only for the LU-family sweep kernels on small
@@ -210,7 +252,19 @@ impl BatchPlan {
             classes,
             choice,
             layouts,
+            health: params.health,
         }
+    }
+
+    /// Same plan with a different health triage policy.
+    pub fn with_health(mut self, health: HealthPolicy) -> Self {
+        self.health = health;
+        self
+    }
+
+    /// The health triage policy the backends run after factorization.
+    pub fn health(&self) -> HealthPolicy {
+        self.health
     }
 
     /// Paper-crossover automatic plan for scalar type `T`.

@@ -65,10 +65,16 @@ fn fallback_entry<T: Scalar>(
     error: FactorError,
 ) -> (BlockFactor<T>, BlockStatus) {
     let n = blocks.sizes()[i];
-    (
-        scalar_jacobi_from_diag(&block_diag(n, blocks.block(i))),
-        BlockStatus::FallbackScalarJacobi { kernel, error },
-    )
+    // The simulated device kernels have no dedicated non-finite check:
+    // a NaN/Inf block surfaces as a pivot failure there. Re-diagnose on
+    // the host so the reported error (and triaged health) matches the
+    // CPU backends exactly.
+    let error = match vbatch_core::check_finite(n, blocks.block(i)) {
+        Err(nf) => nf,
+        Ok(()) => error,
+    };
+    let (factor, sanitized) = scalar_jacobi_from_diag(&block_diag(n, blocks.block(i)));
+    (factor, BlockStatus::fallback(kernel, error, sanitized, n))
 }
 
 /// Canonical row-major copy of a GH working matrix:
@@ -172,7 +178,7 @@ impl<T: Scalar> Backend<T> for SimtSim {
                                 lu: dev.factors_host(j),
                                 perm: dev.perm_host(j),
                             },
-                            BlockStatus::Factorized(KernelChoice::SmallLu),
+                            BlockStatus::factorized(KernelChoice::SmallLu),
                         )
                     }
                     Err(e) => fallback_entry(&blocks, i, KernelChoice::SmallLu, e),
@@ -195,7 +201,7 @@ impl<T: Scalar> Backend<T> for SimtSim {
                                         lu: dev.factors_host(j),
                                         perm: dev.perm_host(j),
                                     },
-                                    BlockStatus::Factorized(KernelChoice::BlockedLu),
+                                    BlockStatus::factorized(KernelChoice::BlockedLu),
                                 )
                             }
                             Err(e) => fallback_entry(&blocks, i, KernelChoice::BlockedLu, e),
@@ -222,7 +228,7 @@ impl<T: Scalar> Backend<T> for SimtSim {
                         stats.add_device_cost(&cost);
                         (
                             BlockFactor::Gh(dev.factors_host(j)),
-                            BlockStatus::Factorized(kernel),
+                            BlockStatus::factorized(kernel),
                         )
                     }
                     Err(e) => fallback_entry(&blocks, i, kernel, e),
@@ -250,7 +256,7 @@ impl<T: Scalar> Backend<T> for SimtSim {
                                             lu: dev.factors_host(j),
                                             perm: dev.perm_host(j),
                                         },
-                                        BlockStatus::Factorized(KernelChoice::PackedLu),
+                                        BlockStatus::factorized(KernelChoice::PackedLu),
                                     ));
                                 }
                             }
@@ -282,18 +288,21 @@ impl<T: Scalar> Backend<T> for SimtSim {
             ));
         }
 
+        // Every block was routed to exactly one kernel family above.
         let (factors, status): (Vec<_>, Vec<_>) = results
             .into_iter()
-            .map(|r| r.expect("every block assigned"))
+            .map(|r| r.expect("block not routed to any kernel family"))
             .unzip();
-        record_statuses(&status, stats);
-        stats.add_phase(Phase::Factorize, t0.elapsed());
-        FactorizedBatch {
+        let mut batch = FactorizedBatch {
             sizes,
             factors,
             status,
             interleaved: Vec::new(),
-        }
+        };
+        crate::health::triage_batch(&blocks, &mut batch, plan.health());
+        record_statuses(&batch.status, stats);
+        stats.add_phase(Phase::Factorize, t0.elapsed());
+        batch
     }
 
     fn solve(&self, factors: &FactorizedBatch<T>, rhs: &mut VectorBatch<T>, stats: &mut ExecStats) {
@@ -312,10 +321,7 @@ impl<T: Scalar> Backend<T> for SimtSim {
                 BlockFactor::Gh(_) if n <= WARP_SIZE => {
                     // the factorization kernel decides the factor layout
                     // the solve kernel streams
-                    if matches!(
-                        factors.status[i],
-                        BlockStatus::Factorized(KernelChoice::GaussHuardT)
-                    ) {
+                    if factors.status[i].kernel == KernelChoice::GaussHuardT {
                         gh_dual_idx.push(i)
                     } else {
                         gh_row_idx.push(i)

@@ -1,5 +1,6 @@
 //! Execution statistics threaded through every backend call.
 
+use crate::factors::{BlockHealth, RecoveryStep};
 use crate::plan::{ClassLayout, KernelChoice};
 use std::collections::BTreeMap;
 use std::time::Duration;
@@ -41,6 +42,8 @@ impl Phase {
 pub struct ExecStats {
     kernels: BTreeMap<&'static str, u64>,
     layouts: BTreeMap<&'static str, u64>,
+    health: BTreeMap<&'static str, u64>,
+    recoveries: BTreeMap<&'static str, u64>,
     /// Nominal floating-point operations of the executed batched calls.
     pub flops: f64,
     /// Blocks whose factorization failed and degraded to the fallback.
@@ -81,6 +84,16 @@ impl ExecStats {
     /// Record one singular-block fallback.
     pub fn record_failure(&mut self) {
         self.failures += 1;
+    }
+
+    /// Record one block triaged into health state `h`.
+    pub fn record_health(&mut self, h: BlockHealth) {
+        *self.health.entry(h.label()).or_insert(0) += 1;
+    }
+
+    /// Record one recovery step applied to a block.
+    pub fn record_recovery(&mut self, step: RecoveryStep) {
+        *self.recoveries.entry(step.label()).or_insert(0) += 1;
     }
 
     /// Accumulate nominal flops.
@@ -136,6 +149,34 @@ impl ExecStats {
             .join(";")
     }
 
+    /// Health histogram (label → block count).
+    pub fn health_histogram(&self) -> &BTreeMap<&'static str, u64> {
+        &self.health
+    }
+
+    /// Health histogram as a compact `label=count;...` string for CSV.
+    pub fn health_compact(&self) -> String {
+        self.health
+            .iter()
+            .map(|(k, c)| format!("{k}={c}"))
+            .collect::<Vec<_>>()
+            .join(";")
+    }
+
+    /// Recovery-step histogram (label → application count).
+    pub fn recovery_histogram(&self) -> &BTreeMap<&'static str, u64> {
+        &self.recoveries
+    }
+
+    /// Recovery histogram as a compact `label=count;...` string.
+    pub fn recovery_compact(&self) -> String {
+        self.recoveries
+            .iter()
+            .map(|(k, c)| format!("{k}={c}"))
+            .collect::<Vec<_>>()
+            .join(";")
+    }
+
     /// Fold another stats object into this one.
     pub fn merge(&mut self, other: &ExecStats) {
         for (k, c) in &other.kernels {
@@ -143,6 +184,12 @@ impl ExecStats {
         }
         for (k, c) in &other.layouts {
             *self.layouts.entry(k).or_insert(0) += c;
+        }
+        for (k, c) in &other.health {
+            *self.health.entry(k).or_insert(0) += c;
+        }
+        for (k, c) in &other.recoveries {
+            *self.recoveries.entry(k).or_insert(0) += c;
         }
         self.flops += other.flops;
         self.failures += other.failures;
@@ -186,6 +233,24 @@ mod tests {
         assert_eq!(a.phase_time(Phase::Solve), Duration::from_millis(2));
         // BTreeMap ordering: alphabetical by label
         assert_eq!(a.histogram_compact(), "gauss-huard=2;small-lu=4");
+    }
+
+    #[test]
+    fn health_and_recovery_histograms_merge() {
+        let mut a = ExecStats::new();
+        a.record_health(BlockHealth::Healthy);
+        a.record_health(BlockHealth::Healthy);
+        a.record_health(BlockHealth::Singular);
+        a.record_recovery(RecoveryStep::ScalarJacobi);
+        let mut b = ExecStats::new();
+        b.record_health(BlockHealth::IllConditioned);
+        b.record_recovery(RecoveryStep::Equilibrated);
+        b.record_recovery(RecoveryStep::ScalarJacobi);
+        a.merge(&b);
+        assert_eq!(a.health_histogram()["healthy"], 2);
+        assert_eq!(a.health_histogram()["singular"], 1);
+        assert_eq!(a.health_compact(), "healthy=2;ill_conditioned=1;singular=1");
+        assert_eq!(a.recovery_compact(), "equilibrated=1;scalar_jacobi=2");
     }
 
     #[test]

@@ -20,7 +20,8 @@ use std::sync::Arc;
 use std::time::Duration;
 use vbatch_core::{BatchLayout, Exec, FactorError, Scalar, VectorBatch};
 use vbatch_exec::{
-    backend_for_exec, Backend, BatchPlan, BlockStatus, ExecStats, FactorizedBatch, PlanMethod,
+    backend_for_exec, inject_batch, Backend, BatchPlan, BlockStatus, ExecStats, FactorizedBatch,
+    FaultClass, FaultPlan, HealthPolicy, PlanMethod,
 };
 use vbatch_sparse::{BlockPartition, CsrMatrix};
 
@@ -81,6 +82,56 @@ impl BjMethod {
     }
 }
 
+/// Knobs for [`BlockJacobi::setup_with_options`]: batch layout, health
+/// triage policy, and an optional fault-injection plan applied to the
+/// extracted diagonal blocks before factorization (for the differential
+/// fault suite — never use in production setups).
+#[derive(Clone, Debug)]
+pub struct BjOptions {
+    /// Storage layout policy passed through to the backend.
+    pub layout: BatchLayout,
+    /// Post-factorization health triage ([`HealthPolicy::Off`] keeps
+    /// the historical bitwise behaviour).
+    pub health: HealthPolicy,
+    /// Corrupt the extracted blocks with this plan before factorizing.
+    pub fault: Option<FaultPlan>,
+}
+
+impl Default for BjOptions {
+    /// The same defaults as [`BlockJacobi::setup_with_backend`]:
+    /// interleave populous uniform classes, no triage, no faults.
+    fn default() -> Self {
+        BjOptions {
+            layout: BatchLayout::interleaved(),
+            health: HealthPolicy::Off,
+            fault: None,
+        }
+    }
+}
+
+impl BjOptions {
+    /// Default layout, guarded health triage with the scalar type's
+    /// recommended ill-conditioning threshold.
+    pub fn guarded<T: Scalar>() -> Self {
+        BjOptions {
+            health: HealthPolicy::guarded::<T>(),
+            ..Self::default()
+        }
+    }
+
+    /// Set the batch layout policy.
+    pub fn with_layout(mut self, layout: BatchLayout) -> Self {
+        self.layout = layout;
+        self
+    }
+
+    /// Set the fault-injection plan.
+    pub fn with_fault(mut self, plan: FaultPlan) -> Self {
+        self.fault = Some(plan);
+        self
+    }
+}
+
 /// The assembled block-Jacobi preconditioner.
 pub struct BlockJacobi<T: Scalar> {
     part: BlockPartition,
@@ -94,6 +145,9 @@ pub struct BlockJacobi<T: Scalar> {
     /// Execution statistics of the setup phase (kernel histogram,
     /// flops, per-phase timings).
     pub stats: ExecStats,
+    /// The fault assignment injected at setup (empty unless
+    /// [`BjOptions::fault`] was set).
+    fault_map: Vec<Option<FaultClass>>,
 }
 
 impl<T: Scalar> BlockJacobi<T> {
@@ -132,8 +186,10 @@ impl<T: Scalar> BlockJacobi<T> {
     ) -> Result<Self, FactorError> {
         let m = Self::setup_with_backend(a, part, method, backend_for_exec(exec))?;
         for status in m.statuses() {
-            if let BlockStatus::FallbackScalarJacobi { error, .. } = status {
-                return Err(error.clone());
+            if status.is_fallback() {
+                if let Some(error) = &status.error {
+                    return Err(error.clone());
+                }
             }
         }
         Ok(m)
@@ -161,12 +217,42 @@ impl<T: Scalar> BlockJacobi<T> {
         backend: Arc<dyn Backend<T>>,
         layout: BatchLayout,
     ) -> Result<Self, FactorError> {
+        Self::setup_with_options(
+            a,
+            part,
+            method,
+            backend,
+            BjOptions::default().with_layout(layout),
+        )
+    }
+
+    /// Fully-optioned setup: layout, health triage policy, and optional
+    /// pre-factorization fault injection (see [`BjOptions`]). The fault
+    /// assignment actually applied is retained in
+    /// [`BlockJacobi::fault_map`] so differential tests can cross-check
+    /// the per-block statuses against the injected map.
+    pub fn setup_with_options(
+        a: &CsrMatrix<T>,
+        part: &BlockPartition,
+        method: BjMethod,
+        backend: Arc<dyn Backend<T>>,
+        opts: BjOptions,
+    ) -> Result<Self, FactorError> {
         assert_eq!(part.total(), a.nrows(), "partition must cover the matrix");
         let start = std::time::Instant::now();
         let mut stats = ExecStats::new();
-        let blocks = backend.extract_blocks(a, part, &mut stats);
-        let plan =
-            BatchPlan::for_method_with_layout::<T>(blocks.sizes(), method.plan_method(), layout);
+        let mut blocks = backend.extract_blocks(a, part, &mut stats);
+        let fault_map = opts
+            .fault
+            .as_ref()
+            .map(|plan| inject_batch(&mut blocks, plan))
+            .unwrap_or_default();
+        let plan = BatchPlan::for_method_with_layout::<T>(
+            blocks.sizes(),
+            method.plan_method(),
+            opts.layout,
+        )
+        .with_health(opts.health);
         let factors = backend.factorize(blocks, &plan, &mut stats);
         let fallback_blocks = factors.fallback_count();
         Ok(BlockJacobi {
@@ -177,6 +263,7 @@ impl<T: Scalar> BlockJacobi<T> {
             setup_time: start.elapsed(),
             fallback_blocks,
             stats,
+            fault_map,
         })
     }
 
@@ -199,6 +286,12 @@ impl<T: Scalar> BlockJacobi<T> {
     /// The execution backend applying the block solves.
     pub fn backend(&self) -> &dyn Backend<T> {
         self.backend.as_ref()
+    }
+
+    /// The fault assignment injected during setup: one entry per block
+    /// when [`BjOptions::fault`] was set, empty otherwise.
+    pub fn fault_map(&self) -> &[Option<FaultClass>] {
+        &self.fault_map
     }
 }
 
@@ -374,6 +467,56 @@ mod tests {
         assert_eq!(blocked.stats.layout_histogram()["blocked"], 16);
         // same arithmetic order per block: bitwise-identical applies
         assert_eq!(blocked.apply(&v), interleaved.apply(&v));
+    }
+
+    #[test]
+    fn options_setup_injects_and_triages_faults() {
+        let a = laplace_2d::<f64>(8, 8);
+        let part = BlockPartition::uniform(64, 4); // 16 blocks
+        let plan = FaultPlan::new(7).with(FaultClass::ZeroRow, 0.1);
+        let m = BlockJacobi::setup_with_options(
+            &a,
+            &part,
+            BjMethod::SmallLu,
+            backend_for_exec(Exec::Sequential),
+            BjOptions::guarded::<f64>().with_fault(plan),
+        )
+        .unwrap();
+        let map = m.fault_map().to_vec();
+        assert_eq!(map.len(), 16);
+        let victims = map.iter().filter(|f| f.is_some()).count();
+        assert_eq!(victims, 2, "round(0.1 * 16)");
+        for (i, (st, f)) in m.statuses().iter().zip(&map).enumerate() {
+            assert_eq!(st.health, vbatch_exec::expected_health(*f), "block {i}");
+        }
+        assert_eq!(m.fallback_blocks, victims);
+        // the degraded preconditioner still applies finitely
+        let w = m.apply(&vec![1.0; 64]);
+        assert!(w.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn clean_options_setup_matches_layout_setup() {
+        let a = laplace_2d::<f64>(8, 8);
+        let part = BlockPartition::uniform(64, 4);
+        let v: Vec<f64> = (0..64).map(|i| ((i * 3) % 11) as f64 - 5.0).collect();
+        let base = BlockJacobi::setup_with_backend(
+            &a,
+            &part,
+            BjMethod::SmallLu,
+            backend_for_exec(Exec::Sequential),
+        )
+        .unwrap();
+        let opt = BlockJacobi::setup_with_options(
+            &a,
+            &part,
+            BjMethod::SmallLu,
+            backend_for_exec(Exec::Sequential),
+            BjOptions::default(),
+        )
+        .unwrap();
+        assert!(opt.fault_map().is_empty());
+        assert_eq!(base.apply(&v), opt.apply(&v));
     }
 
     #[test]

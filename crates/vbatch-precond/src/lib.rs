@@ -11,6 +11,6 @@ pub mod block_jacobi;
 pub mod jacobi;
 pub mod traits;
 
-pub use block_jacobi::{BjMethod, BlockJacobi};
+pub use block_jacobi::{BjMethod, BjOptions, BlockJacobi};
 pub use jacobi::{Jacobi, JacobiError};
 pub use traits::{Identity, Preconditioner};

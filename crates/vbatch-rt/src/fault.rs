@@ -1,0 +1,198 @@
+//! Deterministic fault-injection planning.
+//!
+//! Robustness paths (singular-block fallbacks, health triage, solver
+//! breakdown handling) are only trustworthy if they are *exercised*, so
+//! this module provides a seeded, reproducible way to decide which
+//! members of a batch get corrupted and how. The plan is pure
+//! bookkeeping — it assigns a [`FaultClass`] to a chosen fraction of
+//! indices — and knows nothing about matrices; the numerical corruption
+//! itself is applied by the consumer (`vbatch-exec::fault`), keeping
+//! this crate scalar-agnostic.
+//!
+//! Determinism contract: for a fixed `(seed, classes, count)` the
+//! assignment is identical across runs, platforms and thread counts, so
+//! differential tests can assert per-block statuses against the exact
+//! injected fault map.
+
+use crate::rng::SmallRng;
+
+/// The kinds of numerical corruption a fault plan can inject.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FaultClass {
+    /// Overwrite one matrix entry with NaN.
+    NanEntry,
+    /// Overwrite one matrix entry with +Inf.
+    InfEntry,
+    /// Zero an entire row: the block becomes exactly singular.
+    ZeroRow,
+    /// Scale one column by `sqrt(eps)`: the block becomes severely
+    /// ill-conditioned but stays nonsingular.
+    EpsColumn,
+    /// Corrupt the block's right-hand-side segment with NaN (the matrix
+    /// itself stays intact).
+    RhsNan,
+}
+
+impl FaultClass {
+    /// All classes, for exhaustive tests.
+    pub const ALL: [FaultClass; 5] = [
+        FaultClass::NanEntry,
+        FaultClass::InfEntry,
+        FaultClass::ZeroRow,
+        FaultClass::EpsColumn,
+        FaultClass::RhsNan,
+    ];
+
+    /// Stable label used in stats and test diagnostics.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultClass::NanEntry => "nan_entry",
+            FaultClass::InfEntry => "inf_entry",
+            FaultClass::ZeroRow => "zero_row",
+            FaultClass::EpsColumn => "eps_column",
+            FaultClass::RhsNan => "rhs_nan",
+        }
+    }
+}
+
+/// A seeded plan describing which fraction of a batch receives which
+/// [`FaultClass`].
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    seed: u64,
+    /// `(class, fraction)` entries; fractions are of the *total* batch
+    /// and are realized as `round(fraction * count)` victims each.
+    classes: Vec<(FaultClass, f64)>,
+}
+
+impl FaultPlan {
+    /// Empty plan with the given seed; add fault classes with
+    /// [`FaultPlan::with`].
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            classes: Vec::new(),
+        }
+    }
+
+    /// Add `fraction` (of the whole batch) of blocks corrupted with
+    /// `class`. Fractions must be in `[0, 1]` and their sum must not
+    /// exceed 1.
+    pub fn with(mut self, class: FaultClass, fraction: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "fault fraction {fraction} outside [0, 1]"
+        );
+        self.classes.push((class, fraction));
+        let total: f64 = self.classes.iter().map(|&(_, f)| f).sum();
+        assert!(total <= 1.0 + 1e-12, "fault fractions sum to {total} > 1");
+        self
+    }
+
+    /// The seed the assignment is derived from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The configured `(class, fraction)` entries.
+    pub fn classes(&self) -> &[(FaultClass, f64)] {
+        &self.classes
+    }
+
+    /// Deterministically assign faults to a batch of `count` members:
+    /// returns one entry per index, `Some(class)` for victims. Each
+    /// class receives `round(fraction * count)` victims, chosen by a
+    /// seeded Fisher-Yates shuffle of the index space, so the same plan
+    /// always corrupts the same blocks.
+    pub fn assign(&self, count: usize) -> Vec<Option<FaultClass>> {
+        let mut order: Vec<usize> = (0..count).collect();
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        for i in (1..count).rev() {
+            let j = rng.gen_range(0..i + 1);
+            order.swap(i, j);
+        }
+        let mut out = vec![None; count];
+        let mut next = 0usize;
+        for &(class, fraction) in &self.classes {
+            let victims = ((fraction * count as f64).round() as usize).min(count - next);
+            for &idx in &order[next..next + victims] {
+                out[idx] = Some(class);
+            }
+            next += victims;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assignment_is_deterministic() {
+        let plan = FaultPlan::new(7)
+            .with(FaultClass::ZeroRow, 0.1)
+            .with(FaultClass::NanEntry, 0.05);
+        assert_eq!(plan.assign(200), plan.assign(200));
+        // a rebuilt identical plan assigns identically too
+        let again = FaultPlan::new(7)
+            .with(FaultClass::ZeroRow, 0.1)
+            .with(FaultClass::NanEntry, 0.05);
+        assert_eq!(plan.assign(200), again.assign(200));
+    }
+
+    #[test]
+    fn fractions_are_realized_exactly() {
+        let plan = FaultPlan::new(3)
+            .with(FaultClass::ZeroRow, 0.1)
+            .with(FaultClass::EpsColumn, 0.25);
+        let assigned = plan.assign(1000);
+        let count_of = |c: FaultClass| assigned.iter().filter(|a| **a == Some(c)).count();
+        assert_eq!(count_of(FaultClass::ZeroRow), 100);
+        assert_eq!(count_of(FaultClass::EpsColumn), 250);
+        assert_eq!(assigned.iter().filter(|a| a.is_none()).count(), 650);
+    }
+
+    #[test]
+    fn distinct_seeds_pick_distinct_victims() {
+        let a = FaultPlan::new(1)
+            .with(FaultClass::NanEntry, 0.2)
+            .assign(100);
+        let b = FaultPlan::new(2)
+            .with(FaultClass::NanEntry, 0.2)
+            .assign(100);
+        assert_ne!(a, b);
+        // but the victim *count* is identical
+        assert_eq!(
+            a.iter().filter(|v| v.is_some()).count(),
+            b.iter().filter(|v| v.is_some()).count()
+        );
+    }
+
+    #[test]
+    fn empty_plan_assigns_nothing() {
+        assert!(FaultPlan::new(0).assign(50).iter().all(|a| a.is_none()));
+    }
+
+    #[test]
+    fn full_coverage_is_allowed() {
+        let assigned = FaultPlan::new(9).with(FaultClass::ZeroRow, 1.0).assign(8);
+        assert!(assigned.iter().all(|a| *a == Some(FaultClass::ZeroRow)));
+    }
+
+    #[test]
+    #[should_panic(expected = "> 1")]
+    fn oversubscribed_fractions_rejected() {
+        let _ = FaultPlan::new(0)
+            .with(FaultClass::ZeroRow, 0.7)
+            .with(FaultClass::NanEntry, 0.7);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        for c in FaultClass::ALL {
+            assert!(!c.label().is_empty());
+        }
+        assert_eq!(FaultClass::EpsColumn.label(), "eps_column");
+    }
+}

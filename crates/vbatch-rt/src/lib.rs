@@ -13,14 +13,19 @@
 //!   space and the test harnesses;
 //! * [`check`] — a seeded random-case harness for property tests
 //!   (deterministic, shrink-free, zero-dependency);
+//! * [`fault`] — seeded fault-injection plans assigning corruption
+//!   classes to batch members, so every recovery path in the stack is
+//!   deterministically exercisable;
 //! * [`bench`] — a wall-clock micro-benchmark harness for the
 //!   `harness = false` bench targets.
 
 pub mod bench;
 pub mod check;
+pub mod fault;
 pub mod par;
 pub mod rng;
 
 pub use check::run_cases;
+pub use fault::{FaultClass, FaultPlan};
 pub use par::prelude;
 pub use rng::SmallRng;

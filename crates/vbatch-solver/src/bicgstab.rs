@@ -2,7 +2,7 @@
 //! nonsymmetric Krylov solver for cross-checking the IDR results (the
 //! MAGMA-sparse study the paper builds on, ref.\[11\], compares both).
 
-use crate::control::{SolveParams, SolveResult, StopReason};
+use crate::control::{SolveParams, SolveResult, StagnationGuard, StopReason};
 use std::time::Instant;
 use vbatch_core::Scalar;
 use vbatch_precond::Preconditioner;
@@ -40,7 +40,12 @@ pub fn bicgstab<T: Scalar, M: Preconditioner<T>>(
     if normb == 0.0 {
         return finish(vec![T::ZERO; n], 0, StopReason::Converged, history);
     }
+    if !normb.is_finite() {
+        // corrupted right-hand side: report it, don't iterate on NaN
+        return finish(vec![T::ZERO; n], 0, StopReason::NonFinite, history);
+    }
     let tolb = params.tol * normb;
+    let mut stagnation = StagnationGuard::new(params);
 
     let mut x = vec![T::ZERO; n];
     let mut r = b.to_vec();
@@ -108,7 +113,10 @@ pub fn bicgstab<T: Scalar, M: Preconditioner<T>>(
             history.push(normr / normb);
         }
         if !normr.is_finite() {
-            return finish(x, iter, StopReason::Diverged, history);
+            return finish(x, iter, StopReason::NonFinite, history);
+        }
+        if normr > tolb && stagnation.observe(normr) {
+            return finish(x, iter, StopReason::Stagnated, history);
         }
     }
     let reason = if normr <= tolb {

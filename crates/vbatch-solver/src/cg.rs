@@ -70,7 +70,7 @@ pub fn cg<T: Scalar, M: Preconditioner<T>>(
             history.push(normr / normb);
         }
         if !normr.is_finite() {
-            return finish(x, iter, StopReason::Diverged, history);
+            return finish(x, iter, StopReason::NonFinite, history);
         }
         if normr <= tolb {
             break;

@@ -3,6 +3,13 @@
 //! The paper's experiment protocol (§IV-D): right-hand side of all
 //! ones, zero initial guess, stop when the relative residual norm drops
 //! by six orders of magnitude, cap at 10,000 iterations.
+//!
+//! Beyond the paper protocol, every solver reports *why* it stopped
+//! with enough resolution for a driver to react: short-recurrence
+//! breakdowns, non-finite residuals (a faulted preconditioner or RHS)
+//! and stagnation each get their own [`StopReason`], so a run can never
+//! silently burn the whole iteration budget on a solve that broke down
+//! at iteration three.
 
 use std::time::Duration;
 
@@ -15,6 +22,14 @@ pub struct SolveParams {
     pub max_iters: usize,
     /// Record the residual history (costs one `Vec` push per iteration).
     pub record_history: bool,
+    /// Stagnation window: stop with [`StopReason::Stagnated`] when the
+    /// best residual norm has not improved by at least
+    /// [`SolveParams::stagnation_rtol`] (relative) over this many
+    /// consecutive iterations. `0` disables the check.
+    pub stagnation_window: usize,
+    /// Minimum relative improvement of the best residual norm that
+    /// resets the stagnation window.
+    pub stagnation_rtol: f64,
 }
 
 impl Default for SolveParams {
@@ -23,6 +38,8 @@ impl Default for SolveParams {
             tol: 1e-6,
             max_iters: 10_000,
             record_history: false,
+            stagnation_window: 0,
+            stagnation_rtol: 1e-8,
         }
     }
 }
@@ -45,6 +62,51 @@ impl SolveParams {
         self.record_history = true;
         self
     }
+
+    /// Enable stagnation detection over a window of `iters` iterations.
+    pub fn with_stagnation_window(mut self, iters: usize) -> Self {
+        self.stagnation_window = iters;
+        self
+    }
+}
+
+/// Incremental stagnation detector: feed it every residual norm; it
+/// trips once the best norm has not improved (relatively) for a full
+/// window of iterations.
+#[derive(Clone, Debug)]
+pub struct StagnationGuard {
+    window: usize,
+    rtol: f64,
+    best: f64,
+    since_improvement: usize,
+}
+
+impl StagnationGuard {
+    /// Guard configured from the solve parameters (inactive when the
+    /// window is zero).
+    pub fn new(params: &SolveParams) -> Self {
+        StagnationGuard {
+            window: params.stagnation_window,
+            rtol: params.stagnation_rtol,
+            best: f64::INFINITY,
+            since_improvement: 0,
+        }
+    }
+
+    /// Record one residual norm; returns `true` when the solve has
+    /// stagnated and should stop.
+    pub fn observe(&mut self, normr: f64) -> bool {
+        if self.window == 0 {
+            return false;
+        }
+        if normr < self.best * (1.0 - self.rtol) {
+            self.best = normr;
+            self.since_improvement = 0;
+            return false;
+        }
+        self.since_improvement += 1;
+        self.since_improvement >= self.window
+    }
 }
 
 /// Why a solve ended.
@@ -56,8 +118,22 @@ pub enum StopReason {
     MaxIterations,
     /// A breakdown in the short recurrences (division by ~zero).
     Breakdown,
-    /// Residual or iterate became non-finite.
-    Diverged,
+    /// Residual or iterate became non-finite (NaN/Inf).
+    NonFinite,
+    /// The residual norm stopped improving for a full stagnation
+    /// window (see [`SolveParams::stagnation_window`]).
+    Stagnated,
+}
+
+impl StopReason {
+    /// `true` for the abnormal endings a robust driver should react to
+    /// (restart or fall back): breakdown, non-finite, stagnation.
+    pub fn is_abnormal(self) -> bool {
+        matches!(
+            self,
+            StopReason::Breakdown | StopReason::NonFinite | StopReason::Stagnated
+        )
+    }
 }
 
 /// The outcome of one linear solve.
@@ -95,6 +171,7 @@ mod tests {
         assert_eq!(p.tol, 1e-6);
         assert_eq!(p.max_iters, 10_000);
         assert!(!p.record_history);
+        assert_eq!(p.stagnation_window, 0, "stagnation check is opt-in");
     }
 
     #[test]
@@ -102,10 +179,12 @@ mod tests {
         let p = SolveParams::default()
             .with_tol(1e-8)
             .with_max_iters(50)
-            .with_history();
+            .with_history()
+            .with_stagnation_window(25);
         assert_eq!(p.tol, 1e-8);
         assert_eq!(p.max_iters, 50);
         assert!(p.record_history);
+        assert_eq!(p.stagnation_window, 25);
     }
 
     #[test]
@@ -119,5 +198,44 @@ mod tests {
             history: vec![],
         };
         assert!(r.converged());
+    }
+
+    #[test]
+    fn abnormal_reasons_are_classified() {
+        assert!(StopReason::Breakdown.is_abnormal());
+        assert!(StopReason::NonFinite.is_abnormal());
+        assert!(StopReason::Stagnated.is_abnormal());
+        assert!(!StopReason::Converged.is_abnormal());
+        assert!(!StopReason::MaxIterations.is_abnormal());
+    }
+
+    #[test]
+    fn stagnation_guard_trips_after_flat_window() {
+        let p = SolveParams::default().with_stagnation_window(3);
+        let mut g = StagnationGuard::new(&p);
+        assert!(!g.observe(1.0));
+        assert!(!g.observe(0.5)); // improving
+        assert!(!g.observe(0.5));
+        assert!(!g.observe(0.5000001));
+        assert!(g.observe(0.4999999999), "3rd flat iteration trips");
+        // a real improvement resets the counter
+        let mut g = StagnationGuard::new(&p);
+        assert!(!g.observe(1.0));
+        assert!(!g.observe(1.0));
+        assert!(!g.observe(1.0));
+        // window would trip here, but improvement arrives first
+        let mut g2 = StagnationGuard::new(&p);
+        g2.observe(1.0);
+        g2.observe(1.0);
+        assert!(!g2.observe(0.2));
+        assert!(!g2.observe(0.2));
+    }
+
+    #[test]
+    fn zero_window_never_stagnates() {
+        let mut g = StagnationGuard::new(&SolveParams::default());
+        for _ in 0..10_000 {
+            assert!(!g.observe(1.0));
+        }
     }
 }

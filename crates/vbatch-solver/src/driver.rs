@@ -5,13 +5,13 @@
 //! fallback blocks). This is the seam experiments use to swap the CPU
 //! backends and the SIMT simulator without touching solver code.
 
-use crate::{idr, SolveParams, SolveResult};
+use crate::{gmres, idr, SolveParams, SolveResult};
 use std::sync::Arc;
 use std::time::Duration;
 use vbatch_core::{FactorError, Scalar};
 use vbatch_exec::{Backend, ExecStats};
 use vbatch_precond::{BjMethod, BlockJacobi};
-use vbatch_sparse::{BlockPartition, CsrMatrix};
+use vbatch_sparse::{axpy, nrm2, residual, BlockPartition, CsrMatrix};
 
 /// A preconditioned solve plus the setup-phase execution statistics.
 pub struct PrecondSolve<T> {
@@ -48,4 +48,179 @@ pub fn idr_block_jacobi<T: Scalar>(
         setup_stats: m.stats,
         backend_name: name,
     })
+}
+
+/// What a robust driver does when a solve ends abnormally
+/// ([`StopReason::is_abnormal`]): first restart IDR from the current
+/// iterate (residual-system restart, up to `max_restarts` times), then
+/// hand the original system to restarted GMRES as a last resort.
+#[derive(Clone, Copy, Debug)]
+pub struct RobustPolicy {
+    /// IDR restarts to attempt before falling back (each restart solves
+    /// the residual system `A e = b - A x` and corrects `x`).
+    pub max_restarts: usize,
+    /// Restart length for the GMRES fallback; `0` disables it.
+    pub gmres_restart: usize,
+}
+
+impl Default for RobustPolicy {
+    fn default() -> Self {
+        RobustPolicy {
+            max_restarts: 1,
+            gmres_restart: 30,
+        }
+    }
+}
+
+/// A [`PrecondSolve`] plus what the robust driver had to do to get it.
+pub struct RobustSolve<T> {
+    /// The (possibly restarted / fallen-back) solve outcome. Iteration
+    /// counts and histories accumulate across all attempts.
+    pub solve: PrecondSolve<T>,
+    /// IDR restarts actually performed.
+    pub restarts: usize,
+    /// `true` if the GMRES fallback ran.
+    pub used_gmres: bool,
+}
+
+/// [`idr_block_jacobi`] wrapped in the breakdown-recovery policy: on an
+/// abnormal stop the driver restarts IDR from the current iterate, and
+/// if it still cannot finish cleanly, falls back to GMRES(m) with the
+/// same preconditioner. A corrupted right-hand side (non-finite norm)
+/// is reported as [`StopReason::NonFinite`] without burning iterations.
+#[allow(clippy::too_many_arguments)] // mirrors idr_block_jacobi + policy
+pub fn idr_block_jacobi_robust<T: Scalar>(
+    a: &CsrMatrix<T>,
+    b: &[T],
+    s: usize,
+    part: &BlockPartition,
+    method: BjMethod,
+    backend: Arc<dyn Backend<T>>,
+    params: &SolveParams,
+    policy: &RobustPolicy,
+) -> Result<RobustSolve<T>, FactorError> {
+    let name = backend.name();
+    let m = BlockJacobi::setup_with_backend(a, part, method, backend)?;
+    let normb = nrm2(b).to_f64();
+
+    let mut result = idr(a, b, s, &m, params);
+    let mut restarts = 0usize;
+    let mut used_gmres = false;
+
+    while result.reason.is_abnormal() && restarts < policy.max_restarts {
+        let r = residual(a, &result.x, b);
+        if !nrm2(&r).to_f64().is_finite() {
+            // the right-hand side (or iterate) is corrupted beyond what
+            // a restart can repair
+            break;
+        }
+        restarts += 1;
+        let retry = idr(a, &r, s, &m, params);
+        let mut x = result.x.clone();
+        axpy(T::ONE, &retry.x, &mut x);
+        result = merge_attempts(a, b, normb, x, &result, retry);
+    }
+
+    if result.reason.is_abnormal() && policy.gmres_restart > 0 {
+        used_gmres = true;
+        let g = gmres(a, b, policy.gmres_restart, &m, params);
+        let x = g.x.clone();
+        result = merge_attempts(a, b, normb, x, &result, g);
+    }
+
+    Ok(RobustSolve {
+        solve: PrecondSolve {
+            result,
+            setup_time: m.setup_time,
+            fallback_blocks: m.fallback_blocks,
+            setup_stats: m.stats,
+            backend_name: name,
+        },
+        restarts,
+        used_gmres,
+    })
+}
+
+/// Fold a retry/fallback attempt into the running result: the iterate
+/// is `x`, counters and histories accumulate, the stop reason is the
+/// latest attempt's (upgraded to `Converged` if the true residual now
+/// meets the tolerance).
+fn merge_attempts<T: Scalar>(
+    a: &CsrMatrix<T>,
+    b: &[T],
+    normb: f64,
+    x: Vec<T>,
+    prev: &SolveResult<T>,
+    attempt: SolveResult<T>,
+) -> SolveResult<T> {
+    let final_relres = if normb == 0.0 {
+        0.0
+    } else {
+        nrm2(&residual(a, &x, b)).to_f64() / normb
+    };
+    let mut history = prev.history.clone();
+    history.extend_from_slice(&attempt.history);
+    SolveResult {
+        x,
+        iterations: prev.iterations + attempt.iterations,
+        final_relres,
+        reason: attempt.reason,
+        solve_time: prev.solve_time + attempt.solve_time,
+        history,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StopReason;
+    use vbatch_exec::CpuSequential;
+    use vbatch_sparse::gen::laplace::laplace_2d;
+
+    fn backend() -> Arc<dyn Backend<f64>> {
+        Arc::new(CpuSequential)
+    }
+
+    #[test]
+    fn robust_solve_converges_without_intervention() {
+        let a = laplace_2d::<f64>(8, 8);
+        let b = vec![1.0; 64];
+        let part = BlockPartition::uniform(64, 4);
+        let r = idr_block_jacobi_robust(
+            &a,
+            &b,
+            4,
+            &part,
+            BjMethod::SmallLu,
+            backend(),
+            &SolveParams::default(),
+            &RobustPolicy::default(),
+        )
+        .unwrap();
+        assert!(r.solve.result.converged());
+        assert_eq!(r.restarts, 0);
+        assert!(!r.used_gmres);
+    }
+
+    #[test]
+    fn nan_rhs_reports_non_finite_not_max_iters() {
+        let a = laplace_2d::<f64>(6, 6);
+        let mut b = vec![1.0; 36];
+        b[0] = f64::NAN;
+        let part = BlockPartition::uniform(36, 4);
+        let r = idr_block_jacobi_robust(
+            &a,
+            &b,
+            4,
+            &part,
+            BjMethod::SmallLu,
+            backend(),
+            &SolveParams::default(),
+            &RobustPolicy::default(),
+        )
+        .unwrap();
+        assert_eq!(r.solve.result.reason, StopReason::NonFinite);
+        assert!(r.used_gmres, "policy exhausts the fallback chain");
+        assert_eq!(r.restarts, 0, "a NaN RHS cannot be restarted");
+    }
 }

@@ -43,6 +43,10 @@ pub fn gmres<T: Scalar, M: Preconditioner<T>>(
     if normb == 0.0 {
         return finish(vec![T::ZERO; n], 0, StopReason::Converged, history);
     }
+    if !normb.is_finite() {
+        // corrupted right-hand side: report it, don't iterate on NaN
+        return finish(vec![T::ZERO; n], 0, StopReason::NonFinite, history);
+    }
     // left preconditioning: the Arnoldi residual is the *preconditioned*
     // one; convergence is still checked on the true residual at restarts
     let mut x = vec![T::ZERO; n];
@@ -55,6 +59,9 @@ pub fn gmres<T: Scalar, M: Preconditioner<T>>(
         if params.record_history {
             history.push(true_normr / normb);
         }
+        if !true_normr.is_finite() {
+            return finish(x, iter, StopReason::NonFinite, history);
+        }
         if true_normr <= params.tol * normb {
             return finish(x, iter, StopReason::Converged, history);
         }
@@ -63,6 +70,10 @@ pub fn gmres<T: Scalar, M: Preconditioner<T>>(
         }
         m.apply_inplace(&mut r);
         let beta = nrm2(&r);
+        if !beta.is_finite() {
+            // the preconditioner produced NaN/Inf — a faulted block
+            return finish(x, iter, StopReason::NonFinite, history);
+        }
         if beta == T::ZERO {
             return finish(x, iter, StopReason::Breakdown, history);
         }

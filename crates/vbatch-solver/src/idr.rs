@@ -9,7 +9,7 @@
 //! seeded, orthonormalized random `n x s` block, so runs are
 //! reproducible.
 
-use crate::control::{SolveParams, SolveResult, StopReason};
+use crate::control::{SolveParams, SolveResult, StagnationGuard, StopReason};
 use std::time::Instant;
 use vbatch_core::Scalar;
 use vbatch_precond::Preconditioner;
@@ -118,6 +118,10 @@ fn idr_impl<T: Scalar, M: Preconditioner<T>>(
     if normb == 0.0 {
         return finish(vec![T::ZERO; n], 0, StopReason::Converged, history, start);
     }
+    if !normb.is_finite() {
+        // corrupted right-hand side: report it, don't iterate on NaN
+        return finish(vec![T::ZERO; n], 0, StopReason::NonFinite, history, start);
+    }
     let tolb = params.tol * normb;
 
     let mut x = vec![T::ZERO; n];
@@ -126,6 +130,7 @@ fn idr_impl<T: Scalar, M: Preconditioner<T>>(
     if params.record_history {
         history.push(normr / normb);
     }
+    let mut stagnation = StagnationGuard::new(params);
     let mut smoother = if smoothing {
         Some(Smoother::new(&x, &r))
     } else {
@@ -203,7 +208,10 @@ fn idr_impl<T: Scalar, M: Preconditioner<T>>(
                 history.push(normr / normb);
             }
             if !normr.is_finite() {
-                return finish(x, iter, StopReason::Diverged, history, start);
+                return finish(x, iter, StopReason::NonFinite, history, start);
+            }
+            if normr > tolb && stagnation.observe(normr) {
+                return finish(x, iter, StopReason::Stagnated, history, start);
             }
             g[k] = gk;
             u[k] = uk;
@@ -252,7 +260,10 @@ fn idr_impl<T: Scalar, M: Preconditioner<T>>(
             history.push(normr / normb);
         }
         if !normr.is_finite() {
-            return finish(x, iter, StopReason::Diverged, history, start);
+            return finish(x, iter, StopReason::NonFinite, history, start);
+        }
+        if normr > tolb && stagnation.observe(normr) {
+            return finish(x, iter, StopReason::Stagnated, history, start);
         }
     }
 

@@ -10,6 +10,12 @@
 //! The [`driver`] module adds a backend-parameterized entry point that
 //! builds the block-Jacobi preconditioner on an explicit
 //! `vbatch-exec` [`vbatch_exec::Backend`].
+//!
+//! Every solver distinguishes abnormal endings — recurrence
+//! [`StopReason::Breakdown`], [`StopReason::NonFinite`] residuals from
+//! faulted data, and optional [`StopReason::Stagnated`] detection — and
+//! [`driver::idr_block_jacobi_robust`] reacts to them with a
+//! restart-then-GMRES-fallback policy ([`driver::RobustPolicy`]).
 
 pub mod bicgstab;
 pub mod cg;
@@ -20,7 +26,9 @@ pub mod idr;
 
 pub use bicgstab::bicgstab;
 pub use cg::cg;
-pub use control::{SolveParams, SolveResult, StopReason};
-pub use driver::{idr_block_jacobi, PrecondSolve};
+pub use control::{SolveParams, SolveResult, StagnationGuard, StopReason};
+pub use driver::{
+    idr_block_jacobi, idr_block_jacobi_robust, PrecondSolve, RobustPolicy, RobustSolve,
+};
 pub use gmres::gmres;
 pub use idr::{idr, idr_smoothed};
