@@ -11,10 +11,83 @@
 //! the table prints the estimated per-application speedup of GEMV and
 //! the break-even iteration count at which the inversion's 3× setup
 //! premium pays off.
+//!
+//! A second, *measured* section compares the two host apply paths for
+//! the same batch: the legacy `Backend::solve` (rebuilds its dispatch
+//! and allocates every call) against the prepared workspace apply
+//! (`Backend::solve_prepared`, all dispatch and scratch precomputed).
+//! With the counting allocator installed as the global allocator, the
+//! table also reports heap allocations per application — the prepared
+//! column must read zero.
 
-use vbatch_bench::write_csv;
+use std::time::Instant;
+use vbatch_bench::{uniform_bench_batch, write_csv};
+use vbatch_core::VectorBatch;
+use vbatch_exec::{Backend, BatchPlan, CpuSequential, ExecStats};
+use vbatch_rt::CountingAlloc;
 use vbatch_simt::kernels::{gemv, getrf, trsv};
 use vbatch_simt::{CostTable, DeviceModel};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc::new();
+
+/// Batch size of the measured host section (the analytic section keeps
+/// the paper's 40,000; measurement needs far fewer systems to settle).
+const MEASURED_BATCH: usize = 4_000;
+
+struct MeasuredApply {
+    solve_s: f64,
+    prepared_s: f64,
+    allocs_solve: u64,
+    allocs_prepared: u64,
+    ws_hwm_elems: usize,
+}
+
+/// Time one full-batch preconditioner application through both paths
+/// (best of three) and count heap allocations of a single application.
+fn measure_apply(n: usize) -> MeasuredApply {
+    let batch = uniform_bench_batch::<f64>(MEASURED_BATCH, n);
+    let plan = BatchPlan::auto::<f64>(batch.sizes());
+    let mut stats = ExecStats::new();
+    let factors = CpuSequential.factorize(batch.clone(), &plan, &mut stats);
+    let total = n * MEASURED_BATCH;
+    let flat: Vec<f64> = (0..total).map(|i| 1.0 + (i % 5) as f64).collect();
+
+    // before: the per-call solve path
+    let mut rhs = VectorBatch::from_flat(batch.sizes(), &flat);
+    CpuSequential.solve(&factors, &mut rhs, &mut stats); // warm-up
+    let mut solve_s = f64::INFINITY;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        CpuSequential.solve(&factors, &mut rhs, &mut stats);
+        solve_s = solve_s.min(t0.elapsed().as_secs_f64());
+    }
+    let s0 = ALLOC.snapshot();
+    CpuSequential.solve(&factors, &mut rhs, &mut stats);
+    let allocs_solve = ALLOC.snapshot().allocs_since(&s0);
+
+    // after: the prepared workspace path
+    let prep = CpuSequential.prepare_apply(&factors);
+    let mut v = flat;
+    CpuSequential.solve_prepared(&factors, &prep, &mut v, &mut stats); // warm-up
+    let mut prepared_s = f64::INFINITY;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        CpuSequential.solve_prepared(&factors, &prep, &mut v, &mut stats);
+        prepared_s = prepared_s.min(t0.elapsed().as_secs_f64());
+    }
+    let s1 = ALLOC.snapshot();
+    CpuSequential.solve_prepared(&factors, &prep, &mut v, &mut stats);
+    let allocs_prepared = ALLOC.snapshot().allocs_since(&s1);
+
+    MeasuredApply {
+        solve_s,
+        prepared_s,
+        allocs_solve,
+        allocs_prepared,
+        ws_hwm_elems: prep.workspace_hwm_elems(),
+    }
+}
 
 fn main() {
     let device = DeviceModel::p100();
@@ -69,6 +142,38 @@ fn main() {
          (cheap setup); past the break-even iteration count the inversion-based \
          GEMV application amortizes its 3x setup — the §II-C trade-off."
     );
+
+    println!(
+        "\nMeasured host apply paths (CpuSequential, batch = {MEASURED_BATCH}, \
+         one full-batch application):"
+    );
+    println!(
+        "{:>5} {:>12} {:>12} {:>9} {:>12} {:>13} {:>10}",
+        "size", "solve [us]", "prep [us]", "speedup", "allocs/solve", "allocs/prep", "ws hwm"
+    );
+    for (i, &n) in [4usize, 8, 16, 24, 32].iter().enumerate() {
+        let m = measure_apply(n);
+        println!(
+            "{n:>5} {:>12.1} {:>12.1} {:>8.2}x {:>12} {:>13} {:>10}",
+            m.solve_s * 1e6,
+            m.prepared_s * 1e6,
+            m.solve_s / m.prepared_s,
+            m.allocs_solve,
+            m.allocs_prepared,
+            m.ws_hwm_elems
+        );
+        rows[i].push(format!("{:.3e}", m.solve_s));
+        rows[i].push(format!("{:.3e}", m.prepared_s));
+        rows[i].push(m.allocs_solve.to_string());
+        rows[i].push(m.allocs_prepared.to_string());
+        rows[i].push(m.ws_hwm_elems.to_string());
+    }
+    println!(
+        "\nreading: the prepared apply removes every per-application allocation \
+         (the allocs/prep column is zero) — the host analogue of the paper \
+         holding the RHS in registers across the solve."
+    );
+
     let path = write_csv(
         "ablation_apply",
         &[
@@ -78,6 +183,11 @@ fn main() {
             "lu_setup_s",
             "inv_setup_s",
             "break_even_iters",
+            "m_solve_apply_s",
+            "m_prepared_apply_s",
+            "m_allocs_per_solve_apply",
+            "m_allocs_per_prepared_apply",
+            "m_ws_hwm_elems",
         ],
         &rows,
     );

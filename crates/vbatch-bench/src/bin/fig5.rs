@@ -14,8 +14,8 @@
 //! batch factorized blocked vs interleaved on `CpuSequential`.
 
 use vbatch_bench::{
-    factor_health_compact, measure_cpu_factor_gflops, size_sweep, uniform_bench_batch, write_csv,
-    FIG5_HEADER,
+    factor_health_compact, measure_cpu_apply, measure_cpu_factor_gflops, size_sweep,
+    uniform_bench_batch, write_csv, FIG5_HEADER,
 };
 use vbatch_core::{BatchLayout, Scalar};
 use vbatch_exec::{estimate_planned_factor, BatchPlan};
@@ -67,6 +67,10 @@ fn sweep<T: Scalar>(device: &DeviceModel) -> (Vec<Vec<String>>, Option<usize>) {
         row.push(format!("{g_il:.3}"));
         row.push(plan.layout_compact());
         row.push(factor_health_compact(&bench));
+        let (g_apply, ws_hwm) = measure_cpu_apply(&bench, BatchLayout::Blocked);
+        line.push_str(&format!("  apply {g_apply:.2}"));
+        row.push(format!("{g_apply:.3}"));
+        row.push(ws_hwm.to_string());
         println!("{line}");
         rows.push(row);
     }

@@ -31,8 +31,10 @@ pub const BLOCK_BOUNDS: [usize; 5] = [8, 12, 16, 24, 32];
 /// CSV schema of the Fig. 4 artifact. The `cpu_blocked` /
 /// `cpu_interleaved` columns are *measured* host GFLOPS of the same
 /// batch under the two memory layouts; `plan_layouts` records the
-/// planner's per-class layout histogram.
-pub const FIG4_HEADER: [&str; 13] = [
+/// planner's per-class layout histogram; `cpu_apply` is the measured
+/// prepared-apply throughput ([`measure_cpu_apply`]) and `ws_hwm` its
+/// resident workspace high-water mark in scalar elements.
+pub const FIG4_HEADER: [&str; 15] = [
     "precision",
     "block",
     "batch",
@@ -46,11 +48,13 @@ pub const FIG4_HEADER: [&str; 13] = [
     "cpu_interleaved",
     "plan_layouts",
     "health",
+    "cpu_apply",
+    "ws_hwm",
 ];
 
-/// CSV schema of the Fig. 5 artifact (layout columns as in
+/// CSV schema of the Fig. 5 artifact (layout and apply columns as in
 /// [`FIG4_HEADER`]).
-pub const FIG5_HEADER: [&str; 12] = [
+pub const FIG5_HEADER: [&str; 14] = [
     "precision",
     "size",
     "small_size_lu",
@@ -63,6 +67,8 @@ pub const FIG5_HEADER: [&str; 12] = [
     "cpu_interleaved",
     "plan_layouts",
     "health",
+    "cpu_apply",
+    "ws_hwm",
 ];
 
 /// Deterministic diagonally-dominant uniform batch used by the measured
@@ -91,6 +97,31 @@ pub fn measure_cpu_factor_gflops<T: Scalar>(batch: &MatrixBatch<T>, layout: Batc
         best = best.min(dt);
     }
     batch.getrf_flops() / best / 1e9
+}
+
+/// Measured host (CpuSequential) *prepared-apply* throughput in GFLOPS
+/// (the paper's `2 n²` flops per block application) plus the prepared
+/// workspace high-water mark in scalar elements. This is the
+/// steady-state per-Krylov-iteration path: all dispatch and scratch are
+/// precomputed, so the timed region performs zero heap allocations.
+pub fn measure_cpu_apply<T: Scalar>(batch: &MatrixBatch<T>, layout: BatchLayout) -> (f64, usize) {
+    let plan = BatchPlan::auto_with_layout::<T>(batch.sizes(), layout);
+    let mut stats = ExecStats::new();
+    let factors = CpuSequential.factorize(batch.clone(), &plan, &mut stats);
+    let prep = CpuSequential.prepare_apply(&factors);
+    let total: usize = batch.sizes().iter().sum();
+    let mut v: Vec<T> = (0..total)
+        .map(|i| T::from_f64(1.0 + (i % 5) as f64))
+        .collect();
+    CpuSequential.solve_prepared(&factors, &prep, &mut v, &mut stats); // warm-up
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        CpuSequential.solve_prepared(&factors, &prep, &mut v, &mut stats);
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    let flops: f64 = batch.sizes().iter().map(|&n| 2.0 * (n * n) as f64).sum();
+    (flops / best / 1e9, prep.workspace_hwm_elems())
 }
 
 /// Health histogram of a bench batch under guarded triage on the host
@@ -259,12 +290,14 @@ mod tests {
         assert_eq!(
             FIG4_HEADER.join(","),
             "precision,block,batch,small_size_lu,gauss_huard,gauss_huard_t,\
-             cublas_lu,planner,plan_kernels,cpu_blocked,cpu_interleaved,plan_layouts,health"
+             cublas_lu,planner,plan_kernels,cpu_blocked,cpu_interleaved,plan_layouts,health,\
+             cpu_apply,ws_hwm"
         );
         assert_eq!(
             FIG5_HEADER.join(","),
             "precision,size,small_size_lu,gauss_huard,gauss_huard_t,\
-             cublas_lu,planner,plan_kernels,cpu_blocked,cpu_interleaved,plan_layouts,health"
+             cublas_lu,planner,plan_kernels,cpu_blocked,cpu_interleaved,plan_layouts,health,\
+             cpu_apply,ws_hwm"
         );
     }
 
@@ -287,6 +320,16 @@ mod tests {
         for layout in [BatchLayout::Blocked, BatchLayout::interleaved()] {
             let g = measure_cpu_factor_gflops(&batch, layout);
             assert!(g.is_finite() && g > 0.0, "{layout:?}: {g}");
+        }
+    }
+
+    #[test]
+    fn measured_apply_gflops_and_hwm_are_sane() {
+        let batch = uniform_bench_batch::<f64>(64, 8);
+        for layout in [BatchLayout::Blocked, BatchLayout::interleaved()] {
+            let (g, hwm) = measure_cpu_apply(&batch, layout);
+            assert!(g.is_finite() && g > 0.0, "{layout:?}: {g}");
+            assert!(hwm > 0, "{layout:?}: workspace must be resident");
         }
     }
 

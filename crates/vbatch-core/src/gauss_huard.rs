@@ -150,8 +150,18 @@ impl<T: Scalar> GhFactors<T> {
     /// Solve `A x = b` in place by replaying the recorded transformations
     /// on `b` and un-permuting the unknowns.
     pub fn solve_inplace(&self, b: &mut [T]) {
+        let mut scratch = vec![T::ZERO; self.order()];
+        self.solve_inplace_scratch(b, &mut scratch);
+    }
+
+    /// [`GhFactors::solve_inplace`] with caller-provided scratch
+    /// (`scratch.len() >= n`) for the un-permute copy, so the
+    /// steady-state apply performs no heap allocation. Bitwise
+    /// identical to the allocating form.
+    pub fn solve_inplace_scratch(&self, b: &mut [T], scratch: &mut [T]) {
         let n = self.order();
         debug_assert_eq!(b.len(), n);
+        debug_assert!(scratch.len() >= n);
         for k in 0..n {
             // replay (1): subtract the multipliers of the lazy row update
             let mut acc = b[k];
@@ -168,7 +178,8 @@ impl<T: Scalar> GhFactors<T> {
         }
         // un-permute: the value computed at position k belongs to the
         // original unknown q(k)
-        let y = b.to_vec();
+        let y = &mut scratch[..n];
+        y.copy_from_slice(b);
         for k in 0..n {
             b[self.q.row_of_step(k)] = y[k];
         }

@@ -444,18 +444,35 @@ pub fn lu_solve_interleaved_class<T: Scalar>(
     row_of_step: &[usize],
     x: &mut [T],
 ) {
+    let mut scratch = vec![T::ZERO; n * count];
+    lu_solve_interleaved_class_scratch(n, count, data, row_of_step, x, &mut scratch);
+}
+
+/// [`lu_solve_interleaved_class`] with caller-provided scratch
+/// (`scratch.len() >= n * count`) for the permutation gather, so the
+/// steady-state apply performs no heap allocation. Bitwise identical to
+/// the allocating form (the gather is an element-exact copy).
+pub fn lu_solve_interleaved_class_scratch<T: Scalar>(
+    n: usize,
+    count: usize,
+    data: &[T],
+    row_of_step: &[usize],
+    x: &mut [T],
+    scratch: &mut [T],
+) {
     assert_eq!(data.len(), n * n * count);
     assert_eq!(row_of_step.len(), n * count);
     assert_eq!(x.len(), n * count);
+    assert!(scratch.len() >= n * count);
 
     // b := P b (out of place, like the register gather on the GPU)
-    let mut permuted = vec![T::ZERO; n * count];
+    let permuted = &mut scratch[..n * count];
     for k in 0..n {
         for s in 0..count {
             permuted[k * count + s] = x[row_of_step[k * count + s] * count + s];
         }
     }
-    x.copy_from_slice(&permuted);
+    x.copy_from_slice(permuted);
 
     // unit-lower eager sweep: b(k+1..n) -= L(k+1..n, k) * b(k)
     for k in 0..n.saturating_sub(1) {
@@ -500,10 +517,31 @@ pub fn lu_solve_interleaved_slot<T: Scalar>(
     row_of_step: &[usize],
     b: &mut [T],
 ) {
+    let mut scratch = vec![T::ZERO; n];
+    lu_solve_interleaved_slot_scratch(n, count, slot, data, row_of_step, b, &mut scratch);
+}
+
+/// [`lu_solve_interleaved_slot`] with caller-provided scratch
+/// (`scratch.len() >= n`) for the permutation gather. Bitwise identical
+/// to the allocating form.
+#[allow(clippy::too_many_arguments)] // mirrors the slot solve plus scratch
+pub fn lu_solve_interleaved_slot_scratch<T: Scalar>(
+    n: usize,
+    count: usize,
+    slot: usize,
+    data: &[T],
+    row_of_step: &[usize],
+    b: &mut [T],
+    scratch: &mut [T],
+) {
     debug_assert_eq!(b.len(), n);
+    debug_assert!(scratch.len() >= n);
     let at = |i: usize, j: usize| data[(j * n + i) * count + slot];
-    let permuted: Vec<T> = (0..n).map(|k| b[row_of_step[k * count + slot]]).collect();
-    b.copy_from_slice(&permuted);
+    let permuted = &mut scratch[..n];
+    for (k, p) in permuted.iter_mut().enumerate() {
+        *p = b[row_of_step[k * count + slot]];
+    }
+    b.copy_from_slice(permuted);
     for k in 0..n.saturating_sub(1) {
         let bk = b[k];
         for i in k + 1..n {

@@ -52,11 +52,14 @@ pub use error::{check_finite, FactorError, FactorResult};
 pub use gauss_huard::{gh_factorize, GhFactors, GhLayout};
 pub use gje::gje_invert;
 pub use interleaved::{
-    getrf_interleaved_class, lu_solve_interleaved_class, lu_solve_interleaved_slot, BatchLayout,
-    InterleavedBatch, InterleavedClass, DEFAULT_CLASS_CAPACITY,
+    getrf_interleaved_class, lu_solve_interleaved_class, lu_solve_interleaved_class_scratch,
+    lu_solve_interleaved_slot, lu_solve_interleaved_slot_scratch, BatchLayout, InterleavedBatch,
+    InterleavedClass, DEFAULT_CLASS_CAPACITY,
 };
 pub use lu::blocked::getrf_blocked;
 pub use lu::{getrf, solve_system, LuFactors, PivotStrategy};
 pub use perm::Permutation;
 pub use scalar::Scalar;
-pub use trsv::{lu_solve_inplace, trsv_lower_unit, trsv_upper, TrsvVariant};
+pub use trsv::{
+    lu_solve_inplace, lu_solve_inplace_scratch, trsv_lower_unit, trsv_upper, TrsvVariant,
+};

@@ -110,10 +110,31 @@ pub fn lu_solve_inplace<T: Scalar>(
     row_of_step: &[usize],
     b: &mut [T],
 ) {
+    let mut scratch = vec![T::ZERO; n];
+    lu_solve_inplace_scratch(variant, n, lu, row_of_step, b, &mut scratch);
+}
+
+/// [`lu_solve_inplace`] with caller-provided scratch (`scratch.len() >=
+/// n`): the permutation gather lands in `scratch` instead of a fresh
+/// vector, so the steady-state apply path performs no heap allocation.
+/// Element-exact copies only — results are bitwise identical to the
+/// allocating form.
+pub fn lu_solve_inplace_scratch<T: Scalar>(
+    variant: TrsvVariant,
+    n: usize,
+    lu: &[T],
+    row_of_step: &[usize],
+    b: &mut [T],
+    scratch: &mut [T],
+) {
     debug_assert_eq!(row_of_step.len(), n);
+    debug_assert!(scratch.len() >= n);
     // b := P b, performed out of place like the register gather on the GPU
-    let permuted: Vec<T> = row_of_step.iter().map(|&r| b[r]).collect();
-    b.copy_from_slice(&permuted);
+    let permuted = &mut scratch[..n];
+    for (k, &r) in row_of_step.iter().enumerate() {
+        permuted[k] = b[r];
+    }
+    b.copy_from_slice(permuted);
     trsv_lower_unit(variant, n, lu, b);
     trsv_upper(variant, n, lu, b);
 }

@@ -1,0 +1,325 @@
+//! Prepared preconditioner apply: the steady-state (per-Krylov-
+//! iteration) solve path with all dispatch decisions and scratch
+//! buffers precomputed at setup.
+//!
+//! [`crate::Backend::solve`] rebuilds its dispatch every call: segment
+//! tables from the [`vbatch_core::VectorBatch`], the class-membership
+//! partition, gather buffers for the interleaved classes, and a
+//! permutation copy inside every LU solve. That is fine for one-shot
+//! use but the preconditioner apply runs on *every* Krylov iteration —
+//! the paper keeps this path allocation-free by holding the RHS in
+//! registers and folding the pivot permutation into its load (§III-B).
+//! [`PreparedApply`] is the host analogue: built once per factorized
+//! batch, it stores
+//!
+//! * the ordered list of *apply units* — one per blocked system, one
+//!   per interleaved size class (gather → class-wide sweep → scatter);
+//! * each unit's flat-vector offsets, so the apply operates directly on
+//!   the solver's `&mut [T]` with no `VectorBatch` round-trip;
+//! * each unit's scratch buffer, pre-sized for the block's solve form
+//!   and locked per unit so disjoint units can run concurrently.
+//!
+//! After the prepared apply is built, [`crate::Backend::solve_prepared`]
+//! performs zero heap allocations on the CPU backends — proven by the
+//! counting-allocator tests in `vbatch-solver` — and its results are
+//! bitwise identical to `Backend::solve` (the scratch kernels perform
+//! the same operations in the same order; only the storage of the
+//! temporaries changed).
+#![deny(clippy::disallowed_methods, clippy::disallowed_macros)]
+
+use crate::factors::{BlockFactor, FactorizedBatch};
+use std::sync::Mutex;
+use vbatch_core::{lu_solve_interleaved_class_scratch, Scalar};
+
+/// One unit of prepared apply work: a single blocked system, or all
+/// healthy slots of one interleaved size class.
+pub(crate) enum ApplyUnit<T> {
+    /// One blocked system: segment `offset .. offset + len` of the flat
+    /// vector, solved through `FactorizedBatch::solve_block_inplace_with`.
+    Block {
+        /// Block index into the factorized batch.
+        block: usize,
+        /// Segment start in the flat apply vector.
+        offset: usize,
+        /// Segment length (= block order).
+        len: usize,
+        /// Pre-sized solve scratch (`solve_scratch_elems` elements).
+        scratch: Mutex<Vec<T>>,
+    },
+    /// One interleaved size class: gather the member segments into
+    /// full-width lanes, run the class-wide sweep, scatter back.
+    Class {
+        /// Class index into `FactorizedBatch::interleaved`.
+        class: usize,
+        /// Healthy members as `(slot, flat-vector offset)`; fallback
+        /// slots solve a zero RHS and are not scattered back.
+        members: Vec<(usize, usize)>,
+        /// Gather lanes + permutation scratch (`2 * n * count`).
+        scratch: Mutex<Vec<T>>,
+    },
+}
+
+/// Precomputed apply dispatch for one factorized batch; see the module
+/// docs. Build with [`crate::Backend::prepare_apply`], run with
+/// [`crate::Backend::solve_prepared`].
+pub struct PreparedApply<T: Scalar> {
+    total: usize,
+    units: Vec<ApplyUnit<T>>,
+    hwm_elems: usize,
+}
+
+impl<T: Scalar> PreparedApply<T> {
+    /// Precompute the apply dispatch for `factors`: class membership,
+    /// flat-vector offsets, and per-unit scratch, none of which will be
+    /// recomputed (or reallocated) by later applies.
+    // setup-time: the dispatch tables and scratch are allocated here, once
+    #[allow(clippy::disallowed_methods, clippy::disallowed_macros)]
+    pub fn new(factors: &FactorizedBatch<T>) -> Self {
+        let mut offsets = Vec::with_capacity(factors.len() + 1);
+        let mut acc = 0usize;
+        offsets.push(0);
+        for &n in &factors.sizes {
+            acc += n;
+            offsets.push(acc);
+        }
+
+        let mut claimed = vec![false; factors.len()];
+        let mut units = Vec::new();
+        let mut hwm_elems = 0usize;
+        for (c, cls) in factors.interleaved.iter().enumerate() {
+            let mut members = Vec::with_capacity(cls.count());
+            for (slot, &blk) in cls.blocks.iter().enumerate() {
+                if matches!(factors.factors[blk], BlockFactor::InterleavedLu { .. }) {
+                    members.push((slot, offsets[blk]));
+                    claimed[blk] = true;
+                }
+            }
+            if !members.is_empty() {
+                let scratch_len = 2 * cls.n * cls.count();
+                hwm_elems += scratch_len;
+                units.push(ApplyUnit::Class {
+                    class: c,
+                    members,
+                    scratch: Mutex::new(vec![T::ZERO; scratch_len]),
+                });
+            }
+        }
+        for blk in 0..factors.len() {
+            if !claimed[blk] {
+                let scratch_len = factors.solve_scratch_elems(blk);
+                hwm_elems += scratch_len;
+                units.push(ApplyUnit::Block {
+                    block: blk,
+                    offset: offsets[blk],
+                    len: factors.sizes[blk],
+                    scratch: Mutex::new(vec![T::ZERO; scratch_len]),
+                });
+            }
+        }
+        PreparedApply {
+            total: acc,
+            units,
+            hwm_elems,
+        }
+    }
+
+    /// Length of the flat vector this prepared apply expects.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Number of apply units (blocked systems + interleaved classes).
+    pub fn unit_count(&self) -> usize {
+        self.units.len()
+    }
+
+    /// Total resident scratch across all units, in scalar elements —
+    /// the workspace high-water mark reported to
+    /// [`crate::ExecStats::record_apply`].
+    pub fn workspace_hwm_elems(&self) -> usize {
+        self.hwm_elems
+    }
+
+    pub(crate) fn units(&self) -> &[ApplyUnit<T>] {
+        &self.units
+    }
+}
+
+/// Run one apply unit against the flat vector `v`. Allocation-free:
+/// every temporary lives in the unit's pre-sized scratch. The per-unit
+/// mutex is uncontended in the sequential driver and held by exactly
+/// one thread per unit in the parallel driver.
+pub(crate) fn run_apply_unit<T: Scalar>(
+    factors: &FactorizedBatch<T>,
+    unit: &ApplyUnit<T>,
+    v: &mut [T],
+) {
+    match unit {
+        ApplyUnit::Block {
+            block,
+            offset,
+            len,
+            scratch,
+        } => {
+            let mut scratch = scratch.lock().expect("apply scratch poisoned");
+            factors.solve_block_inplace_with(*block, &mut v[*offset..*offset + *len], &mut scratch);
+        }
+        ApplyUnit::Class {
+            class,
+            members,
+            scratch,
+        } => {
+            let cls = &factors.interleaved[*class];
+            let (n, count) = (cls.n, cls.count());
+            let mut scratch = scratch.lock().expect("apply scratch poisoned");
+            let (x, perm_scratch) = scratch.split_at_mut(n * count);
+            // Gather into full-width lanes: absent slots (fallbacks,
+            // sanitized to identity factors) solve a zero rhs and are
+            // simply not scattered back.
+            x.fill(T::ZERO);
+            for &(slot, offset) in members {
+                let seg = &v[offset..offset + n];
+                for i in 0..n {
+                    x[i * count + slot] = seg[i];
+                }
+            }
+            lu_solve_interleaved_class_scratch(n, count, &cls.data, &cls.piv, x, perm_scratch);
+            for &(slot, offset) in members {
+                let seg = &mut v[offset..offset + n];
+                for i in 0..n {
+                    seg[i] = x[i * count + slot];
+                }
+            }
+        }
+    }
+}
+
+/// A shareable raw view of the flat apply vector for the parallel
+/// driver.
+///
+/// SAFETY contract: every apply unit of one [`PreparedApply`] touches a
+/// disjoint set of segments (each block index appears in exactly one
+/// unit, and segments of distinct blocks never overlap by
+/// construction of the offsets), so concurrent `slice()` calls from
+/// different units never alias.
+#[derive(Clone, Copy)]
+pub(crate) struct FlatVecPtr<T> {
+    ptr: *mut T,
+    len: usize,
+}
+
+unsafe impl<T: Send> Send for FlatVecPtr<T> {}
+unsafe impl<T: Send> Sync for FlatVecPtr<T> {}
+
+impl<T> FlatVecPtr<T> {
+    pub(crate) fn new(v: &mut [T]) -> Self {
+        FlatVecPtr {
+            ptr: v.as_mut_ptr(),
+            len: v.len(),
+        }
+    }
+
+    /// Reborrow the whole vector. Callers must uphold the disjointness
+    /// contract above: at most one live borrow per apply unit, units
+    /// touching disjoint segments.
+    #[allow(clippy::mut_from_ref)] // deliberate: scoped-thread shared view
+    pub(crate) unsafe fn slice(&self) -> &mut [T] {
+        std::slice::from_raw_parts_mut(self.ptr, self.len)
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::disallowed_methods, clippy::disallowed_macros)]
+mod tests {
+    use super::*;
+    use crate::backend::Backend;
+    use crate::cpu::CpuSequential;
+    use crate::plan::BatchPlan;
+    use crate::stats::ExecStats;
+    use vbatch_core::{BatchLayout, MatrixBatch, VectorBatch};
+    use vbatch_rt::SmallRng;
+
+    fn random_batch(sizes: &[usize], seed: u64) -> MatrixBatch<f64> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut batch = MatrixBatch::zeros(sizes);
+        for i in 0..batch.len() {
+            let n = sizes[i];
+            let block = batch.block_mut(i);
+            for c in 0..n {
+                for r in 0..n {
+                    let v = rng.gen_range(-1.0..1.0);
+                    block[c * n + r] = if r == c { v + n as f64 } else { v };
+                }
+            }
+        }
+        batch
+    }
+
+    #[test]
+    fn prepared_apply_units_cover_every_block_once() {
+        let sizes = [4usize, 4, 4, 7, 1];
+        let batch = random_batch(&sizes, 5);
+        let plan = BatchPlan::auto_with_layout::<f64>(
+            &sizes,
+            BatchLayout::Interleaved { class_capacity: 2 },
+        );
+        let mut stats = ExecStats::new();
+        let factors = CpuSequential.factorize(batch, &plan, &mut stats);
+        let prep = PreparedApply::new(&factors);
+        assert_eq!(prep.total(), sizes.iter().sum::<usize>());
+        assert!(prep.workspace_hwm_elems() > 0);
+        let mut seen = vec![0usize; sizes.len()];
+        for u in prep.units() {
+            match u {
+                ApplyUnit::Block { block, .. } => seen[*block] += 1,
+                ApplyUnit::Class { class, members, .. } => {
+                    for &(slot, _) in members {
+                        seen[factors.interleaved[*class].blocks[slot]] += 1;
+                    }
+                }
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1), "{seen:?}");
+    }
+
+    #[test]
+    fn prepared_apply_matches_solve_bitwise() {
+        let sizes = [3usize, 6, 6, 6, 2, 9];
+        let batch = random_batch(&sizes, 77);
+        for layout in [
+            BatchLayout::Blocked,
+            BatchLayout::Interleaved { class_capacity: 2 },
+        ] {
+            let plan = BatchPlan::auto_with_layout::<f64>(&sizes, layout);
+            let mut stats = ExecStats::new();
+            let factors = CpuSequential.factorize(batch.clone(), &plan, &mut stats);
+            let total: usize = sizes.iter().sum();
+            let flat: Vec<f64> = (0..total).map(|i| (i % 7) as f64 - 3.0).collect();
+
+            let mut via_solve = VectorBatch::from_flat(&sizes, &flat);
+            CpuSequential.solve(&factors, &mut via_solve, &mut stats);
+
+            let prep = CpuSequential.prepare_apply(&factors);
+            let mut v = flat.clone();
+            CpuSequential.solve_prepared(&factors, &prep, &mut v, &mut stats);
+            assert_eq!(v.as_slice(), via_solve.as_slice());
+            // and a second pass through the same workspace stays exact
+            let mut v2 = flat.clone();
+            CpuSequential.solve_prepared(&factors, &prep, &mut v2, &mut stats);
+            assert_eq!(v2.as_slice(), v.as_slice());
+            assert!(stats.applies >= 2);
+            assert!(stats.workspace_hwm_elems >= prep.workspace_hwm_elems());
+        }
+    }
+
+    #[test]
+    fn flat_vec_ptr_roundtrip() {
+        let mut v = vec![1.0f64, 2.0, 3.0];
+        let p = FlatVecPtr::new(&mut v);
+        unsafe {
+            let s = p.slice();
+            s[1] = 9.0;
+        }
+        assert_eq!(v, [1.0, 9.0, 3.0]);
+    }
+}

@@ -1,10 +1,12 @@
 //! The [`Backend`] trait: one interface over batch extraction,
 //! factorization, solve, inversion and GEMV application.
 
+use crate::apply::PreparedApply;
 use crate::factors::{BlockStatus, FactorizedBatch};
 use crate::plan::BatchPlan;
-use crate::stats::ExecStats;
+use crate::stats::{ExecStats, Phase};
 use std::sync::Arc;
+use std::time::Instant;
 use vbatch_core::{Exec, MatrixBatch, Scalar, VectorBatch};
 use vbatch_sparse::{BlockPartition, CsrMatrix};
 
@@ -38,6 +40,38 @@ pub trait Backend<T: Scalar>: Send + Sync {
 
     /// Solve every block system in place: `rhs[i] := A_i^{-1} rhs[i]`.
     fn solve(&self, factors: &FactorizedBatch<T>, rhs: &mut VectorBatch<T>, stats: &mut ExecStats);
+
+    /// Precompute the apply dispatch (unit order, flat-vector offsets,
+    /// per-unit scratch) for repeated [`Backend::solve_prepared`] calls
+    /// against `factors`. Backend-independent by default.
+    fn prepare_apply(&self, factors: &FactorizedBatch<T>) -> PreparedApply<T> {
+        PreparedApply::new(factors)
+    }
+
+    /// Solve every block system of the flat vector `v` in place through
+    /// a prepared apply workspace — the steady-state (per-Krylov-
+    /// iteration) form of [`Backend::solve`], with results bitwise
+    /// identical to it. The CPU backends run this without heap
+    /// allocations; the default implementation is an allocating compat
+    /// path (used by the simulator) that round-trips through
+    /// [`Backend::solve`]. Timing lands in [`Phase::Apply`] and the
+    /// workspace high-water mark in
+    /// [`ExecStats::record_apply`].
+    fn solve_prepared(
+        &self,
+        factors: &FactorizedBatch<T>,
+        prepared: &PreparedApply<T>,
+        v: &mut [T],
+        stats: &mut ExecStats,
+    ) {
+        debug_assert_eq!(v.len(), prepared.total());
+        let t0 = Instant::now();
+        let mut rhs = VectorBatch::from_flat(&factors.sizes, v);
+        self.solve(factors, &mut rhs, stats);
+        v.copy_from_slice(rhs.as_slice());
+        stats.add_phase(Phase::Apply, t0.elapsed());
+        stats.record_apply(prepared.workspace_hwm_elems());
+    }
 
     /// Explicitly invert every block, with the same per-block fallback
     /// semantics as [`Backend::factorize`] (a failed block's "inverse"

@@ -3,6 +3,7 @@
 //! uses from `vbatch-rt`). Both wrap the native kernels of
 //! `vbatch-core`; they differ only in how blocks are distributed.
 
+use crate::apply::{run_apply_unit, FlatVecPtr, PreparedApply};
 use crate::backend::Backend;
 use crate::factors::{
     block_diag, scalar_jacobi_from_diag, BlockFactor, BlockStatus, FactorizedBatch,
@@ -334,6 +335,44 @@ fn solve_cpu<T: Scalar>(
     stats.add_phase(Phase::Solve, t0.elapsed());
 }
 
+/// Steady-state apply through a [`PreparedApply`]: run every unit
+/// against the flat vector, sequentially or over the thread pool. The
+/// sequential path performs zero heap allocations (every temporary
+/// lives in the prepared per-unit scratch); the parallel path allocates
+/// only inside the thread-pool harness, never per block.
+fn solve_prepared_cpu<T: Scalar>(
+    factors: &FactorizedBatch<T>,
+    prepared: &PreparedApply<T>,
+    v: &mut [T],
+    parallel: bool,
+    stats: &mut ExecStats,
+) {
+    assert_eq!(
+        v.len(),
+        prepared.total(),
+        "prepared apply does not match vector"
+    );
+    let t0 = Instant::now();
+    let units = prepared.units();
+    if parallel && units.len() > 1 {
+        let ptr = FlatVecPtr::new(v);
+        (0..units.len()).into_par_iter().for_each(|i| {
+            // SAFETY: each unit touches a disjoint set of segments
+            // (PreparedApply invariant), so the reborrowed views from
+            // concurrent units never alias.
+            let view = unsafe { ptr.slice() };
+            run_apply_unit(factors, &units[i], view);
+        });
+    } else {
+        for unit in units {
+            run_apply_unit(factors, unit, v);
+        }
+    }
+    stats.add_flops(factors.sizes.iter().map(|&n| 2.0 * (n * n) as f64).sum());
+    stats.add_phase(Phase::Apply, t0.elapsed());
+    stats.record_apply(prepared.workspace_hwm_elems());
+}
+
 pub(crate) fn invert_cpu<T: Scalar>(
     blocks: &MatrixBatch<T>,
     parallel: bool,
@@ -441,6 +480,16 @@ macro_rules! impl_cpu_backend {
                 stats: &mut ExecStats,
             ) {
                 solve_cpu(factors, rhs, $parallel, stats)
+            }
+
+            fn solve_prepared(
+                &self,
+                factors: &FactorizedBatch<T>,
+                prepared: &PreparedApply<T>,
+                v: &mut [T],
+                stats: &mut ExecStats,
+            ) {
+                solve_prepared_cpu(factors, prepared, v, $parallel, stats)
             }
 
             fn invert(

@@ -1,10 +1,18 @@
 //! Host-side factorized batch: the interchange format between a
 //! backend's `factorize` and `solve` calls, with per-block status.
+//!
+//! The solve arms in this module are apply-phase hot paths (they run on
+//! every preconditioned Krylov iteration): the `disallowed_methods` /
+//! `disallowed_macros` deny below forbids `Vec::new` / `vec!` /
+//! `to_vec` here so per-apply allocations cannot creep back in.
+//! Setup-time code that legitimately allocates carries a targeted
+//! `allow` with a comment.
+#![deny(clippy::disallowed_methods, clippy::disallowed_macros)]
 
 use crate::plan::KernelChoice;
 use vbatch_core::{
-    lu_solve_inplace, lu_solve_interleaved_slot, CholeskyFactors, FactorError, GhFactors,
-    Permutation, Scalar, TrsvVariant, VectorBatch,
+    lu_solve_inplace_scratch, lu_solve_interleaved_slot_scratch, CholeskyFactors, FactorError,
+    GhFactors, Permutation, Scalar, TrsvVariant, VectorBatch,
 };
 
 /// Numerical health classification of one factorized block, assigned by
@@ -82,6 +90,8 @@ pub struct BlockStatus {
 
 impl BlockStatus {
     /// A block factorized cleanly by `kernel`.
+    // status construction is setup-time, not an apply path
+    #[allow(clippy::disallowed_methods)]
     pub fn factorized(kernel: KernelChoice) -> Self {
         BlockStatus {
             kernel,
@@ -95,6 +105,8 @@ impl BlockStatus {
     /// A block whose factorization failed with `error` and degraded to
     /// the scalar-Jacobi fallback; `sanitized` counts diagonal entries
     /// that had to be replaced by identity rows.
+    // status construction is setup-time, not an apply path
+    #[allow(clippy::disallowed_methods)]
     pub fn fallback(kernel: KernelChoice, error: FactorError, sanitized: usize, n: usize) -> Self {
         let health = match error {
             FactorError::NonFinite { .. } => BlockHealth::NonFinite,
@@ -211,13 +223,43 @@ impl<T: Scalar> InterleavedLuClass<T> {
     /// Solve one slot's system in place (strided host path; bitwise
     /// identical to the class-wide sweep).
     pub fn solve_slot_inplace(&self, slot: usize, seg: &mut [T]) {
-        lu_solve_interleaved_slot(self.n, self.count(), slot, &self.data, &self.piv, seg);
+        // setup/compat path: the prepared apply uses the scratch form
+        #[allow(clippy::disallowed_macros)]
+        let mut scratch = vec![T::ZERO; self.n];
+        self.solve_slot_inplace_scratch(slot, seg, &mut scratch);
+    }
+
+    /// [`InterleavedLuClass::solve_slot_inplace`] with caller scratch
+    /// (`scratch.len() >= n`); performs no heap allocation.
+    pub fn solve_slot_inplace_scratch(&self, slot: usize, seg: &mut [T], scratch: &mut [T]) {
+        lu_solve_interleaved_slot_scratch(
+            self.n,
+            self.count(),
+            slot,
+            &self.data,
+            &self.piv,
+            seg,
+            scratch,
+        );
     }
 
     /// Row-of-step pivot sequence of one slot.
     pub fn slot_row_of_step(&self, slot: usize) -> Vec<usize> {
+        // test/diagnostic API, not an apply path
+        #[allow(clippy::disallowed_macros)]
+        let mut out = vec![0usize; self.n];
+        self.slot_row_of_step_into(slot, &mut out);
+        out
+    }
+
+    /// Non-allocating [`InterleavedLuClass::slot_row_of_step`]: write
+    /// slot `slot`'s pivot sequence into `out` (`out.len() == n`).
+    pub fn slot_row_of_step_into(&self, slot: usize, out: &mut [usize]) {
+        debug_assert_eq!(out.len(), self.n);
         let count = self.count();
-        (0..self.n).map(|k| self.piv[k * count + slot]).collect()
+        for (k, o) in out.iter_mut().enumerate() {
+            *o = self.piv[k * count + slot];
+        }
     }
 }
 
@@ -278,18 +320,52 @@ impl<T: Scalar> FactorizedBatch<T> {
         self.status.iter().filter(|s| s.is_fallback()).count()
     }
 
+    /// Scratch elements [`FactorizedBatch::solve_block_inplace_with`]
+    /// needs for block `block`: `n` for the single-copy forms, `4 n`
+    /// for the equilibrated LU (RHS copy, residual, correction, and the
+    /// permutation gather of the two inner solves), `0` for the
+    /// copy-free forms.
+    pub fn solve_scratch_elems(&self, block: usize) -> usize {
+        let n = self.sizes[block];
+        match &self.factors[block] {
+            BlockFactor::Lu { .. }
+            | BlockFactor::Gh(_)
+            | BlockFactor::Inv { .. }
+            | BlockFactor::InterleavedLu { .. } => n,
+            BlockFactor::Chol(_) | BlockFactor::ScalarJacobi { .. } => 0,
+            BlockFactor::EquilibratedLu { .. } => 4 * n,
+        }
+    }
+
     /// Host reference solve of block `block` against segment `seg`
     /// (used by the CPU backends and as the simulator's host path).
     pub fn solve_block_inplace(&self, block: usize, seg: &mut [T]) {
+        // setup/compat path: the prepared apply uses the scratch form
+        #[allow(clippy::disallowed_macros)]
+        let mut scratch = vec![T::ZERO; self.solve_scratch_elems(block)];
+        self.solve_block_inplace_with(block, seg, &mut scratch);
+    }
+
+    /// [`FactorizedBatch::solve_block_inplace`] with caller-provided
+    /// scratch (`scratch.len() >= solve_scratch_elems(block)`): every
+    /// RHS copy — the permutation gather of the LU forms, the GH
+    /// un-permute, the GEMV input of the explicit inverse, the
+    /// refinement temporaries of the equilibrated path — lands in
+    /// `scratch`, so the apply performs zero heap allocations. Copies
+    /// are element-exact; results are bitwise identical to the
+    /// allocating form.
+    pub fn solve_block_inplace_with(&self, block: usize, seg: &mut [T], scratch: &mut [T]) {
         let n = self.sizes[block];
         debug_assert_eq!(seg.len(), n);
+        debug_assert!(scratch.len() >= self.solve_scratch_elems(block));
         match &self.factors[block] {
             BlockFactor::Lu { n, lu, perm } => {
-                lu_solve_inplace(TrsvVariant::Eager, *n, lu, perm.as_slice(), seg);
+                lu_solve_inplace_scratch(TrsvVariant::Eager, *n, lu, perm.as_slice(), seg, scratch);
             }
-            BlockFactor::Gh(f) => f.solve_inplace(seg),
+            BlockFactor::Gh(f) => f.solve_inplace_scratch(seg, scratch),
             BlockFactor::Inv { n, inv } => {
-                let x: Vec<T> = seg.to_vec();
+                let x = &mut scratch[..*n];
+                x.copy_from_slice(seg);
                 for (i, out) in seg.iter_mut().enumerate() {
                     let mut acc = T::ZERO;
                     for (j, &xj) in x.iter().enumerate() {
@@ -313,36 +389,46 @@ impl<T: Scalar> FactorizedBatch<T> {
                 a,
             } => {
                 let n = *n;
-                let b: Vec<T> = seg.to_vec();
+                let (b, rest) = scratch[..4 * n].split_at_mut(n);
+                let (resid, rest) = rest.split_at_mut(n);
+                let (e, perm_scratch) = rest.split_at_mut(n);
+                b.copy_from_slice(seg);
                 // x = diag(c) * (LU)^{-1} * diag(r) * b
-                let solve_scaled = |rhs: &[T], out: &mut [T]| {
+                let mut solve_scaled = |rhs: &[T], out: &mut [T]| {
                     for (o, (&ri, &bi)) in out.iter_mut().zip(r.iter().zip(rhs)) {
                         *o = ri * bi;
                     }
-                    lu_solve_inplace(TrsvVariant::Eager, n, lu, perm.as_slice(), out);
+                    lu_solve_inplace_scratch(
+                        TrsvVariant::Eager,
+                        n,
+                        lu,
+                        perm.as_slice(),
+                        out,
+                        perm_scratch,
+                    );
                     for (o, &ci) in out.iter_mut().zip(c) {
                         *o *= ci;
                     }
                 };
-                solve_scaled(&b, seg);
+                solve_scaled(b, seg);
                 // one step of iterative refinement against the original
                 // block: e = solve(b - A x), x += e
-                let mut resid = b.clone();
+                resid.copy_from_slice(b);
                 for (j, &xj) in seg.iter().enumerate() {
                     for (i, ri) in resid.iter_mut().enumerate() {
                         *ri = (-a[j * n + i]).mul_add(xj, *ri);
                     }
                 }
-                let mut e = vec![T::ZERO; n];
-                solve_scaled(&resid, &mut e);
-                for (x, &ei) in seg.iter_mut().zip(&e) {
+                e.fill(T::ZERO);
+                solve_scaled(resid, e);
+                for (x, &ei) in seg.iter_mut().zip(e.iter()) {
                     if ei.is_finite() {
                         *x += ei;
                     }
                 }
             }
             BlockFactor::InterleavedLu { class, slot } => {
-                self.interleaved[*class].solve_slot_inplace(*slot, seg);
+                self.interleaved[*class].solve_slot_inplace_scratch(*slot, seg, scratch);
             }
         }
     }
@@ -350,6 +436,8 @@ impl<T: Scalar> FactorizedBatch<T> {
     /// Row-of-step pivot sequence of block `block`, when its factors
     /// are an LU form (blocked or interleaved). Used by the golden
     /// differential suite to assert bitwise pivot agreement.
+    // test/diagnostic API, not an apply path
+    #[allow(clippy::disallowed_methods)]
     pub fn row_of_step(&self, block: usize) -> Option<Vec<usize>> {
         match &self.factors[block] {
             BlockFactor::Lu { perm, .. } => Some(perm.as_slice().to_vec()),
@@ -369,6 +457,7 @@ impl<T: Scalar> FactorizedBatch<T> {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods, clippy::disallowed_macros)]
 mod tests {
     use super::*;
     use vbatch_core::{getrf, DenseMat, PivotStrategy};

@@ -28,6 +28,7 @@
 //! histograms, flop counts, failure counts and per-phase timings
 //! through every backend.
 
+pub mod apply;
 pub mod backend;
 pub mod cpu;
 pub mod estimate;
@@ -38,6 +39,7 @@ pub mod plan;
 pub mod simt;
 pub mod stats;
 
+pub use apply::PreparedApply;
 pub use backend::{backend_for_exec, Backend};
 pub use cpu::{CpuRayon, CpuSequential};
 pub use estimate::{estimate_planned_factor, PlannedEstimate};

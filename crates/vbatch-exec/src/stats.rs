@@ -19,6 +19,10 @@ pub enum Phase {
     Invert,
     /// Batched GEMV application.
     Gemv,
+    /// Preconditioner application through a prepared workspace
+    /// ([`crate::PreparedApply`]): the per-iteration solve traffic of
+    /// the Krylov hot loop.
+    Apply,
 }
 
 impl Phase {
@@ -30,6 +34,7 @@ impl Phase {
             Phase::Solve => "solve",
             Phase::Invert => "invert",
             Phase::Gemv => "gemv",
+            Phase::Apply => "apply",
         }
     }
 }
@@ -51,6 +56,11 @@ pub struct ExecStats {
     phase_times: BTreeMap<&'static str, Duration>,
     /// Summed device cost counters (SIMT backend only).
     pub device_cost: Option<CostCounter>,
+    /// Largest apply-workspace footprint observed, in scalar elements
+    /// (the high-water mark of the prepared apply's scratch buffers).
+    pub workspace_hwm_elems: usize,
+    /// Prepared-apply invocations folded into these stats.
+    pub applies: u64,
 }
 
 impl ExecStats {
@@ -104,6 +114,15 @@ impl ExecStats {
     /// Accumulate wall-clock time for a phase.
     pub fn add_phase(&mut self, phase: Phase, d: Duration) {
         *self.phase_times.entry(phase.label()).or_default() += d;
+    }
+
+    /// Record one prepared-apply invocation whose workspace footprint
+    /// was `hwm_elems` scalar elements (folded in as a max).
+    pub fn record_apply(&mut self, hwm_elems: usize) {
+        self.applies += 1;
+        if hwm_elems > self.workspace_hwm_elems {
+            self.workspace_hwm_elems = hwm_elems;
+        }
     }
 
     /// Total recorded time for a phase.
@@ -198,6 +217,10 @@ impl ExecStats {
         }
         if let Some(c) = &other.device_cost {
             self.add_device_cost(c);
+        }
+        self.applies += other.applies;
+        if other.workspace_hwm_elems > self.workspace_hwm_elems {
+            self.workspace_hwm_elems = other.workspace_hwm_elems;
         }
     }
 }

@@ -17,7 +17,8 @@
 
 use vbatch_core::{BatchLayout, MatrixBatch, Scalar, VectorBatch};
 use vbatch_exec::{
-    Backend, BatchPlan, CpuRayon, CpuSequential, ExecStats, FactorizedBatch, PlanMethod, SimtSim,
+    Backend, BatchPlan, CpuRayon, CpuSequential, ExecStats, FactorizedBatch, HealthPolicy,
+    PlanMethod, SimtSim,
 };
 use vbatch_rt::{run_cases, SmallRng};
 
@@ -63,6 +64,10 @@ struct Combo {
     label: String,
     factors: FactorizedBatch<f64>,
     solution: Vec<f64>,
+    /// The same solve through the prepared (workspace-reuse) apply
+    /// path, second pass through the same workspace — must be bitwise
+    /// identical to `solution` on every backend.
+    prepared: Vec<f64>,
     /// `true` for combinations whose results must agree bitwise with
     /// each other (the host CPU paths).
     bitwise: bool,
@@ -72,6 +77,7 @@ fn run_all_combos(
     batch: &MatrixBatch<f64>,
     rhs: &VectorBatch<f64>,
     method: PlanMethod,
+    health: HealthPolicy,
 ) -> Vec<Combo> {
     let mut combos = Vec::new();
     let backends: [(&dyn Backend<f64>, bool); 3] = [
@@ -80,16 +86,30 @@ fn run_all_combos(
         (&SimtSim::new(), false),
     ];
     for layout in LAYOUTS {
-        let plan = BatchPlan::for_method_with_layout::<f64>(batch.sizes(), method, layout);
+        let plan = BatchPlan::for_method_with_layout::<f64>(batch.sizes(), method, layout)
+            .with_health(health);
         for (backend, bitwise) in backends {
             let mut stats = ExecStats::new();
             let factors = backend.factorize(batch.clone(), &plan, &mut stats);
+            let label = format!("{}/{}", backend.name(), layout.label());
             let mut x = rhs.clone();
             backend.solve(&factors, &mut x, &mut stats);
+            // prepared apply: run twice through one workspace so the
+            // second pass exercises dirty recycled scratch
+            let prep = backend.prepare_apply(&factors);
+            let mut p1 = rhs.as_slice().to_vec();
+            backend.solve_prepared(&factors, &prep, &mut p1, &mut stats);
+            let mut p2 = rhs.as_slice().to_vec();
+            backend.solve_prepared(&factors, &prep, &mut p2, &mut stats);
+            assert_eq!(
+                p1, p2,
+                "{label}: workspace reuse must be bitwise reproducible"
+            );
             combos.push(Combo {
-                label: format!("{}/{}", backend.name(), layout.label()),
+                label,
                 factors,
                 solution: x.as_slice().to_vec(),
+                prepared: p1,
                 bitwise,
             });
         }
@@ -124,12 +144,18 @@ fn all_backend_layout_combos_agree_on_random_batches() {
         let batch = random_batch(rng, 12, 24);
         let rhs = rhs_for(rng, batch.sizes());
         for method in [PlanMethod::SmallLu, PlanMethod::Auto] {
-            let combos = run_all_combos(&batch, &rhs, method);
+            let combos = run_all_combos(&batch, &rhs, method, HealthPolicy::Off);
             let baseline = &combos[0];
 
             for combo in &combos {
                 // every combination within c·n·eps of the dense reference
                 assert_matches_dense_reference(&batch, &rhs, combo);
+                // prepared apply == one-shot solve, bitwise, per combo
+                assert_eq!(
+                    combo.prepared, combo.solution,
+                    "{}: prepared apply must match solve bitwise",
+                    combo.label
+                );
                 assert_eq!(
                     combo.factors.fallback_count(),
                     baseline.factors.fallback_count(),
@@ -182,7 +208,7 @@ fn singular_blocks_fall_back_identically_in_every_combo() {
                 block[c * n + 1] = block[c * n];
             }
         }
-        let combos = run_all_combos(&batch, &rhs, PlanMethod::SmallLu);
+        let combos = run_all_combos(&batch, &rhs, PlanMethod::SmallLu, HealthPolicy::Off);
         let expected_fallbacks = combos[0].factors.fallback_count();
         assert!(expected_fallbacks >= 1);
         for combo in &combos {
@@ -190,6 +216,11 @@ fn singular_blocks_fall_back_identically_in_every_combo() {
                 combo.factors.fallback_count(),
                 expected_fallbacks,
                 "{}",
+                combo.label
+            );
+            assert_eq!(
+                combo.prepared, combo.solution,
+                "{}: prepared apply must match solve bitwise with fallbacks present",
                 combo.label
             );
             assert!(
@@ -209,6 +240,49 @@ fn singular_blocks_fall_back_identically_in_every_combo() {
         let cpu: Vec<&Combo> = combos.iter().filter(|c| c.bitwise).collect();
         for combo in &cpu[1..] {
             assert_eq!(combo.solution, cpu[0].solution, "{}", combo.label);
+        }
+    });
+}
+
+#[test]
+fn prepared_apply_is_bitwise_across_health_policies() {
+    run_cases("golden_prepared_health_policies", 12, |rng, _case| {
+        let mut batch = random_batch(rng, 10, 16);
+        let rhs = rhs_for(rng, batch.sizes());
+        // push one block toward ill-conditioning so Guarded triage has
+        // something to equilibrate (rows of wildly different scale)
+        if let Some(victim) = (0..batch.len()).find(|&i| batch.size(i) >= 3) {
+            let n = batch.size(victim);
+            let block = batch.block_mut(victim);
+            for c in 0..n {
+                block[c * n] *= 1e12;
+                block[c * n + 1] *= 1e-9;
+            }
+        }
+        for health in [HealthPolicy::Off, HealthPolicy::guarded::<f64>()] {
+            let combos = run_all_combos(&batch, &rhs, PlanMethod::Auto, health);
+            for combo in &combos {
+                assert_eq!(
+                    combo.prepared, combo.solution,
+                    "{} (health {health:?}): prepared apply must match solve bitwise",
+                    combo.label
+                );
+                assert!(
+                    combo.prepared.iter().all(|v| v.is_finite()),
+                    "{} (health {health:?}): outputs must stay finite",
+                    combo.label
+                );
+            }
+            // the CPU paths agree bitwise with each other under either
+            // policy (equilibrated solves included)
+            let cpu: Vec<&Combo> = combos.iter().filter(|c| c.bitwise).collect();
+            for combo in &cpu[1..] {
+                assert_eq!(
+                    combo.solution, cpu[0].solution,
+                    "{} vs {} (health {health:?})",
+                    combo.label, cpu[0].label
+                );
+            }
         }
     });
 }

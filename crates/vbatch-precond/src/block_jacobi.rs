@@ -16,12 +16,12 @@
 //! [`BlockJacobi::setup_strict`] to restore fail-fast semantics.
 
 use crate::traits::Preconditioner;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
-use vbatch_core::{BatchLayout, Exec, FactorError, Scalar, VectorBatch};
+use vbatch_core::{BatchLayout, Exec, FactorError, Scalar};
 use vbatch_exec::{
     backend_for_exec, inject_batch, Backend, BatchPlan, BlockStatus, ExecStats, FactorizedBatch,
-    FaultClass, FaultPlan, HealthPolicy, PlanMethod,
+    FaultClass, FaultPlan, HealthPolicy, Phase, PlanMethod, PreparedApply,
 };
 use vbatch_sparse::{BlockPartition, CsrMatrix};
 
@@ -138,6 +138,14 @@ pub struct BlockJacobi<T: Scalar> {
     factors: FactorizedBatch<T>,
     method: BjMethod,
     backend: Arc<dyn Backend<T>>,
+    /// Apply dispatch + scratch, precomputed once at setup so every
+    /// [`Preconditioner::apply_inplace`] is allocation-free on the CPU
+    /// backends.
+    prepared: PreparedApply<T>,
+    /// Accumulated apply-phase statistics (timings, workspace
+    /// high-water mark), behind a mutex because the `Preconditioner`
+    /// trait applies through `&self`.
+    apply_stats: Mutex<ExecStats>,
     /// Wall-clock time of extraction + batched factorization.
     pub setup_time: Duration,
     /// Number of singular blocks degraded to the scalar-Jacobi fallback.
@@ -255,11 +263,18 @@ impl<T: Scalar> BlockJacobi<T> {
         .with_health(opts.health);
         let factors = backend.factorize(blocks, &plan, &mut stats);
         let fallback_blocks = factors.fallback_count();
+        let prepared = backend.prepare_apply(&factors);
+        // Pre-warm the apply-phase entry so the first steady-state
+        // apply does not pay the histogram's one-time node insertion.
+        let mut apply_stats = ExecStats::new();
+        apply_stats.add_phase(Phase::Apply, Duration::ZERO);
         Ok(BlockJacobi {
             part: part.clone(),
             factors,
             method,
             backend,
+            prepared,
+            apply_stats: Mutex::new(apply_stats),
             setup_time: start.elapsed(),
             fallback_blocks,
             stats,
@@ -293,16 +308,34 @@ impl<T: Scalar> BlockJacobi<T> {
     pub fn fault_map(&self) -> &[Option<FaultClass>] {
         &self.fault_map
     }
+
+    /// The prepared apply dispatch built at setup (unit count,
+    /// workspace footprint).
+    pub fn prepared(&self) -> &PreparedApply<T> {
+        &self.prepared
+    }
+
+    /// Snapshot of the accumulated apply-phase statistics: total
+    /// [`Phase::Apply`] wall-clock, number of applies, and the
+    /// workspace high-water mark in elements.
+    pub fn apply_stats(&self) -> ExecStats {
+        self.apply_stats
+            .lock()
+            .expect("apply stats poisoned")
+            .clone()
+    }
 }
 
 impl<T: Scalar> Preconditioner<T> for BlockJacobi<T> {
+    /// Apply `M^{-1} v` through the backend's prepared apply: no
+    /// private block loop, no per-call dispatch rebuild, and — on the
+    /// CPU backends — no heap allocation. Timings and workspace
+    /// high-water marks accumulate in [`BlockJacobi::apply_stats`].
     fn apply_inplace(&self, v: &mut [T]) {
         debug_assert_eq!(v.len(), self.part.total());
-        let sizes = self.part.sizes();
-        let mut rhs = VectorBatch::from_flat(&sizes, v);
-        let mut stats = ExecStats::new();
-        self.backend.solve(&self.factors, &mut rhs, &mut stats);
-        v.copy_from_slice(rhs.as_slice());
+        let mut stats = self.apply_stats.lock().expect("apply stats poisoned");
+        self.backend
+            .solve_prepared(&self.factors, &self.prepared, v, &mut stats);
     }
 
     fn dim(&self) -> usize {
@@ -517,6 +550,65 @@ mod tests {
         .unwrap();
         assert!(opt.fault_map().is_empty());
         assert_eq!(base.apply(&v), opt.apply(&v));
+    }
+
+    #[test]
+    fn exactly_singular_block_applies_without_panic_on_every_backend() {
+        // Regression: the apply path must never panic on a singular
+        // block — the factorization degrades it to the sanitized
+        // scalar-Jacobi fallback and every backend's (prepared) apply
+        // routes through `FactorizedBatch`, never through a raw
+        // `solve_system(..).unwrap()`.
+        let mut coo = vbatch_sparse::CooMatrix::new(6, 6);
+        // block [0..3): exactly singular (rank 1: every row equal)
+        for r in 0..3 {
+            for c in 0..3 {
+                coo.push(r, c, 1.0);
+            }
+        }
+        // block [3..6): well-conditioned
+        for r in 3..6 {
+            coo.push(r, r, 4.0);
+            if r + 1 < 6 {
+                coo.push(r, r + 1, 1.0);
+                coo.push(r + 1, r, 1.0);
+            }
+        }
+        let a = coo.to_csr();
+        let part = BlockPartition::uniform(6, 3);
+        let v: Vec<f64> = vec![2.0, -1.0, 0.5, 1.0, 1.0, 1.0];
+        let mut outputs = Vec::new();
+        for backend in [
+            backend_for_exec::<f64>(Exec::Sequential),
+            backend_for_exec::<f64>(Exec::Parallel),
+            Arc::new(vbatch_exec::SimtSim::new()),
+        ] {
+            let m = BlockJacobi::setup_with_backend(&a, &part, BjMethod::SmallLu, backend).unwrap();
+            assert_eq!(m.fallback_blocks, 1);
+            assert!(m.statuses()[0].is_fallback());
+            let w = m.apply(&v);
+            assert!(w.iter().all(|x| x.is_finite()), "{w:?}");
+            // the singular block degraded to scalar Jacobi on its
+            // (unit-sanitized) diagonal: x = v there
+            outputs.push(w);
+        }
+        for w in &outputs[1..] {
+            assert_eq!(&outputs[0], w, "backends disagree on fallback apply");
+        }
+    }
+
+    #[test]
+    fn apply_accumulates_workspace_stats() {
+        let (a, part) = test_problem();
+        let m = BlockJacobi::setup(&a, &part, BjMethod::SmallLu, Exec::Sequential).unwrap();
+        let v: Vec<f64> = (0..a.nrows()).map(|i| i as f64 * 0.25 - 1.0).collect();
+        let _ = m.apply(&v);
+        let _ = m.apply(&v);
+        let s = m.apply_stats();
+        assert_eq!(s.applies, 2);
+        assert_eq!(s.workspace_hwm_elems, m.prepared().workspace_hwm_elems());
+        assert!(m.prepared().unit_count() > 0);
+        assert!(s.phase_time(Phase::Apply).as_nanos() > 0);
     }
 
     #[test]

@@ -17,15 +17,25 @@
 //!   classes to batch members, so every recovery path in the stack is
 //!   deterministically exercisable;
 //! * [`bench`] — a wall-clock micro-benchmark harness for the
-//!   `harness = false` bench targets.
+//!   `harness = false` bench targets;
+//! * [`workspace`] — grow-once scratch buffers and a buffer free-list
+//!   arena so steady-state hot loops (the preconditioner apply, the
+//!   Krylov iteration bodies) perform zero heap allocations after
+//!   warm-up;
+//! * [`alloc_guard`] — a counting `GlobalAlloc` wrapper the zero-alloc
+//!   tests install to *prove* that claim rather than assume it.
 
+pub mod alloc_guard;
 pub mod bench;
 pub mod check;
 pub mod fault;
 pub mod par;
 pub mod rng;
+pub mod workspace;
 
+pub use alloc_guard::{AllocSnapshot, CountingAlloc};
 pub use check::run_cases;
 pub use fault::{FaultClass, FaultPlan};
 pub use par::prelude;
 pub use rng::SmallRng;
+pub use workspace::{ScratchArena, Workspace};

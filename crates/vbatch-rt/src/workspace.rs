@@ -1,0 +1,229 @@
+//! Reusable scratch workspaces for steady-state zero-allocation hot
+//! loops.
+//!
+//! The paper's apply phase (batched TRSVs on every Krylov iteration)
+//! keeps the right-hand side in registers and folds the pivot
+//! permutation into its load — nothing is materialized per iteration.
+//! The CPU analogue is a [`Workspace`]: a grow-once buffer that hands
+//! out `&mut [T]` scratch slices. It allocates only while growing
+//! (warm-up); once every request size has been seen, checkouts are
+//! plain slice borrows and the steady state performs zero heap
+//! allocations. A high-water mark records the largest footprint ever
+//! requested so executors can report workspace pressure in their stats.
+
+/// A grow-once scratch buffer handing out zeroed `&mut [T]` slices.
+///
+/// `scratch(len)` returns a zero-filled slice of exactly `len`
+/// elements, reusing (and growing, if needed) one backing allocation.
+/// The split variants ([`Workspace::scratch2`], [`Workspace::scratch3`])
+/// carve several disjoint slices out of a single checkout for kernels
+/// that need more than one temporary at once.
+#[derive(Debug, Default)]
+pub struct Workspace<T> {
+    buf: Vec<T>,
+    high_water: usize,
+}
+
+impl<T: Copy + Default> Workspace<T> {
+    /// Empty workspace; the first checkout allocates.
+    pub fn new() -> Self {
+        Workspace {
+            buf: Vec::new(),
+            high_water: 0,
+        }
+    }
+
+    /// Workspace pre-grown to `cap` elements so checkouts up to that
+    /// size never allocate.
+    pub fn with_capacity(cap: usize) -> Self {
+        Workspace {
+            buf: vec![T::default(); cap],
+            high_water: 0,
+        }
+    }
+
+    /// Ensure the backing buffer holds at least `len` elements.
+    fn reserve_len(&mut self, len: usize) {
+        if self.buf.len() < len {
+            self.buf.resize(len, T::default());
+        }
+        if len > self.high_water {
+            self.high_water = len;
+        }
+    }
+
+    /// Check out a zero-filled scratch slice of `len` elements.
+    pub fn scratch(&mut self, len: usize) -> &mut [T] {
+        self.reserve_len(len);
+        let s = &mut self.buf[..len];
+        s.fill(T::default());
+        s
+    }
+
+    /// Check out two disjoint zero-filled slices of `a` and `b`
+    /// elements from one backing buffer.
+    pub fn scratch2(&mut self, a: usize, b: usize) -> (&mut [T], &mut [T]) {
+        self.reserve_len(a + b);
+        let s = &mut self.buf[..a + b];
+        s.fill(T::default());
+        s.split_at_mut(a)
+    }
+
+    /// Check out three disjoint zero-filled slices.
+    pub fn scratch3(&mut self, a: usize, b: usize, c: usize) -> (&mut [T], &mut [T], &mut [T]) {
+        self.reserve_len(a + b + c);
+        let s = &mut self.buf[..a + b + c];
+        s.fill(T::default());
+        let (sa, rest) = s.split_at_mut(a);
+        let (sb, sc) = rest.split_at_mut(b);
+        (sa, sb, sc)
+    }
+
+    /// Largest number of elements ever checked out at once.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Current backing capacity in elements.
+    pub fn capacity(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+/// A free-list pool of equal-length vectors for solver iteration
+/// buffers: `take` pops a recycled vector (or allocates one during
+/// warm-up), `recycle` returns it for reuse. Unlike [`Workspace`] the
+/// checked-out buffers are owned, so a solver can hold many at once
+/// (Krylov basis vectors) without lifetime gymnastics, yet repeated
+/// solves through the same arena stop allocating after the first.
+#[derive(Debug)]
+pub struct ScratchArena<T> {
+    len: usize,
+    free: Vec<Vec<T>>,
+    outstanding: usize,
+    high_water: usize,
+}
+
+impl<T: Copy + Default> ScratchArena<T> {
+    /// Arena handing out vectors of exactly `len` elements.
+    pub fn new(len: usize) -> Self {
+        ScratchArena {
+            len,
+            free: Vec::new(),
+            outstanding: 0,
+            high_water: 0,
+        }
+    }
+
+    /// Arena pre-seeded with `count` buffers so the first `count`
+    /// checkouts never allocate.
+    pub fn with_buffers(len: usize, count: usize) -> Self {
+        let mut a = ScratchArena::new(len);
+        a.free.reserve(count);
+        for _ in 0..count {
+            a.free.push(vec![T::default(); len]);
+        }
+        a
+    }
+
+    /// Element length of every buffer this arena hands out.
+    pub fn buffer_len(&self) -> usize {
+        self.len
+    }
+
+    /// Check out a zero-filled buffer of `buffer_len()` elements.
+    pub fn take(&mut self) -> Vec<T> {
+        self.outstanding += 1;
+        if self.outstanding > self.high_water {
+            self.high_water = self.outstanding;
+        }
+        match self.free.pop() {
+            Some(mut v) => {
+                v.fill(T::default());
+                v
+            }
+            None => vec![T::default(); self.len],
+        }
+    }
+
+    /// Return a buffer for reuse. Buffers of the wrong length are
+    /// dropped (they would poison later checkouts).
+    pub fn recycle(&mut self, v: Vec<T>) {
+        self.outstanding = self.outstanding.saturating_sub(1);
+        if v.len() == self.len {
+            self.free.push(v);
+        }
+    }
+
+    /// Most buffers ever checked out simultaneously.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scratch_is_zeroed_and_grow_once() {
+        let mut w: Workspace<f64> = Workspace::new();
+        {
+            let s = w.scratch(4);
+            s.fill(7.0);
+        }
+        let s = w.scratch(4);
+        assert!(s.iter().all(|&x| x == 0.0), "scratch must be re-zeroed");
+        assert_eq!(w.high_water(), 4);
+        let _ = w.scratch(16);
+        assert_eq!(w.high_water(), 16);
+        assert!(w.capacity() >= 16);
+    }
+
+    #[test]
+    fn split_scratch_is_disjoint() {
+        let mut w: Workspace<f64> = Workspace::new();
+        let (a, b, c) = w.scratch3(2, 3, 4);
+        a.fill(1.0);
+        b.fill(2.0);
+        c.fill(3.0);
+        assert_eq!(a, [1.0; 2]);
+        assert_eq!(b, [2.0; 3]);
+        assert_eq!(c, [3.0; 4]);
+        assert_eq!(w.high_water(), 9);
+    }
+
+    #[test]
+    fn arena_recycles_buffers() {
+        let mut a: ScratchArena<f64> = ScratchArena::new(8);
+        let mut v = a.take();
+        v.fill(5.0);
+        let p = v.as_ptr();
+        a.recycle(v);
+        let v2 = a.take();
+        assert_eq!(v2.as_ptr(), p, "recycled buffer must be reused");
+        assert!(v2.iter().all(|&x| x == 0.0));
+        assert_eq!(a.high_water(), 1);
+    }
+
+    #[test]
+    fn arena_preseeded_checkouts() {
+        let mut a: ScratchArena<f64> = ScratchArena::with_buffers(4, 3);
+        let x = a.take();
+        let y = a.take();
+        let z = a.take();
+        assert_eq!(a.high_water(), 3);
+        a.recycle(x);
+        a.recycle(y);
+        a.recycle(z);
+        assert_eq!(a.high_water(), 3);
+    }
+
+    #[test]
+    fn wrong_length_buffers_are_dropped() {
+        let mut a: ScratchArena<f64> = ScratchArena::new(4);
+        a.recycle(vec![0.0; 9]);
+        let v = a.take();
+        assert_eq!(v.len(), 4);
+    }
+}

@@ -1,8 +1,13 @@
 //! BiCGSTAB (van der Vorst) with left preconditioning — a second
 //! nonsymmetric Krylov solver for cross-checking the IDR results (the
 //! MAGMA-sparse study the paper builds on, ref.\[11\], compares both).
+//!
+//! All nine iteration vectors come from a [`KrylovWorkspace`]; the
+//! iteration loop performs no heap allocations.
+#![deny(clippy::disallowed_methods, clippy::disallowed_macros)]
 
 use crate::control::{SolveParams, SolveResult, StagnationGuard, StopReason};
+use crate::workspace::KrylovWorkspace;
 use std::time::Instant;
 use vbatch_core::Scalar;
 use vbatch_precond::Preconditioner;
@@ -15,12 +20,29 @@ pub fn bicgstab<T: Scalar, M: Preconditioner<T>>(
     m: &M,
     params: &SolveParams,
 ) -> SolveResult<T> {
+    let mut ws = KrylovWorkspace::new();
+    bicgstab_with_workspace(a, b, m, params, &mut ws)
+}
+
+/// [`bicgstab`] drawing all iteration vectors from a caller-owned
+/// [`KrylovWorkspace`]. Results are bitwise identical to [`bicgstab`].
+pub fn bicgstab_with_workspace<T: Scalar, M: Preconditioner<T>>(
+    a: &CsrMatrix<T>,
+    b: &[T],
+    m: &M,
+    params: &SolveParams,
+    ws: &mut KrylovWorkspace<T>,
+) -> SolveResult<T> {
     assert_eq!(a.nrows(), a.ncols());
     assert_eq!(b.len(), a.nrows());
     let n = a.nrows();
     let start = Instant::now();
     let normb = nrm2(b).to_f64();
-    let mut history = Vec::new();
+    let mut history = Vec::with_capacity(if params.record_history {
+        params.max_iters + 2
+    } else {
+        0
+    });
 
     let finish = |x: Vec<T>, iters: usize, reason: StopReason, history: Vec<f64>| {
         let relres = if normb == 0.0 {
@@ -38,33 +60,42 @@ pub fn bicgstab<T: Scalar, M: Preconditioner<T>>(
         }
     };
     if normb == 0.0 {
-        return finish(vec![T::ZERO; n], 0, StopReason::Converged, history);
+        return finish(ws.take(n), 0, StopReason::Converged, history);
     }
     if !normb.is_finite() {
         // corrupted right-hand side: report it, don't iterate on NaN
-        return finish(vec![T::ZERO; n], 0, StopReason::NonFinite, history);
+        return finish(ws.take(n), 0, StopReason::NonFinite, history);
     }
     let tolb = params.tol * normb;
     let mut stagnation = StagnationGuard::new(params);
 
-    let mut x = vec![T::ZERO; n];
-    let mut r = b.to_vec();
-    let r_hat = r.clone();
+    let mut x = ws.take(n);
+    let mut r = ws.take(n);
+    r.copy_from_slice(b);
+    let mut r_hat = ws.take(n);
+    r_hat.copy_from_slice(&r);
     let mut rho = T::ONE;
     let mut alpha = T::ONE;
     let mut omega = T::ONE;
-    let mut v = vec![T::ZERO; n];
-    let mut p = vec![T::ZERO; n];
+    let mut v = ws.take(n);
+    let mut p = ws.take(n);
+    // per-iteration temporaries, checked out once
+    let mut phat = ws.take(n);
+    let mut s_vec = ws.take(n);
+    let mut shat = ws.take(n);
+    let mut t = ws.take(n);
     let mut normr = nrm2(&r).to_f64();
     if params.record_history {
         history.push(normr / normb);
     }
     let mut iter = 0usize;
+    let mut stop: Option<StopReason> = None;
 
     while normr > tolb && iter < params.max_iters {
         let rho_new = dot(&r_hat, &r);
         if rho_new == T::ZERO || !rho_new.is_finite() {
-            return finish(x, iter, StopReason::Breakdown, history);
+            stop = Some(StopReason::Breakdown);
+            break;
         }
         let beta = (rho_new / rho) * (alpha / omega);
         rho = rho_new;
@@ -72,16 +103,17 @@ pub fn bicgstab<T: Scalar, M: Preconditioner<T>>(
         for i in 0..n {
             p[i] = r[i] + beta * (p[i] - omega * v[i]);
         }
-        let mut phat = p.clone();
+        phat.copy_from_slice(&p);
         m.apply_inplace(&mut phat);
         spmv(a, &phat, &mut v);
         iter += 1;
         let denom = dot(&r_hat, &v);
         if denom == T::ZERO || !denom.is_finite() {
-            return finish(x, iter, StopReason::Breakdown, history);
+            stop = Some(StopReason::Breakdown);
+            break;
         }
         alpha = rho / denom;
-        let mut s_vec = r.clone();
+        s_vec.copy_from_slice(&r);
         axpy(-alpha, &v, &mut s_vec);
         let norms = nrm2(&s_vec).to_f64();
         if norms <= tolb {
@@ -89,45 +121,53 @@ pub fn bicgstab<T: Scalar, M: Preconditioner<T>>(
             if params.record_history {
                 history.push(norms / normb);
             }
-            return finish(x, iter, StopReason::Converged, history);
+            stop = Some(StopReason::Converged);
+            break;
         }
-        let mut shat = s_vec.clone();
+        shat.copy_from_slice(&s_vec);
         m.apply_inplace(&mut shat);
-        let mut t = vec![T::ZERO; n];
         spmv(a, &shat, &mut t);
         iter += 1;
         let tt = dot(&t, &t);
         if tt == T::ZERO {
-            return finish(x, iter, StopReason::Breakdown, history);
+            stop = Some(StopReason::Breakdown);
+            break;
         }
         omega = dot(&t, &s_vec) / tt;
         if omega == T::ZERO || !omega.is_finite() {
-            return finish(x, iter, StopReason::Breakdown, history);
+            stop = Some(StopReason::Breakdown);
+            break;
         }
         axpy(alpha, &phat, &mut x);
         axpy(omega, &shat, &mut x);
-        r = s_vec;
+        // r takes over s_vec's values (former move-assign, now a swap so
+        // both buffers stay checked out)
+        std::mem::swap(&mut r, &mut s_vec);
         axpy(-omega, &t, &mut r);
         normr = nrm2(&r).to_f64();
         if params.record_history {
             history.push(normr / normb);
         }
         if !normr.is_finite() {
-            return finish(x, iter, StopReason::NonFinite, history);
+            stop = Some(StopReason::NonFinite);
+            break;
         }
         if normr > tolb && stagnation.observe(normr) {
-            return finish(x, iter, StopReason::Stagnated, history);
+            stop = Some(StopReason::Stagnated);
+            break;
         }
     }
-    let reason = if normr <= tolb {
+    let reason = stop.unwrap_or(if normr <= tolb {
         StopReason::Converged
     } else {
         StopReason::MaxIterations
-    };
+    });
+    ws.recycle_all([r, r_hat, v, p, phat, s_vec, shat, t]);
     finish(x, iter, reason, history)
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods, clippy::disallowed_macros)]
 mod tests {
     use super::*;
     use vbatch_precond::Identity;
@@ -165,5 +205,20 @@ mod tests {
         let params = SolveParams::default().with_max_iters(4);
         let r = bicgstab(&a, &b, &Identity::new(625), &params);
         assert_eq!(r.reason, StopReason::MaxIterations);
+    }
+
+    #[test]
+    fn workspace_reuse_is_bitwise_identical() {
+        let a = convection_diffusion_2d::<f64>(9, 9, 1.1);
+        let b = vec![1.0; 81];
+        let fresh = bicgstab(&a, &b, &Identity::new(81), &SolveParams::default());
+        let mut ws = KrylovWorkspace::for_bicgstab(81);
+        let r1 =
+            bicgstab_with_workspace(&a, &b, &Identity::new(81), &SolveParams::default(), &mut ws);
+        let r2 =
+            bicgstab_with_workspace(&a, &b, &Identity::new(81), &SolveParams::default(), &mut ws);
+        assert_eq!(fresh.x, r1.x);
+        assert_eq!(r1.x, r2.x);
+        assert_eq!(fresh.iterations, r1.iterations);
     }
 }

@@ -1,8 +1,13 @@
 //! Preconditioned Conjugate Gradients — for the SPD problems in the
 //! suite (pairs naturally with the Cholesky-based block-Jacobi
 //! extension).
+//!
+//! All iteration vectors come from a [`KrylovWorkspace`]; the iteration
+//! loop performs no heap allocations.
+#![deny(clippy::disallowed_methods, clippy::disallowed_macros)]
 
 use crate::control::{SolveParams, SolveResult, StopReason};
+use crate::workspace::KrylovWorkspace;
 use std::time::Instant;
 use vbatch_core::Scalar;
 use vbatch_precond::Preconditioner;
@@ -15,12 +20,29 @@ pub fn cg<T: Scalar, M: Preconditioner<T>>(
     m: &M,
     params: &SolveParams,
 ) -> SolveResult<T> {
+    let mut ws = KrylovWorkspace::new();
+    cg_with_workspace(a, b, m, params, &mut ws)
+}
+
+/// [`cg`] drawing all iteration vectors from a caller-owned
+/// [`KrylovWorkspace`]. Results are bitwise identical to [`cg`].
+pub fn cg_with_workspace<T: Scalar, M: Preconditioner<T>>(
+    a: &CsrMatrix<T>,
+    b: &[T],
+    m: &M,
+    params: &SolveParams,
+    ws: &mut KrylovWorkspace<T>,
+) -> SolveResult<T> {
     assert_eq!(a.nrows(), a.ncols());
     assert_eq!(b.len(), a.nrows());
     let n = a.nrows();
     let start = Instant::now();
     let normb = nrm2(b).to_f64();
-    let mut history = Vec::new();
+    let mut history = Vec::with_capacity(if params.record_history {
+        params.max_iters + 2
+    } else {
+        0
+    });
 
     let finish = |x: Vec<T>, iters: usize, reason: StopReason, history: Vec<f64>| {
         let relres = if normb == 0.0 {
@@ -38,29 +60,34 @@ pub fn cg<T: Scalar, M: Preconditioner<T>>(
         }
     };
     if normb == 0.0 {
-        return finish(vec![T::ZERO; n], 0, StopReason::Converged, history);
+        return finish(ws.take(n), 0, StopReason::Converged, history);
     }
     let tolb = params.tol * normb;
 
-    let mut x = vec![T::ZERO; n];
-    let mut r = b.to_vec();
-    let mut z = r.clone();
+    let mut x = ws.take(n);
+    let mut r = ws.take(n);
+    r.copy_from_slice(b);
+    let mut z = ws.take(n);
+    z.copy_from_slice(&r);
     m.apply_inplace(&mut z);
-    let mut p = z.clone();
+    let mut p = ws.take(n);
+    p.copy_from_slice(&z);
+    let mut ap = ws.take(n);
     let mut rz = dot(&r, &z);
     let mut normr = nrm2(&r).to_f64();
     if params.record_history {
         history.push(normr / normb);
     }
     let mut iter = 0usize;
+    let mut stop: Option<StopReason> = None;
 
     while normr > tolb && iter < params.max_iters {
-        let mut ap = vec![T::ZERO; n];
         spmv(a, &p, &mut ap);
         iter += 1;
         let pap = dot(&p, &ap);
         if pap == T::ZERO || !pap.is_finite() {
-            return finish(x, iter, StopReason::Breakdown, history);
+            stop = Some(StopReason::Breakdown);
+            break;
         }
         let alpha = rz / pap;
         axpy(alpha, &p, &mut x);
@@ -70,16 +97,18 @@ pub fn cg<T: Scalar, M: Preconditioner<T>>(
             history.push(normr / normb);
         }
         if !normr.is_finite() {
-            return finish(x, iter, StopReason::NonFinite, history);
+            stop = Some(StopReason::NonFinite);
+            break;
         }
         if normr <= tolb {
             break;
         }
-        z = r.clone();
+        z.copy_from_slice(&r);
         m.apply_inplace(&mut z);
         let rz_new = dot(&r, &z);
         if rz == T::ZERO {
-            return finish(x, iter, StopReason::Breakdown, history);
+            stop = Some(StopReason::Breakdown);
+            break;
         }
         let beta = rz_new / rz;
         rz = rz_new;
@@ -87,15 +116,17 @@ pub fn cg<T: Scalar, M: Preconditioner<T>>(
             p[i] = z[i] + beta * p[i];
         }
     }
-    let reason = if normr <= tolb {
+    let reason = stop.unwrap_or(if normr <= tolb {
         StopReason::Converged
     } else {
         StopReason::MaxIterations
-    };
+    });
+    ws.recycle_all([r, z, p, ap]);
     finish(x, iter, reason, history)
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods, clippy::disallowed_macros)]
 mod tests {
     use super::*;
     use vbatch_precond::{Identity, Jacobi};
@@ -139,5 +170,30 @@ mod tests {
         );
         assert_eq!(r.reason, StopReason::MaxIterations);
         assert_eq!(r.iterations, 3);
+    }
+
+    #[test]
+    fn workspace_reuse_is_bitwise_identical() {
+        let a = laplace_2d::<f64>(10, 10);
+        let b = vec![1.0; 100];
+        let fresh = cg(&a, &b, &Identity::new(100), &SolveParams::default());
+        let mut ws = KrylovWorkspace::for_cg(100);
+        let r1 = cg_with_workspace(
+            &a,
+            &b,
+            &Identity::new(100),
+            &SolveParams::default(),
+            &mut ws,
+        );
+        let r2 = cg_with_workspace(
+            &a,
+            &b,
+            &Identity::new(100),
+            &SolveParams::default(),
+            &mut ws,
+        );
+        assert_eq!(fresh.x, r1.x);
+        assert_eq!(r1.x, r2.x);
+        assert_eq!(fresh.iterations, r1.iterations);
     }
 }

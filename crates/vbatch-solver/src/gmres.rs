@@ -1,8 +1,14 @@
 //! Restarted GMRES(m) with left preconditioning and modified
 //! Gram-Schmidt orthogonalization — the long-recurrence reference
 //! against the short-recurrence solvers (IDR, BiCGSTAB).
+//!
+//! The Krylov basis, Hessenberg columns (flat, row-major) and rotation
+//! state all come from a [`KrylovWorkspace`]; after warm-up neither the
+//! restart cycles nor the inner Arnoldi steps allocate.
+#![deny(clippy::disallowed_methods, clippy::disallowed_macros)]
 
 use crate::control::{SolveParams, SolveResult, StopReason};
+use crate::workspace::KrylovWorkspace;
 use std::time::Instant;
 use vbatch_core::Scalar;
 use vbatch_precond::Preconditioner;
@@ -17,13 +23,32 @@ pub fn gmres<T: Scalar, M: Preconditioner<T>>(
     m: &M,
     params: &SolveParams,
 ) -> SolveResult<T> {
+    let mut ws = KrylovWorkspace::new();
+    gmres_with_workspace(a, b, restart, m, params, &mut ws)
+}
+
+/// [`gmres`] drawing the Krylov basis and all iteration state from a
+/// caller-owned [`KrylovWorkspace`]. Results are bitwise identical to
+/// [`gmres`].
+pub fn gmres_with_workspace<T: Scalar, M: Preconditioner<T>>(
+    a: &CsrMatrix<T>,
+    b: &[T],
+    restart: usize,
+    m: &M,
+    params: &SolveParams,
+    ws: &mut KrylovWorkspace<T>,
+) -> SolveResult<T> {
     assert!(restart >= 1);
     assert_eq!(a.nrows(), a.ncols());
     assert_eq!(b.len(), a.nrows());
     let n = a.nrows();
     let start = Instant::now();
     let normb = nrm2(b).to_f64();
-    let mut history = Vec::new();
+    let mut history = Vec::with_capacity(if params.record_history {
+        2 * (params.max_iters + 2)
+    } else {
+        0
+    });
 
     let finish = |x: Vec<T>, iters: usize, reason: StopReason, history: Vec<f64>| {
         let relres = if normb == 0.0 {
@@ -41,86 +66,98 @@ pub fn gmres<T: Scalar, M: Preconditioner<T>>(
         }
     };
     if normb == 0.0 {
-        return finish(vec![T::ZERO; n], 0, StopReason::Converged, history);
+        return finish(ws.take(n), 0, StopReason::Converged, history);
     }
     if !normb.is_finite() {
         // corrupted right-hand side: report it, don't iterate on NaN
-        return finish(vec![T::ZERO; n], 0, StopReason::NonFinite, history);
+        return finish(ws.take(n), 0, StopReason::NonFinite, history);
     }
     // left preconditioning: the Arnoldi residual is the *preconditioned*
     // one; convergence is still checked on the true residual at restarts
-    let mut x = vec![T::ZERO; n];
+    let mut x = ws.take(n);
+    let mut r = ws.take(n);
+    let mut w = ws.take(n);
+    // persistent Krylov basis; per restart only basis[..=k_done] is live
+    let mut basis: Vec<Vec<T>> = (0..restart + 1).map(|_| ws.take(n)).collect();
+    // Hessenberg (restart+1 rows x restart cols, flat) + Givens state;
+    // every entry is written before it is read within a restart cycle,
+    // so none of these need re-zeroing between cycles
+    let mut h = ws.take((restart + 1) * restart);
+    let mut cs = ws.take(restart);
+    let mut sn = ws.take(restart);
+    let mut g = ws.take(restart + 1);
+    let mut y = ws.take(restart);
     let mut iter = 0usize;
+    let reason;
 
-    loop {
-        // true residual, then preconditioned residual
-        let mut r = residual(a, &x, b);
+    'outer: loop {
+        // true residual r = b - A x, computed in place
+        spmv(a, &x, &mut r);
+        for (ri, &bi) in r.iter_mut().zip(b) {
+            *ri = bi - *ri;
+        }
         let true_normr = nrm2(&r).to_f64();
         if params.record_history {
             history.push(true_normr / normb);
         }
         if !true_normr.is_finite() {
-            return finish(x, iter, StopReason::NonFinite, history);
+            reason = StopReason::NonFinite;
+            break 'outer;
         }
         if true_normr <= params.tol * normb {
-            return finish(x, iter, StopReason::Converged, history);
+            reason = StopReason::Converged;
+            break 'outer;
         }
         if iter >= params.max_iters {
-            return finish(x, iter, StopReason::MaxIterations, history);
+            reason = StopReason::MaxIterations;
+            break 'outer;
         }
         m.apply_inplace(&mut r);
         let beta = nrm2(&r);
         if !beta.is_finite() {
             // the preconditioner produced NaN/Inf — a faulted block
-            return finish(x, iter, StopReason::NonFinite, history);
+            reason = StopReason::NonFinite;
+            break 'outer;
         }
         if beta == T::ZERO {
-            return finish(x, iter, StopReason::Breakdown, history);
+            reason = StopReason::Breakdown;
+            break 'outer;
         }
         // Arnoldi with MGS
-        let mut v: Vec<Vec<T>> = Vec::with_capacity(restart + 1);
-        {
-            let mut v0 = r;
-            vbatch_sparse::scal(T::ONE / beta, &mut v0);
-            v.push(v0);
-        }
-        let mut h = vec![vec![T::ZERO; restart]; restart + 1];
-        // Givens rotations
-        let mut cs = vec![T::ZERO; restart];
-        let mut sn = vec![T::ZERO; restart];
-        let mut g = vec![T::ZERO; restart + 1];
+        basis[0].copy_from_slice(&r);
+        vbatch_sparse::scal(T::ONE / beta, &mut basis[0]);
         g[0] = beta;
         let mut k_done = 0usize;
         for k in 0..restart {
             if iter >= params.max_iters {
                 break;
             }
-            let mut w = vec![T::ZERO; n];
-            spmv(a, &v[k], &mut w);
+            spmv(a, &basis[k], &mut w);
             iter += 1;
             m.apply_inplace(&mut w);
-            for (i, vi) in v.iter().enumerate() {
-                h[i][k] = dot(vi, &w);
-                axpy(-h[i][k], vi, &mut w);
+            for (i, vi) in basis[..=k].iter().enumerate() {
+                h[i * restart + k] = dot(vi, &w);
+                axpy(-h[i * restart + k], vi, &mut w);
             }
             let hk1 = nrm2(&w);
-            h[k + 1][k] = hk1;
+            h[(k + 1) * restart + k] = hk1;
             // apply previous rotations to column k
             for i in 0..k {
-                let t = cs[i] * h[i][k] + sn[i] * h[i + 1][k];
-                h[i + 1][k] = -sn[i] * h[i][k] + cs[i] * h[i + 1][k];
-                h[i][k] = t;
+                let t = cs[i] * h[i * restart + k] + sn[i] * h[(i + 1) * restart + k];
+                h[(i + 1) * restart + k] =
+                    -sn[i] * h[i * restart + k] + cs[i] * h[(i + 1) * restart + k];
+                h[i * restart + k] = t;
             }
             // new rotation
-            let denom = (h[k][k] * h[k][k] + hk1 * hk1).sqrt();
+            let denom = (h[k * restart + k] * h[k * restart + k] + hk1 * hk1).sqrt();
             if denom == T::ZERO {
                 k_done = k;
                 break;
             }
-            cs[k] = h[k][k] / denom;
+            cs[k] = h[k * restart + k] / denom;
             sn[k] = hk1 / denom;
-            h[k][k] = denom;
-            h[k + 1][k] = T::ZERO;
+            h[k * restart + k] = denom;
+            h[(k + 1) * restart + k] = T::ZERO;
             g[k + 1] = -sn[k] * g[k];
             g[k] = cs[k] * g[k];
             k_done = k + 1;
@@ -131,29 +168,35 @@ pub fn gmres<T: Scalar, M: Preconditioner<T>>(
             if hk1 == T::ZERO || prec_res <= params.tol * normb * 0.1 {
                 break;
             }
-            let mut vk1 = w;
-            vbatch_sparse::scal(T::ONE / hk1, &mut vk1);
-            v.push(vk1);
+            if k + 1 < restart + 1 {
+                basis[k + 1].copy_from_slice(&w);
+                vbatch_sparse::scal(T::ONE / hk1, &mut basis[k + 1]);
+            }
         }
         // back-substitute y and update x
         if k_done == 0 {
-            return finish(x, iter, StopReason::Breakdown, history);
+            reason = StopReason::Breakdown;
+            break 'outer;
         }
-        let mut y = vec![T::ZERO; k_done];
         for i in (0..k_done).rev() {
             let mut acc = g[i];
             for j in i + 1..k_done {
-                acc -= h[i][j] * y[j];
+                acc -= h[i * restart + j] * y[j];
             }
-            y[i] = acc / h[i][i];
+            y[i] = acc / h[i * restart + i];
         }
-        for (j, &yj) in y.iter().enumerate() {
-            axpy(yj, &v[j], &mut x);
+        for (j, &yj) in y[..k_done].iter().enumerate() {
+            axpy(yj, &basis[j], &mut x);
         }
     }
+
+    ws.recycle_all([r, w, h, cs, sn, g, y]);
+    ws.recycle_all(basis);
+    finish(x, iter, reason, history)
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods, clippy::disallowed_macros)]
 mod tests {
     use super::*;
     use vbatch_precond::{Identity, Jacobi};
@@ -205,5 +248,32 @@ mod tests {
             &SolveParams::default().with_max_iters(7),
         );
         assert_eq!(r.reason, StopReason::MaxIterations);
+    }
+
+    #[test]
+    fn workspace_reuse_is_bitwise_identical() {
+        let a = convection_diffusion_2d::<f64>(9, 9, 0.8);
+        let b = vec![1.0; 81];
+        let fresh = gmres(&a, &b, 12, &Identity::new(81), &SolveParams::default());
+        let mut ws = KrylovWorkspace::for_gmres(81, 12);
+        let r1 = gmres_with_workspace(
+            &a,
+            &b,
+            12,
+            &Identity::new(81),
+            &SolveParams::default(),
+            &mut ws,
+        );
+        let r2 = gmres_with_workspace(
+            &a,
+            &b,
+            12,
+            &Identity::new(81),
+            &SolveParams::default(),
+            &mut ws,
+        );
+        assert_eq!(fresh.x, r1.x);
+        assert_eq!(r1.x, r2.x);
+        assert_eq!(fresh.iterations, r1.iterations);
     }
 }

@@ -8,8 +8,15 @@
 //! through explicit biorthogonalization. The shadow space `P` is a
 //! seeded, orthonormalized random `n x s` block, so runs are
 //! reproducible.
+//!
+//! All iteration vectors come from a [`KrylovWorkspace`]; the main loop
+//! performs no heap allocations — every temporary is checked out once
+//! before the loop and reused in place, and `mem::swap` replaces the
+//! former move-assignments into the `G`/`U` direction blocks.
+#![deny(clippy::disallowed_methods, clippy::disallowed_macros)]
 
 use crate::control::{SolveParams, SolveResult, StagnationGuard, StopReason};
+use crate::workspace::KrylovWorkspace;
 use std::time::Instant;
 use vbatch_core::Scalar;
 use vbatch_precond::Preconditioner;
@@ -29,11 +36,12 @@ struct Smoother<T> {
 }
 
 impl<T: Scalar> Smoother<T> {
-    fn new(x: &[T], r: &[T]) -> Self {
-        Smoother {
-            xs: x.to_vec(),
-            rs: r.to_vec(),
-        }
+    fn checkout(ws: &mut KrylovWorkspace<T>, x: &[T], r: &[T]) -> Self {
+        let mut xs = ws.take(x.len());
+        xs.copy_from_slice(x);
+        let mut rs = ws.take(r.len());
+        rs.copy_from_slice(r);
+        Smoother { xs, rs }
     }
 
     /// Fold the latest (x, r) pair in; returns the smoothed residual norm.
@@ -66,7 +74,23 @@ pub fn idr<T: Scalar, M: Preconditioner<T>>(
     m: &M,
     params: &SolveParams,
 ) -> SolveResult<T> {
-    idr_impl(a, b, s, m, params, false)
+    let mut ws = KrylovWorkspace::new();
+    idr_impl(a, b, s, m, params, false, &mut ws)
+}
+
+/// [`idr`] drawing all iteration vectors from a caller-owned
+/// [`KrylovWorkspace`], so repeated solves (e.g. a time-stepping loop)
+/// reuse buffers instead of re-allocating. Results are bitwise
+/// identical to [`idr`].
+pub fn idr_with_workspace<T: Scalar, M: Preconditioner<T>>(
+    a: &CsrMatrix<T>,
+    b: &[T],
+    s: usize,
+    m: &M,
+    params: &SolveParams,
+    ws: &mut KrylovWorkspace<T>,
+) -> SolveResult<T> {
+    idr_impl(a, b, s, m, params, false, ws)
 }
 
 /// Solve `A x = b` with preconditioned IDR(s) plus minimal-residual
@@ -79,7 +103,21 @@ pub fn idr_smoothed<T: Scalar, M: Preconditioner<T>>(
     m: &M,
     params: &SolveParams,
 ) -> SolveResult<T> {
-    idr_impl(a, b, s, m, params, true)
+    let mut ws = KrylovWorkspace::new();
+    idr_impl(a, b, s, m, params, true, &mut ws)
+}
+
+/// [`idr_smoothed`] drawing all iteration vectors from a caller-owned
+/// [`KrylovWorkspace`].
+pub fn idr_smoothed_with_workspace<T: Scalar, M: Preconditioner<T>>(
+    a: &CsrMatrix<T>,
+    b: &[T],
+    s: usize,
+    m: &M,
+    params: &SolveParams,
+    ws: &mut KrylovWorkspace<T>,
+) -> SolveResult<T> {
+    idr_impl(a, b, s, m, params, true, ws)
 }
 
 fn idr_impl<T: Scalar, M: Preconditioner<T>>(
@@ -89,6 +127,7 @@ fn idr_impl<T: Scalar, M: Preconditioner<T>>(
     m: &M,
     params: &SolveParams,
     smoothing: bool,
+    ws: &mut KrylovWorkspace<T>,
 ) -> SolveResult<T> {
     assert!(s >= 1, "IDR needs s >= 1");
     assert_eq!(a.nrows(), a.ncols());
@@ -98,7 +137,11 @@ fn idr_impl<T: Scalar, M: Preconditioner<T>>(
     let start = Instant::now();
 
     let normb = nrm2(b).to_f64();
-    let mut history = Vec::new();
+    let mut history = Vec::with_capacity(if params.record_history {
+        params.max_iters + 2
+    } else {
+        0
+    });
     let finish =
         |x: Vec<T>, iterations: usize, reason: StopReason, history: Vec<f64>, start: Instant| {
             let relres = if normb == 0.0 {
@@ -116,86 +159,101 @@ fn idr_impl<T: Scalar, M: Preconditioner<T>>(
             }
         };
     if normb == 0.0 {
-        return finish(vec![T::ZERO; n], 0, StopReason::Converged, history, start);
+        return finish(ws.take(n), 0, StopReason::Converged, history, start);
     }
     if !normb.is_finite() {
         // corrupted right-hand side: report it, don't iterate on NaN
-        return finish(vec![T::ZERO; n], 0, StopReason::NonFinite, history, start);
+        return finish(ws.take(n), 0, StopReason::NonFinite, history, start);
     }
     let tolb = params.tol * normb;
 
-    let mut x = vec![T::ZERO; n];
-    let mut r = b.to_vec();
+    let mut x = ws.take(n);
+    let mut r = ws.take(n);
+    r.copy_from_slice(b);
     let mut normr = nrm2(&r).to_f64();
     if params.record_history {
         history.push(normr / normb);
     }
     let mut stagnation = StagnationGuard::new(params);
     let mut smoother = if smoothing {
-        Some(Smoother::new(&x, &r))
+        Some(Smoother::checkout(ws, &x, &r))
     } else {
         None
     };
 
     // shadow space P: s orthonormalized random vectors (seeded)
-    let p = shadow_space::<T>(n, s, 0xD1E5_EED5);
+    let p = shadow_space::<T>(n, s, 0xD1E5_EED5, ws);
 
-    let mut g: Vec<Vec<T>> = vec![vec![T::ZERO; n]; s];
-    let mut u: Vec<Vec<T>> = vec![vec![T::ZERO; n]; s];
-    // M_s = P^T G, kept lower triangular; starts as identity
-    let mut ms = vec![vec![T::ZERO; s]; s];
-    for (k, row) in ms.iter_mut().enumerate() {
-        row[k] = T::ONE;
+    let mut g: Vec<Vec<T>> = (0..s).map(|_| ws.take(n)).collect();
+    let mut u: Vec<Vec<T>> = (0..s).map(|_| ws.take(n)).collect();
+    // M_s = P^T G, kept lower triangular (flat s*s, row-major); starts
+    // as identity
+    let mut ms = ws.take(s * s);
+    for k in 0..s {
+        ms[k * s + k] = T::ONE;
     }
+    // per-iteration temporaries, checked out once: the loop below never
+    // touches the allocator
+    let mut f = ws.take(s);
+    let mut c = ws.take(s);
+    let mut v = ws.take(n);
+    let mut uk = ws.take(n);
+    let mut gk = ws.take(n);
+    let mut t = ws.take(n);
     let mut om = T::ONE;
     let mut iter = 0usize;
+    let mut stop: Option<StopReason> = None;
 
-    while normr > tolb && iter < params.max_iters {
+    'cycles: while normr > tolb && iter < params.max_iters {
         // f = P^T r
-        let mut f: Vec<T> = (0..s).map(|i| dot(&p[i], &r)).collect();
+        for (i, fi) in f.iter_mut().enumerate() {
+            *fi = dot(&p[i], &r);
+        }
         for k in 0..s {
-            // solve the lower-triangular system Ms[k.., k..] c = f[k..]
-            let mut c = vec![T::ZERO; s - k];
+            // solve the lower-triangular system Ms[k.., k..] c = f[k..];
+            // every c entry is written before it is read, so the reused
+            // buffer needs no clearing
             for i in k..s {
                 let mut acc = f[i];
                 for j in k..i {
-                    acc -= ms[i][j] * c[j - k];
+                    acc -= ms[i * s + j] * c[j - k];
                 }
-                let d = ms[i][i];
+                let d = ms[i * s + i];
                 if d == T::ZERO || !d.is_finite() {
-                    return finish(x, iter, StopReason::Breakdown, history, start);
+                    stop = Some(StopReason::Breakdown);
+                    break 'cycles;
                 }
                 c[i - k] = acc / d;
             }
             // v = r - sum c_i g_i ; then precondition
-            let mut v = r.clone();
+            v.copy_from_slice(&r);
             for i in k..s {
                 axpy(-c[i - k], &g[i], &mut v);
             }
             m.apply_inplace(&mut v);
             // u_k = om*v + sum c_i u_i
-            let mut uk = v;
+            uk.copy_from_slice(&v);
             vbatch_sparse::scal(om, &mut uk);
             for i in k..s {
                 axpy(c[i - k], &u[i], &mut uk);
             }
-            // g_k = A u_k
-            let mut gk = vec![T::ZERO; n];
+            // g_k = A u_k (spmv overwrites gk row by row)
             spmv(a, &uk, &mut gk);
             iter += 1;
             // biorthogonalize against p_0..p_{k-1}
             for i in 0..k {
-                let alpha = dot(&p[i], &gk) / ms[i][i];
+                let alpha = dot(&p[i], &gk) / ms[i * s + i];
                 axpy(-alpha, &g[i], &mut gk);
                 axpy(-alpha, &u[i], &mut uk);
             }
             // refresh column k of Ms
             for i in k..s {
-                ms[i][k] = dot(&p[i], &gk);
+                ms[i * s + k] = dot(&p[i], &gk);
             }
-            let mkk = ms[k][k];
+            let mkk = ms[k * s + k];
             if mkk == T::ZERO || !mkk.is_finite() {
-                return finish(x, iter, StopReason::Breakdown, history, start);
+                stop = Some(StopReason::Breakdown);
+                break 'cycles;
             }
             let beta = f[k] / mkk;
             axpy(-beta, &gk, &mut r);
@@ -208,13 +266,15 @@ fn idr_impl<T: Scalar, M: Preconditioner<T>>(
                 history.push(normr / normb);
             }
             if !normr.is_finite() {
-                return finish(x, iter, StopReason::NonFinite, history, start);
+                stop = Some(StopReason::NonFinite);
+                break 'cycles;
             }
             if normr > tolb && stagnation.observe(normr) {
-                return finish(x, iter, StopReason::Stagnated, history, start);
+                stop = Some(StopReason::Stagnated);
+                break 'cycles;
             }
-            g[k] = gk;
-            u[k] = uk;
+            std::mem::swap(&mut g[k], &mut gk);
+            std::mem::swap(&mut u[k], &mut uk);
             if normr <= tolb || iter >= params.max_iters {
                 break;
             }
@@ -223,7 +283,7 @@ fn idr_impl<T: Scalar, M: Preconditioner<T>>(
                 if i <= k {
                     *fi = T::ZERO;
                 } else {
-                    *fi -= beta * ms[i][k];
+                    *fi -= beta * ms[i * s + k];
                 }
             }
         }
@@ -231,16 +291,16 @@ fn idr_impl<T: Scalar, M: Preconditioner<T>>(
             break;
         }
         // dimension-reduction step: enter G_{j+1}
-        let mut v = r.clone();
+        v.copy_from_slice(&r);
         m.apply_inplace(&mut v);
-        let mut t = vec![T::ZERO; n];
         spmv(a, &v, &mut t);
         iter += 1;
         let nt = nrm2(&t);
         let nr = nrm2(&r);
         let ts = dot(&t, &r);
         if nt == T::ZERO {
-            return finish(x, iter, StopReason::Breakdown, history, start);
+            stop = Some(StopReason::Breakdown);
+            break;
         }
         let rho = (ts.abs() / (nt * nr)).to_f64();
         om = ts / (nt * nt);
@@ -248,7 +308,8 @@ fn idr_impl<T: Scalar, M: Preconditioner<T>>(
             om *= T::from_f64(KAPPA / rho);
         }
         if om == T::ZERO || !om.is_finite() {
-            return finish(x, iter, StopReason::Breakdown, history, start);
+            stop = Some(StopReason::Breakdown);
+            break;
         }
         axpy(om, &v, &mut x);
         axpy(-om, &t, &mut r);
@@ -260,34 +321,59 @@ fn idr_impl<T: Scalar, M: Preconditioner<T>>(
             history.push(normr / normb);
         }
         if !normr.is_finite() {
-            return finish(x, iter, StopReason::NonFinite, history, start);
+            stop = Some(StopReason::NonFinite);
+            break;
         }
         if normr > tolb && stagnation.observe(normr) {
-            return finish(x, iter, StopReason::Stagnated, history, start);
+            stop = Some(StopReason::Stagnated);
+            break;
         }
     }
 
-    let reason = if normr <= tolb {
+    let aborted = stop.is_some();
+    let reason = stop.unwrap_or(if normr <= tolb {
         StopReason::Converged
     } else {
         StopReason::MaxIterations
-    };
+    });
+    // single exit point: recycle everything except the returned iterate
+    ws.recycle_all([r, f, c, v, uk, gk, t, ms]);
+    ws.recycle_all(p);
+    ws.recycle_all(g);
+    ws.recycle_all(u);
     let x_final = match smoother {
-        Some(sm) => sm.xs,
+        // abnormal stops return the raw iterate, matching the
+        // pre-workspace behavior of the early-return paths
+        Some(sm) if !aborted => {
+            ws.recycle(x);
+            ws.recycle(sm.rs);
+            sm.xs
+        }
+        Some(sm) => {
+            ws.recycle(sm.xs);
+            ws.recycle(sm.rs);
+            x
+        }
         None => x,
     };
     finish(x_final, iter, reason, history, start)
 }
 
 /// Build an orthonormal shadow block (modified Gram-Schmidt on seeded
-/// Gaussian-ish vectors).
-fn shadow_space<T: Scalar>(n: usize, s: usize, seed: u64) -> Vec<Vec<T>> {
+/// Gaussian-ish vectors), drawing the vectors from the workspace.
+fn shadow_space<T: Scalar>(
+    n: usize,
+    s: usize,
+    seed: u64,
+    ws: &mut KrylovWorkspace<T>,
+) -> Vec<Vec<T>> {
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut p: Vec<Vec<T>> = Vec::with_capacity(s);
     for _ in 0..s {
-        let mut v: Vec<T> = (0..n)
-            .map(|_| T::from_f64(rng.gen_range(-1.0..1.0)))
-            .collect();
+        let mut v = ws.take(n);
+        for vi in v.iter_mut() {
+            *vi = T::from_f64(rng.gen_range(-1.0..1.0));
+        }
         for q in &p {
             let alpha = dot(q, &v);
             axpy(-alpha, q, &mut v);
@@ -302,6 +388,7 @@ fn shadow_space<T: Scalar>(n: usize, s: usize, seed: u64) -> Vec<Vec<T>> {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods, clippy::disallowed_macros)]
 mod tests {
     use super::*;
     use vbatch_precond::{Identity, Jacobi};
@@ -444,5 +531,45 @@ mod tests {
         let r2 = idr(&a, &b, 4, &Identity::new(81), &SolveParams::default());
         assert_eq!(r1.iterations, r2.iterations);
         assert_eq!(r1.x, r2.x);
+    }
+
+    #[test]
+    fn workspace_reuse_is_bitwise_identical_to_fresh_allocation() {
+        let a = convection_diffusion_2d::<f64>(10, 10, 0.7);
+        let b = vec![1.0; 100];
+        let fresh = idr(&a, &b, 4, &Identity::new(100), &SolveParams::default());
+        let mut ws = KrylovWorkspace::for_idr(100, 4);
+        let r1 = idr_with_workspace(
+            &a,
+            &b,
+            4,
+            &Identity::new(100),
+            &SolveParams::default(),
+            &mut ws,
+        );
+        // second solve reuses dirty recycled buffers
+        let r2 = idr_with_workspace(
+            &a,
+            &b,
+            4,
+            &Identity::new(100),
+            &SolveParams::default(),
+            &mut ws,
+        );
+        assert_eq!(fresh.x, r1.x);
+        assert_eq!(r1.x, r2.x);
+        assert_eq!(fresh.iterations, r1.iterations);
+        assert!(ws.high_water() > 0);
+        // smoothed variant too (exercises the smoother checkout path)
+        let sf = idr_smoothed(&a, &b, 4, &Identity::new(100), &SolveParams::default());
+        let s1 = idr_smoothed_with_workspace(
+            &a,
+            &b,
+            4,
+            &Identity::new(100),
+            &SolveParams::default(),
+            &mut ws,
+        );
+        assert_eq!(sf.x, s1.x);
     }
 }

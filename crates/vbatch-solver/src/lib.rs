@@ -23,12 +23,14 @@ pub mod control;
 pub mod driver;
 pub mod gmres;
 pub mod idr;
+pub mod workspace;
 
-pub use bicgstab::bicgstab;
-pub use cg::cg;
+pub use bicgstab::{bicgstab, bicgstab_with_workspace};
+pub use cg::{cg, cg_with_workspace};
 pub use control::{SolveParams, SolveResult, StagnationGuard, StopReason};
 pub use driver::{
-    idr_block_jacobi, idr_block_jacobi_robust, PrecondSolve, RobustPolicy, RobustSolve,
+    idr_block_jacobi, idr_block_jacobi_robust, IdrBjSolver, PrecondSolve, RobustPolicy, RobustSolve,
 };
-pub use gmres::gmres;
-pub use idr::{idr, idr_smoothed};
+pub use gmres::{gmres, gmres_with_workspace};
+pub use idr::{idr, idr_smoothed, idr_smoothed_with_workspace, idr_with_workspace};
+pub use workspace::KrylovWorkspace;

@@ -1,0 +1,93 @@
+//! Steady-state zero-allocation proof: with the counting allocator
+//! installed as `#[global_allocator]`, a warm block-Jacobi + IDR(4)
+//! iteration on `CpuSequential` touches the heap exactly zero times.
+//!
+//! Two layers of evidence:
+//!
+//! * the prepared preconditioner apply allocates nothing at all after
+//!   warm-up (measured around a bare `apply_inplace` call);
+//! * extending a warm solve by extra iterations costs zero additional
+//!   allocations — i.e. everything a solve allocates is per-solve
+//!   setup/teardown (`SolveResult`, final true-residual check), never
+//!   per-iteration.
+
+use std::sync::Arc;
+use vbatch_exec::{Backend, CpuSequential};
+use vbatch_precond::{BjMethod, Preconditioner};
+use vbatch_rt::CountingAlloc;
+use vbatch_solver::{IdrBjSolver, SolveParams, StopReason};
+use vbatch_sparse::gen::laplace::laplace_2d;
+use vbatch_sparse::BlockPartition;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc::new();
+
+fn backend() -> Arc<dyn Backend<f64>> {
+    Arc::new(CpuSequential)
+}
+
+#[test]
+fn warm_prepared_apply_allocates_nothing() {
+    let a = laplace_2d::<f64>(16, 16);
+    let n = a.nrows();
+    let part = BlockPartition::uniform(n, 8);
+    let m =
+        vbatch_precond::BlockJacobi::setup_with_backend(&a, &part, BjMethod::SmallLu, backend())
+            .unwrap();
+    let mut v: Vec<f64> = (0..n).map(|i| 1.0 + (i % 5) as f64).collect();
+    // warm-up: first apply may fault in lazy state
+    m.apply_inplace(&mut v);
+    let before = ALLOC.snapshot();
+    m.apply_inplace(&mut v);
+    m.apply_inplace(&mut v);
+    let after = ALLOC.snapshot();
+    assert_eq!(
+        after.allocs_since(&before),
+        0,
+        "warm prepared apply must not allocate ({} bytes leaked in)",
+        after.bytes_since(&before)
+    );
+    assert!(v.iter().all(|x| x.is_finite()));
+}
+
+#[test]
+fn warm_idr_iterations_allocate_nothing() {
+    let a = laplace_2d::<f64>(20, 20);
+    let n = a.nrows();
+    let b: Vec<f64> = (0..n).map(|i| 1.0 + (i % 7) as f64).collect();
+    let part = BlockPartition::uniform(n, 8);
+
+    // capped solves: both runs stop on MaxIterations, so they execute
+    // identical per-solve setup/teardown and differ only in how many
+    // warm iterations they run
+    let short = SolveParams::default().with_max_iters(4);
+    let long = SolveParams::default().with_max_iters(24);
+
+    let mut handle =
+        IdrBjSolver::setup(&a, 4, &part, BjMethod::SmallLu, backend(), &short).unwrap();
+    // warm-up solve grows every pool to its high-water size
+    let warm = handle.solve(&a, &b);
+    assert_eq!(warm.reason, StopReason::MaxIterations);
+
+    let s0 = ALLOC.snapshot();
+    let r_short = handle.solve(&a, &b);
+    let allocs_short = ALLOC.snapshot().allocs_since(&s0);
+
+    let mut handle_long =
+        IdrBjSolver::setup(&a, 4, &part, BjMethod::SmallLu, backend(), &long).unwrap();
+    let warm_long = handle_long.solve(&a, &b);
+    assert_eq!(warm_long.reason, StopReason::MaxIterations);
+
+    let s1 = ALLOC.snapshot();
+    let r_long = handle_long.solve(&a, &b);
+    let allocs_long = ALLOC.snapshot().allocs_since(&s1);
+
+    assert!(r_long.iterations > r_short.iterations + 10);
+    assert_eq!(
+        allocs_long,
+        allocs_short,
+        "the {} extra warm iterations must allocate nothing \
+         (short solve: {allocs_short} allocs, long solve: {allocs_long})",
+        r_long.iterations - r_short.iterations
+    );
+}
