@@ -8,25 +8,19 @@ use std::collections::BTreeMap;
 use vbatch_core::interleaved::{getrf_interleaved_class, lu_solve_interleaved_class};
 use vbatch_core::lu::implicit::getrf_implicit_inplace;
 use vbatch_core::{lu_solve_inplace, InterleavedBatch, MatrixBatch, TrsvVariant};
+use vbatch_rt::testgen::{self, RawBatch};
 use vbatch_rt::{run_cases, SmallRng};
 
-fn random_batch(rng: &mut SmallRng, max_n: usize, max_count: usize) -> MatrixBatch<f64> {
-    let count = rng.gen_range(1usize..max_count + 1);
-    let sizes: Vec<usize> = (0..count)
-        .map(|_| rng.gen_range(1usize..max_n + 1))
-        .collect();
-    let mut batch = MatrixBatch::zeros(&sizes);
-    for i in 0..batch.len() {
-        let n = sizes[i];
-        let block = batch.block_mut(i);
-        for c in 0..n {
-            for r in 0..n {
-                let v = rng.gen_range(-1.0..1.0);
-                block[c * n + r] = if r == c { v + 2.0 + n as f64 } else { v };
-            }
-        }
+fn to_matrix_batch(raw: &RawBatch) -> MatrixBatch<f64> {
+    let mut batch = MatrixBatch::zeros(&raw.sizes);
+    for i in 0..raw.len() {
+        batch.block_mut(i).copy_from_slice(&raw.blocks[i]);
     }
     batch
+}
+
+fn random_batch(rng: &mut SmallRng, max_n: usize, max_count: usize) -> MatrixBatch<f64> {
+    to_matrix_batch(&testgen::dd_batch(rng, max_n, max_count))
 }
 
 #[test]
@@ -130,12 +124,5 @@ fn class_sweeps_match_per_block_kernels_bitwise() {
 }
 
 fn random_batch_uniform(rng: &mut SmallRng, n: usize, count: usize) -> MatrixBatch<f64> {
-    MatrixBatch::uniform_from_fn(count, n, |_, i, j| {
-        let v = rng.gen_range(-1.0..1.0);
-        if i == j {
-            v + 2.0 + n as f64
-        } else {
-            v
-        }
-    })
+    to_matrix_batch(&testgen::uniform_dd_batch(rng, n, count))
 }

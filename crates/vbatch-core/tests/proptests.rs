@@ -8,18 +8,12 @@ use vbatch_core::{
     trsv_lower_unit, trsv_upper, DenseMat, Exec, GhLayout, MatrixBatch, Permutation, PivotStrategy,
     Scalar, TrsvVariant, VectorBatch,
 };
-use vbatch_rt::{run_cases, SmallRng};
+use vbatch_rt::{run_cases, testgen, SmallRng};
 
-/// A well-conditioned random square matrix: random entries in [-1, 1]
-/// with a diagonal shift keeping it invertible.
+/// A well-conditioned random square matrix
+/// ([`testgen::well_conditioned_dense`] wrapped into a `DenseMat`).
 fn well_conditioned(n: usize, rng: &mut SmallRng) -> DenseMat<f64> {
-    let data: Vec<f64> = (0..n * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
-    let mut m = DenseMat::from_col_major(n, n, &data);
-    for i in 0..n {
-        let d = m[(i, i)];
-        m[(i, i)] = d + if d >= 0.0 { n as f64 } else { -(n as f64) };
-    }
-    m
+    DenseMat::from_col_major(n, n, &testgen::well_conditioned_dense(rng, n))
 }
 
 /// An arbitrary small dimension.
@@ -32,10 +26,7 @@ fn lu_reconstructs_pa() {
     run_cases("lu_reconstructs_pa", 64, |rng, _case| {
         let n = dim(rng);
         let seed = rng.next_u64();
-        let a = DenseMat::from_fn(n, n, |i, j| {
-            let h = (i.wrapping_mul(2654435761) ^ j.wrapping_mul(40503) ^ seed as usize) % 1024;
-            h as f64 / 512.0 - 1.0 + if i == j { 3.0 } else { 0.0 }
-        });
+        let a = DenseMat::from_col_major(n, n, &testgen::hashed_dense(n, seed));
         for strat in [PivotStrategy::Explicit, PivotStrategy::Implicit] {
             let f = getrf(&a, strat).unwrap();
             assert!(f.residual(&a).to_f64() < 1e-10 * (n as f64 + 1.0));
@@ -185,10 +176,11 @@ fn batched_solve_matches_per_block() {
             .iter()
             .enumerate()
             .map(|(s, &n)| {
-                DenseMat::from_fn(n, n, |i, j| {
-                    let h = (i * 97 + j * 31 + s * 7 + seed as usize) % 256;
-                    h as f64 / 128.0 - 1.0 + if i == j { 4.0 } else { 0.0 }
-                })
+                DenseMat::from_col_major(
+                    n,
+                    n,
+                    &testgen::hashed_dense(n, seed.wrapping_add(s as u64)),
+                )
             })
             .collect();
         let batch = MatrixBatch::from_matrices(&mats);

@@ -75,6 +75,10 @@ impl<T: Scalar> PreparedApply<T> {
     // setup-time: the dispatch tables and scratch are allocated here, once
     #[allow(clippy::disallowed_methods, clippy::disallowed_macros)]
     pub fn new(factors: &FactorizedBatch<T>) -> Self {
+        // Pre-size this thread's trace ring now so the per-unit spans of
+        // later applies never allocate (the tracing-on zero-alloc
+        // guarantee): 4 events per unit per apply, with headroom.
+        vbatch_trace::reserve_thread_ring(4 * factors.len() + 1024);
         let mut offsets = Vec::with_capacity(factors.len() + 1);
         let mut acc = 0usize;
         offsets.push(0);
@@ -161,6 +165,7 @@ pub(crate) fn run_apply_unit<T: Scalar>(
             len,
             scratch,
         } => {
+            let _span = vbatch_trace::span!("apply.block", *len);
             let mut scratch = scratch.lock().expect("apply scratch poisoned");
             factors.solve_block_inplace_with(*block, &mut v[*offset..*offset + *len], &mut scratch);
         }
@@ -171,6 +176,7 @@ pub(crate) fn run_apply_unit<T: Scalar>(
         } => {
             let cls = &factors.interleaved[*class];
             let (n, count) = (cls.n, cls.count());
+            let _span = vbatch_trace::span!("apply.class", n * count);
             let mut scratch = scratch.lock().expect("apply scratch poisoned");
             let (x, perm_scratch) = scratch.split_at_mut(n * count);
             // Gather into full-width lanes: absent slots (fallbacks,
@@ -241,16 +247,10 @@ mod tests {
 
     fn random_batch(sizes: &[usize], seed: u64) -> MatrixBatch<f64> {
         let mut rng = SmallRng::seed_from_u64(seed);
+        let raw = vbatch_rt::testgen::dd_batch_of(&mut rng, sizes);
         let mut batch = MatrixBatch::zeros(sizes);
         for i in 0..batch.len() {
-            let n = sizes[i];
-            let block = batch.block_mut(i);
-            for c in 0..n {
-                for r in 0..n {
-                    let v = rng.gen_range(-1.0..1.0);
-                    block[c * n + r] = if r == c { v + n as f64 } else { v };
-                }
-            }
+            batch.block_mut(i).copy_from_slice(&raw.blocks[i]);
         }
         batch
     }

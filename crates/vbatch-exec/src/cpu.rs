@@ -146,6 +146,7 @@ fn factorize_cpu<T: Scalar>(
     stats: &mut ExecStats,
 ) -> FactorizedBatch<T> {
     assert_eq!(plan.len(), blocks.len(), "plan does not match batch");
+    let _span = vbatch_trace::span!("exec.factorize", blocks.len());
     let t0 = Instant::now();
     stats.add_flops(blocks.getrf_flops());
     let sizes = blocks.sizes().to_vec();
@@ -174,6 +175,7 @@ fn factorize_cpu<T: Scalar>(
         .map(|&i| (i, blocks.block(i).to_vec()))
         .collect();
     let block_work = |(i, data): (usize, Vec<T>)| {
+        let _span = vbatch_trace::span!("factorize.block", sizes[i]);
         let (f, s) = factor_block(sizes[i], data, plan.kernel_for(i));
         (i, f, s)
     };
@@ -200,8 +202,10 @@ fn factorize_cpu<T: Scalar>(
         }
     }
     let blocks_ref = &blocks;
-    let chunk_work =
-        |(n, members): (usize, Vec<usize>)| factor_interleaved_chunk(blocks_ref, n, members);
+    let chunk_work = |(n, members): (usize, Vec<usize>)| {
+        let _span = vbatch_trace::span!("factorize.chunk", n * members.len());
+        factor_interleaved_chunk(blocks_ref, n, members)
+    };
     let chunk_results: Vec<(InterleavedLuClass<T>, Vec<Option<FactorError>>)> = if parallel {
         par_map_vec(chunks, chunk_work)
     } else {
@@ -294,6 +298,7 @@ fn solve_cpu<T: Scalar>(
     stats: &mut ExecStats,
 ) {
     assert_eq!(factors.sizes, rhs.sizes(), "factors do not match rhs");
+    let _span = vbatch_trace::span!("exec.solve", factors.sizes.len());
     let t0 = Instant::now();
     if factors.interleaved.is_empty() {
         if parallel {
@@ -352,6 +357,7 @@ fn solve_prepared_cpu<T: Scalar>(
         prepared.total(),
         "prepared apply does not match vector"
     );
+    let _span = vbatch_trace::span!("exec.apply", prepared.unit_count());
     let t0 = Instant::now();
     let units = prepared.units();
     if parallel && units.len() > 1 {
@@ -378,6 +384,7 @@ pub(crate) fn invert_cpu<T: Scalar>(
     parallel: bool,
     stats: &mut ExecStats,
 ) -> (MatrixBatch<T>, Vec<BlockStatus>) {
+    let _span = vbatch_trace::span!("exec.invert", blocks.len());
     let t0 = Instant::now();
     let sizes = blocks.sizes().to_vec();
     let items: Vec<(usize, Vec<T>)> = (0..blocks.len())
@@ -431,6 +438,7 @@ fn gemv_cpu<T: Scalar>(
     exec: Exec,
     stats: &mut ExecStats,
 ) {
+    let _span = vbatch_trace::span!("exec.gemv", blocks.len());
     let t0 = Instant::now();
     batched_gemv(blocks, x, y, exec);
     stats.add_flops(blocks.sizes().iter().map(|&n| 2.0 * (n * n) as f64).sum());
@@ -442,6 +450,7 @@ fn extract_cpu<T: Scalar>(
     part: &BlockPartition,
     stats: &mut ExecStats,
 ) -> MatrixBatch<T> {
+    let _span = vbatch_trace::span!("exec.extract", part.len());
     let t0 = Instant::now();
     let batch = extract_diag_blocks(a, part);
     stats.add_phase(Phase::Extract, t0.elapsed());

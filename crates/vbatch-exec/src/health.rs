@@ -102,6 +102,7 @@ pub(crate) fn triage_batch<T: Scalar>(
     let HealthPolicy::Guarded { ill_threshold } = policy else {
         return;
     };
+    let _span = vbatch_trace::span!("exec.triage", batch.len());
     for i in 0..batch.len() {
         if batch.status[i].is_fallback() {
             continue;

@@ -1,4 +1,12 @@
 //! Execution statistics threaded through every backend call.
+//!
+//! [`ExecStats`] doubles as a *view* over the global `vbatch-trace`
+//! metrics registry: every `record_*` call both updates the local
+//! histograms (scoped to this stats object, mergeable, CSV-friendly)
+//! and forwards the same observation to the process-wide registry as a
+//! labeled counter or phase-duration histogram. With the `trace`
+//! feature off the forwarding calls are inert inline stubs, so the
+//! local histograms remain the only cost.
 
 use crate::factors::{BlockHealth, RecoveryStep};
 use crate::plan::{ClassLayout, KernelChoice};
@@ -73,6 +81,7 @@ impl ExecStats {
     pub fn record_kernel(&mut self, k: KernelChoice, blocks: u64) {
         if blocks > 0 {
             *self.kernels.entry(k.label()).or_insert(0) += blocks;
+            vbatch_trace::labeled_add("exec.kernel", k.label(), blocks);
         }
     }
 
@@ -81,6 +90,7 @@ impl ExecStats {
     pub fn record_host(&mut self, label: &'static str, blocks: u64) {
         if blocks > 0 {
             *self.kernels.entry(label).or_insert(0) += blocks;
+            vbatch_trace::labeled_add("exec.kernel", label, blocks);
         }
     }
 
@@ -88,22 +98,26 @@ impl ExecStats {
     pub fn record_layout(&mut self, l: ClassLayout, blocks: u64) {
         if blocks > 0 {
             *self.layouts.entry(l.label()).or_insert(0) += blocks;
+            vbatch_trace::labeled_add("exec.layout", l.label(), blocks);
         }
     }
 
     /// Record one singular-block fallback.
     pub fn record_failure(&mut self) {
         self.failures += 1;
+        vbatch_trace::counter!("exec.failures", 1);
     }
 
     /// Record one block triaged into health state `h`.
     pub fn record_health(&mut self, h: BlockHealth) {
         *self.health.entry(h.label()).or_insert(0) += 1;
+        vbatch_trace::labeled_add("exec.health", h.label(), 1);
     }
 
     /// Record one recovery step applied to a block.
     pub fn record_recovery(&mut self, step: RecoveryStep) {
         *self.recoveries.entry(step.label()).or_insert(0) += 1;
+        vbatch_trace::labeled_add("exec.recovery", step.label(), 1);
     }
 
     /// Accumulate nominal flops.
@@ -114,6 +128,17 @@ impl ExecStats {
     /// Accumulate wall-clock time for a phase.
     pub fn add_phase(&mut self, phase: Phase, d: Duration) {
         *self.phase_times.entry(phase.label()).or_default() += d;
+        let ns = d.as_nanos().min(u64::MAX as u128) as u64;
+        // one static site per phase so the registry keeps separate
+        // latency histograms without runtime string formatting
+        match phase {
+            Phase::Extract => vbatch_trace::duration!("phase.extract", ns),
+            Phase::Factorize => vbatch_trace::duration!("phase.factorize", ns),
+            Phase::Solve => vbatch_trace::duration!("phase.solve", ns),
+            Phase::Invert => vbatch_trace::duration!("phase.invert", ns),
+            Phase::Gemv => vbatch_trace::duration!("phase.gemv", ns),
+            Phase::Apply => vbatch_trace::duration!("phase.apply", ns),
+        }
     }
 
     /// Record one prepared-apply invocation whose workspace footprint
@@ -123,6 +148,7 @@ impl ExecStats {
         if hwm_elems > self.workspace_hwm_elems {
             self.workspace_hwm_elems = hwm_elems;
         }
+        vbatch_trace::counter!("exec.applies", 1);
     }
 
     /// Total recorded time for a phase.

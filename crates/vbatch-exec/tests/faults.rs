@@ -43,18 +43,14 @@ fn backends() -> Vec<Arc<dyn Backend<f64>>> {
     ]
 }
 
-/// A uniform batch of well-conditioned diagonally dominant blocks.
+/// A uniform batch of well-conditioned diagonally dominant blocks
+/// (deterministic: seeded from the batch shape).
 fn healthy_batch(count: usize, n: usize) -> MatrixBatch<f64> {
-    let sizes = vec![n; count];
-    let mut batch = MatrixBatch::zeros(&sizes);
+    let mut rng = vbatch_rt::SmallRng::seed_from_u64((count * 131 + n) as u64);
+    let raw = vbatch_rt::testgen::uniform_dd_batch(&mut rng, n, count);
+    let mut batch = MatrixBatch::zeros(&raw.sizes);
     for i in 0..count {
-        let block = batch.block_mut(i);
-        for c in 0..n {
-            for r in 0..n {
-                let v = (((i * 131 + c * 17 + r * 5) % 23) as f64 - 11.0) / 23.0;
-                block[c * n + r] = if r == c { v + 2.0 + n as f64 } else { v };
-            }
-        }
+        batch.block_mut(i).copy_from_slice(&raw.blocks[i]);
     }
     batch
 }

@@ -20,27 +20,22 @@ use vbatch_exec::{
     Backend, BatchPlan, CpuRayon, CpuSequential, ExecStats, FactorizedBatch, HealthPolicy,
     PlanMethod, SimtSim,
 };
-use vbatch_rt::{run_cases, SmallRng};
+use vbatch_rt::{run_cases, testgen, SmallRng};
 
 /// Residual agreement bound: `GOLDEN_C · n · eps` relative to the
 /// reference solution's magnitude.
 const GOLDEN_C: f64 = 256.0;
 
 fn random_batch(rng: &mut SmallRng, max_n: usize, max_count: usize) -> MatrixBatch<f64> {
+    // at least two blocks so cross-block effects are always present
     let count = rng.gen_range(2usize..max_count + 1);
     let sizes: Vec<usize> = (0..count)
         .map(|_| rng.gen_range(1usize..max_n + 1))
         .collect();
+    let raw = testgen::dd_batch_of(rng, &sizes);
     let mut batch = MatrixBatch::zeros(&sizes);
     for i in 0..batch.len() {
-        let n = sizes[i];
-        let block = batch.block_mut(i);
-        for c in 0..n {
-            for r in 0..n {
-                let v = rng.gen_range(-1.0..1.0);
-                block[c * n + r] = if r == c { v + 2.0 + n as f64 } else { v };
-            }
-        }
+        batch.block_mut(i).copy_from_slice(&raw.blocks[i]);
     }
     batch
 }

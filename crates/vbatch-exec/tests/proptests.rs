@@ -9,22 +9,16 @@ use vbatch_exec::{
     Backend, BatchPlan, ClassLayout, CpuRayon, CpuSequential, ExecStats, KernelChoice, PlanMethod,
     SimtSim,
 };
-use vbatch_rt::{run_cases, SmallRng};
+use vbatch_rt::{run_cases, testgen, SmallRng};
 
 fn random_batch(rng: &mut SmallRng, max_n: usize) -> (Vec<usize>, MatrixBatch<f64>) {
-    let count = rng.gen_range(1usize..10);
-    let sizes: Vec<usize> = (0..count)
-        .map(|_| rng.gen_range(1usize..max_n + 1))
-        .collect();
-    let seed = rng.next_u64() as usize;
+    let sizes = testgen::ragged_sizes(rng, max_n, 9);
+    let seed = rng.next_u64();
     let mats: Vec<DenseMat<f64>> = sizes
         .iter()
         .enumerate()
         .map(|(s, &n)| {
-            DenseMat::from_fn(n, n, |i, j| {
-                let h = (i.wrapping_mul(97) ^ j.wrapping_mul(131) ^ s.wrapping_mul(7) ^ seed) % 512;
-                h as f64 / 256.0 - 1.0 + if i == j { 4.0 } else { 0.0 }
-            })
+            DenseMat::from_col_major(n, n, &testgen::hashed_dense(n, seed.wrapping_add(s as u64)))
         })
         .collect();
     (sizes, MatrixBatch::from_matrices(&mats))

@@ -1,0 +1,144 @@
+//! Deterministic regression tests of the `ExecStats` / trace-registry
+//! invariants:
+//!
+//! * per-phase wall-clock entries are non-negative and their sum never
+//!   exceeds the wall time of the run that produced them;
+//! * for a batch with no fallbacks, the kernel histogram totals exactly
+//!   the block count (and `failures` accounts for the rest otherwise);
+//! * when tracing is compiled in and enabled, the number of ring events
+//!   emitted by one prepared apply matches the spans and counters the
+//!   instrumented path is documented to emit — no hidden event sources,
+//!   no lost records.
+
+use std::time::Instant;
+use vbatch_core::{BatchLayout, MatrixBatch, VectorBatch};
+use vbatch_exec::{Backend, BatchPlan, CpuSequential, ExecStats, Phase, PlanMethod};
+use vbatch_rt::{testgen, SmallRng};
+
+fn uniform_batch(count: usize, n: usize, seed: u64) -> MatrixBatch<f64> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let raw = testgen::uniform_dd_batch(&mut rng, n, count);
+    let mut batch = MatrixBatch::zeros(&raw.sizes);
+    for i in 0..count {
+        batch.block_mut(i).copy_from_slice(&raw.blocks[i]);
+    }
+    batch
+}
+
+#[test]
+fn phase_times_are_nonnegative_and_bounded_by_wall_time() {
+    let batch = uniform_batch(64, 8, 11);
+    let sizes = batch.sizes().to_vec();
+    let plan = BatchPlan::auto::<f64>(&sizes);
+    let mut stats = ExecStats::new();
+
+    let wall0 = Instant::now();
+    let factors = CpuSequential.factorize(batch.clone(), &plan, &mut stats);
+    let mut rhs = VectorBatch::from_flat(&sizes, &vec![1.0; 64 * 8]);
+    CpuSequential.solve(&factors, &mut rhs, &mut stats);
+    let prep = CpuSequential.prepare_apply(&factors);
+    let mut v = vec![1.0f64; 64 * 8];
+    CpuSequential.solve_prepared(&factors, &prep, &mut v, &mut stats);
+    CpuSequential.solve_prepared(&factors, &prep, &mut v, &mut stats);
+    let wall = wall0.elapsed();
+
+    let phases = [
+        Phase::Extract,
+        Phase::Factorize,
+        Phase::Solve,
+        Phase::Invert,
+        Phase::Gemv,
+        Phase::Apply,
+    ];
+    let mut sum = std::time::Duration::ZERO;
+    for p in phases {
+        let t = stats.phase_time(p);
+        sum += t; // Duration is unsigned: non-negativity is structural
+    }
+    assert!(stats.phase_time(Phase::Factorize).as_nanos() > 0);
+    assert!(stats.phase_time(Phase::Apply).as_nanos() > 0);
+    assert!(
+        sum <= wall,
+        "phase sum {sum:?} exceeds wall time {wall:?} of the run"
+    );
+    assert_eq!(stats.applies, 2);
+    assert_eq!(stats.workspace_hwm_elems, prep.workspace_hwm_elems());
+}
+
+#[test]
+fn kernel_histogram_totals_the_block_count() {
+    for layout in [
+        BatchLayout::Blocked,
+        BatchLayout::Interleaved { class_capacity: 2 },
+    ] {
+        let batch = uniform_batch(48, 6, 23);
+        let plan =
+            BatchPlan::for_method_with_layout::<f64>(batch.sizes(), PlanMethod::SmallLu, layout);
+        let mut stats = ExecStats::new();
+        let factors = CpuSequential.factorize(batch, &plan, &mut stats);
+        assert_eq!(factors.fallback_count(), 0);
+        let total: u64 = stats.kernel_histogram().values().sum();
+        assert_eq!(
+            total + stats.failures as u64,
+            48,
+            "kernel histogram + failures must cover every block ({layout:?})"
+        );
+        // the layout histogram covers every block too
+        let layout_total: u64 = stats.layout_histogram().values().sum();
+        assert_eq!(layout_total, 48, "{layout:?}");
+    }
+}
+
+#[test]
+fn failures_complete_the_kernel_histogram() {
+    let mut batch = uniform_batch(8, 4, 31);
+    // make one block exactly singular (two equal rows)
+    {
+        let b = batch.block_mut(3);
+        for c in 0..4 {
+            b[c * 4 + 1] = b[c * 4];
+        }
+    }
+    let plan = BatchPlan::for_method::<f64>(batch.sizes(), PlanMethod::SmallLu);
+    let mut stats = ExecStats::new();
+    let factors = CpuSequential.factorize(batch, &plan, &mut stats);
+    assert_eq!(factors.fallback_count(), 1);
+    let total: u64 = stats.kernel_histogram().values().sum();
+    assert_eq!(total + stats.failures as u64, 8);
+    assert_eq!(stats.failures, 1);
+}
+
+/// One prepared apply on `CpuSequential` emits a documented set of ring
+/// events: begin/end of the `exec.apply` span, begin/end per apply
+/// unit, plus one counter event from `ExecStats::record_apply`. The
+/// delta of this thread's event counter must match exactly — the test
+/// is a canary for silently added (or dropped) hot-loop events.
+#[test]
+fn trace_event_count_matches_spans_emitted() {
+    let batch = uniform_batch(32, 8, 47);
+    let sizes = batch.sizes().to_vec();
+    let plan = BatchPlan::auto::<f64>(&sizes);
+    let mut stats = ExecStats::new();
+    let factors = CpuSequential.factorize(batch, &plan, &mut stats);
+    let prep = CpuSequential.prepare_apply(&factors);
+    let mut v = vec![1.0f64; 32 * 8];
+    // warm-up creates this thread's ring (if the feature is on)
+    CpuSequential.solve_prepared(&factors, &prep, &mut v, &mut stats);
+
+    if !vbatch_trace::enabled() {
+        // feature off: the counter must stay identically zero
+        assert_eq!(vbatch_trace::thread_events_written(), 0);
+        return;
+    }
+    let before = vbatch_trace::thread_events_written();
+    CpuSequential.solve_prepared(&factors, &prep, &mut v, &mut stats);
+    let emitted = vbatch_trace::thread_events_written() - before;
+    let expected = 2 * (1 + prep.unit_count() as u64) + 1;
+    assert_eq!(
+        emitted,
+        expected,
+        "one sequential prepared apply with {} units must emit exactly \
+         2*(1+units)+1 events",
+        prep.unit_count()
+    );
+}

@@ -247,6 +247,7 @@ impl<T: Scalar> BlockJacobi<T> {
         opts: BjOptions,
     ) -> Result<Self, FactorError> {
         assert_eq!(part.total(), a.nrows(), "partition must cover the matrix");
+        let _span = vbatch_trace::span!("bj.setup", part.len());
         let start = std::time::Instant::now();
         let mut stats = ExecStats::new();
         let mut blocks = backend.extract_blocks(a, part, &mut stats);
@@ -333,6 +334,7 @@ impl<T: Scalar> Preconditioner<T> for BlockJacobi<T> {
     /// high-water marks accumulate in [`BlockJacobi::apply_stats`].
     fn apply_inplace(&self, v: &mut [T]) {
         debug_assert_eq!(v.len(), self.part.total());
+        let _span = vbatch_trace::span!("bj.apply", v.len());
         let mut stats = self.apply_stats.lock().expect("apply stats poisoned");
         self.backend
             .solve_prepared(&self.factors, &self.prepared, v, &mut stats);

@@ -4,34 +4,14 @@
 
 use vbatch_core::{DenseMat, Exec};
 use vbatch_precond::{BjMethod, BlockJacobi, Jacobi, Preconditioner};
-use vbatch_rt::{run_cases, SmallRng};
+use vbatch_rt::{run_cases, testgen, SmallRng};
 use vbatch_sparse::{supervariable_blocking, BlockPartition, CooMatrix, CsrMatrix};
 
 fn random_block_system(nodes: usize, dof: usize, extra: &[(usize, usize, f64)]) -> CsrMatrix<f64> {
     let n = nodes * dof;
     let mut c = CooMatrix::new(n, n);
-    let mut rowsum = vec![0.0f64; n];
-    // dense node blocks
-    for node in 0..nodes {
-        for i in 0..dof {
-            for j in 0..dof {
-                if i != j {
-                    let v = ((node * 31 + i * 7 + j * 3) % 13) as f64 / 13.0 - 0.5;
-                    c.push(node * dof + i, node * dof + j, v);
-                    rowsum[node * dof + i] += v.abs();
-                }
-            }
-        }
-    }
-    for &(i, j, v) in extra {
-        let (i, j) = (i % n, j % n);
-        if i / dof != j / dof {
-            c.push(i, j, v);
-            rowsum[i] += v.abs();
-        }
-    }
-    for i in 0..n {
-        c.push(i, i, rowsum[i].max(0.4) * 1.1);
+    for (i, j, v) in testgen::block_system_triplets(nodes, dof, extra) {
+        c.push(i, j, v);
     }
     c.to_csr()
 }
@@ -39,16 +19,7 @@ fn random_block_system(nodes: usize, dof: usize, extra: &[(usize, usize, f64)]) 
 fn params(rng: &mut SmallRng) -> (usize, usize, Vec<(usize, usize, f64)>) {
     let nodes = rng.gen_range(2usize..9);
     let dof = rng.gen_range(1usize..6);
-    let extra_count = rng.gen_range(0usize..30);
-    let extra = (0..extra_count)
-        .map(|_| {
-            (
-                rng.gen_range(0usize..64),
-                rng.gen_range(0usize..64),
-                rng.gen_range(-0.5f64..0.5),
-            )
-        })
-        .collect();
+    let extra = testgen::extra_couplings(rng, 30, 64, 0.5);
     (nodes, dof, extra)
 }
 

@@ -23,7 +23,10 @@
 //!   Krylov iteration bodies) perform zero heap allocations after
 //!   warm-up;
 //! * [`alloc_guard`] — a counting `GlobalAlloc` wrapper the zero-alloc
-//!   tests install to *prove* that claim rather than assume it.
+//!   tests install to *prove* that claim rather than assume it;
+//! * [`testgen`] — the shared matrix/CSR input generators every
+//!   property suite builds its cases from (raw data only: this crate
+//!   sits below the container types).
 
 pub mod alloc_guard;
 pub mod bench;
@@ -31,6 +34,7 @@ pub mod check;
 pub mod fault;
 pub mod par;
 pub mod rng;
+pub mod testgen;
 pub mod workspace;
 
 pub use alloc_guard::{AllocSnapshot, CountingAlloc};

@@ -1,0 +1,353 @@
+//! Shared test-input generators for the property suites.
+//!
+//! Every crate's `tests/proptests.rs` used to carry its own copy of
+//! the same few builders (diagonally dominant dense blocks, ragged
+//! batch shapes, sparse triplet systems). They live here now, in the
+//! substrate crate, expressed as **raw data** — column-major `Vec<f64>`
+//! blocks, size lists, and `(row, col, value)` triplet lists — because
+//! `vbatch-rt` sits below the crates that define `DenseMat`,
+//! `MatrixBatch` and `CsrMatrix`. Each consumer wraps the raw data
+//! into its own container with a one-line adapter.
+//!
+//! Builder families:
+//!
+//! * dense blocks — [`dd_dense`], [`well_conditioned_dense`],
+//!   [`hashed_dense`], [`ill_conditioned_dense`], [`singular_dense`];
+//! * batches — [`ragged_sizes`], [`dd_batch`], [`uniform_dd_batch`];
+//! * sparse systems — [`coo_entries`], [`extra_couplings`],
+//!   [`dd_system_triplets`], [`spd_system_triplets`],
+//!   [`block_system_triplets`].
+
+use crate::rng::SmallRng;
+
+/// A variable-size batch as raw data: per-block orders and per-block
+/// column-major `n × n` element vectors.
+#[derive(Clone, Debug)]
+pub struct RawBatch {
+    /// Block orders.
+    pub sizes: Vec<usize>,
+    /// One column-major `n*n` vector per block.
+    pub blocks: Vec<Vec<f64>>,
+}
+
+impl RawBatch {
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Whether the batch has no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.sizes.is_empty()
+    }
+}
+
+/// Diagonally dominant random block (column-major): off-diagonal
+/// entries uniform in `[-1, 1)`, diagonal shifted by `2 + n` — the
+/// standard "always factorizes, any pivoting" test block.
+pub fn dd_dense(rng: &mut SmallRng, n: usize) -> Vec<f64> {
+    let mut m = vec![0.0f64; n * n];
+    for c in 0..n {
+        for r in 0..n {
+            let v = rng.gen_range(-1.0..1.0);
+            m[c * n + r] = if r == c { v + 2.0 + n as f64 } else { v };
+        }
+    }
+    m
+}
+
+/// Well-conditioned random block (column-major): entries uniform in
+/// `[-1, 1)` with the diagonal pushed away from zero by `±n` (sign
+/// preserved). Unlike [`dd_dense`] the diagonal keeps its sign, so
+/// pivoting still has real choices to make.
+pub fn well_conditioned_dense(rng: &mut SmallRng, n: usize) -> Vec<f64> {
+    let mut m: Vec<f64> = (0..n * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    for i in 0..n {
+        let d = m[i * n + i];
+        m[i * n + i] = d + if d >= 0.0 { n as f64 } else { -(n as f64) };
+    }
+    m
+}
+
+/// Deterministic hash-based block (column-major): entries derived from
+/// `(i, j, seed)` through a multiplicative hash, diagonal shifted by
+/// `+3.5`. Reproducible without an RNG — the form the differential
+/// suites use when two implementations must see bit-identical inputs.
+pub fn hashed_dense(n: usize, seed: u64) -> Vec<f64> {
+    let mut m = vec![0.0f64; n * n];
+    for j in 0..n {
+        for i in 0..n {
+            let h =
+                (i.wrapping_mul(2654435761) ^ j.wrapping_mul(0x9e3779b9) ^ seed as usize) % 4096;
+            let v = h as f64 / 2048.0 - 1.0 + if i == j { 3.5 } else { 0.0 };
+            m[j * n + i] = v;
+        }
+    }
+    m
+}
+
+/// Ill-conditioned block: a [`dd_dense`] base with its last column
+/// scaled down by `10^-decades`, driving the condition estimate up by
+/// roughly that factor while staying exactly representable.
+pub fn ill_conditioned_dense(rng: &mut SmallRng, n: usize, decades: u32) -> Vec<f64> {
+    let mut m = dd_dense(rng, n);
+    let scale = 10f64.powi(-(decades as i32));
+    let c = n - 1;
+    for r in 0..n {
+        m[c * n + r] *= scale;
+    }
+    m
+}
+
+/// Exactly singular block: a [`dd_dense`] base with its last row
+/// zeroed.
+pub fn singular_dense(rng: &mut SmallRng, n: usize) -> Vec<f64> {
+    let mut m = dd_dense(rng, n);
+    let r = n - 1;
+    for c in 0..n {
+        m[c * n + r] = 0.0;
+    }
+    m
+}
+
+/// A ragged batch shape: `1..=max_count` blocks of order `1..=max_n`.
+pub fn ragged_sizes(rng: &mut SmallRng, max_n: usize, max_count: usize) -> Vec<usize> {
+    let count = rng.gen_range(1usize..max_count + 1);
+    (0..count)
+        .map(|_| rng.gen_range(1usize..max_n + 1))
+        .collect()
+}
+
+/// A ragged batch of [`dd_dense`] blocks.
+pub fn dd_batch(rng: &mut SmallRng, max_n: usize, max_count: usize) -> RawBatch {
+    let sizes = ragged_sizes(rng, max_n, max_count);
+    dd_batch_of(rng, &sizes)
+}
+
+/// [`dd_dense`] blocks for the exact shape `sizes`.
+pub fn dd_batch_of(rng: &mut SmallRng, sizes: &[usize]) -> RawBatch {
+    let blocks = sizes.iter().map(|&n| dd_dense(rng, n)).collect();
+    RawBatch {
+        sizes: sizes.to_vec(),
+        blocks,
+    }
+}
+
+/// A uniform batch (`count` blocks, all order `n`) of [`dd_dense`]
+/// blocks.
+pub fn uniform_dd_batch(rng: &mut SmallRng, n: usize, count: usize) -> RawBatch {
+    dd_batch_of(rng, &vec![n; count])
+}
+
+/// Random sparse square matrix as raw triplets, duplicates allowed
+/// (conversion to CSR must sum them): `2..=20` rows, up to 79 entries
+/// uniform in `[-2, 2)`. Pair with a per-suite diagonal fix-up.
+pub fn coo_entries(rng: &mut SmallRng) -> (usize, Vec<(usize, usize, f64)>) {
+    let n = rng.gen_range(2usize..21);
+    let count = rng.gen_range(0usize..80);
+    let entries = (0..count)
+        .map(|_| {
+            (
+                rng.gen_range(0..n),
+                rng.gen_range(0..n),
+                rng.gen_range(-2.0f64..2.0),
+            )
+        })
+        .collect();
+    (n, entries)
+}
+
+/// Up to `max_count` random off-structure couplings with indices in
+/// `0..idx_bound` and values in `[-val, val)` — the "extra" input of
+/// the system builders below.
+pub fn extra_couplings(
+    rng: &mut SmallRng,
+    max_count: usize,
+    idx_bound: usize,
+    val: f64,
+) -> Vec<(usize, usize, f64)> {
+    let count = rng.gen_range(0usize..max_count.max(1));
+    (0..count)
+        .map(|_| {
+            (
+                rng.gen_range(0usize..idx_bound),
+                rng.gen_range(0usize..idx_bound),
+                rng.gen_range(-val..val),
+            )
+        })
+        .collect()
+}
+
+/// Random sparse diagonally-dominant nonsymmetric `n × n` system as
+/// triplets: the `extra` couplings (indices folded modulo `n`,
+/// diagonal hits dropped), a `-0.5 / -0.4` chain coupling guaranteeing
+/// irreducibility, and a dominant diagonal.
+pub fn dd_system_triplets(n: usize, extra: &[(usize, usize, f64)]) -> Vec<(usize, usize, f64)> {
+    let mut out = Vec::new();
+    let mut rowsum = vec![0.0f64; n];
+    for &(i, j, v) in extra {
+        let (i, j) = (i % n, j % n);
+        if i != j {
+            out.push((i, j, v));
+            rowsum[i] += v.abs();
+        }
+    }
+    for i in 0..n.saturating_sub(1) {
+        out.push((i, i + 1, -0.5));
+        out.push((i + 1, i, -0.4));
+        rowsum[i] += 0.5;
+        rowsum[i + 1] += 0.4;
+    }
+    for (i, s) in rowsum.iter().enumerate() {
+        out.push((i, i, s.max(0.3) * 1.05));
+    }
+    out
+}
+
+/// Symmetric positive-definite variant of [`dd_system_triplets`]:
+/// couplings mirrored across the diagonal, symmetric chain, strictly
+/// dominant diagonal — SPD by Gershgorin.
+pub fn spd_system_triplets(n: usize, extra: &[(usize, usize, f64)]) -> Vec<(usize, usize, f64)> {
+    let mut out = Vec::new();
+    let mut rowsum = vec![0.0f64; n];
+    for &(i, j, v) in extra {
+        let (i, j) = (i % n, j % n);
+        if i != j {
+            out.push((i, j, v));
+            out.push((j, i, v));
+            rowsum[i] += v.abs();
+            rowsum[j] += v.abs();
+        }
+    }
+    for i in 0..n.saturating_sub(1) {
+        out.push((i, i + 1, -0.5));
+        out.push((i + 1, i, -0.5));
+        rowsum[i] += 0.5;
+        rowsum[i + 1] += 0.5;
+    }
+    for (i, s) in rowsum.iter().enumerate() {
+        out.push((i, i, s.max(0.3) * 1.05));
+    }
+    out
+}
+
+/// Block-structured sparse system as triplets: `nodes` dense `dof ×
+/// dof` node blocks on the diagonal, the `extra` couplings kept only
+/// when they cross node boundaries, and a dominant diagonal — the
+/// shape block-Jacobi partitioning is designed for.
+pub fn block_system_triplets(
+    nodes: usize,
+    dof: usize,
+    extra: &[(usize, usize, f64)],
+) -> Vec<(usize, usize, f64)> {
+    let n = nodes * dof;
+    let mut out = Vec::new();
+    let mut rowsum = vec![0.0f64; n];
+    for node in 0..nodes {
+        for i in 0..dof {
+            for j in 0..dof {
+                if i != j {
+                    let v = ((node * 31 + i * 7 + j * 3) % 13) as f64 / 13.0 - 0.5;
+                    out.push((node * dof + i, node * dof + j, v));
+                    rowsum[node * dof + i] += v.abs();
+                }
+            }
+        }
+    }
+    for &(i, j, v) in extra {
+        let (i, j) = (i % n, j % n);
+        if i / dof != j / dof {
+            out.push((i, j, v));
+            rowsum[i] += v.abs();
+        }
+    }
+    for (i, s) in rowsum.iter().enumerate() {
+        out.push((i, i, s.max(0.4) * 1.1));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(0xbadc0ffee)
+    }
+
+    fn is_dd(n: usize, m: &[f64]) -> bool {
+        (0..n).all(|r| {
+            let off: f64 = (0..n).filter(|&c| c != r).map(|c| m[c * n + r].abs()).sum();
+            m[r * n + r].abs() > off
+        })
+    }
+
+    #[test]
+    fn dd_blocks_are_diagonally_dominant() {
+        let mut rng = rng();
+        for n in 1..12 {
+            assert!(is_dd(n, &dd_dense(&mut rng, n)), "n={n}");
+        }
+    }
+
+    #[test]
+    fn hashed_blocks_are_deterministic() {
+        assert_eq!(hashed_dense(7, 42), hashed_dense(7, 42));
+        assert_ne!(hashed_dense(7, 42), hashed_dense(7, 43));
+    }
+
+    #[test]
+    fn singular_blocks_have_a_zero_row() {
+        let mut rng = rng();
+        let n = 6;
+        let m = singular_dense(&mut rng, n);
+        assert!((0..n).all(|c| m[c * n + n - 1] == 0.0));
+    }
+
+    #[test]
+    fn ill_conditioned_scales_last_column() {
+        let mut rng = rng();
+        let n = 5;
+        let m = ill_conditioned_dense(&mut rng, n, 12);
+        for r in 0..n {
+            assert!(m[(n - 1) * n + r].abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn system_triplets_are_row_dominant() {
+        let n = 9;
+        let extra = [(1, 5, 0.7), (8, 0, -0.9), (3, 3, 4.0)];
+        for trips in [
+            dd_system_triplets(n, &extra),
+            spd_system_triplets(n, &extra),
+            block_system_triplets(3, 3, &extra),
+        ] {
+            let mut diag = vec![0.0f64; n];
+            let mut off = vec![0.0f64; n];
+            for &(i, j, v) in &trips {
+                if i == j {
+                    diag[i] += v;
+                } else {
+                    off[i] += v.abs();
+                }
+            }
+            for i in 0..n {
+                assert!(diag[i] > off[i], "row {i}: {} vs {}", diag[i], off[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn ragged_batches_respect_bounds() {
+        let mut rng = rng();
+        for _ in 0..50 {
+            let b = dd_batch(&mut rng, 9, 14);
+            assert!(!b.is_empty() && b.len() <= 14);
+            for (i, &n) in b.sizes.iter().enumerate() {
+                assert!((1..=9).contains(&n));
+                assert_eq!(b.blocks[i].len(), n * n);
+            }
+        }
+    }
+}

@@ -4,16 +4,13 @@
 //! implementation of the whole kernel zoo.
 
 use vbatch_core::{getrf, DenseMat, GhLayout, MatrixBatch, PivotStrategy, TrsvVariant};
-use vbatch_rt::{run_cases, SmallRng};
+use vbatch_rt::{run_cases, testgen, SmallRng};
 use vbatch_simt::{
     GetrfSmallSize, GhBatch, GhSolveBatch, GhStorage, LuTrsvBatch, VendorGetrs, VendorLu,
 };
 
 fn block_from_seed(n: usize, seed: u64) -> DenseMat<f64> {
-    DenseMat::from_fn(n, n, |i, j| {
-        let h = (i.wrapping_mul(2654435761) ^ j.wrapping_mul(0x9e3779b9) ^ seed as usize) % 4096;
-        h as f64 / 2048.0 - 1.0 + if i == j { 3.5 } else { 0.0 }
-    })
+    DenseMat::from_col_major(n, n, &testgen::hashed_dense(n, seed))
 }
 
 fn dim_and_seed(rng: &mut SmallRng) -> (usize, u64) {

@@ -36,6 +36,7 @@ pub fn cg_with_workspace<T: Scalar, M: Preconditioner<T>>(
     assert_eq!(a.nrows(), a.ncols());
     assert_eq!(b.len(), a.nrows());
     let n = a.nrows();
+    let _span = vbatch_trace::span!("solver.cg", n);
     let start = Instant::now();
     let normb = nrm2(b).to_f64();
     let mut history = Vec::with_capacity(if params.record_history {
@@ -82,6 +83,8 @@ pub fn cg_with_workspace<T: Scalar, M: Preconditioner<T>>(
     let mut stop: Option<StopReason> = None;
 
     while normr > tolb && iter < params.max_iters {
+        let _step = vbatch_trace::span!("cg.step", iter);
+        vbatch_trace::counter!("solver.iterations", 1);
         spmv(a, &p, &mut ap);
         iter += 1;
         let pap = dot(&p, &ap);

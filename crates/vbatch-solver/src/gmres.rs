@@ -42,6 +42,7 @@ pub fn gmres_with_workspace<T: Scalar, M: Preconditioner<T>>(
     assert_eq!(a.nrows(), a.ncols());
     assert_eq!(b.len(), a.nrows());
     let n = a.nrows();
+    let _span = vbatch_trace::span!("solver.gmres", n);
     let start = Instant::now();
     let normb = nrm2(b).to_f64();
     let mut history = Vec::with_capacity(if params.record_history {
@@ -132,6 +133,8 @@ pub fn gmres_with_workspace<T: Scalar, M: Preconditioner<T>>(
             if iter >= params.max_iters {
                 break;
             }
+            let _step = vbatch_trace::span!("gmres.step", iter);
+            vbatch_trace::counter!("solver.iterations", 1);
             spmv(a, &basis[k], &mut w);
             iter += 1;
             m.apply_inplace(&mut w);

@@ -134,6 +134,7 @@ fn idr_impl<T: Scalar, M: Preconditioner<T>>(
     assert_eq!(b.len(), a.nrows());
     assert_eq!(m.dim(), a.nrows());
     let n = a.nrows();
+    let _span = vbatch_trace::span!("solver.idr", n);
     let start = Instant::now();
 
     let normb = nrm2(b).to_f64();
@@ -210,6 +211,8 @@ fn idr_impl<T: Scalar, M: Preconditioner<T>>(
             *fi = dot(&p[i], &r);
         }
         for k in 0..s {
+            let _step = vbatch_trace::span!("idr.step", iter);
+            vbatch_trace::counter!("solver.iterations", 1);
             // solve the lower-triangular system Ms[k.., k..] c = f[k..];
             // every c entry is written before it is read, so the reused
             // buffer needs no clearing
@@ -291,6 +294,8 @@ fn idr_impl<T: Scalar, M: Preconditioner<T>>(
             break;
         }
         // dimension-reduction step: enter G_{j+1}
+        let _step = vbatch_trace::span!("idr.reduce", iter);
+        vbatch_trace::counter!("solver.iterations", 1);
         v.copy_from_slice(&r);
         m.apply_inplace(&mut v);
         spmv(a, &v, &mut t);

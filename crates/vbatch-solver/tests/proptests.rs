@@ -4,46 +4,26 @@
 //! iteration caps, determinism).
 
 use vbatch_precond::{Identity, Jacobi};
-use vbatch_rt::{run_cases, SmallRng};
+use vbatch_rt::{run_cases, testgen, SmallRng};
 use vbatch_solver::{bicgstab, cg, gmres, idr, SolveParams, StopReason};
 use vbatch_sparse::{nrm2, residual, CooMatrix, CsrMatrix};
 
-/// Random sparse diagonally-dominant nonsymmetric system.
-fn random_system(n: usize, extra: &[(usize, usize, f64)]) -> CsrMatrix<f64> {
+fn from_triplets(n: usize, trips: &[(usize, usize, f64)]) -> CsrMatrix<f64> {
     let mut c = CooMatrix::new(n, n);
-    let mut rowsum = vec![0.0f64; n];
-    for &(i, j, v) in extra {
-        let (i, j) = (i % n, j % n);
-        if i != j {
-            c.push(i, j, v);
-            rowsum[i] += v.abs();
-        }
-    }
-    // chain coupling guarantees irreducibility
-    for i in 0..n.saturating_sub(1) {
-        c.push(i, i + 1, -0.5);
-        c.push(i + 1, i, -0.4);
-        rowsum[i] += 0.5;
-        rowsum[i + 1] += 0.4;
-    }
-    for i in 0..n {
-        c.push(i, i, rowsum[i].max(0.3) * 1.05);
+    for &(i, j, v) in trips {
+        c.push(i, j, v);
     }
     c.to_csr()
 }
 
+/// Random sparse diagonally-dominant nonsymmetric system.
+fn random_system(n: usize, extra: &[(usize, usize, f64)]) -> CsrMatrix<f64> {
+    from_triplets(n, &testgen::dd_system_triplets(n, extra))
+}
+
 fn entries(rng: &mut SmallRng) -> (usize, Vec<(usize, usize, f64)>) {
     let n = rng.gen_range(4usize..41);
-    let count = rng.gen_range(0usize..60);
-    let extra = (0..count)
-        .map(|_| {
-            (
-                rng.gen_range(0usize..64),
-                rng.gen_range(0usize..64),
-                rng.gen_range(-1.0f64..1.0),
-            )
-        })
-        .collect();
+    let extra = testgen::extra_couplings(rng, 60, 64, 1.0);
     (n, extra)
 }
 
@@ -82,26 +62,8 @@ fn all_solvers_reach_tolerance() {
 fn cg_matches_idr_on_spd() {
     run_cases("cg_matches_idr_on_spd", 32, |rng, _case| {
         let (n, extra) = entries(rng);
-        // build symmetric + strictly dominant directly => SPD
-        let mut c = CooMatrix::new(n, n);
-        let mut rowsum = vec![0.0f64; n];
-        for &(i, j, v) in &extra {
-            let (i, j) = (i % n, j % n);
-            if i != j {
-                c.push_sym(i, j, v);
-                rowsum[i] += v.abs();
-                rowsum[j] += v.abs();
-            }
-        }
-        for i in 0..n.saturating_sub(1) {
-            c.push_sym(i, i + 1, -0.5);
-            rowsum[i] += 0.5;
-            rowsum[i + 1] += 0.5;
-        }
-        for i in 0..n {
-            c.push(i, i, rowsum[i].max(0.3) * 1.05);
-        }
-        let a = c.to_csr();
+        // symmetric + strictly dominant => SPD
+        let a = from_triplets(n, &testgen::spd_system_triplets(n, &extra));
         let b = vec![1.0; n];
         let params = SolveParams::default();
         let m = Identity::new(n);

@@ -50,6 +50,47 @@ fn warm_prepared_apply_allocates_nothing() {
     assert!(v.iter().all(|x| x.is_finite()));
 }
 
+/// The steady-state guarantee must hold **with tracing active**: trace
+/// rings are pre-sized at `prepare_apply` / workspace-seed time, so a
+/// warm apply records its spans without touching the heap. Compiled
+/// with the `trace` feature this proves instrumentation costs zero
+/// allocations; compiled without it, it degenerates to the plain
+/// zero-alloc check plus the guarantee that the event counter stays 0.
+#[test]
+fn warm_apply_with_tracing_enabled_allocates_nothing() {
+    vbatch_trace::set_enabled(true);
+    let a = laplace_2d::<f64>(16, 16);
+    let n = a.nrows();
+    let part = BlockPartition::uniform(n, 8);
+    let m =
+        vbatch_precond::BlockJacobi::setup_with_backend(&a, &part, BjMethod::SmallLu, backend())
+            .unwrap();
+    let mut v: Vec<f64> = (0..n).map(|i| 1.0 + (i % 5) as f64).collect();
+    m.apply_inplace(&mut v); // warm-up (ring already reserved at setup)
+    let ev0 = vbatch_trace::thread_events_written();
+    let before = ALLOC.snapshot();
+    m.apply_inplace(&mut v);
+    m.apply_inplace(&mut v);
+    let after = ALLOC.snapshot();
+    let ev1 = vbatch_trace::thread_events_written();
+    assert_eq!(
+        after.allocs_since(&before),
+        0,
+        "warm traced apply must not allocate ({} bytes leaked in)",
+        after.bytes_since(&before)
+    );
+    if vbatch_trace::enabled() {
+        assert!(
+            ev1 > ev0,
+            "tracing is enabled but the measured applies recorded no events"
+        );
+        assert_eq!(vbatch_trace::dropped(), 0, "pre-sized ring dropped events");
+    } else {
+        assert_eq!(ev1, 0, "trace feature off: the event counter must stay 0");
+    }
+    assert!(v.iter().all(|x| x.is_finite()));
+}
+
 #[test]
 fn warm_idr_iterations_allocate_nothing() {
     let a = laplace_2d::<f64>(20, 20);

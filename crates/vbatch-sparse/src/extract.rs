@@ -13,6 +13,7 @@ use vbatch_rt::prelude::*;
 /// pattern are zero.
 pub fn extract_diag_blocks<T: Scalar>(a: &CsrMatrix<T>, part: &BlockPartition) -> MatrixBatch<T> {
     assert_eq!(part.total(), a.nrows(), "partition must cover the matrix");
+    let _span = vbatch_trace::span!("sparse.extract", part.len());
     let mut batch = MatrixBatch::zeros(&part.sizes());
     let blocks: Vec<(usize, &mut [T])> = batch.blocks_mut();
     blocks

@@ -2,7 +2,7 @@
 //! invariants, transpose algebra, SpMV against the dense reference,
 //! Matrix Market round-trips, blocking partitions and RCM permutations.
 
-use vbatch_rt::{run_cases, SmallRng};
+use vbatch_rt::{run_cases, testgen, SmallRng};
 use vbatch_sparse::{
     block_coverage, extract_diag_blocks, find_supervariables, is_permutation,
     read_matrix_market_str, reverse_cuthill_mckee, spmv_alloc, spmv_par, supervariable_blocking,
@@ -10,20 +10,9 @@ use vbatch_sparse::{
 };
 
 /// A random sparse square matrix as triplets (duplicates allowed — the
-/// conversion must sum them).
+/// conversion must sum them); see [`testgen::coo_entries`].
 fn coo_matrix(rng: &mut SmallRng) -> (usize, Vec<(usize, usize, f64)>) {
-    let n = rng.gen_range(2usize..21);
-    let count = rng.gen_range(0usize..80);
-    let entries = (0..count)
-        .map(|_| {
-            (
-                rng.gen_range(0..n),
-                rng.gen_range(0..n),
-                rng.gen_range(-2.0f64..2.0),
-            )
-        })
-        .collect();
-    (n, entries)
+    testgen::coo_entries(rng)
 }
 
 fn build(n: usize, entries: &[(usize, usize, f64)]) -> CsrMatrix<f64> {

@@ -152,6 +152,241 @@ fn claim_vendor_cannot_handle_variable_sizes() {
     }
 }
 
+// -- metamorphic claims ---------------------------------------------------
+//
+// The paper's preconditioner is defined by the *block structure*, not by
+// the labelling or scaling of the unknowns. These tests apply a
+// structure-preserving transformation to the whole problem and require
+// the transformed solve to reach the same solution (mapped back through
+// the transformation) on every backend × layout combination — a class
+// of bugs (index mix-ups in extraction, slot mix-ups in the interleaved
+// sweeps, scaling leaks in triage) that no single golden value pins.
+
+use std::sync::Arc;
+use vbatch_lu::core::BatchLayout;
+use vbatch_lu::precond::BjOptions;
+use vbatch_lu::sparse::gen::laplace::laplace_2d;
+
+const META_LAYOUTS: [BatchLayout; 2] = [
+    BatchLayout::Blocked,
+    BatchLayout::Interleaved { class_capacity: 2 },
+];
+
+fn meta_backends() -> Vec<(&'static str, Arc<dyn Backend<f64>>)> {
+    vec![
+        ("seq", Arc::new(CpuSequential)),
+        ("rayon", Arc::new(CpuRayon)),
+        ("simt", Arc::new(SimtSim::new())),
+    ]
+}
+
+/// Variable block sizes (8/16 alternating) so the interleaved layout
+/// sees more than one size class.
+fn alternating_partition(n: usize) -> BlockPartition {
+    let mut ptr = vec![0usize];
+    let mut bs = 8usize;
+    while *ptr.last().unwrap() < n {
+        ptr.push((ptr.last().unwrap() + bs).min(n));
+        bs = if bs == 8 { 16 } else { 8 };
+    }
+    BlockPartition::from_ptr(ptr)
+}
+
+fn rel_inf_err(x: &[f64], y: &[f64]) -> f64 {
+    let scale = x.iter().fold(0.0f64, |m, v| m.max(v.abs())).max(1e-300);
+    x.iter()
+        .zip(y)
+        .fold(0.0f64, |m, (a, b)| m.max((a - b).abs()))
+        / scale
+}
+
+fn bj_idr(
+    a: &CsrMatrix<f64>,
+    b: &[f64],
+    part: &BlockPartition,
+    method: BjMethod,
+    backend: Arc<dyn Backend<f64>>,
+    opts: BjOptions,
+) -> SolveResult<f64> {
+    let m = BlockJacobi::setup_with_options(a, part, method, backend, opts).unwrap();
+    idr(a, b, 4, &m, &SolveParams::default().with_tol(1e-9))
+}
+
+/// Metamorphic relation 1 — block-permutation invariance: relabelling
+/// the unknowns by permuting whole diagonal blocks (`P A P^T`, with the
+/// partition permuted the same way) leaves the block-Jacobi structure
+/// intact, so the solve must reach the permuted solution of the
+/// original system on every backend × layout.
+#[test]
+fn metamorphic_block_permutation_invariance() {
+    let a = laplace_2d::<f64>(16, 16);
+    let n = a.nrows();
+    let b: Vec<f64> = (0..n).map(|i| 1.0 + (i % 7) as f64).collect();
+    let part = alternating_partition(n);
+
+    // reverse the block order; `perm` is in row-of-step form (output
+    // row k is input row perm[k]), matching `permute_symmetric`
+    let mut perm = Vec::with_capacity(n);
+    let mut ptr_p = vec![0usize];
+    for bi in (0..part.len()).rev() {
+        let r = part.range(bi);
+        ptr_p.push(ptr_p.last().unwrap() + r.len());
+        perm.extend(r);
+    }
+    let ap = a.permute_symmetric(&perm);
+    let bp: Vec<f64> = perm.iter().map(|&i| b[i]).collect();
+    let part_p = BlockPartition::from_ptr(ptr_p);
+
+    let reference = bj_idr(
+        &a,
+        &b,
+        &part,
+        BjMethod::SmallLu,
+        Arc::new(CpuSequential),
+        BjOptions::default(),
+    );
+    assert!(reference.converged());
+
+    for (name, backend) in meta_backends() {
+        for layout in META_LAYOUTS {
+            let rp = bj_idr(
+                &ap,
+                &bp,
+                &part_p,
+                BjMethod::SmallLu,
+                backend.clone(),
+                BjOptions::default().with_layout(layout),
+            );
+            assert!(rp.converged(), "{name}/{layout:?}");
+            let unpermuted: Vec<f64> = {
+                let mut x = vec![0.0; n];
+                for (k, &i) in perm.iter().enumerate() {
+                    x[i] = rp.x[k];
+                }
+                x
+            };
+            let err = rel_inf_err(&reference.x, &unpermuted);
+            assert!(
+                err < 1e-5,
+                "{name}/{layout:?}: permuted solve drifted {err:.3e} from the original"
+            );
+        }
+    }
+}
+
+/// Metamorphic relation 2 — symmetric scaling invariance: for diagonal
+/// `D`, the solution of `(D A D) y = D b` is `y = D^{-1} x`. The scaled
+/// diagonal blocks are exactly `D_i A_i D_i`, so block-Jacobi quality
+/// is preserved; with the guarded health policy the triage must not
+/// misclassify the (still well-conditioned) rescaled blocks.
+#[test]
+fn metamorphic_symmetric_scaling_invariance() {
+    let a = laplace_2d::<f64>(16, 16);
+    let n = a.nrows();
+    let b: Vec<f64> = (0..n).map(|i| 1.0 + (i % 5) as f64).collect();
+    let part = alternating_partition(n);
+
+    let d: Vec<f64> = (0..n).map(|i| [0.5, 1.0, 2.0, 4.0][i % 4]).collect();
+    let mut coo = CooMatrix::new(n, n);
+    for r in 0..n {
+        for (c, v) in a.row_cols(r).iter().zip(a.row_vals(r)) {
+            coo.push(r, *c, d[r] * *v * d[*c]);
+        }
+    }
+    let asc = coo.to_csr();
+    let bs: Vec<f64> = b.iter().zip(&d).map(|(bi, di)| bi * di).collect();
+
+    let reference = bj_idr(
+        &a,
+        &b,
+        &part,
+        BjMethod::SmallLu,
+        Arc::new(CpuSequential),
+        BjOptions::default(),
+    );
+    assert!(reference.converged());
+
+    for (name, backend) in meta_backends() {
+        for layout in META_LAYOUTS {
+            for (policy, opts) in [
+                ("off", BjOptions::default()),
+                ("guarded", BjOptions::guarded::<f64>()),
+            ] {
+                let rs = bj_idr(
+                    &asc,
+                    &bs,
+                    &part,
+                    BjMethod::SmallLu,
+                    backend.clone(),
+                    opts.with_layout(layout),
+                );
+                assert!(rs.converged(), "{name}/{layout:?}/{policy}");
+                // map back: x = D y
+                let unscaled: Vec<f64> = rs.x.iter().zip(&d).map(|(y, di)| y * di).collect();
+                let err = rel_inf_err(&reference.x, &unscaled);
+                assert!(
+                    err < 1e-5,
+                    "{name}/{layout:?}/{policy}: scaled solve drifted {err:.3e}"
+                );
+            }
+        }
+    }
+}
+
+/// Metamorphic relation 3 — GH / GH-T consistency: Gauss-Huard and its
+/// transposed-storage variant compute the same factorization, so the
+/// preconditioner *action* must agree to roundoff and the IDR solves
+/// must land on the same solution, on every backend × layout.
+#[test]
+fn metamorphic_gh_ght_transpose_consistency() {
+    let a = laplace_2d::<f64>(16, 16);
+    let n = a.nrows();
+    let b: Vec<f64> = (0..n).map(|i| 1.0 + (i % 3) as f64).collect();
+    let part = alternating_partition(n);
+
+    for (name, backend) in meta_backends() {
+        for layout in META_LAYOUTS {
+            let opts = BjOptions::default().with_layout(layout);
+            let gh = BlockJacobi::setup_with_options(
+                &a,
+                &part,
+                BjMethod::GaussHuard,
+                backend.clone(),
+                opts.clone(),
+            )
+            .unwrap();
+            let ght = BlockJacobi::setup_with_options(
+                &a,
+                &part,
+                BjMethod::GaussHuardT,
+                backend.clone(),
+                opts,
+            )
+            .unwrap();
+            // the raw preconditioner action agrees to roundoff
+            let mut v1: Vec<f64> = (0..n).map(|i| 1.0 + (i % 11) as f64).collect();
+            let mut v2 = v1.clone();
+            gh.apply_inplace(&mut v1);
+            ght.apply_inplace(&mut v2);
+            let err = rel_inf_err(&v1, &v2);
+            assert!(
+                err < 1e-10,
+                "{name}/{layout:?}: GH vs GH-T apply differ by {err:.3e}"
+            );
+            // and the full solves land on the same solution
+            let params = SolveParams::default().with_tol(1e-9);
+            let r1 = idr(&a, &b, 4, &gh, &params);
+            let r2 = idr(&a, &b, 4, &ght, &params);
+            assert!(r1.converged() && r2.converged(), "{name}/{layout:?}");
+            let serr = rel_inf_err(&r1.x, &r2.x);
+            assert!(
+                serr < 1e-5,
+                "{name}/{layout:?}: solutions differ {serr:.3e}"
+            );
+        }
+    }
+}
+
 // -- helpers keeping the precision dispatch readable ----------------------
 
 fn gf(sp: bool, k: FactorKernel, n: usize) -> f64 {
