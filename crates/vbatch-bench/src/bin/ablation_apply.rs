@@ -22,10 +22,10 @@
 
 use std::sync::Arc;
 use std::time::Instant;
-use vbatch_bench::{uniform_bench_batch, write_csv};
+use vbatch_bench::{parse_precond_flag, uniform_bench_batch, write_csv};
 use vbatch_core::VectorBatch;
 use vbatch_exec::{Backend, BatchPlan, CpuSequential, ExecStats};
-use vbatch_precond::{BjMethod, BlockJacobi};
+use vbatch_precond::{BjMethod, BlockIlu0, BlockJacobi, PrecondKind, PrecondOptions};
 use vbatch_rt::CountingAlloc;
 use vbatch_simt::kernels::{gemv, getrf, trsv};
 use vbatch_simt::{CostTable, DeviceModel};
@@ -125,6 +125,7 @@ fn measure_trace_overhead(n: usize) -> (f64, f64) {
 
 fn main() {
     let device = DeviceModel::p100();
+    let precond = parse_precond_flag();
     let table = CostTable::for_element_bytes(8);
     let batch = 40_000u64;
     println!("Ablation E: triangular-solve vs GEMV application (DP, batch = {batch})");
@@ -201,6 +202,7 @@ fn main() {
         rows[i].push(m.allocs_solve.to_string());
         rows[i].push(m.allocs_prepared.to_string());
         rows[i].push(m.ws_hwm_elems.to_string());
+        rows[i].push(precond.label().to_string());
     }
     println!(
         "\nreading: the prepared apply removes every per-application allocation \
@@ -220,25 +222,32 @@ fn main() {
         off_s * 1e6
     );
 
-    // one traced block-Jacobi + IDR(4) solve, exported as chrome-trace
-    // JSON (load in a trace viewer: extraction, factorization, apply
-    // and iteration spans all appear)
+    // one traced preconditioned IDR(4) solve (preconditioner selected
+    // by --precond), exported as chrome-trace JSON (load in a trace
+    // viewer: extraction, factorization, sweep, apply and iteration
+    // spans all appear)
     vbatch_trace::set_enabled(true);
     vbatch_trace::reset();
     let a = laplace_2d::<f64>(64, 64);
     let part = BlockPartition::uniform(a.nrows(), 16);
-    let m = BlockJacobi::setup_with_backend(
-        &a,
-        &part,
-        BjMethod::SmallLu,
-        Arc::new(CpuSequential) as Arc<dyn Backend<f64>>,
-    )
-    .expect("block-Jacobi setup");
+    let backend = Arc::new(CpuSequential) as Arc<dyn Backend<f64>>;
+    let opts = PrecondOptions::default().with_method(BjMethod::SmallLu);
     let b = vec![1.0; a.nrows()];
-    let r = idr(&a, &b, 4, &m, &SolveParams::default());
+    let r = match precond {
+        PrecondKind::BlockJacobi => {
+            let m = BlockJacobi::setup_opts(&a, &part, backend, opts).expect("block-Jacobi setup");
+            idr(&a, &b, 4, &m, &SolveParams::default())
+        }
+        PrecondKind::BlockIlu0 => {
+            let m = BlockIlu0::setup_opts(&a, &part, backend, opts).expect("block-ILU(0) setup");
+            idr(&a, &b, 4, &m, &SolveParams::default())
+        }
+    };
     println!(
-        "\nTraced IDR(4)+BJ solve: {} iterations, relres {:.3e}",
-        r.iterations, r.final_relres
+        "\nTraced IDR(4)+{} solve: {} iterations, relres {:.3e}",
+        precond.label(),
+        r.iterations,
+        r.final_relres
     );
     let snap = vbatch_trace::snapshot();
     if vbatch_trace::enabled() {
@@ -259,6 +268,7 @@ fn main() {
             "m_allocs_per_solve_apply",
             "m_allocs_per_prepared_apply",
             "m_ws_hwm_elems",
+            "precond",
         ],
         &rows,
     );

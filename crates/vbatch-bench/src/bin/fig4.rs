@@ -15,14 +15,15 @@
 //! argument, see DESIGN.md "Interleaved layout").
 
 use vbatch_bench::{
-    factor_health_compact, measure_cpu_apply, measure_cpu_factor_gflops, uniform_bench_batch,
-    write_csv, BATCH_SWEEP, FIG4_HEADER,
+    factor_health_compact, measure_cpu_factor_gflops, measure_precond_apply, parse_precond_flag,
+    uniform_bench_batch, write_csv, BATCH_SWEEP, FIG4_HEADER,
 };
 use vbatch_core::{BatchLayout, Scalar};
 use vbatch_exec::{estimate_planned_factor, BatchPlan};
+use vbatch_precond::PrecondKind;
 use vbatch_simt::{estimate_factor, DeviceModel, FactorKernel};
 
-fn sweep<T: Scalar>(device: &DeviceModel, block: usize) -> Vec<Vec<String>> {
+fn sweep<T: Scalar>(device: &DeviceModel, block: usize, precond: PrecondKind) -> Vec<Vec<String>> {
     println!("\n-- {} precision, block size {block} --", T::PRECISION);
     println!(
         "{:>8} {:>15} {:>15} {:>15} {:>15} {:>15} {:>12} {:>12}",
@@ -65,10 +66,11 @@ fn sweep<T: Scalar>(device: &DeviceModel, block: usize) -> Vec<Vec<String>> {
         row.push(format!("{g_il:.3}"));
         row.push(plan.layout_compact());
         row.push(factor_health_compact(&bench));
-        let (g_apply, ws_hwm) = measure_cpu_apply(&bench, BatchLayout::Blocked);
+        let (g_apply, ws_hwm) = measure_precond_apply::<T>(precond, batch, block);
         line.push_str(&format!(" apply {g_apply:.2}"));
         row.push(format!("{g_apply:.3}"));
         row.push(ws_hwm.to_string());
+        row.push(precond.label().to_string());
         println!("{line}");
         rows.push(row);
     }
@@ -77,14 +79,19 @@ fn sweep<T: Scalar>(device: &DeviceModel, block: usize) -> Vec<Vec<String>> {
 
 fn main() {
     let device = DeviceModel::p100();
+    let precond = parse_precond_flag();
     println!("Figure 4: batched factorization GFLOPS vs batch size");
-    println!("device: {}", device.name);
+    println!(
+        "device: {} (apply column preconditioner: {})",
+        device.name,
+        precond.label()
+    );
     let mut rows = Vec::new();
     for block in [16usize, 32] {
-        rows.extend(sweep::<f32>(&device, block));
+        rows.extend(sweep::<f32>(&device, block, precond));
     }
     for block in [16usize, 32] {
-        rows.extend(sweep::<f64>(&device, block));
+        rows.extend(sweep::<f64>(&device, block, precond));
     }
     let path = write_csv("fig4", &FIG4_HEADER, &rows);
     println!("\nCSV written to {}", path.display());

@@ -14,16 +14,20 @@
 //! batch factorized blocked vs interleaved on `CpuSequential`.
 
 use vbatch_bench::{
-    factor_health_compact, measure_cpu_apply, measure_cpu_factor_gflops, size_sweep,
-    uniform_bench_batch, write_csv, FIG5_HEADER,
+    factor_health_compact, measure_cpu_factor_gflops, measure_precond_apply, parse_precond_flag,
+    size_sweep, uniform_bench_batch, write_csv, FIG5_HEADER,
 };
 use vbatch_core::{BatchLayout, Scalar};
 use vbatch_exec::{estimate_planned_factor, BatchPlan};
+use vbatch_precond::PrecondKind;
 use vbatch_simt::{estimate_factor, DeviceModel, FactorKernel};
 
 const BATCH: usize = 40_000;
 
-fn sweep<T: Scalar>(device: &DeviceModel) -> (Vec<Vec<String>>, Option<usize>) {
+fn sweep<T: Scalar>(
+    device: &DeviceModel,
+    precond: PrecondKind,
+) -> (Vec<Vec<String>>, Option<usize>) {
     println!("\n-- {} precision, batch = {BATCH} --", T::PRECISION);
     println!(
         "{:>5} {:>15} {:>15} {:>15} {:>15} {:>15}  plan",
@@ -67,10 +71,11 @@ fn sweep<T: Scalar>(device: &DeviceModel) -> (Vec<Vec<String>>, Option<usize>) {
         row.push(format!("{g_il:.3}"));
         row.push(plan.layout_compact());
         row.push(factor_health_compact(&bench));
-        let (g_apply, ws_hwm) = measure_cpu_apply(&bench, BatchLayout::Blocked);
+        let (g_apply, ws_hwm) = measure_precond_apply::<T>(precond, BATCH, n);
         line.push_str(&format!("  apply {g_apply:.2}"));
         row.push(format!("{g_apply:.3}"));
         row.push(ws_hwm.to_string());
+        row.push(precond.label().to_string());
         println!("{line}");
         rows.push(row);
     }
@@ -79,10 +84,15 @@ fn sweep<T: Scalar>(device: &DeviceModel) -> (Vec<Vec<String>>, Option<usize>) {
 
 fn main() {
     let device = DeviceModel::p100();
+    let precond = parse_precond_flag();
     println!("Figure 5: batched factorization GFLOPS vs matrix size");
-    println!("device: {}", device.name);
-    let (mut rows, sp_cross) = sweep::<f32>(&device);
-    let (dp_rows, dp_cross) = sweep::<f64>(&device);
+    println!(
+        "device: {} (apply column preconditioner: {})",
+        device.name,
+        precond.label()
+    );
+    let (mut rows, sp_cross) = sweep::<f32>(&device, precond);
+    let (dp_rows, dp_cross) = sweep::<f64>(&device, precond);
     rows.extend(dp_rows);
     println!(
         "\nLU-vs-GH crossover: SP at size {:?} (paper: ~16), DP at size {:?} (paper: ~23)",

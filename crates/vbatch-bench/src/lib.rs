@@ -6,13 +6,14 @@
 
 use std::fs;
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Instant;
 
 use vbatch_core::{BatchLayout, Exec, MatrixBatch, Scalar};
 use vbatch_exec::{backend_for_exec, Backend, BatchPlan, CpuSequential, ExecStats, HealthPolicy};
-use vbatch_precond::{BjMethod, Jacobi, Preconditioner};
-use vbatch_solver::{idr, idr_block_jacobi, SolveParams};
-use vbatch_sparse::{supervariable_blocking, CsrMatrix};
+use vbatch_precond::{BjMethod, BlockIlu0, Jacobi, PrecondKind, PrecondOptions, Preconditioner};
+use vbatch_solver::{idr, idr_precond_kind, SolveParams};
+use vbatch_sparse::{supervariable_blocking, BlockPartition, CooMatrix, CsrMatrix};
 
 /// Batch-size sweep used by Figs. 4 and 6 (the paper's x-axis reaches
 /// 40,000 systems).
@@ -34,7 +35,7 @@ pub const BLOCK_BOUNDS: [usize; 5] = [8, 12, 16, 24, 32];
 /// planner's per-class layout histogram; `cpu_apply` is the measured
 /// prepared-apply throughput ([`measure_cpu_apply`]) and `ws_hwm` its
 /// resident workspace high-water mark in scalar elements.
-pub const FIG4_HEADER: [&str; 15] = [
+pub const FIG4_HEADER: [&str; 16] = [
     "precision",
     "block",
     "batch",
@@ -50,11 +51,12 @@ pub const FIG4_HEADER: [&str; 15] = [
     "health",
     "cpu_apply",
     "ws_hwm",
+    "precond",
 ];
 
 /// CSV schema of the Fig. 5 artifact (layout and apply columns as in
 /// [`FIG4_HEADER`]).
-pub const FIG5_HEADER: [&str; 14] = [
+pub const FIG5_HEADER: [&str; 15] = [
     "precision",
     "size",
     "small_size_lu",
@@ -69,6 +71,7 @@ pub const FIG5_HEADER: [&str; 14] = [
     "health",
     "cpu_apply",
     "ws_hwm",
+    "precond",
 ];
 
 /// Deterministic diagonally-dominant uniform batch used by the measured
@@ -122,6 +125,92 @@ pub fn measure_cpu_apply<T: Scalar>(batch: &MatrixBatch<T>, layout: BatchLayout)
     }
     let flops: f64 = batch.sizes().iter().map(|&n| 2.0 * (n * n) as f64).sum();
     (flops / best / 1e9, prep.workspace_hwm_elems())
+}
+
+/// Parse the `--precond {bj,bilu}` flag shared by the experiment bins
+/// (`--precond bilu` or `--precond=bilu`); defaults to block-Jacobi,
+/// the historical behaviour.
+pub fn parse_precond_flag() -> PrecondKind {
+    let args: Vec<String> = std::env::args().collect();
+    for (i, a) in args.iter().enumerate() {
+        let v = a
+            .strip_prefix("--precond=")
+            .map(str::to_string)
+            .or_else(|| (a == "--precond").then(|| args.get(i + 1).cloned().unwrap_or_default()));
+        if let Some(v) = v {
+            return PrecondKind::parse(&v)
+                .unwrap_or_else(|| panic!("unknown --precond value {v:?} (expected bj or bilu)"));
+        }
+    }
+    PrecondKind::BlockJacobi
+}
+
+/// Deterministic diagonally-dominant block-tridiagonal system: `count`
+/// diagonal blocks of order `n` (same entries as
+/// [`uniform_bench_batch`]) coupled to their neighbours through
+/// diagonal coupling blocks. This is the matrix behind the block-ILU(0)
+/// apply-throughput column: its block pattern has exactly one
+/// lower/upper entry per interior block row, so both triangular sweeps
+/// do real work.
+pub fn block_tridiag_system<T: Scalar>(count: usize, n: usize) -> (CsrMatrix<T>, BlockPartition) {
+    let total = count * n;
+    let mut coo = CooMatrix::new(total, total);
+    for blk in 0..count {
+        let base = blk * n;
+        for i in 0..n {
+            for j in 0..n {
+                let h = (i * 131 + j * 37 + blk * 17 + 3) % 1024;
+                let v = h as f64 / 512.0 - 1.0 + if i == j { (n + 2) as f64 } else { 0.0 };
+                coo.push(base + i, base + j, T::from_f64(v));
+            }
+            if blk + 1 < count {
+                coo.push(base + i, base + n + i, T::from_f64(-0.25));
+                coo.push(base + n + i, base + i, T::from_f64(-0.25));
+            }
+        }
+    }
+    (coo.to_csr(), BlockPartition::uniform(total, n))
+}
+
+/// Measured host (CpuSequential) *preconditioner apply* throughput in
+/// GFLOPS plus the prepared workspace high-water mark, for the
+/// preconditioner selected by `--precond`: block-Jacobi measures the
+/// prepared batched diagonal solve ([`measure_cpu_apply`], `2 n²` flops
+/// per block); block-ILU(0) measures the full three-stage apply (lower
+/// sweep, prepared diagonal solve, normalized upper sweep) on the
+/// block-tridiagonal system of the same shape.
+pub fn measure_precond_apply<T: Scalar>(kind: PrecondKind, count: usize, n: usize) -> (f64, usize) {
+    match kind {
+        PrecondKind::BlockJacobi => {
+            measure_cpu_apply(&uniform_bench_batch::<T>(count, n), BatchLayout::Blocked)
+        }
+        PrecondKind::BlockIlu0 => {
+            let (a, part) = block_tridiag_system::<T>(count, n);
+            let m = BlockIlu0::setup_opts(
+                &a,
+                &part,
+                Arc::new(CpuSequential) as Arc<dyn Backend<T>>,
+                PrecondOptions::default()
+                    .with_method(BjMethod::SmallLu)
+                    .with_layout(BatchLayout::Blocked),
+            )
+            .expect("bilu bench setup");
+            let mut v: Vec<T> = (0..part.total())
+                .map(|i| T::from_f64(1.0 + (i % 5) as f64))
+                .collect();
+            m.apply_inplace(&mut v); // warm-up
+            let mut best = f64::INFINITY;
+            for _ in 0..3 {
+                let t0 = Instant::now();
+                m.apply_inplace(&mut v);
+                best = best.min(t0.elapsed().as_secs_f64());
+            }
+            let flops = count as f64 * 2.0 * (n * n) as f64
+                + m.lower().sweep_flops()
+                + m.upper_tilde().sweep_flops();
+            (flops / best / 1e9, m.prepared().workspace_hwm_elems())
+        }
+    }
 }
 
 /// Health histogram of a bench batch under guarded triage on the host
@@ -207,15 +296,28 @@ pub fn run_jacobi_idr(a: &CsrMatrix<f64>) -> Option<SolveOutcome> {
 /// the per-iteration block solves go through the `vbatch-exec` backend
 /// layer; singular blocks degrade per block to scalar Jacobi.
 pub fn run_bj_idr(a: &CsrMatrix<f64>, bound: usize, method: BjMethod) -> Option<SolveOutcome> {
+    run_precond_idr(a, bound, PrecondKind::BlockJacobi, method)
+}
+
+/// Run IDR(4) with the selected block preconditioner (the generic form
+/// of [`run_bj_idr`], dispatched through the [`vbatch_precond`] trait
+/// layer — the engine of the BJ-vs-BILU comparison bin).
+pub fn run_precond_idr(
+    a: &CsrMatrix<f64>,
+    bound: usize,
+    kind: PrecondKind,
+    method: BjMethod,
+) -> Option<SolveOutcome> {
     let part = supervariable_blocking(a, bound);
     let b = vec![1.0; a.nrows()];
-    let o = idr_block_jacobi(
+    let o = idr_precond_kind(
+        kind,
         a,
         &b,
         4,
         &part,
-        method,
         backend_for_exec(Exec::Parallel),
+        PrecondOptions::default().with_method(method),
         &SolveParams::default(),
     )
     .ok()?;
@@ -291,13 +393,13 @@ mod tests {
             FIG4_HEADER.join(","),
             "precision,block,batch,small_size_lu,gauss_huard,gauss_huard_t,\
              cublas_lu,planner,plan_kernels,cpu_blocked,cpu_interleaved,plan_layouts,health,\
-             cpu_apply,ws_hwm"
+             cpu_apply,ws_hwm,precond"
         );
         assert_eq!(
             FIG5_HEADER.join(","),
             "precision,size,small_size_lu,gauss_huard,gauss_huard_t,\
              cublas_lu,planner,plan_kernels,cpu_blocked,cpu_interleaved,plan_layouts,health,\
-             cpu_apply,ws_hwm"
+             cpu_apply,ws_hwm,precond"
         );
     }
 
@@ -330,6 +432,36 @@ mod tests {
             let (g, hwm) = measure_cpu_apply(&batch, layout);
             assert!(g.is_finite() && g > 0.0, "{layout:?}: {g}");
             assert!(hwm > 0, "{layout:?}: workspace must be resident");
+        }
+    }
+
+    #[test]
+    fn block_ilu_runner_converges_and_beats_block_jacobi_here() {
+        let a = laplace_2d::<f64>(12, 12);
+        let bj = run_precond_idr(&a, 16, PrecondKind::BlockJacobi, BjMethod::SmallLu).unwrap();
+        let bilu = run_precond_idr(&a, 16, PrecondKind::BlockIlu0, BjMethod::SmallLu).unwrap();
+        assert!(bj.converged && bilu.converged);
+        assert!(bilu.iters <= bj.iters);
+    }
+
+    #[test]
+    fn precond_apply_measurement_is_sane_for_both_kinds() {
+        for kind in PrecondKind::ALL {
+            let (g, hwm) = measure_precond_apply::<f64>(kind, 48, 8);
+            assert!(g.is_finite() && g > 0.0, "{kind:?}: {g}");
+            assert!(hwm > 0, "{kind:?}: workspace must be resident");
+        }
+    }
+
+    #[test]
+    fn block_tridiag_system_has_the_advertised_pattern() {
+        use vbatch_sparse::BlockPattern;
+        let (a, part) = block_tridiag_system::<f64>(5, 3);
+        assert_eq!(a.nrows(), 15);
+        let pattern = BlockPattern::build(&a, &part);
+        for i in 0..part.len() {
+            assert_eq!(pattern.lower_cols(i).len(), usize::from(i > 0));
+            assert_eq!(pattern.upper_cols(i).len(), usize::from(i + 1 < part.len()));
         }
     }
 

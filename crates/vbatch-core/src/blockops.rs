@@ -1,0 +1,207 @@
+//! In-place dense block operations for the block-ILU(0) sweep.
+//!
+//! The sweep works on variable-size column-major blocks in place:
+//! `A_ik := A_ik · A_kk^{-1}` (a TRSM against the combined `L\U`
+//! factors of the finished diagonal block, applied through the
+//! transposed solve below) and `A_ij := A_ij − A_ik · A_kj` (a negated
+//! GEMM accumulation). The triangular apply additionally needs the
+//! negated GEMV accumulation `y := y − A x`. All kernels are
+//! allocation-free; scratch, where needed, is caller-provided.
+
+use crate::scalar::Scalar;
+
+/// `C := C − A · B` with `A` (`m×k`), `B` (`k×n`) and `C` (`m×n`) all
+/// column-major. Allocation-free.
+pub fn gemm_neg_acc<T: Scalar>(m: usize, k: usize, n: usize, a: &[T], b: &[T], c: &mut [T]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    for j in 0..n {
+        let cj = &mut c[j * m..j * m + m];
+        for l in 0..k {
+            let blj = b[j * k + l];
+            if blj == T::ZERO {
+                continue;
+            }
+            let al = &a[l * m..l * m + m];
+            for i in 0..m {
+                cj[i] = (-al[i]).mul_add(blj, cj[i]);
+            }
+        }
+    }
+}
+
+/// `y := y − A · x` with `A` (`m×n`) column-major. The AXPY-per-column
+/// form matches the eager triangular sweeps: one coalesced column read
+/// per step. Allocation-free.
+pub fn gemv_neg_acc<T: Scalar>(m: usize, n: usize, a: &[T], x: &[T], y: &mut [T]) {
+    debug_assert_eq!(a.len(), m * n);
+    debug_assert_eq!(x.len(), n);
+    debug_assert_eq!(y.len(), m);
+    for (j, &xj) in x.iter().enumerate() {
+        let col = &a[j * m..j * m + m];
+        for i in 0..m {
+            y[i] = (-col[i]).mul_add(xj, y[i]);
+        }
+    }
+}
+
+/// Solve `A^T x = b` in place given the combined `L\U` factors of `A`
+/// with `P A = L U` (`row_of_step` in the pivot convention of
+/// [`crate::perm::Permutation`]).
+///
+/// `A^T = U^T L^T P`, so the solve runs a forward sweep with `U^T`
+/// (lower triangular, diagonal of `U`), a backward sweep with `L^T`
+/// (unit upper triangular), and finally scatters through the
+/// permutation: `x[row_of_step[k]] = y[k]`. The scatter lands in
+/// `scratch` (`scratch.len() >= n`); no heap allocation.
+pub fn lu_solve_transposed_inplace_scratch<T: Scalar>(
+    n: usize,
+    lu: &[T],
+    row_of_step: &[usize],
+    b: &mut [T],
+    scratch: &mut [T],
+) {
+    debug_assert_eq!(lu.len(), n * n);
+    debug_assert_eq!(row_of_step.len(), n);
+    debug_assert_eq!(b.len(), n);
+    debug_assert!(scratch.len() >= n);
+    // forward: U^T z = b, row k of U^T is column k of U
+    for k in 0..n {
+        let col = &lu[k * n..k * n + n];
+        let mut acc = b[k];
+        for j in 0..k {
+            acc = (-col[j]).mul_add(b[j], acc);
+        }
+        b[k] = acc / col[k];
+    }
+    // backward: L^T y = z, row k of L^T is column k of L (unit diagonal)
+    for k in (0..n).rev() {
+        let col = &lu[k * n..k * n + n];
+        let mut acc = b[k];
+        for i in k + 1..n {
+            acc = (-col[i]).mul_add(b[i], acc);
+        }
+        b[k] = acc;
+    }
+    // x = P^T y: x[row_of_step[k]] = y[k]
+    let out = &mut scratch[..n];
+    for (k, &r) in row_of_step.iter().enumerate() {
+        out[r] = b[k];
+    }
+    b.copy_from_slice(out);
+}
+
+/// `B := B · A^{-1}` with `B` (`m×n`) column-major and `A` (`n×n`)
+/// given by its combined `L\U` factors: the right-division of the
+/// block-ILU(0) sweep, `A_ik := A_ik · A_kk^{-1}`.
+///
+/// Row `i` of the result satisfies `A^T · row_i^T = old_row_i^T`, so
+/// each row is gathered (strided) into `scratch[..n]`, solved through
+/// [`lu_solve_transposed_inplace_scratch`] (which uses
+/// `scratch[n..2n]`), and scattered back. `scratch.len() >= 2 n`; no
+/// heap allocation.
+pub fn trsm_right_lu_inplace<T: Scalar>(
+    m: usize,
+    n: usize,
+    lu: &[T],
+    row_of_step: &[usize],
+    bmat: &mut [T],
+    scratch: &mut [T],
+) {
+    debug_assert_eq!(bmat.len(), m * n);
+    debug_assert!(scratch.len() >= 2 * n);
+    let (row, solve_scratch) = scratch.split_at_mut(n);
+    for i in 0..m {
+        for (j, r) in row.iter_mut().enumerate() {
+            *r = bmat[j * m + i];
+        }
+        lu_solve_transposed_inplace_scratch(n, lu, row_of_step, row, solve_scratch);
+        for (j, r) in row.iter().enumerate() {
+            bmat[j * m + i] = *r;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::DenseMat;
+    use crate::lu::implicit::getrf_implicit_inplace;
+
+    #[test]
+    fn gemm_neg_acc_matches_dense() {
+        let a = DenseMat::from_row_major(2, 3, &[1.0, 2.0, -1.0, 0.5, -2.0, 3.0]);
+        let b = DenseMat::from_row_major(3, 2, &[2.0, 1.0, 0.0, -1.0, 1.5, 4.0]);
+        let c0 = DenseMat::from_row_major(2, 2, &[10.0, 20.0, 30.0, 40.0]);
+        let mut c = c0.as_slice().to_vec();
+        gemm_neg_acc(2, 3, 2, a.as_slice(), b.as_slice(), &mut c);
+        let prod = a.matmul(&b);
+        for j in 0..2 {
+            for i in 0..2 {
+                let expect = c0[(i, j)] - prod[(i, j)];
+                assert!((c[j * 2 + i] - expect).abs() < 1e-13);
+            }
+        }
+    }
+
+    #[test]
+    fn gemv_neg_acc_matches_dense() {
+        let a = DenseMat::from_row_major(3, 2, &[1.0, -2.0, 0.5, 4.0, -1.0, 2.0]);
+        let x = vec![2.0, -1.0];
+        let mut y = vec![1.0, 1.0, 1.0];
+        gemv_neg_acc(3, 2, a.as_slice(), &x, &mut y);
+        let ax = a.matvec(&x);
+        for i in 0..3 {
+            assert!((y[i] - (1.0 - ax[i])).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn transposed_solve_inverts_a_transpose() {
+        let a = DenseMat::from_row_major(3, 3, &[4.0, 1.0, -2.0, 2.0, 5.0, 1.0, -1.0, 2.0, 6.0]);
+        let mut lu = a.as_slice().to_vec();
+        let perm = getrf_implicit_inplace(3, &mut lu).unwrap();
+        let x_true = vec![1.0, -2.0, 0.5];
+        // b = A^T x
+        let at = a.transpose();
+        let mut b = at.matvec(&x_true);
+        let mut scratch = vec![0.0; 3];
+        lu_solve_transposed_inplace_scratch(3, &lu, perm.as_slice(), &mut b, &mut scratch);
+        for i in 0..3 {
+            assert!((b[i] - x_true[i]).abs() < 1e-12, "x[{i}] = {}", b[i]);
+        }
+    }
+
+    #[test]
+    fn trsm_right_matches_per_row_solves() {
+        let a = DenseMat::from_row_major(3, 3, &[5.0, 1.0, 0.0, -1.0, 4.0, 2.0, 0.5, -1.0, 6.0]);
+        let mut lu = a.as_slice().to_vec();
+        let perm = getrf_implicit_inplace(3, &mut lu).unwrap();
+        // B: 2x3
+        let b = DenseMat::from_row_major(2, 3, &[1.0, 2.0, 3.0, -1.0, 0.5, 2.0]);
+        let mut bdata = b.as_slice().to_vec();
+        let mut scratch = vec![0.0; 6];
+        trsm_right_lu_inplace(2, 3, &lu, perm.as_slice(), &mut bdata, &mut scratch);
+        // check B_new * A == B elementwise
+        let bnew = DenseMat::from_col_major(2, 3, &bdata);
+        let back = bnew.matmul(&a);
+        for i in 0..2 {
+            for j in 0..3 {
+                assert!((back[(i, j)] - b[(i, j)]).abs() < 1e-12, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn trsm_right_identity_factors_are_noop_rows() {
+        // A = I: right-division must leave B unchanged
+        let lu = DenseMat::<f64>::identity(4).as_slice().to_vec();
+        let perm = [0usize, 1, 2, 3];
+        let mut b: Vec<f64> = (0..12).map(|i| i as f64 - 5.0).collect();
+        let orig = b.clone();
+        let mut scratch = vec![0.0; 8];
+        trsm_right_lu_inplace(3, 4, &lu, &perm, &mut b, &mut scratch);
+        assert_eq!(b, orig);
+    }
+}

@@ -28,6 +28,7 @@
 
 pub mod batch;
 pub mod batched;
+pub mod blockops;
 pub mod cholesky;
 pub mod condest;
 pub mod dense;
@@ -44,6 +45,9 @@ pub use batch::{MatrixBatch, VectorBatch};
 pub use batched::{
     batched_gemv, batched_getrf, batched_getrf_status, batched_gh, batched_gje_invert, BatchedGh,
     BatchedLu, Exec,
+};
+pub use blockops::{
+    gemm_neg_acc, gemv_neg_acc, lu_solve_transposed_inplace_scratch, trsm_right_lu_inplace,
 };
 pub use cholesky::{make_spd, potrf, CholeskyFactors};
 pub use condest::{apply_equilibration, condest1, equilibrate, inverse_norm1_est, norm1};

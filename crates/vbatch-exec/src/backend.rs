@@ -5,10 +5,11 @@ use crate::apply::PreparedApply;
 use crate::factors::{BlockStatus, FactorizedBatch};
 use crate::plan::BatchPlan;
 use crate::stats::{ExecStats, Phase};
+use crate::tri::BlockTriangular;
 use std::sync::Arc;
 use std::time::Instant;
 use vbatch_core::{Exec, MatrixBatch, Scalar, VectorBatch};
-use vbatch_sparse::{BlockPartition, CsrMatrix};
+use vbatch_sparse::{BlockPartition, CsrMatrix, LevelSchedule};
 
 /// An executor for variable-size batched work. Implementations:
 /// [`crate::CpuSequential`], [`crate::CpuRayon`] and
@@ -71,6 +72,26 @@ pub trait Backend<T: Scalar>: Send + Sync {
         v.copy_from_slice(rhs.as_slice());
         stats.add_phase(Phase::Apply, t0.elapsed());
         stats.record_apply(prepared.workspace_hwm_elems());
+    }
+
+    /// Accumulate one global block triangular sweep into the flat
+    /// vector: `v_i := v_i − Σ_j T_ij v_j` over the stored blocks of
+    /// `tri`, scheduled by `sched` — the off-diagonal half of a
+    /// block-ILU(0) apply. Results are bitwise identical across
+    /// backends and to [`BlockTriangular::sweep_sequential`]; backends
+    /// differ only in how independent rows of one level are executed
+    /// (and, for the simulator, in the device cost charged). Timing
+    /// lands in [`Phase::Sweep`] and the per-level row counts in
+    /// [`ExecStats::record_levels`]. Allocation-free after the first
+    /// (warm-up) sweep.
+    fn sweep_triangular(
+        &self,
+        tri: &BlockTriangular<T>,
+        sched: &LevelSchedule,
+        v: &mut [T],
+        stats: &mut ExecStats,
+    ) {
+        crate::tri::sweep_cpu(tri, sched, v, false, stats)
     }
 
     /// Explicitly invert every block, with the same per-block fallback

@@ -501,6 +501,16 @@ macro_rules! impl_cpu_backend {
                 solve_prepared_cpu(factors, prepared, v, $parallel, stats)
             }
 
+            fn sweep_triangular(
+                &self,
+                tri: &crate::tri::BlockTriangular<T>,
+                sched: &vbatch_sparse::LevelSchedule,
+                v: &mut [T],
+                stats: &mut ExecStats,
+            ) {
+                crate::tri::sweep_cpu(tri, sched, v, $parallel, stats)
+            }
+
             fn invert(
                 &self,
                 blocks: &MatrixBatch<T>,

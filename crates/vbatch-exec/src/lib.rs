@@ -38,6 +38,7 @@ pub mod health;
 pub mod plan;
 pub mod simt;
 pub mod stats;
+pub mod tri;
 
 pub use apply::PreparedApply;
 pub use backend::{backend_for_exec, Backend};
@@ -53,4 +54,5 @@ pub use plan::{
 };
 pub use simt::SimtSim;
 pub use stats::{ExecStats, Phase};
+pub use tri::BlockTriangular;
 pub use vbatch_rt::fault::{FaultClass, FaultPlan};

@@ -452,6 +452,40 @@ impl<T: Scalar> Backend<T> for SimtSim {
         stats.add_phase(Phase::Solve, t0.elapsed());
     }
 
+    fn sweep_triangular(
+        &self,
+        tri: &crate::tri::BlockTriangular<T>,
+        sched: &vbatch_sparse::LevelSchedule,
+        v: &mut [T],
+        stats: &mut ExecStats,
+    ) {
+        // Host numerics in level order (bitwise identical to the CPU
+        // backends) plus the modeled device charge: one warp barrier
+        // per level, and per stored block an FMA per element, the
+        // block + operand loads, and the partial-sum store.
+        let t0 = Instant::now();
+        let mut cost = vbatch_simt::CostCounter::new();
+        use vbatch_simt::InstrClass;
+        for l in 0..sched.num_levels() {
+            cost.count(InstrClass::Sync, 1);
+            for &i in sched.level(l) {
+                let m = tri.block_size(i);
+                for e in tri.row_entries(i) {
+                    let k = tri.block_size(tri.col_of(e));
+                    cost.count(InstrClass::FFma, (m * k) as u64);
+                    cost.count(InstrClass::GMemLd, (m * k + k + m) as u64);
+                    cost.count(InstrClass::GMemSt, m as u64);
+                    cost.flops(2 * (m * k) as u64);
+                }
+                tri.sweep_row(i, v);
+            }
+        }
+        stats.add_device_cost(&cost);
+        stats.add_flops(tri.sweep_flops());
+        stats.add_phase(Phase::Sweep, t0.elapsed());
+        stats.record_levels(sched);
+    }
+
     fn invert(
         &self,
         blocks: &MatrixBatch<T>,

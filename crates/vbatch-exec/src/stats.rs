@@ -13,6 +13,7 @@ use crate::plan::{ClassLayout, KernelChoice};
 use std::collections::BTreeMap;
 use std::time::Duration;
 use vbatch_simt::CostCounter;
+use vbatch_sparse::LevelSchedule;
 
 /// Phases a backend reports timings for.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
@@ -31,6 +32,9 @@ pub enum Phase {
     /// ([`crate::PreparedApply`]): the per-iteration solve traffic of
     /// the Krylov hot loop.
     Apply,
+    /// Global block triangular sweep ([`crate::BlockTriangular`]): the
+    /// off-diagonal traffic of block-ILU(0) applies.
+    Sweep,
 }
 
 impl Phase {
@@ -43,6 +47,7 @@ impl Phase {
             Phase::Invert => "invert",
             Phase::Gemv => "gemv",
             Phase::Apply => "apply",
+            Phase::Sweep => "sweep",
         }
     }
 }
@@ -69,6 +74,15 @@ pub struct ExecStats {
     pub workspace_hwm_elems: usize,
     /// Prepared-apply invocations folded into these stats.
     pub applies: u64,
+    /// Level-set sweep histogram: level index → block rows processed at
+    /// that level, summed over sweeps. Local-only (no trace
+    /// forwarding): updated on the triangular-apply hot path, where the
+    /// entries are pre-warmed at setup so steady-state updates never
+    /// allocate.
+    levels: BTreeMap<usize, u64>,
+    /// Preconditioner-kind histogram: label → applies routed through
+    /// that preconditioner. Local-only for the same hot-path reason.
+    precond: BTreeMap<&'static str, u64>,
 }
 
 impl ExecStats {
@@ -138,6 +152,7 @@ impl ExecStats {
             Phase::Invert => vbatch_trace::duration!("phase.invert", ns),
             Phase::Gemv => vbatch_trace::duration!("phase.gemv", ns),
             Phase::Apply => vbatch_trace::duration!("phase.apply", ns),
+            Phase::Sweep => vbatch_trace::duration!("phase.sweep", ns),
         }
     }
 
@@ -208,6 +223,56 @@ impl ExecStats {
             .join(";")
     }
 
+    /// Record `rows` block rows processed at sweep level `level`.
+    /// `rows == 0` still inserts the entry — setup paths use that to
+    /// pre-warm the histogram so steady-state updates never allocate a
+    /// map node.
+    pub fn record_level(&mut self, level: usize, rows: u64) {
+        *self.levels.entry(level).or_insert(0) += rows;
+    }
+
+    /// Fold one full sweep of `sched` into the level histogram.
+    pub fn record_levels(&mut self, sched: &LevelSchedule) {
+        for l in 0..sched.num_levels() {
+            self.record_level(l, sched.level(l).len() as u64);
+        }
+    }
+
+    /// Level histogram (level index → block rows processed).
+    pub fn level_histogram(&self) -> &BTreeMap<usize, u64> {
+        &self.levels
+    }
+
+    /// Level histogram as a compact `level=rows;...` string for CSV.
+    pub fn level_compact(&self) -> String {
+        self.levels
+            .iter()
+            .map(|(l, c)| format!("{l}={c}"))
+            .collect::<Vec<_>>()
+            .join(";")
+    }
+
+    /// Record `applies` applications routed through the preconditioner
+    /// labeled `p`. `applies == 0` still inserts the entry (hot-path
+    /// pre-warming, as for [`ExecStats::record_level`]).
+    pub fn record_precond(&mut self, p: &'static str, applies: u64) {
+        *self.precond.entry(p).or_insert(0) += applies;
+    }
+
+    /// Preconditioner histogram (label → applies).
+    pub fn precond_histogram(&self) -> &BTreeMap<&'static str, u64> {
+        &self.precond
+    }
+
+    /// Preconditioner histogram as a compact `label=count;...` string.
+    pub fn precond_compact(&self) -> String {
+        self.precond
+            .iter()
+            .map(|(k, c)| format!("{k}={c}"))
+            .collect::<Vec<_>>()
+            .join(";")
+    }
+
     /// Recovery-step histogram (label → application count).
     pub fn recovery_histogram(&self) -> &BTreeMap<&'static str, u64> {
         &self.recoveries
@@ -235,6 +300,12 @@ impl ExecStats {
         }
         for (k, c) in &other.recoveries {
             *self.recoveries.entry(k).or_insert(0) += c;
+        }
+        for (&l, c) in &other.levels {
+            *self.levels.entry(l).or_insert(0) += c;
+        }
+        for (k, c) in &other.precond {
+            *self.precond.entry(k).or_insert(0) += c;
         }
         self.flops += other.flops;
         self.failures += other.failures;
@@ -300,6 +371,22 @@ mod tests {
         assert_eq!(a.health_histogram()["singular"], 1);
         assert_eq!(a.health_compact(), "healthy=2;ill_conditioned=1;singular=1");
         assert_eq!(a.recovery_compact(), "equilibrated=1;scalar_jacobi=2");
+    }
+
+    #[test]
+    fn level_and_precond_histograms_merge() {
+        let mut a = ExecStats::new();
+        a.record_level(0, 4);
+        a.record_level(1, 2);
+        a.record_precond("bj", 1);
+        let mut b = ExecStats::new();
+        b.record_level(1, 3);
+        b.record_level(2, 0); // pre-warm: entry present at zero
+        b.record_precond("bilu", 2);
+        a.merge(&b);
+        assert_eq!(a.level_histogram()[&1], 5);
+        assert_eq!(a.level_compact(), "0=4;1=5;2=0");
+        assert_eq!(a.precond_compact(), "bilu=2;bj=1");
     }
 
     #[test]

@@ -15,122 +15,16 @@
 //! fallback per block instead of aborting the whole setup; use
 //! [`BlockJacobi::setup_strict`] to restore fail-fast semantics.
 
-use crate::traits::Preconditioner;
+use crate::options::{BjMethod, BjOptions};
+use crate::traits::{BlockPreconditioner, PrecondKind, Preconditioner, SetupReport};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 use vbatch_core::{BatchLayout, Exec, FactorError, Scalar};
 use vbatch_exec::{
     backend_for_exec, inject_batch, Backend, BatchPlan, BlockStatus, ExecStats, FactorizedBatch,
-    FaultClass, FaultPlan, HealthPolicy, Phase, PlanMethod, PreparedApply,
+    FaultClass, Phase, PreparedApply,
 };
 use vbatch_sparse::{BlockPartition, CsrMatrix};
-
-/// The batched factorization driving the preconditioner (the four
-/// methods of §IV plus the Cholesky extension and the planner).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum BjMethod {
-    /// Small-size LU with implicit partial pivoting (this paper).
-    SmallLu,
-    /// Gauss-Huard with column pivoting.
-    GaussHuard,
-    /// Gauss-Huard with transposed (solve-friendly) factor storage.
-    GaussHuardT,
-    /// Explicit inversion via Gauss-Jordan; applied as batched GEMV.
-    GjeInvert,
-    /// Cholesky (`L L^T`), for SPD diagonal blocks.
-    Cholesky,
-    /// Let the [`BatchPlan`] pick per size class: warp packing below
-    /// the packing bound, Gauss-Huard below the crossover order,
-    /// small-size LU up to 32, blocked LU above.
-    Auto,
-}
-
-impl BjMethod {
-    /// All fixed-kernel methods, in the paper's comparison order (the
-    /// planner-driven [`BjMethod::Auto`] is intentionally excluded: it
-    /// mixes the others).
-    pub const ALL: [BjMethod; 5] = [
-        BjMethod::SmallLu,
-        BjMethod::GaussHuard,
-        BjMethod::GaussHuardT,
-        BjMethod::GjeInvert,
-        BjMethod::Cholesky,
-    ];
-
-    /// Short label used in experiment output.
-    pub fn label(self) -> &'static str {
-        match self {
-            BjMethod::SmallLu => "LU",
-            BjMethod::GaussHuard => "GH",
-            BjMethod::GaussHuardT => "GH-T",
-            BjMethod::GjeInvert => "GJE-inv",
-            BjMethod::Cholesky => "Cholesky",
-            BjMethod::Auto => "auto",
-        }
-    }
-
-    /// The planner method this preconditioner method corresponds to.
-    pub fn plan_method(self) -> PlanMethod {
-        match self {
-            BjMethod::SmallLu => PlanMethod::SmallLu,
-            BjMethod::GaussHuard => PlanMethod::GaussHuard,
-            BjMethod::GaussHuardT => PlanMethod::GaussHuardT,
-            BjMethod::GjeInvert => PlanMethod::GjeInvert,
-            BjMethod::Cholesky => PlanMethod::Cholesky,
-            BjMethod::Auto => PlanMethod::Auto,
-        }
-    }
-}
-
-/// Knobs for [`BlockJacobi::setup_with_options`]: batch layout, health
-/// triage policy, and an optional fault-injection plan applied to the
-/// extracted diagonal blocks before factorization (for the differential
-/// fault suite — never use in production setups).
-#[derive(Clone, Debug)]
-pub struct BjOptions {
-    /// Storage layout policy passed through to the backend.
-    pub layout: BatchLayout,
-    /// Post-factorization health triage ([`HealthPolicy::Off`] keeps
-    /// the historical bitwise behaviour).
-    pub health: HealthPolicy,
-    /// Corrupt the extracted blocks with this plan before factorizing.
-    pub fault: Option<FaultPlan>,
-}
-
-impl Default for BjOptions {
-    /// The same defaults as [`BlockJacobi::setup_with_backend`]:
-    /// interleave populous uniform classes, no triage, no faults.
-    fn default() -> Self {
-        BjOptions {
-            layout: BatchLayout::interleaved(),
-            health: HealthPolicy::Off,
-            fault: None,
-        }
-    }
-}
-
-impl BjOptions {
-    /// Default layout, guarded health triage with the scalar type's
-    /// recommended ill-conditioning threshold.
-    pub fn guarded<T: Scalar>() -> Self {
-        BjOptions {
-            health: HealthPolicy::guarded::<T>(),
-            ..Self::default()
-        }
-    }
-
-    /// Set the batch layout policy.
-    pub fn with_layout(mut self, layout: BatchLayout) -> Self {
-        self.layout = layout;
-        self
-    }
-
-    /// Set the fault-injection plan.
-    pub fn with_fault(mut self, plan: FaultPlan) -> Self {
-        self.fault = Some(plan);
-        self
-    }
-}
 
 /// The assembled block-Jacobi preconditioner.
 pub struct BlockJacobi<T: Scalar> {
@@ -212,7 +106,7 @@ impl<T: Scalar> BlockJacobi<T> {
         method: BjMethod,
         backend: Arc<dyn Backend<T>>,
     ) -> Result<Self, FactorError> {
-        Self::setup_with_layout(a, part, method, backend, BatchLayout::interleaved())
+        Self::setup_opts(a, part, backend, BjOptions::default().with_method(method))
     }
 
     /// Set up with an explicit batch layout policy: the plan passes it
@@ -225,24 +119,36 @@ impl<T: Scalar> BlockJacobi<T> {
         backend: Arc<dyn Backend<T>>,
         layout: BatchLayout,
     ) -> Result<Self, FactorError> {
-        Self::setup_with_options(
+        Self::setup_opts(
             a,
             part,
-            method,
             backend,
-            BjOptions::default().with_layout(layout),
+            BjOptions::default().with_method(method).with_layout(layout),
         )
     }
 
-    /// Fully-optioned setup: layout, health triage policy, and optional
-    /// pre-factorization fault injection (see [`BjOptions`]). The fault
-    /// assignment actually applied is retained in
-    /// [`BlockJacobi::fault_map`] so differential tests can cross-check
-    /// the per-block statuses against the injected map.
+    /// Historical fully-optioned entry point, now a thin wrapper: the
+    /// separate `method` argument overrides `opts.method`.
     pub fn setup_with_options(
         a: &CsrMatrix<T>,
         part: &BlockPartition,
         method: BjMethod,
+        backend: Arc<dyn Backend<T>>,
+        opts: BjOptions,
+    ) -> Result<Self, FactorError> {
+        Self::setup_opts(a, part, backend, opts.with_method(method))
+    }
+
+    /// The canonical options-driven setup (the
+    /// [`BlockPreconditioner::setup_opts`] entry point): method,
+    /// layout, health triage and optional pre-factorization fault
+    /// injection all come from `opts`. The fault assignment actually
+    /// applied is retained in [`BlockJacobi::fault_map`] so
+    /// differential tests can cross-check the per-block statuses
+    /// against the injected map.
+    pub fn setup_opts(
+        a: &CsrMatrix<T>,
+        part: &BlockPartition,
         backend: Arc<dyn Backend<T>>,
         opts: BjOptions,
     ) -> Result<Self, FactorError> {
@@ -258,21 +164,22 @@ impl<T: Scalar> BlockJacobi<T> {
             .unwrap_or_default();
         let plan = BatchPlan::for_method_with_layout::<T>(
             blocks.sizes(),
-            method.plan_method(),
+            opts.method.plan_method(),
             opts.layout,
         )
         .with_health(opts.health);
         let factors = backend.factorize(blocks, &plan, &mut stats);
         let fallback_blocks = factors.fallback_count();
         let prepared = backend.prepare_apply(&factors);
-        // Pre-warm the apply-phase entry so the first steady-state
-        // apply does not pay the histogram's one-time node insertion.
+        // Pre-warm the steady-state histogram entries so the first
+        // apply does not pay their one-time node insertions.
         let mut apply_stats = ExecStats::new();
         apply_stats.add_phase(Phase::Apply, Duration::ZERO);
+        apply_stats.record_precond(PrecondKind::BlockJacobi.label(), 0);
         Ok(BlockJacobi {
             part: part.clone(),
             factors,
-            method,
+            method: opts.method,
             backend,
             prepared,
             apply_stats: Mutex::new(apply_stats),
@@ -336,6 +243,7 @@ impl<T: Scalar> Preconditioner<T> for BlockJacobi<T> {
         debug_assert_eq!(v.len(), self.part.total());
         let _span = vbatch_trace::span!("bj.apply", v.len());
         let mut stats = self.apply_stats.lock().expect("apply stats poisoned");
+        stats.record_precond(PrecondKind::BlockJacobi.label(), 1);
         self.backend
             .solve_prepared(&self.factors, &self.prepared, v, &mut stats);
     }
@@ -353,9 +261,46 @@ impl<T: Scalar> Preconditioner<T> for BlockJacobi<T> {
     }
 }
 
+impl<T: Scalar> BlockPreconditioner<T> for BlockJacobi<T> {
+    fn kind() -> PrecondKind {
+        PrecondKind::BlockJacobi
+    }
+
+    fn setup_opts(
+        a: &CsrMatrix<T>,
+        part: &BlockPartition,
+        backend: Arc<dyn Backend<T>>,
+        opts: BjOptions,
+    ) -> Result<Self, FactorError> {
+        BlockJacobi::setup_opts(a, part, backend, opts)
+    }
+
+    fn partition(&self) -> &BlockPartition {
+        &self.part
+    }
+
+    fn statuses(&self) -> &[BlockStatus] {
+        &self.factors.status
+    }
+
+    fn setup_report(&self) -> SetupReport {
+        SetupReport {
+            setup_time: self.setup_time,
+            fallback_blocks: self.fallback_blocks,
+            stats: self.stats.clone(),
+            backend_name: self.backend.name(),
+        }
+    }
+
+    fn apply_stats(&self) -> ExecStats {
+        BlockJacobi::apply_stats(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use vbatch_exec::FaultPlan;
     use vbatch_sparse::gen::fem::{fem_block_matrix, MeshGraph};
     use vbatch_sparse::gen::laplace::laplace_2d;
     use vbatch_sparse::supervariable_blocking;

@@ -1,6 +1,20 @@
 //! The preconditioner interface the Krylov solvers consume.
+//!
+//! [`Preconditioner`] is the apply-side contract (what a Krylov
+//! iteration needs); [`BlockPreconditioner`] extends it with the
+//! setup-side contract every batched block preconditioner shares — one
+//! options-driven constructor from a CSR matrix and a block partition,
+//! plus health/stats reporting. The solvers' generic drivers are
+//! written against these traits, so block-Jacobi
+//! ([`crate::BlockJacobi`]) and block-ILU(0) ([`crate::BlockIlu0`])
+//! are interchangeable end to end.
 
-use vbatch_core::Scalar;
+use crate::options::PrecondOptions;
+use std::sync::Arc;
+use std::time::Duration;
+use vbatch_core::{FactorError, Scalar};
+use vbatch_exec::{Backend, BlockStatus, ExecStats};
+use vbatch_sparse::{BlockPartition, CsrMatrix};
 
 /// A (left-applied) preconditioner: `apply` overwrites `v` with
 /// `M^{-1} v`. Implementations must be thread-safe — the batched
@@ -21,6 +35,84 @@ pub trait Preconditioner<T: Scalar>: Send + Sync {
         self.apply_inplace(&mut out);
         out
     }
+}
+
+/// Which block preconditioner a driver should build — the dispatch
+/// token behind the benchmark bins' `--precond {bj,bilu}` flag.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PrecondKind {
+    /// Block-Jacobi: batched diagonal-block solves only.
+    BlockJacobi,
+    /// Block-ILU(0): batched diagonal-block solves plus level-scheduled
+    /// global triangular sweeps.
+    BlockIlu0,
+}
+
+impl PrecondKind {
+    /// Both kinds, comparison order.
+    pub const ALL: [PrecondKind; 2] = [PrecondKind::BlockJacobi, PrecondKind::BlockIlu0];
+
+    /// Stable short label ("bj" / "bilu"), used in CSV output and flag
+    /// parsing.
+    pub fn label(self) -> &'static str {
+        match self {
+            PrecondKind::BlockJacobi => "bj",
+            PrecondKind::BlockIlu0 => "bilu",
+        }
+    }
+
+    /// Parse a `--precond` flag value.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "bj" | "block-jacobi" => Some(PrecondKind::BlockJacobi),
+            "bilu" | "bilu0" | "block-ilu" => Some(PrecondKind::BlockIlu0),
+            _ => None,
+        }
+    }
+}
+
+/// Everything a setup reports about itself, in one backend-independent
+/// bundle (the solvers' drivers forward it into their result structs).
+#[derive(Clone, Debug)]
+pub struct SetupReport {
+    /// Wall-clock time of the whole setup phase.
+    pub setup_time: Duration,
+    /// Blocks degraded to a fallback during factorization.
+    pub fallback_blocks: usize,
+    /// Execution statistics of the setup phase.
+    pub stats: ExecStats,
+    /// Name of the backend the preconditioner was built on.
+    pub backend_name: &'static str,
+}
+
+/// A batched block preconditioner: a [`Preconditioner`] that can be
+/// *set up* from a CSR matrix and a block partition through one
+/// canonical options-driven constructor, and that reports its setup and
+/// steady-state apply statistics.
+pub trait BlockPreconditioner<T: Scalar>: Preconditioner<T> + Sized {
+    /// The kind tag of this implementation.
+    fn kind() -> PrecondKind;
+
+    /// Canonical constructor: build the preconditioner for `a` under
+    /// `part` on `backend`, configured by `opts`.
+    fn setup_opts(
+        a: &CsrMatrix<T>,
+        part: &BlockPartition,
+        backend: Arc<dyn Backend<T>>,
+        opts: PrecondOptions,
+    ) -> Result<Self, FactorError>;
+
+    /// The partition this preconditioner was built for.
+    fn partition(&self) -> &BlockPartition;
+
+    /// Per-block factorization status of the diagonal blocks.
+    fn statuses(&self) -> &[BlockStatus];
+
+    /// The setup-phase report (time, fallbacks, stats, backend).
+    fn setup_report(&self) -> SetupReport;
+
+    /// Snapshot of the accumulated steady-state apply statistics.
+    fn apply_stats(&self) -> ExecStats;
 }
 
 /// The do-nothing preconditioner (unpreconditioned baseline).

@@ -1,16 +1,22 @@
-//! Backend-parameterized preconditioned solve driver: build a
-//! block-Jacobi preconditioner on an explicit `vbatch-exec` backend and
-//! run the paper's IDR(s) on it, reporting the solve outcome together
-//! with the preconditioner setup statistics (kernel histogram, flops,
-//! fallback blocks). This is the seam experiments use to swap the CPU
-//! backends and the SIMT simulator without touching solver code.
+//! Backend-parameterized preconditioned solve drivers, generic over the
+//! [`BlockPreconditioner`] trait: build the preconditioner (block-Jacobi
+//! or block-ILU(0)) on an explicit `vbatch-exec` backend and run the
+//! paper's IDR(s) on it, reporting the solve outcome together with the
+//! preconditioner setup statistics (kernel histogram, flops, fallback
+//! blocks). This is the seam experiments use to swap both the CPU
+//! backends / SIMT simulator and the preconditioner without touching
+//! solver code. The historical block-Jacobi entry points
+//! ([`idr_block_jacobi`], [`idr_block_jacobi_robust`], [`IdrBjSolver`])
+//! survive as thin instantiations of the generic drivers.
 
 use crate::{gmres, idr, idr_with_workspace, KrylovWorkspace, SolveParams, SolveResult};
 use std::sync::Arc;
 use std::time::Duration;
 use vbatch_core::{FactorError, Scalar};
 use vbatch_exec::{Backend, ExecStats};
-use vbatch_precond::{BjMethod, BlockJacobi};
+use vbatch_precond::{
+    BjMethod, BlockIlu0, BlockJacobi, BlockPreconditioner, PrecondKind, PrecondOptions,
+};
 use vbatch_sparse::{axpy, nrm2, residual, BlockPartition, CsrMatrix};
 
 /// A preconditioned solve plus the setup-phase execution statistics.
@@ -19,16 +25,59 @@ pub struct PrecondSolve<T> {
     pub result: SolveResult<T>,
     /// Wall-clock time of preconditioner setup (extract + factorize).
     pub setup_time: Duration,
-    /// Singular blocks degraded to the scalar-Jacobi fallback.
+    /// Singular blocks degraded to a fallback during factorization.
     pub fallback_blocks: usize,
     /// Execution statistics of the setup phase.
     pub setup_stats: ExecStats,
     /// Backend the preconditioner ran on.
     pub backend_name: &'static str,
+    /// Label of the preconditioner that drove the solve
+    /// (e.g. `block-jacobi(LU, max 12)`).
+    pub precond_label: String,
+}
+
+/// Solve `A x = b` with IDR(s) preconditioned by any
+/// [`BlockPreconditioner`] set up through its canonical options-driven
+/// constructor on the given execution backend.
+pub fn idr_precond<T: Scalar, M: BlockPreconditioner<T>>(
+    a: &CsrMatrix<T>,
+    b: &[T],
+    s: usize,
+    part: &BlockPartition,
+    backend: Arc<dyn Backend<T>>,
+    opts: PrecondOptions,
+    params: &SolveParams,
+) -> Result<PrecondSolve<T>, FactorError> {
+    let m = M::setup_opts(a, part, backend, opts)?;
+    let result = idr(a, b, s, &m, params);
+    Ok(finish_solve(result, &m))
+}
+
+/// Dispatch [`idr_precond`] on a runtime [`PrecondKind`] token — the
+/// entry point behind the benchmark bins' `--precond {bj,bilu}` flag.
+#[allow(clippy::too_many_arguments)] // mirrors idr_precond + kind
+pub fn idr_precond_kind<T: Scalar>(
+    kind: PrecondKind,
+    a: &CsrMatrix<T>,
+    b: &[T],
+    s: usize,
+    part: &BlockPartition,
+    backend: Arc<dyn Backend<T>>,
+    opts: PrecondOptions,
+    params: &SolveParams,
+) -> Result<PrecondSolve<T>, FactorError> {
+    match kind {
+        PrecondKind::BlockJacobi => {
+            idr_precond::<T, BlockJacobi<T>>(a, b, s, part, backend, opts, params)
+        }
+        PrecondKind::BlockIlu0 => {
+            idr_precond::<T, BlockIlu0<T>>(a, b, s, part, backend, opts, params)
+        }
+    }
 }
 
 /// Solve `A x = b` with IDR(s) preconditioned by block-Jacobi set up on
-/// the given execution backend.
+/// the given execution backend (thin wrapper over [`idr_precond`]).
 pub fn idr_block_jacobi<T: Scalar>(
     a: &CsrMatrix<T>,
     b: &[T],
@@ -38,50 +87,70 @@ pub fn idr_block_jacobi<T: Scalar>(
     backend: Arc<dyn Backend<T>>,
     params: &SolveParams,
 ) -> Result<PrecondSolve<T>, FactorError> {
-    let name = backend.name();
-    let m = BlockJacobi::setup_with_backend(a, part, method, backend)?;
-    let result = idr(a, b, s, &m, params);
-    Ok(PrecondSolve {
-        result,
-        setup_time: m.setup_time,
-        fallback_blocks: m.fallback_blocks,
-        setup_stats: m.stats,
-        backend_name: name,
-    })
+    idr_precond::<T, BlockJacobi<T>>(
+        a,
+        b,
+        s,
+        part,
+        backend,
+        PrecondOptions::default().with_method(method),
+        params,
+    )
 }
 
-/// A reusable solve handle: block-Jacobi setup runs once, then every
-/// [`IdrBjSolver::solve`] call reuses both the prepared preconditioner
-/// apply and a persistent [`KrylovWorkspace`] — after the first solve,
-/// subsequent solves allocate nothing in their iteration loops. Results
-/// are bitwise identical to the one-shot [`idr_block_jacobi`].
-pub struct IdrBjSolver<T: Scalar> {
-    m: BlockJacobi<T>,
+fn finish_solve<T: Scalar, M: BlockPreconditioner<T>>(
+    result: SolveResult<T>,
+    m: &M,
+) -> PrecondSolve<T> {
+    let report = m.setup_report();
+    PrecondSolve {
+        result,
+        setup_time: report.setup_time,
+        fallback_blocks: report.fallback_blocks,
+        setup_stats: report.stats,
+        backend_name: report.backend_name,
+        precond_label: m.label(),
+    }
+}
+
+/// A reusable solve handle, generic over the preconditioner: setup runs
+/// once, then every [`IdrSolver::solve`] call reuses both the prepared
+/// preconditioner apply and a persistent [`KrylovWorkspace`] — after
+/// the first solve, subsequent solves allocate nothing in their
+/// iteration loops. Results are bitwise identical to the one-shot
+/// [`idr_precond`].
+pub struct IdrSolver<T: Scalar, M: BlockPreconditioner<T>> {
+    m: M,
     ws: KrylovWorkspace<T>,
     s: usize,
     params: SolveParams,
     backend_name: &'static str,
 }
 
-impl<T: Scalar> IdrBjSolver<T> {
-    /// Build the preconditioner on `backend` and pre-seed the Krylov
-    /// workspace for IDR(s) solves of this dimension.
-    pub fn setup(
+/// The historical name: the reusable IDR handle specialized to
+/// block-Jacobi.
+pub type IdrBjSolver<T> = IdrSolver<T, BlockJacobi<T>>;
+
+impl<T: Scalar, M: BlockPreconditioner<T>> IdrSolver<T, M> {
+    /// Build the preconditioner on `backend` through its canonical
+    /// options-driven constructor and pre-seed the Krylov workspace for
+    /// IDR(s) solves of this dimension.
+    pub fn setup_opts(
         a: &CsrMatrix<T>,
         s: usize,
         part: &BlockPartition,
-        method: BjMethod,
         backend: Arc<dyn Backend<T>>,
+        opts: PrecondOptions,
         params: &SolveParams,
     ) -> Result<Self, FactorError> {
-        let name = backend.name();
-        let m = BlockJacobi::setup_with_backend(a, part, method, backend)?;
-        Ok(IdrBjSolver {
+        let m = M::setup_opts(a, part, backend, opts)?;
+        let backend_name = m.setup_report().backend_name;
+        Ok(IdrSolver {
             m,
             ws: KrylovWorkspace::for_idr(a.nrows(), s),
             s,
             params: params.clone(),
-            backend_name: name,
+            backend_name,
         })
     }
 
@@ -91,8 +160,8 @@ impl<T: Scalar> IdrBjSolver<T> {
         idr_with_workspace(a, b, self.s, &self.m, &self.params, &mut self.ws)
     }
 
-    /// The block-Jacobi preconditioner owned by this handle.
-    pub fn precond(&self) -> &BlockJacobi<T> {
+    /// The preconditioner owned by this handle.
+    pub fn precond(&self) -> &M {
         &self.m
     }
 
@@ -104,6 +173,28 @@ impl<T: Scalar> IdrBjSolver<T> {
     /// Backend the preconditioner was set up on.
     pub fn backend_name(&self) -> &'static str {
         self.backend_name
+    }
+}
+
+impl<T: Scalar> IdrBjSolver<T> {
+    /// Historical block-Jacobi entry point (thin wrapper over
+    /// [`IdrSolver::setup_opts`]).
+    pub fn setup(
+        a: &CsrMatrix<T>,
+        s: usize,
+        part: &BlockPartition,
+        method: BjMethod,
+        backend: Arc<dyn Backend<T>>,
+        params: &SolveParams,
+    ) -> Result<Self, FactorError> {
+        Self::setup_opts(
+            a,
+            s,
+            part,
+            backend,
+            PrecondOptions::default().with_method(method),
+            params,
+        )
     }
 }
 
@@ -140,24 +231,23 @@ pub struct RobustSolve<T> {
     pub used_gmres: bool,
 }
 
-/// [`idr_block_jacobi`] wrapped in the breakdown-recovery policy: on an
+/// [`idr_precond`] wrapped in the breakdown-recovery policy: on an
 /// abnormal stop the driver restarts IDR from the current iterate, and
 /// if it still cannot finish cleanly, falls back to GMRES(m) with the
 /// same preconditioner. A corrupted right-hand side (non-finite norm)
 /// is reported as [`StopReason::NonFinite`] without burning iterations.
-#[allow(clippy::too_many_arguments)] // mirrors idr_block_jacobi + policy
-pub fn idr_block_jacobi_robust<T: Scalar>(
+#[allow(clippy::too_many_arguments)] // mirrors idr_precond + policy
+pub fn idr_precond_robust<T: Scalar, M: BlockPreconditioner<T>>(
     a: &CsrMatrix<T>,
     b: &[T],
     s: usize,
     part: &BlockPartition,
-    method: BjMethod,
     backend: Arc<dyn Backend<T>>,
+    opts: PrecondOptions,
     params: &SolveParams,
     policy: &RobustPolicy,
 ) -> Result<RobustSolve<T>, FactorError> {
-    let name = backend.name();
-    let m = BlockJacobi::setup_with_backend(a, part, method, backend)?;
+    let m = M::setup_opts(a, part, backend, opts)?;
     let normb = nrm2(b).to_f64();
 
     let mut result = idr(a, b, s, &m, params);
@@ -186,16 +276,35 @@ pub fn idr_block_jacobi_robust<T: Scalar>(
     }
 
     Ok(RobustSolve {
-        solve: PrecondSolve {
-            result,
-            setup_time: m.setup_time,
-            fallback_blocks: m.fallback_blocks,
-            setup_stats: m.stats,
-            backend_name: name,
-        },
+        solve: finish_solve(result, &m),
         restarts,
         used_gmres,
     })
+}
+
+/// Historical block-Jacobi entry point (thin wrapper over
+/// [`idr_precond_robust`]).
+#[allow(clippy::too_many_arguments)] // mirrors idr_block_jacobi + policy
+pub fn idr_block_jacobi_robust<T: Scalar>(
+    a: &CsrMatrix<T>,
+    b: &[T],
+    s: usize,
+    part: &BlockPartition,
+    method: BjMethod,
+    backend: Arc<dyn Backend<T>>,
+    params: &SolveParams,
+    policy: &RobustPolicy,
+) -> Result<RobustSolve<T>, FactorError> {
+    idr_precond_robust::<T, BlockJacobi<T>>(
+        a,
+        b,
+        s,
+        part,
+        backend,
+        PrecondOptions::default().with_method(method),
+        params,
+        policy,
+    )
 }
 
 /// Fold a retry/fallback attempt into the running result: the iterate
@@ -291,9 +400,75 @@ mod tests {
         assert_eq!(one_shot.result.iterations, r2.iterations);
         assert!(handle.workspace().high_water() > 0);
         assert_eq!(handle.backend_name(), "cpu-seq");
+        assert!(one_shot.precond_label.starts_with("block-jacobi"));
         // the prepared apply ran once per IDR iteration in both solves
         let stats = handle.precond().apply_stats();
         assert_eq!(stats.applies as usize, 2 * r1.iterations);
+    }
+
+    #[test]
+    fn generic_driver_runs_block_ilu() {
+        let a = laplace_2d::<f64>(8, 8);
+        let b = vec![1.0; 64];
+        let part = BlockPartition::uniform(64, 4);
+        let bilu = idr_precond::<f64, BlockIlu0<f64>>(
+            &a,
+            &b,
+            4,
+            &part,
+            backend(),
+            PrecondOptions::default().with_method(BjMethod::SmallLu),
+            &SolveParams::default(),
+        )
+        .unwrap();
+        assert!(bilu.result.converged());
+        assert!(bilu.precond_label.starts_with("block-ilu0"));
+        // runtime dispatch agrees with the static instantiation
+        let kinded = idr_precond_kind(
+            PrecondKind::BlockIlu0,
+            &a,
+            &b,
+            4,
+            &part,
+            backend(),
+            PrecondOptions::default().with_method(BjMethod::SmallLu),
+            &SolveParams::default(),
+        )
+        .unwrap();
+        assert_eq!(bilu.result.x, kinded.result.x);
+        assert_eq!(bilu.result.iterations, kinded.result.iterations);
+    }
+
+    #[test]
+    fn generic_reusable_handle_runs_block_ilu() {
+        let a = laplace_2d::<f64>(8, 8);
+        let b = vec![1.0; 64];
+        let part = BlockPartition::uniform(64, 4);
+        let mut handle = IdrSolver::<f64, BlockIlu0<f64>>::setup_opts(
+            &a,
+            4,
+            &part,
+            backend(),
+            PrecondOptions::default().with_method(BjMethod::SmallLu),
+            &SolveParams::default(),
+        )
+        .unwrap();
+        let r1 = handle.solve(&a, &b);
+        let r2 = handle.solve(&a, &b);
+        assert!(r1.converged());
+        assert_eq!(r1.x, r2.x);
+        // BILU must not need more iterations than BJ on this SPD model
+        let bj = idr_block_jacobi(
+            &a,
+            &b,
+            4,
+            &part,
+            BjMethod::SmallLu,
+            backend(),
+            &SolveParams::default(),
+        )
+        .unwrap();
+        assert!(r1.iterations <= bj.result.iterations);
     }
 
     #[test]

@@ -29,7 +29,8 @@ pub use bicgstab::{bicgstab, bicgstab_with_workspace};
 pub use cg::{cg, cg_with_workspace};
 pub use control::{SolveParams, SolveResult, StagnationGuard, StopReason};
 pub use driver::{
-    idr_block_jacobi, idr_block_jacobi_robust, IdrBjSolver, PrecondSolve, RobustPolicy, RobustSolve,
+    idr_block_jacobi, idr_block_jacobi_robust, idr_precond, idr_precond_kind, idr_precond_robust,
+    IdrBjSolver, IdrSolver, PrecondSolve, RobustPolicy, RobustSolve,
 };
 pub use gmres::{gmres, gmres_with_workspace};
 pub use idr::{idr, idr_smoothed, idr_smoothed_with_workspace, idr_with_workspace};

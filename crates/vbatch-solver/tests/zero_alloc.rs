@@ -13,9 +13,9 @@
 
 use std::sync::Arc;
 use vbatch_exec::{Backend, CpuSequential};
-use vbatch_precond::{BjMethod, Preconditioner};
+use vbatch_precond::{BjMethod, BlockIlu0, PrecondOptions, Preconditioner};
 use vbatch_rt::CountingAlloc;
-use vbatch_solver::{IdrBjSolver, SolveParams, StopReason};
+use vbatch_solver::{IdrBjSolver, IdrSolver, SolveParams, StopReason};
 use vbatch_sparse::gen::laplace::laplace_2d;
 use vbatch_sparse::BlockPartition;
 
@@ -89,6 +89,82 @@ fn warm_apply_with_tracing_enabled_allocates_nothing() {
         assert_eq!(ev1, 0, "trace feature off: the event counter must stay 0");
     }
     assert!(v.iter().all(|x| x.is_finite()));
+}
+
+/// The guarantee extends to block-ILU(0): a warm apply runs two
+/// level-scheduled triangular sweeps plus the prepared diagonal solve —
+/// the level/preconditioner histograms are pre-warmed at setup, so the
+/// whole three-stage apply touches the heap zero times.
+#[test]
+fn warm_bilu_apply_allocates_nothing() {
+    let a = laplace_2d::<f64>(16, 16);
+    let n = a.nrows();
+    let part = BlockPartition::uniform(n, 8);
+    let m = BlockIlu0::setup_opts(
+        &a,
+        &part,
+        backend(),
+        PrecondOptions::default().with_method(BjMethod::SmallLu),
+    )
+    .unwrap();
+    let mut v: Vec<f64> = (0..n).map(|i| 1.0 + (i % 5) as f64).collect();
+    m.apply_inplace(&mut v); // warm-up
+    let before = ALLOC.snapshot();
+    m.apply_inplace(&mut v);
+    m.apply_inplace(&mut v);
+    let after = ALLOC.snapshot();
+    assert_eq!(
+        after.allocs_since(&before),
+        0,
+        "warm block-ILU(0) apply must not allocate ({} bytes leaked in)",
+        after.bytes_since(&before)
+    );
+    assert!(v.iter().all(|x| x.is_finite()));
+}
+
+/// And to the full Krylov loop over block-ILU(0): extra warm IDR
+/// iterations through the generic [`IdrSolver`] handle cost zero
+/// additional allocations, exactly as for block-Jacobi.
+#[test]
+fn warm_bilu_idr_iterations_allocate_nothing() {
+    // 48x48 grid: block-ILU(0) needs ~25 IDR(4) iterations here, so
+    // both capped runs below stop on MaxIterations
+    let a = laplace_2d::<f64>(48, 48);
+    let n = a.nrows();
+    let b: Vec<f64> = (0..n).map(|i| 1.0 + (i % 7) as f64).collect();
+    let part = BlockPartition::uniform(n, 8);
+    let opts = PrecondOptions::default().with_method(BjMethod::SmallLu);
+
+    let short = SolveParams::default().with_max_iters(4);
+    let long = SolveParams::default().with_max_iters(20);
+
+    let mut handle =
+        IdrSolver::<f64, BlockIlu0<f64>>::setup_opts(&a, 4, &part, backend(), opts.clone(), &short)
+            .unwrap();
+    let warm = handle.solve(&a, &b);
+    assert_eq!(warm.reason, StopReason::MaxIterations);
+
+    let s0 = ALLOC.snapshot();
+    let r_short = handle.solve(&a, &b);
+    let allocs_short = ALLOC.snapshot().allocs_since(&s0);
+
+    let mut handle_long =
+        IdrSolver::<f64, BlockIlu0<f64>>::setup_opts(&a, 4, &part, backend(), opts, &long).unwrap();
+    let warm_long = handle_long.solve(&a, &b);
+    assert_eq!(warm_long.reason, StopReason::MaxIterations);
+
+    let s1 = ALLOC.snapshot();
+    let r_long = handle_long.solve(&a, &b);
+    let allocs_long = ALLOC.snapshot().allocs_since(&s1);
+
+    assert!(r_long.iterations > r_short.iterations + 10);
+    assert_eq!(
+        allocs_long,
+        allocs_short,
+        "the {} extra warm block-ILU(0) iterations must allocate nothing \
+         (short solve: {allocs_short} allocs, long solve: {allocs_long})",
+        r_long.iterations - r_short.iterations
+    );
 }
 
 #[test]

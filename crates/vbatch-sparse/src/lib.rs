@@ -15,6 +15,7 @@ pub mod csr;
 pub mod extract;
 pub mod gen;
 pub mod mm_io;
+pub mod pattern;
 pub mod reorder;
 pub mod sellp;
 pub mod spmv;
@@ -29,6 +30,7 @@ pub use mm_io::{
     read_matrix_market, read_matrix_market_str, write_matrix_market, write_matrix_market_str,
     MmError,
 };
+pub use pattern::{BlockPattern, LevelSchedule, TriKind};
 pub use reorder::{is_permutation, reverse_cuthill_mckee};
 pub use sellp::SellPMatrix;
 pub use spmv::{axpy, dot, nrm2, residual, scal, spmv, spmv_alloc, spmv_par, xpby};

@@ -205,3 +205,66 @@ fn extraction_matches_dense_slices() {
         }
     });
 }
+
+/// The level schedules built for the block triangular sweeps must form
+/// a valid topological partition of the block dependency DAG: every
+/// block row appears in exactly one level, every dependency sits in a
+/// strictly earlier level, and each row's level is *minimal* (one more
+/// than its deepest dependency, so no artificial serialization).
+#[test]
+fn level_schedules_topologically_partition_the_block_dag() {
+    use vbatch_sparse::{BlockPattern, LevelSchedule, TriKind};
+    run_cases(
+        "level_schedules_topologically_partition_the_block_dag",
+        64,
+        |rng, _case| {
+            let (n, entries) = coo_matrix(rng);
+            let bound = rng.gen_range(1usize..7);
+            let a = build(n, &entries);
+            let part = BlockPartition::uniform(n, bound);
+            let pattern = BlockPattern::build(&a, &part);
+            for kind in [TriKind::Lower, TriKind::Upper] {
+                let sched = match kind {
+                    TriKind::Lower => LevelSchedule::lower(&pattern),
+                    TriKind::Upper => LevelSchedule::upper(&pattern),
+                };
+                assert_eq!(sched.num_rows(), part.len());
+                // partition: every block row in exactly one level
+                let mut seen = vec![false; part.len()];
+                for l in 0..sched.num_levels() {
+                    assert!(!sched.level(l).is_empty(), "level {l} is empty");
+                    for &i in sched.level(l) {
+                        assert!(!seen[i], "row {i} scheduled twice");
+                        seen[i] = true;
+                        assert_eq!(sched.level_of(i), l);
+                    }
+                }
+                assert!(seen.iter().all(|&s| s), "some row was never scheduled");
+                // topological order + minimality against the dependency
+                // set of the sweep direction
+                for i in 0..part.len() {
+                    let deps: &[usize] = match kind {
+                        TriKind::Lower => pattern.lower_cols(i),
+                        TriKind::Upper => pattern.upper_cols(i),
+                    };
+                    let mut deepest = None::<usize>;
+                    for &j in deps {
+                        assert!(
+                            sched.level_of(j) < sched.level_of(i),
+                            "dependency {j} of row {i} not in an earlier level"
+                        );
+                        deepest = Some(
+                            deepest.map_or(sched.level_of(j), |d: usize| d.max(sched.level_of(j))),
+                        );
+                    }
+                    let expect = deepest.map_or(0, |d| d + 1);
+                    assert_eq!(
+                        sched.level_of(i),
+                        expect,
+                        "row {i} not at its minimal level"
+                    );
+                }
+            }
+        },
+    );
+}
