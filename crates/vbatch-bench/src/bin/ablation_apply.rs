@@ -24,7 +24,7 @@ use std::sync::Arc;
 use std::time::Instant;
 use vbatch_bench::{parse_precond_flag, uniform_bench_batch, write_csv};
 use vbatch_core::VectorBatch;
-use vbatch_exec::{Backend, BatchPlan, CpuSequential, ExecStats};
+use vbatch_exec::{Backend, BatchPlan, CpuSequential, CpuSimd, ExecStats};
 use vbatch_precond::{BjMethod, BlockIlu0, BlockJacobi, PrecondKind, PrecondOptions};
 use vbatch_rt::CountingAlloc;
 use vbatch_simt::kernels::{gemv, getrf, trsv};
@@ -49,40 +49,41 @@ struct MeasuredApply {
 }
 
 /// Time one full-batch preconditioner application through both paths
-/// (best of three) and count heap allocations of a single application.
-fn measure_apply(n: usize) -> MeasuredApply {
+/// (best of three) on an explicit backend and count heap allocations of
+/// a single application.
+fn measure_apply(n: usize, backend: &dyn Backend<f64>) -> MeasuredApply {
     let batch = uniform_bench_batch::<f64>(MEASURED_BATCH, n);
     let plan = BatchPlan::auto::<f64>(batch.sizes());
     let mut stats = ExecStats::new();
-    let factors = CpuSequential.factorize(batch.clone(), &plan, &mut stats);
+    let factors = backend.factorize(batch.clone(), &plan, &mut stats);
     let total = n * MEASURED_BATCH;
     let flat: Vec<f64> = (0..total).map(|i| 1.0 + (i % 5) as f64).collect();
 
     // before: the per-call solve path
     let mut rhs = VectorBatch::from_flat(batch.sizes(), &flat);
-    CpuSequential.solve(&factors, &mut rhs, &mut stats); // warm-up
+    backend.solve(&factors, &mut rhs, &mut stats); // warm-up
     let mut solve_s = f64::INFINITY;
     for _ in 0..3 {
         let t0 = Instant::now();
-        CpuSequential.solve(&factors, &mut rhs, &mut stats);
+        backend.solve(&factors, &mut rhs, &mut stats);
         solve_s = solve_s.min(t0.elapsed().as_secs_f64());
     }
     let s0 = ALLOC.snapshot();
-    CpuSequential.solve(&factors, &mut rhs, &mut stats);
+    backend.solve(&factors, &mut rhs, &mut stats);
     let allocs_solve = ALLOC.snapshot().allocs_since(&s0);
 
     // after: the prepared workspace path
-    let prep = CpuSequential.prepare_apply(&factors);
+    let prep = backend.prepare_apply(&factors);
     let mut v = flat;
-    CpuSequential.solve_prepared(&factors, &prep, &mut v, &mut stats); // warm-up
+    backend.solve_prepared(&factors, &prep, &mut v, &mut stats); // warm-up
     let mut prepared_s = f64::INFINITY;
     for _ in 0..3 {
         let t0 = Instant::now();
-        CpuSequential.solve_prepared(&factors, &prep, &mut v, &mut stats);
+        backend.solve_prepared(&factors, &prep, &mut v, &mut stats);
         prepared_s = prepared_s.min(t0.elapsed().as_secs_f64());
     }
     let s1 = ALLOC.snapshot();
-    CpuSequential.solve_prepared(&factors, &prep, &mut v, &mut stats);
+    backend.solve_prepared(&factors, &prep, &mut v, &mut stats);
     let allocs_prepared = ALLOC.snapshot().allocs_since(&s1);
 
     MeasuredApply {
@@ -183,31 +184,46 @@ fn main() {
          one full-batch application):"
     );
     println!(
-        "{:>5} {:>12} {:>12} {:>9} {:>12} {:>13} {:>10}",
-        "size", "solve [us]", "prep [us]", "speedup", "allocs/solve", "allocs/prep", "ws hwm"
+        "{:>5} {:>12} {:>12} {:>9} {:>12} {:>13} {:>10} {:>12} {:>12}",
+        "size",
+        "solve [us]",
+        "prep [us]",
+        "speedup",
+        "allocs/solve",
+        "allocs/prep",
+        "ws hwm",
+        "simd [us]",
+        "allocs/simd"
     );
     for (i, &n) in [4usize, 8, 16, 24, 32].iter().enumerate() {
-        let m = measure_apply(n);
+        let m = measure_apply(n, &CpuSequential);
+        // the wide-lane backend over the same (interleaved) plan: its
+        // prepared apply must stay allocation-free too
+        let ms = measure_apply(n, &CpuSimd);
         println!(
-            "{n:>5} {:>12.1} {:>12.1} {:>8.2}x {:>12} {:>13} {:>10}",
+            "{n:>5} {:>12.1} {:>12.1} {:>8.2}x {:>12} {:>13} {:>10} {:>12.1} {:>12}",
             m.solve_s * 1e6,
             m.prepared_s * 1e6,
             m.solve_s / m.prepared_s,
             m.allocs_solve,
             m.allocs_prepared,
-            m.ws_hwm_elems
+            m.ws_hwm_elems,
+            ms.prepared_s * 1e6,
+            ms.allocs_prepared
         );
         rows[i].push(format!("{:.3e}", m.solve_s));
         rows[i].push(format!("{:.3e}", m.prepared_s));
         rows[i].push(m.allocs_solve.to_string());
         rows[i].push(m.allocs_prepared.to_string());
         rows[i].push(m.ws_hwm_elems.to_string());
+        rows[i].push(format!("{:.3e}", ms.prepared_s));
+        rows[i].push(ms.allocs_prepared.to_string());
         rows[i].push(precond.label().to_string());
     }
     println!(
         "\nreading: the prepared apply removes every per-application allocation \
-         (the allocs/prep column is zero) — the host analogue of the paper \
-         holding the RHS in registers across the solve."
+         (the allocs/prep and allocs/simd columns are zero) — the host analogue \
+         of the paper holding the RHS in registers across the solve."
     );
 
     // -- tracing section ---------------------------------------------
@@ -268,6 +284,8 @@ fn main() {
             "m_allocs_per_solve_apply",
             "m_allocs_per_prepared_apply",
             "m_ws_hwm_elems",
+            "m_simd_prepared_apply_s",
+            "m_allocs_per_simd_prepared_apply",
             "precond",
         ],
         &rows,

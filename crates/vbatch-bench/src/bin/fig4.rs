@@ -9,14 +9,17 @@
 //!
 //! On top of the paper's fixed-kernel curves, each row reports what the
 //! `vbatch-exec` planner would pick for the batch (the `planner` GFLOPS
-//! column plus its kernel-choice histogram), and two *measured* host
+//! column plus its kernel-choice histogram), and three *measured* host
 //! columns: factorizing the same batch on `CpuSequential` with blocked
 //! vs interleaved storage (the CPU analogue of the paper's coalescing
-//! argument, see DESIGN.md "Interleaved layout").
+//! argument, see DESIGN.md "Interleaved layout"), and on the explicit
+//! wide-lane `CpuSimd` backend over the interleaved storage (DESIGN.md
+//! "SIMD backend").
 
 use vbatch_bench::{
-    factor_health_compact, measure_cpu_factor_gflops, measure_precond_apply, parse_precond_flag,
-    uniform_bench_batch, write_csv, BATCH_SWEEP, FIG4_HEADER,
+    factor_health_compact, measure_cpu_factor_gflops, measure_precond_apply,
+    measure_simd_factor_gflops, parse_precond_flag, uniform_bench_batch, write_csv, BATCH_SWEEP,
+    FIG4_HEADER,
 };
 use vbatch_core::{BatchLayout, Scalar};
 use vbatch_exec::{estimate_planned_factor, BatchPlan};
@@ -26,7 +29,7 @@ use vbatch_simt::{estimate_factor, DeviceModel, FactorKernel};
 fn sweep<T: Scalar>(device: &DeviceModel, block: usize, precond: PrecondKind) -> Vec<Vec<String>> {
     println!("\n-- {} precision, block size {block} --", T::PRECISION);
     println!(
-        "{:>8} {:>15} {:>15} {:>15} {:>15} {:>15} {:>12} {:>12}",
+        "{:>8} {:>15} {:>15} {:>15} {:>15} {:>15} {:>12} {:>12} {:>12}",
         "batch",
         "Small-Size LU",
         "Gauss-Huard",
@@ -34,7 +37,8 @@ fn sweep<T: Scalar>(device: &DeviceModel, block: usize, precond: PrecondKind) ->
         "cuBLAS LU",
         "planner",
         "cpu-blocked",
-        "cpu-interlvd"
+        "cpu-interlvd",
+        "cpu-simd"
     );
     let mut rows = Vec::new();
     for &batch in BATCH_SWEEP.iter() {
@@ -61,9 +65,11 @@ fn sweep<T: Scalar>(device: &DeviceModel, block: usize, precond: PrecondKind) ->
         let bench = uniform_bench_batch::<T>(batch, block);
         let g_blocked = measure_cpu_factor_gflops(&bench, BatchLayout::Blocked);
         let g_il = measure_cpu_factor_gflops(&bench, BatchLayout::interleaved());
-        line.push_str(&format!(" {g_blocked:>12.2} {g_il:>12.2}"));
+        let g_simd = measure_simd_factor_gflops(&bench);
+        line.push_str(&format!(" {g_blocked:>12.2} {g_il:>12.2} {g_simd:>12.2}"));
         row.push(format!("{g_blocked:.3}"));
         row.push(format!("{g_il:.3}"));
+        row.push(format!("{g_simd:.3}"));
         row.push(plan.layout_compact());
         row.push(factor_health_compact(&bench));
         let (g_apply, ws_hwm) = measure_precond_apply::<T>(precond, batch, block);

@@ -11,11 +11,13 @@
 //! Each row also reports the `vbatch-exec` planner's pick for the batch
 //! (the `planner` GFLOPS column plus its kernel-choice histogram), the
 //! planner's layout histogram, and measured host GFLOPS of the same
-//! batch factorized blocked vs interleaved on `CpuSequential`.
+//! batch factorized blocked vs interleaved on `CpuSequential` and
+//! interleaved on the wide-lane `CpuSimd` backend.
 
 use vbatch_bench::{
-    factor_health_compact, measure_cpu_factor_gflops, measure_precond_apply, parse_precond_flag,
-    size_sweep, uniform_bench_batch, write_csv, FIG5_HEADER,
+    factor_health_compact, measure_cpu_factor_gflops, measure_precond_apply,
+    measure_simd_factor_gflops, parse_precond_flag, size_sweep, uniform_bench_batch, write_csv,
+    FIG5_HEADER,
 };
 use vbatch_core::{BatchLayout, Scalar};
 use vbatch_exec::{estimate_planned_factor, BatchPlan};
@@ -66,9 +68,11 @@ fn sweep<T: Scalar>(
         let bench = uniform_bench_batch::<T>(BATCH, n);
         let g_blocked = measure_cpu_factor_gflops(&bench, BatchLayout::Blocked);
         let g_il = measure_cpu_factor_gflops(&bench, BatchLayout::interleaved());
-        line.push_str(&format!("  cpu {g_blocked:.2}/{g_il:.2}"));
+        let g_simd = measure_simd_factor_gflops(&bench);
+        line.push_str(&format!("  cpu {g_blocked:.2}/{g_il:.2}/{g_simd:.2}"));
         row.push(format!("{g_blocked:.3}"));
         row.push(format!("{g_il:.3}"));
+        row.push(format!("{g_simd:.3}"));
         row.push(plan.layout_compact());
         row.push(factor_health_compact(&bench));
         let (g_apply, ws_hwm) = measure_precond_apply::<T>(precond, BATCH, n);

@@ -12,13 +12,17 @@
 //! the batched diagonal solve).
 //!
 //! `--quick` runs a 12-problem subset with bounds {8, 32}.
+//! `--backend simd` routes setup and every per-iteration block solve
+//! through the wide-lane `CpuSimd` backend (recorded in the `backend`
+//! CSV column); the iteration counts must not change — only the times.
 
-use vbatch_bench::{run_precond_idr, write_csv, BLOCK_BOUNDS};
+use vbatch_bench::{parse_backend_flag, run_precond_idr_on, write_csv, BLOCK_BOUNDS};
 use vbatch_precond::{BjMethod, PrecondKind};
 use vbatch_sparse::table1_suite;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let (backend, backend_label) = parse_backend_flag();
     let suite = table1_suite();
     let problems: Vec<_> = if quick {
         suite.into_iter().take(12).collect()
@@ -33,7 +37,7 @@ fn main() {
 
     println!("Figure 8 (precond): block-Jacobi vs block-ILU(0), IDR(4)");
     println!(
-        "suite: {} problems, bounds {:?}{}",
+        "suite: {} problems, bounds {:?}, backend {backend_label}{}",
         problems.len(),
         bounds,
         if quick { " (quick mode)" } else { "" }
@@ -50,8 +54,20 @@ fn main() {
         let mut compared = 0usize;
         for p in &problems {
             let a = p.build();
-            let bj = run_precond_idr(&a, bound, PrecondKind::BlockJacobi, BjMethod::SmallLu);
-            let bilu = run_precond_idr(&a, bound, PrecondKind::BlockIlu0, BjMethod::SmallLu);
+            let bj = run_precond_idr_on(
+                &a,
+                bound,
+                PrecondKind::BlockJacobi,
+                BjMethod::SmallLu,
+                backend.clone(),
+            );
+            let bilu = run_precond_idr_on(
+                &a,
+                bound,
+                PrecondKind::BlockIlu0,
+                BjMethod::SmallLu,
+                backend.clone(),
+            );
             let (bj_it, bj_s) = match &bj {
                 Some(o) if o.converged => (o.iters.to_string(), format!("{:.3}", o.total_s())),
                 _ => ("-".into(), "-".into()),
@@ -88,6 +104,7 @@ fn main() {
                 bj_s,
                 bilu_s,
                 winner.to_string(),
+                backend_label.to_string(),
             ]);
         }
         println!(
@@ -105,6 +122,7 @@ fn main() {
             "bj_total_s",
             "bilu_total_s",
             "winner",
+            "backend",
         ],
         &rows,
     );

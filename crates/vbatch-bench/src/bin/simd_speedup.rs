@@ -1,0 +1,77 @@
+//! SIMD acceptance measurement: the wide-lane `CpuSimd` backend versus
+//! the scalar backends on the interleaved-class sizes the ISSUE pins
+//! down (DP n = 16 and n = 32, batch >= 20k), plus the SP points and
+//! the `vbatch-simt` `VectorExec` measured-GFLOPS mode on the same
+//! batches.
+//!
+//! The acceptance bar: `cpu_simd / cpu_rayon_blocked >= 4` at the DP
+//! points. The quotient is printed per row and written to the CSV so
+//! EXPERIMENTS.md can quote measured numbers.
+//!
+//! `--quick` drops the batch to 4,000 systems for a fast smoke run.
+
+use vbatch_bench::{
+    measure_factor_gflops_on, measure_simd_factor_gflops, uniform_bench_batch, write_csv,
+};
+use vbatch_core::{BatchLayout, Scalar};
+use vbatch_exec::CpuRayon;
+use vbatch_simt::VectorExec;
+
+fn sweep<T: Scalar>(batch_size: usize, rows: &mut Vec<Vec<String>>) {
+    for n in [8usize, 16, 32] {
+        let bench = uniform_bench_batch::<T>(batch_size, n);
+        let g_blocked = measure_factor_gflops_on(&CpuRayon, &bench, BatchLayout::Blocked);
+        let g_il = measure_factor_gflops_on(&CpuRayon, &bench, BatchLayout::interleaved());
+        let g_simd = measure_simd_factor_gflops(&bench);
+
+        // the simt VectorExec measured mode on the same matrices:
+        // pack + factor through the explicit lane kernels, timing only
+        // the factorization loop
+        let vf = VectorExec::new().run_getrf(&bench);
+        let speedup = g_simd / g_blocked;
+        println!(
+            "{:>4} {n:>5} {batch_size:>7} {g_blocked:>12.2} {g_il:>12.2} {g_simd:>12.2} \
+             {:>12.2} {speedup:>9.2}x",
+            T::PRECISION,
+            vf.report.gflops
+        );
+        rows.push(vec![
+            T::PRECISION.to_string(),
+            n.to_string(),
+            batch_size.to_string(),
+            format!("{g_blocked:.3}"),
+            format!("{g_il:.3}"),
+            format!("{g_simd:.3}"),
+            format!("{:.3}", vf.report.gflops),
+            format!("{speedup:.3}"),
+        ]);
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let batch_size = if quick { 4_000 } else { 20_000 };
+    println!("SIMD speedup: CpuSimd vs scalar backends, batch = {batch_size}");
+    println!(
+        "{:>4} {:>5} {:>7} {:>12} {:>12} {:>12} {:>12} {:>10}",
+        "prec", "n", "batch", "rayon-blkd", "rayon-intl", "cpu-simd", "vector-exec", "speedup"
+    );
+    let mut rows = Vec::new();
+    sweep::<f32>(batch_size, &mut rows);
+    sweep::<f64>(batch_size, &mut rows);
+    let path = write_csv(
+        "simd_speedup",
+        &[
+            "precision",
+            "size",
+            "batch",
+            "cpu_rayon_blocked",
+            "cpu_rayon_interleaved",
+            "cpu_simd",
+            "vector_exec",
+            "speedup_vs_blocked",
+        ],
+        &rows,
+    );
+    println!("\nCSV written to {}", path.display());
+}

@@ -10,7 +10,9 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use vbatch_core::{BatchLayout, Exec, MatrixBatch, Scalar};
-use vbatch_exec::{backend_for_exec, Backend, BatchPlan, CpuSequential, ExecStats, HealthPolicy};
+use vbatch_exec::{
+    backend_for_exec, Backend, BatchPlan, CpuSequential, CpuSimd, ExecStats, HealthPolicy,
+};
 use vbatch_precond::{BjMethod, BlockIlu0, Jacobi, PrecondKind, PrecondOptions, Preconditioner};
 use vbatch_solver::{idr, idr_precond_kind, SolveParams};
 use vbatch_sparse::{supervariable_blocking, BlockPartition, CooMatrix, CsrMatrix};
@@ -30,12 +32,14 @@ pub fn size_sweep() -> Vec<usize> {
 pub const BLOCK_BOUNDS: [usize; 5] = [8, 12, 16, 24, 32];
 
 /// CSV schema of the Fig. 4 artifact. The `cpu_blocked` /
-/// `cpu_interleaved` columns are *measured* host GFLOPS of the same
-/// batch under the two memory layouts; `plan_layouts` records the
-/// planner's per-class layout histogram; `cpu_apply` is the measured
-/// prepared-apply throughput ([`measure_cpu_apply`]) and `ws_hwm` its
-/// resident workspace high-water mark in scalar elements.
-pub const FIG4_HEADER: [&str; 16] = [
+/// `cpu_interleaved` / `cpu_simd` columns are *measured* host GFLOPS of
+/// the same batch: blocked vs interleaved storage on the scalar
+/// backend, and the interleaved storage again on the explicit wide-lane
+/// [`CpuSimd`] backend; `plan_layouts` records the planner's per-class
+/// layout histogram; `cpu_apply` is the measured prepared-apply
+/// throughput ([`measure_cpu_apply`]) and `ws_hwm` its resident
+/// workspace high-water mark in scalar elements.
+pub const FIG4_HEADER: [&str; 17] = [
     "precision",
     "block",
     "batch",
@@ -47,6 +51,7 @@ pub const FIG4_HEADER: [&str; 16] = [
     "plan_kernels",
     "cpu_blocked",
     "cpu_interleaved",
+    "cpu_simd",
     "plan_layouts",
     "health",
     "cpu_apply",
@@ -56,7 +61,7 @@ pub const FIG4_HEADER: [&str; 16] = [
 
 /// CSV schema of the Fig. 5 artifact (layout and apply columns as in
 /// [`FIG4_HEADER`]).
-pub const FIG5_HEADER: [&str; 15] = [
+pub const FIG5_HEADER: [&str; 16] = [
     "precision",
     "size",
     "small_size_lu",
@@ -67,6 +72,7 @@ pub const FIG5_HEADER: [&str; 15] = [
     "plan_kernels",
     "cpu_blocked",
     "cpu_interleaved",
+    "cpu_simd",
     "plan_layouts",
     "health",
     "cpu_apply",
@@ -83,9 +89,14 @@ pub fn uniform_bench_batch<T: Scalar>(count: usize, n: usize) -> MatrixBatch<T> 
     })
 }
 
-/// Measured host (CpuSequential) factorization throughput in GFLOPS
-/// under a forced batch layout, using the paper's `2/3 n³` flop count.
-pub fn measure_cpu_factor_gflops<T: Scalar>(batch: &MatrixBatch<T>, layout: BatchLayout) -> f64 {
+/// Measured host factorization throughput in GFLOPS on an explicit
+/// backend under a forced batch layout, using the paper's `2/3 n³` flop
+/// count.
+pub fn measure_factor_gflops_on<T: Scalar>(
+    backend: &dyn Backend<T>,
+    batch: &MatrixBatch<T>,
+    layout: BatchLayout,
+) -> f64 {
     let plan = BatchPlan::auto_with_layout::<T>(batch.sizes(), layout);
     // best of three runs: a single run is dominated by allocator and
     // page-fault noise at the small end of the sweep
@@ -94,12 +105,24 @@ pub fn measure_cpu_factor_gflops<T: Scalar>(batch: &MatrixBatch<T>, layout: Batc
         let mut stats = ExecStats::new();
         let copy = batch.clone();
         let t0 = Instant::now();
-        let factors = CpuSequential.factorize(copy, &plan, &mut stats);
+        let factors = backend.factorize(copy, &plan, &mut stats);
         let dt = t0.elapsed().as_secs_f64();
         assert_eq!(factors.fallback_count(), 0, "bench batch must be regular");
         best = best.min(dt);
     }
     batch.getrf_flops() / best / 1e9
+}
+
+/// Measured host (CpuSequential) factorization throughput in GFLOPS
+/// under a forced batch layout, using the paper's `2/3 n³` flop count.
+pub fn measure_cpu_factor_gflops<T: Scalar>(batch: &MatrixBatch<T>, layout: BatchLayout) -> f64 {
+    measure_factor_gflops_on(&CpuSequential, batch, layout)
+}
+
+/// Measured wide-lane ([`CpuSimd`]) factorization throughput in GFLOPS
+/// over the interleaved layout — the `cpu_simd` column of Figs. 4/5.
+pub fn measure_simd_factor_gflops<T: Scalar>(batch: &MatrixBatch<T>) -> f64 {
+    measure_factor_gflops_on(&CpuSimd, batch, BatchLayout::interleaved())
 }
 
 /// Measured host (CpuSequential) *prepared-apply* throughput in GFLOPS
@@ -125,6 +148,28 @@ pub fn measure_cpu_apply<T: Scalar>(batch: &MatrixBatch<T>, layout: BatchLayout)
     }
     let flops: f64 = batch.sizes().iter().map(|&n| 2.0 * (n * n) as f64).sum();
     (flops / best / 1e9, prep.workspace_hwm_elems())
+}
+
+/// Parse the `--backend {cpu,simd}` flag shared by the experiment bins
+/// (`--backend simd` or `--backend=simd`): returns the chosen execution
+/// backend plus its CSV label. Defaults to the parallel scalar CPU
+/// backend, the historical behaviour.
+pub fn parse_backend_flag() -> (Arc<dyn Backend<f64>>, &'static str) {
+    let args: Vec<String> = std::env::args().collect();
+    for (i, a) in args.iter().enumerate() {
+        let v = a
+            .strip_prefix("--backend=")
+            .map(str::to_string)
+            .or_else(|| (a == "--backend").then(|| args.get(i + 1).cloned().unwrap_or_default()));
+        if let Some(v) = v {
+            return match v.as_str() {
+                "cpu" => (backend_for_exec(Exec::Parallel), "cpu"),
+                "simd" => (Arc::new(CpuSimd), "cpu-simd"),
+                other => panic!("unknown --backend value {other:?} (expected cpu or simd)"),
+            };
+        }
+    }
+    (backend_for_exec(Exec::Parallel), "cpu")
 }
 
 /// Parse the `--precond {bj,bilu}` flag shared by the experiment bins
@@ -308,6 +353,19 @@ pub fn run_precond_idr(
     kind: PrecondKind,
     method: BjMethod,
 ) -> Option<SolveOutcome> {
+    run_precond_idr_on(a, bound, kind, method, backend_for_exec(Exec::Parallel))
+}
+
+/// [`run_precond_idr`] on an explicit execution backend — the engine of
+/// the `--backend` flag of the comparison bins (e.g. `--backend simd`
+/// runs every per-iteration block solve through [`CpuSimd`]).
+pub fn run_precond_idr_on(
+    a: &CsrMatrix<f64>,
+    bound: usize,
+    kind: PrecondKind,
+    method: BjMethod,
+    backend: Arc<dyn Backend<f64>>,
+) -> Option<SolveOutcome> {
     let part = supervariable_blocking(a, bound);
     let b = vec![1.0; a.nrows()];
     let o = idr_precond_kind(
@@ -316,7 +374,7 @@ pub fn run_precond_idr(
         &b,
         4,
         &part,
-        backend_for_exec(Exec::Parallel),
+        backend,
         PrecondOptions::default().with_method(method),
         &SolveParams::default(),
     )
@@ -392,14 +450,14 @@ mod tests {
         assert_eq!(
             FIG4_HEADER.join(","),
             "precision,block,batch,small_size_lu,gauss_huard,gauss_huard_t,\
-             cublas_lu,planner,plan_kernels,cpu_blocked,cpu_interleaved,plan_layouts,health,\
-             cpu_apply,ws_hwm,precond"
+             cublas_lu,planner,plan_kernels,cpu_blocked,cpu_interleaved,cpu_simd,\
+             plan_layouts,health,cpu_apply,ws_hwm,precond"
         );
         assert_eq!(
             FIG5_HEADER.join(","),
             "precision,size,small_size_lu,gauss_huard,gauss_huard_t,\
-             cublas_lu,planner,plan_kernels,cpu_blocked,cpu_interleaved,plan_layouts,health,\
-             cpu_apply,ws_hwm,precond"
+             cublas_lu,planner,plan_kernels,cpu_blocked,cpu_interleaved,cpu_simd,\
+             plan_layouts,health,cpu_apply,ws_hwm,precond"
         );
     }
 
@@ -423,6 +481,13 @@ mod tests {
             let g = measure_cpu_factor_gflops(&batch, layout);
             assert!(g.is_finite() && g > 0.0, "{layout:?}: {g}");
         }
+    }
+
+    #[test]
+    fn measured_simd_gflops_are_finite_and_positive() {
+        let batch = uniform_bench_batch::<f64>(64, 8);
+        let g = measure_simd_factor_gflops(&batch);
+        assert!(g.is_finite() && g > 0.0, "{g}");
     }
 
     #[test]

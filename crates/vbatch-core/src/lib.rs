@@ -36,6 +36,7 @@ pub mod error;
 pub mod gauss_huard;
 pub mod gje;
 pub mod interleaved;
+pub mod interleaved_simd;
 pub mod lu;
 pub mod perm;
 pub mod scalar;
@@ -59,6 +60,11 @@ pub use interleaved::{
     getrf_interleaved_class, lu_solve_interleaved_class, lu_solve_interleaved_class_scratch,
     lu_solve_interleaved_slot, lu_solve_interleaved_slot_scratch, BatchLayout, InterleavedBatch,
     InterleavedClass, DEFAULT_CLASS_CAPACITY,
+};
+pub use interleaved_simd::{
+    getrf_interleaved_class_simd, getrf_interleaved_class_simd_width,
+    lu_solve_interleaved_class_scratch_simd, lu_solve_interleaved_class_scratch_simd_width,
+    SUPPORTED_WIDTHS,
 };
 pub use lu::blocked::getrf_blocked;
 pub use lu::{getrf, solve_system, LuFactors, PivotStrategy};

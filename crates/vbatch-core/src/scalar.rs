@@ -11,8 +11,15 @@ use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
 
 /// Real floating-point scalar usable in every kernel of the workspace.
+///
+/// [`vbatch_rt::simd::SimdElem`] is a supertrait so every `Scalar` can
+/// ride in a [`vbatch_rt::simd::Chunk`] lane — that is what lets the
+/// SIMD interleaved kernels stay generic over the same `T` as the rest
+/// of the stack. (`SimdElem` uses `lane_`-prefixed method names, so no
+/// resolution ambiguity arises with the methods below.)
 pub trait Scalar:
-    Copy
+    vbatch_rt::simd::SimdElem
+    + Copy
     + Send
     + Sync
     + Debug

@@ -1,0 +1,235 @@
+//! Remainder-handling property suite for the wide-lane interleaved
+//! kernels: batch (class) sizes that are **not** multiples of the lane
+//! width must produce results identical to the full-width path — the
+//! trailing slots go down the scalar (W = 1) remainder path, and per
+//! slot that path executes the same operation sequence, so everything
+//! is bitwise.
+//!
+//! For every width in {2, 4, 8}, both precisions, and randomized
+//! testgen batches, the counts exercised are the ISSUE's boundary set
+//! {1, W−1, W+1, 2W−1} plus a random count — each compared slot-by-slot
+//! against (a) the scalar interleaved kernel and (b) the same slots
+//! factorized inside a *larger* class, proving chunk boundaries are
+//! invisible.
+
+use vbatch_core::{
+    getrf_interleaved_class, getrf_interleaved_class_simd_width,
+    lu_solve_interleaved_class_scratch, lu_solve_interleaved_class_scratch_simd_width,
+};
+use vbatch_rt::{run_cases, testgen, SmallRng};
+
+/// Pack `count` dense n×n blocks (column-major) into interleaved lanes.
+fn pack(blocks: &[Vec<f64>], n: usize) -> Vec<f64> {
+    let count = blocks.len();
+    let mut data = vec![0.0; n * n * count];
+    for (s, b) in blocks.iter().enumerate() {
+        for e in 0..n * n {
+            data[e * count + s] = b[e];
+        }
+    }
+    data
+}
+
+fn gen_blocks(rng: &mut SmallRng, n: usize, count: usize) -> Vec<Vec<f64>> {
+    (0..count).map(|_| testgen::dd_dense(rng, n)).collect()
+}
+
+fn rhs(rng: &mut SmallRng, len: usize) -> Vec<f64> {
+    (0..len).map(|_| rng.gen_range(-4.0..4.0)).collect()
+}
+
+/// Factor + solve one class at `width`, returning (factors, pivots, x).
+fn run_simd(
+    width: usize,
+    n: usize,
+    count: usize,
+    data: &[f64],
+    x0: &[f64],
+) -> (Vec<f64>, Vec<usize>, Vec<f64>) {
+    let mut d = data.to_vec();
+    let mut piv = vec![0usize; n * count];
+    let errs = getrf_interleaved_class_simd_width(width, n, count, &mut d, &mut piv);
+    assert!(errs.iter().all(|e| e.is_none()), "dd batch must factorize");
+    let mut x = x0.to_vec();
+    let mut scratch = vec![0.0; n * count];
+    lu_solve_interleaved_class_scratch_simd_width(width, n, count, &d, &piv, &mut x, &mut scratch);
+    (d, piv, x)
+}
+
+#[test]
+fn non_multiple_counts_match_scalar_kernel_bitwise_f64() {
+    run_cases("simd_remainder_f64", 12, |rng, _case| {
+        for width in [2usize, 4, 8] {
+            let n = rng.gen_range(1usize..13);
+            for count in [
+                1,
+                width - 1,
+                width + 1,
+                2 * width - 1,
+                rng.gen_range(1usize..40),
+            ] {
+                let count = count.max(1);
+                let blocks = gen_blocks(rng, n, count);
+                let data = pack(&blocks, n);
+                let x0 = rhs(rng, n * count);
+
+                // scalar reference
+                let mut ref_d = data.clone();
+                let mut ref_piv = vec![0usize; n * count];
+                let errs = getrf_interleaved_class(n, count, &mut ref_d, &mut ref_piv);
+                assert!(errs.iter().all(|e| e.is_none()));
+                let mut ref_x = x0.clone();
+                let mut scratch = vec![0.0; n * count];
+                lu_solve_interleaved_class_scratch(
+                    n,
+                    count,
+                    &ref_d,
+                    &ref_piv,
+                    &mut ref_x,
+                    &mut scratch,
+                );
+
+                let (d, piv, x) = run_simd(width, n, count, &data, &x0);
+                assert_eq!(piv, ref_piv, "pivots n={n} count={count} w={width}");
+                for (i, (a, b)) in d.iter().zip(&ref_d).enumerate() {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "factor elem {i} n={n} count={count} w={width}"
+                    );
+                }
+                for (i, (a, b)) in x.iter().zip(&ref_x).enumerate() {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "solve elem {i} n={n} count={count} w={width}"
+                    );
+                }
+            }
+        }
+    });
+}
+
+/// The trailing remainder slots of a class must carry the same bits as
+/// the same blocks factorized in a class where they fill complete lane
+/// groups — i.e. the full-width and remainder paths are the same
+/// function of a slot's data.
+#[test]
+fn remainder_slots_are_identical_to_the_full_width_path() {
+    run_cases("simd_remainder_vs_full_width", 10, |rng, _case| {
+        for width in [2usize, 4, 8] {
+            let n = rng.gen_range(2usize..10);
+            // 2W+r slots: the final r ride the remainder path
+            let r = rng.gen_range(1usize..width.max(2));
+            let count = 2 * width + r;
+            let blocks = gen_blocks(rng, n, count);
+            let x0 = rhs(rng, n * count);
+
+            let data = pack(&blocks, n);
+            let (d, piv, x) = run_simd(width, n, count, &data, &x0);
+
+            // same blocks, padded with clones of themselves so every
+            // original slot sits inside a full lane group
+            let mut padded = blocks.clone();
+            while padded.len() % width != 0 {
+                padded.push(blocks[padded.len() % blocks.len()].clone());
+            }
+            let pcount = padded.len();
+            let pdata = pack(&padded, n);
+            let mut px0 = vec![0.0; n * pcount];
+            for s in 0..count {
+                for i in 0..n {
+                    px0[i * pcount + s] = x0[i * count + s];
+                }
+            }
+            let (pd, ppiv, px) = run_simd(width, n, pcount, &pdata, &px0);
+
+            for s in 0..count {
+                for e in 0..n * n {
+                    assert_eq!(
+                        d[e * count + s].to_bits(),
+                        pd[e * pcount + s].to_bits(),
+                        "slot {s} elem {e} n={n} w={width}"
+                    );
+                }
+                for k in 0..n {
+                    assert_eq!(piv[k * count + s], ppiv[k * pcount + s]);
+                }
+                for i in 0..n {
+                    assert_eq!(
+                        x[i * count + s].to_bits(),
+                        px[i * pcount + s].to_bits(),
+                        "slot {s} row {i} n={n} w={width}"
+                    );
+                }
+            }
+        }
+    });
+}
+
+#[test]
+fn non_multiple_counts_match_scalar_kernel_bitwise_f32() {
+    run_cases("simd_remainder_f32", 8, |rng, _case| {
+        for width in [2usize, 4, 8] {
+            let n = rng.gen_range(1usize..11);
+            for count in [1, width - 1, width + 1, 2 * width - 1] {
+                let count = count.max(1);
+                let blocks: Vec<Vec<f32>> = (0..count)
+                    .map(|_| {
+                        testgen::dd_dense(rng, n)
+                            .into_iter()
+                            .map(|v| v as f32)
+                            .collect()
+                    })
+                    .collect();
+                let mut data = vec![0.0f32; n * n * count];
+                for (s, b) in blocks.iter().enumerate() {
+                    for e in 0..n * n {
+                        data[e * count + s] = b[e];
+                    }
+                }
+                let x0: Vec<f32> = (0..n * count)
+                    .map(|_| rng.gen_range(-4.0..4.0) as f32)
+                    .collect();
+
+                let mut ref_d = data.clone();
+                let mut ref_piv = vec![0usize; n * count];
+                let errs = getrf_interleaved_class(n, count, &mut ref_d, &mut ref_piv);
+                assert!(errs.iter().all(|e| e.is_none()));
+                let mut ref_x = x0.clone();
+                let mut scratch = vec![0.0f32; n * count];
+                lu_solve_interleaved_class_scratch(
+                    n,
+                    count,
+                    &ref_d,
+                    &ref_piv,
+                    &mut ref_x,
+                    &mut scratch,
+                );
+
+                let mut d = data.clone();
+                let mut piv = vec![0usize; n * count];
+                let errs = getrf_interleaved_class_simd_width(width, n, count, &mut d, &mut piv);
+                assert!(errs.iter().all(|e| e.is_none()));
+                let mut x = x0.clone();
+                lu_solve_interleaved_class_scratch_simd_width(
+                    width,
+                    n,
+                    count,
+                    &d,
+                    &piv,
+                    &mut x,
+                    &mut scratch,
+                );
+
+                assert_eq!(piv, ref_piv, "n={n} count={count} w={width}");
+                for (a, b) in d.iter().zip(&ref_d) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "n={n} count={count} w={width}");
+                }
+                for (a, b) in x.iter().zip(&ref_x) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "n={n} count={count} w={width}");
+                }
+            }
+        }
+    });
+}

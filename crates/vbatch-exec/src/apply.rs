@@ -29,7 +29,9 @@
 
 use crate::factors::{BlockFactor, FactorizedBatch};
 use std::sync::Mutex;
-use vbatch_core::{lu_solve_interleaved_class_scratch, Scalar};
+use vbatch_core::{
+    lu_solve_interleaved_class_scratch, lu_solve_interleaved_class_scratch_simd, Scalar,
+};
 
 /// One unit of prepared apply work: a single blocked system, or all
 /// healthy slots of one interleaved size class.
@@ -153,10 +155,16 @@ impl<T: Scalar> PreparedApply<T> {
 /// every temporary lives in the unit's pre-sized scratch. The per-unit
 /// mutex is uncontended in the sequential driver and held by exactly
 /// one thread per unit in the parallel driver.
+///
+/// `simd` routes interleaved-class sweeps through the explicit
+/// wide-lane TRSV (bitwise identical to the scalar sweep, and equally
+/// allocation-free — the lane kernels run out of the same prepared
+/// scratch).
 pub(crate) fn run_apply_unit<T: Scalar>(
     factors: &FactorizedBatch<T>,
     unit: &ApplyUnit<T>,
     v: &mut [T],
+    simd: bool,
 ) {
     match unit {
         ApplyUnit::Block {
@@ -189,7 +197,18 @@ pub(crate) fn run_apply_unit<T: Scalar>(
                     x[i * count + slot] = seg[i];
                 }
             }
-            lu_solve_interleaved_class_scratch(n, count, &cls.data, &cls.piv, x, perm_scratch);
+            if simd {
+                lu_solve_interleaved_class_scratch_simd(
+                    n,
+                    count,
+                    &cls.data,
+                    &cls.piv,
+                    x,
+                    perm_scratch,
+                );
+            } else {
+                lu_solve_interleaved_class_scratch(n, count, &cls.data, &cls.piv, x, perm_scratch);
+            }
             for &(slot, offset) in members {
                 let seg = &mut v[offset..offset + n];
                 for i in 0..n {

@@ -14,9 +14,9 @@ use crate::stats::{ExecStats, Phase};
 use std::time::Instant;
 use vbatch_core::lu::implicit::getrf_implicit_inplace;
 use vbatch_core::{
-    batched_gemv, getrf_interleaved_class, gh_factorize, gje_invert, lu_solve_interleaved_class,
-    potrf, DenseMat, Exec, FactorError, GhLayout, InterleavedClass, MatrixBatch, Scalar,
-    VectorBatch,
+    batched_gemv, getrf_interleaved_class, getrf_interleaved_class_simd, gh_factorize, gje_invert,
+    lu_solve_interleaved_class, lu_solve_interleaved_class_scratch_simd, potrf, DenseMat, Exec,
+    FactorError, GhLayout, InterleavedClass, MatrixBatch, Scalar, VectorBatch,
 };
 use vbatch_rt::par::{num_threads, par_map_vec};
 use vbatch_rt::prelude::*;
@@ -122,12 +122,17 @@ fn factor_interleaved_chunk<T: Scalar>(
     blocks: &MatrixBatch<T>,
     n: usize,
     members: Vec<usize>,
+    simd: bool,
 ) -> (InterleavedLuClass<T>, Vec<Option<FactorError>>) {
     let packed = InterleavedClass::pack_from(blocks, &members);
     let (_, member_idx, mut data) = packed.into_parts();
     let count = member_idx.len();
     let mut piv = vec![0usize; n * count];
-    let errs = getrf_interleaved_class(n, count, &mut data, &mut piv);
+    let errs = if simd {
+        getrf_interleaved_class_simd(n, count, &mut data, &mut piv)
+    } else {
+        getrf_interleaved_class(n, count, &mut data, &mut piv)
+    };
     (
         InterleavedLuClass {
             n,
@@ -139,10 +144,11 @@ fn factor_interleaved_chunk<T: Scalar>(
     )
 }
 
-fn factorize_cpu<T: Scalar>(
+pub(crate) fn factorize_cpu<T: Scalar>(
     blocks: MatrixBatch<T>,
     plan: &BatchPlan,
     parallel: bool,
+    simd: bool,
     stats: &mut ExecStats,
 ) -> FactorizedBatch<T> {
     assert_eq!(plan.len(), blocks.len(), "plan does not match batch");
@@ -157,14 +163,21 @@ fn factorize_cpu<T: Scalar>(
     for i in 0..blocks.len() {
         match plan.layout_for(i) {
             ClassLayout::Blocked => blocked_idx.push(i),
-            ClassLayout::Interleaved => class_members.entry(sizes[i]).or_default().push(i),
+            ClassLayout::Interleaved | ClassLayout::InterleavedSimd => {
+                class_members.entry(sizes[i]).or_default().push(i)
+            }
         }
     }
     stats.record_layout(ClassLayout::Blocked, blocked_idx.len() as u64);
-    stats.record_layout(
-        ClassLayout::Interleaved,
-        (blocks.len() - blocked_idx.len()) as u64,
-    );
+    // the SIMD backend records which kernels actually ran: interleaved
+    // classes it takes over show up as `interleaved-simd` in the layout
+    // histogram (totals still cover every block exactly once)
+    let interleaved_label = if simd {
+        ClassLayout::InterleavedSimd
+    } else {
+        ClassLayout::Interleaved
+    };
+    stats.record_layout(interleaved_label, (blocks.len() - blocked_idx.len()) as u64);
 
     let mut factors: Vec<Option<BlockFactor<T>>> = (0..blocks.len()).map(|_| None).collect();
     let mut status: Vec<Option<BlockStatus>> = (0..blocks.len()).map(|_| None).collect();
@@ -204,7 +217,7 @@ fn factorize_cpu<T: Scalar>(
     let blocks_ref = &blocks;
     let chunk_work = |(n, members): (usize, Vec<usize>)| {
         let _span = vbatch_trace::span!("factorize.chunk", n * members.len());
-        factor_interleaved_chunk(blocks_ref, n, members)
+        factor_interleaved_chunk(blocks_ref, n, members, simd)
     };
     let chunk_results: Vec<(InterleavedLuClass<T>, Vec<Option<FactorError>>)> = if parallel {
         par_map_vec(chunks, chunk_work)
@@ -266,7 +279,7 @@ enum SolveUnit<'a, T> {
     Class(usize, Vec<(usize, &'a mut [T])>),
 }
 
-fn run_solve_unit<T: Scalar>(factors: &FactorizedBatch<T>, unit: SolveUnit<'_, T>) {
+fn run_solve_unit<T: Scalar>(factors: &FactorizedBatch<T>, unit: SolveUnit<'_, T>, simd: bool) {
     match unit {
         SolveUnit::Block(i, seg) => factors.solve_block_inplace(i, seg),
         SolveUnit::Class(c, mut members) => {
@@ -281,7 +294,19 @@ fn run_solve_unit<T: Scalar>(factors: &FactorizedBatch<T>, unit: SolveUnit<'_, T
                     x[i * count + slot] = seg[i];
                 }
             }
-            lu_solve_interleaved_class(n, count, &cls.data, &cls.piv, &mut x);
+            if simd {
+                let mut scratch = vec![T::ZERO; n * count];
+                lu_solve_interleaved_class_scratch_simd(
+                    n,
+                    count,
+                    &cls.data,
+                    &cls.piv,
+                    &mut x,
+                    &mut scratch,
+                );
+            } else {
+                lu_solve_interleaved_class(n, count, &cls.data, &cls.piv, &mut x);
+            }
             for (slot, seg) in &mut members {
                 for i in 0..n {
                     seg[i] = x[i * count + *slot];
@@ -291,10 +316,11 @@ fn run_solve_unit<T: Scalar>(factors: &FactorizedBatch<T>, unit: SolveUnit<'_, T
     }
 }
 
-fn solve_cpu<T: Scalar>(
+pub(crate) fn solve_cpu<T: Scalar>(
     factors: &FactorizedBatch<T>,
     rhs: &mut VectorBatch<T>,
     parallel: bool,
+    simd: bool,
     stats: &mut ExecStats,
 ) {
     assert_eq!(factors.sizes, rhs.sizes(), "factors do not match rhs");
@@ -329,10 +355,10 @@ fn solve_cpu<T: Scalar>(
             }
         }
         if parallel {
-            par_map_vec(units, |u| run_solve_unit(factors, u));
+            par_map_vec(units, |u| run_solve_unit(factors, u, simd));
         } else {
             for u in units {
-                run_solve_unit(factors, u);
+                run_solve_unit(factors, u, simd);
             }
         }
     }
@@ -345,11 +371,12 @@ fn solve_cpu<T: Scalar>(
 /// sequential path performs zero heap allocations (every temporary
 /// lives in the prepared per-unit scratch); the parallel path allocates
 /// only inside the thread-pool harness, never per block.
-fn solve_prepared_cpu<T: Scalar>(
+pub(crate) fn solve_prepared_cpu<T: Scalar>(
     factors: &FactorizedBatch<T>,
     prepared: &PreparedApply<T>,
     v: &mut [T],
     parallel: bool,
+    simd: bool,
     stats: &mut ExecStats,
 ) {
     assert_eq!(
@@ -367,11 +394,11 @@ fn solve_prepared_cpu<T: Scalar>(
             // (PreparedApply invariant), so the reborrowed views from
             // concurrent units never alias.
             let view = unsafe { ptr.slice() };
-            run_apply_unit(factors, &units[i], view);
+            run_apply_unit(factors, &units[i], view, simd);
         });
     } else {
         for unit in units {
-            run_apply_unit(factors, unit, v);
+            run_apply_unit(factors, unit, v, simd);
         }
     }
     stats.add_flops(factors.sizes.iter().map(|&n| 2.0 * (n * n) as f64).sum());
@@ -431,7 +458,7 @@ pub(crate) fn invert_cpu<T: Scalar>(
     (out, status)
 }
 
-fn gemv_cpu<T: Scalar>(
+pub(crate) fn gemv_cpu<T: Scalar>(
     blocks: &MatrixBatch<T>,
     x: &VectorBatch<T>,
     y: &mut VectorBatch<T>,
@@ -445,7 +472,7 @@ fn gemv_cpu<T: Scalar>(
     stats.add_phase(Phase::Gemv, t0.elapsed());
 }
 
-fn extract_cpu<T: Scalar>(
+pub(crate) fn extract_cpu<T: Scalar>(
     a: &CsrMatrix<T>,
     part: &BlockPartition,
     stats: &mut ExecStats,
@@ -479,7 +506,7 @@ macro_rules! impl_cpu_backend {
                 plan: &BatchPlan,
                 stats: &mut ExecStats,
             ) -> FactorizedBatch<T> {
-                factorize_cpu(blocks, plan, $parallel, stats)
+                factorize_cpu(blocks, plan, $parallel, false, stats)
             }
 
             fn solve(
@@ -488,7 +515,7 @@ macro_rules! impl_cpu_backend {
                 rhs: &mut VectorBatch<T>,
                 stats: &mut ExecStats,
             ) {
-                solve_cpu(factors, rhs, $parallel, stats)
+                solve_cpu(factors, rhs, $parallel, false, stats)
             }
 
             fn solve_prepared(
@@ -498,7 +525,7 @@ macro_rules! impl_cpu_backend {
                 v: &mut [T],
                 stats: &mut ExecStats,
             ) {
-                solve_prepared_cpu(factors, prepared, v, $parallel, stats)
+                solve_prepared_cpu(factors, prepared, v, $parallel, false, stats)
             }
 
             fn sweep_triangular(

@@ -31,6 +31,7 @@
 pub mod apply;
 pub mod backend;
 pub mod cpu;
+pub mod cpu_simd;
 pub mod estimate;
 pub mod factors;
 pub mod fault;
@@ -43,6 +44,7 @@ pub mod tri;
 pub use apply::PreparedApply;
 pub use backend::{backend_for_exec, Backend};
 pub use cpu::{CpuRayon, CpuSequential};
+pub use cpu_simd::CpuSimd;
 pub use estimate::{estimate_planned_factor, PlannedEstimate};
 pub use factors::{
     BlockFactor, BlockHealth, BlockStatus, FactorizedBatch, InterleavedLuClass, RecoveryStep,

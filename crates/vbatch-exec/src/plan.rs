@@ -87,6 +87,12 @@ pub enum ClassLayout {
     /// The class is packed element-interleaved and processed by the
     /// class-wide sweep kernels.
     Interleaved,
+    /// Interleaved class executed by the explicit wide-lane SIMD
+    /// kernels. The planner never emits this: it is the stats-side
+    /// label `CpuSimd` records when it takes over a class the plan
+    /// marked [`ClassLayout::Interleaved`], so histograms show which
+    /// blocks actually went down the lane-wide path.
+    InterleavedSimd,
 }
 
 impl ClassLayout {
@@ -95,6 +101,7 @@ impl ClassLayout {
         match self {
             ClassLayout::Blocked => "blocked",
             ClassLayout::Interleaved => "interleaved",
+            ClassLayout::InterleavedSimd => "interleaved-simd",
         }
     }
 }
@@ -348,18 +355,22 @@ impl BatchPlan {
 
     /// Layout histogram over blocks, zero-count entries omitted.
     pub fn layout_histogram(&self) -> Vec<(ClassLayout, usize)> {
-        [ClassLayout::Blocked, ClassLayout::Interleaved]
-            .iter()
-            .filter_map(|&l| {
-                let c: usize = self
-                    .classes
-                    .iter()
-                    .filter(|cl| cl.layout == l)
-                    .map(|cl| cl.count)
-                    .sum();
-                (c > 0).then_some((l, c))
-            })
-            .collect()
+        [
+            ClassLayout::Blocked,
+            ClassLayout::Interleaved,
+            ClassLayout::InterleavedSimd,
+        ]
+        .iter()
+        .filter_map(|&l| {
+            let c: usize = self
+                .classes
+                .iter()
+                .filter(|cl| cl.layout == l)
+                .map(|cl| cl.count)
+                .sum();
+            (c > 0).then_some((l, c))
+        })
+        .collect()
     }
 
     /// Layout histogram as a compact `label=count;...` string for CSV.

@@ -21,9 +21,9 @@
 use std::sync::Arc;
 use vbatch_core::{BatchLayout, MatrixBatch, VectorBatch};
 use vbatch_exec::{
-    expected_health, inject_batch, inject_rhs, Backend, BatchPlan, BlockHealth, CpuRayon,
-    CpuSequential, ExecStats, FaultClass, FaultPlan, HealthPolicy, PlanMethod, RecoveryStep,
-    SimtSim,
+    apply_fault, expected_health, inject_batch, inject_rhs, Backend, BatchPlan, BlockHealth,
+    CpuRayon, CpuSequential, CpuSimd, ExecStats, FaultClass, FaultPlan, HealthPolicy, PlanMethod,
+    RecoveryStep, SimtSim,
 };
 use vbatch_precond::{BjMethod, BjOptions, BlockJacobi};
 use vbatch_solver::{idr, SolveParams, StopReason};
@@ -39,6 +39,7 @@ fn backends() -> Vec<Arc<dyn Backend<f64>>> {
     vec![
         Arc::new(CpuSequential),
         Arc::new(CpuRayon),
+        Arc::new(CpuSimd),
         Arc::new(SimtSim::new()),
     ]
 }
@@ -162,6 +163,88 @@ fn mixed_faults_still_converge_through_block_jacobi_idr() {
                 r.final_relres
             );
             assert!(r.final_relres < 1e-6, "{name}: {}", r.final_relres);
+        }
+    }
+}
+
+/// Faults injected *inside a SIMD lane group* poison only their own
+/// slot: on `CpuSimd`, the whole group runs through the wide-lane
+/// elimination together, so a NaN/Inf/singular victim shares vector
+/// registers with up to `MAX_LANE_WIDTH − 1` healthy lane-mates. Those
+/// mates must come out **bitwise identical** to a fault-free run —
+/// factors, pivots, and solve outputs alike — and the reported status
+/// map must match `expected_health` exactly.
+#[test]
+fn lane_group_faults_poison_only_their_own_slot() {
+    // one interleaved class of 20 slots at n = 6: lane groups
+    // [0..8), [8..16) and a remainder tail [16..20) at width 8
+    // (narrower widths just re-chunk; the victim slots below land
+    // inside a multi-lane group at every supported width >= 2)
+    const COUNT: usize = 20;
+    const N: usize = 6;
+    let victims: [(usize, FaultClass); 4] = [
+        (3, FaultClass::NanEntry), // group 0, mates 0..8
+        (4, FaultClass::InfEntry), // group 0: two victims in one group
+        (9, FaultClass::ZeroRow),  // group 1
+        (17, FaultClass::ZeroRow), // remainder tail
+    ];
+    let flat_rhs: Vec<f64> = (0..COUNT * N).map(|i| 0.5 + (i % 7) as f64).collect();
+    let bplan = BatchPlan::for_method_with_layout::<f64>(
+        &[N; COUNT],
+        PlanMethod::SmallLu,
+        BatchLayout::Interleaved { class_capacity: 2 },
+    )
+    .with_health(HealthPolicy::guarded::<f64>());
+
+    let clean = healthy_batch(COUNT, N);
+    let mut faulty = clean.clone();
+    let mut map: Vec<Option<FaultClass>> = vec![None; COUNT];
+    for &(slot, class) in &victims {
+        apply_fault(N, faulty.block_mut(slot), class);
+        map[slot] = Some(class);
+    }
+
+    let backend = CpuSimd;
+    let mut s_clean = ExecStats::new();
+    let f_clean = backend.factorize(clean, &bplan, &mut s_clean);
+    let mut r_clean = VectorBatch::from_flat(&[N; COUNT], &flat_rhs);
+    backend.solve(&f_clean, &mut r_clean, &mut s_clean);
+
+    let mut s_faulty = ExecStats::new();
+    let f_faulty = backend.factorize(faulty, &bplan, &mut s_faulty);
+    let mut r_faulty = VectorBatch::from_flat(&[N; COUNT], &flat_rhs);
+    backend.solve(&f_faulty, &mut r_faulty, &mut s_faulty);
+
+    for blk in 0..COUNT {
+        let want = expected_health(map[blk]);
+        assert_eq!(f_faulty.status[blk].health, want, "block {blk}");
+        if map[blk].is_some() {
+            assert!(
+                f_faulty.status[blk].is_fallback(),
+                "victim {blk} must degrade"
+            );
+            assert!(
+                r_faulty.seg(blk).iter().all(|v| v.is_finite()),
+                "victim {blk}: fallback output must stay finite"
+            );
+        } else {
+            // healthy lane-mates: pivots and solve bits untouched by
+            // the poisoned slots sharing their vector registers
+            assert!(!f_faulty.status[blk].is_fallback(), "block {blk}");
+            assert_eq!(
+                f_faulty.row_of_step(blk),
+                f_clean.row_of_step(blk),
+                "block {blk}: pivot sequence perturbed by a lane-mate fault"
+            );
+            let got = r_faulty.seg(blk);
+            let want = r_clean.seg(blk);
+            for (i, (a, b)) in got.iter().zip(want).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "block {blk} row {i}: solve bits perturbed by a lane-mate fault"
+                );
+            }
         }
     }
 }

@@ -5,10 +5,11 @@
 //!
 //! Contracts locked down here:
 //!
-//! * the two CPU backends agree **bitwise** across both layouts —
+//! * the three CPU backends — sequential, parallel, and the explicit
+//!   wide-lane `CpuSimd` — agree **bitwise** across both layouts:
 //!   identical pivot sequences and identical solution bits, because the
-//!   interleaved sweeps execute the exact per-slot operation order of
-//!   the blocked kernels;
+//!   interleaved sweeps (scalar and SIMD-chunked alike) execute the
+//!   exact per-slot operation order of the blocked kernels;
 //! * every combination stays within `c · n · eps` of the dense
 //!   reference solve (`vbatch_core::solve_system`);
 //! * the SIMT simulator agrees with the CPU combinations to roundoff;
@@ -17,7 +18,7 @@
 
 use vbatch_core::{BatchLayout, MatrixBatch, Scalar, VectorBatch};
 use vbatch_exec::{
-    Backend, BatchPlan, CpuRayon, CpuSequential, ExecStats, FactorizedBatch, HealthPolicy,
+    Backend, BatchPlan, CpuRayon, CpuSequential, CpuSimd, ExecStats, FactorizedBatch, HealthPolicy,
     PlanMethod, SimtSim,
 };
 use vbatch_rt::{run_cases, testgen, SmallRng};
@@ -75,9 +76,10 @@ fn run_all_combos(
     health: HealthPolicy,
 ) -> Vec<Combo> {
     let mut combos = Vec::new();
-    let backends: [(&dyn Backend<f64>, bool); 3] = [
+    let backends: [(&dyn Backend<f64>, bool); 4] = [
         (&CpuSequential, true),
         (&CpuRayon, true),
+        (&CpuSimd, true),
         (&SimtSim::new(), false),
     ];
     for layout in LAYOUTS {
@@ -230,6 +232,17 @@ fn singular_blocks_fall_back_identically_in_every_combo() {
             );
             // healthy blocks still match the dense reference
             assert_matches_dense_reference(&batch, &rhs, combo);
+        }
+        // identical per-block fallback maps in every combination
+        for combo in &combos {
+            for blk in 0..batch.len() {
+                assert_eq!(
+                    combo.factors.status[blk].is_fallback(),
+                    combos[0].factors.status[blk].is_fallback(),
+                    "{} block {blk} fallback map",
+                    combo.label
+                );
+            }
         }
         // CPU paths stay bitwise-identical even with fallbacks present
         let cpu: Vec<&Combo> = combos.iter().filter(|c| c.bitwise).collect();

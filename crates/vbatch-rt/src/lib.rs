@@ -26,7 +26,10 @@
 //!   tests install to *prove* that claim rather than assume it;
 //! * [`testgen`] — the shared matrix/CSR input generators every
 //!   property suite builds its cases from (raw data only: this crate
-//!   sits below the container types).
+//!   sits below the container types);
+//! * [`simd`] — dependency-free portable wide-lane chunks
+//!   (`f64xN`/`f32xN`) with run-time width selection, the element type
+//!   the `CpuSimd` backend's interleaved kernels are written against.
 
 pub mod alloc_guard;
 pub mod bench;
@@ -34,6 +37,7 @@ pub mod check;
 pub mod fault;
 pub mod par;
 pub mod rng;
+pub mod simd;
 pub mod testgen;
 pub mod workspace;
 
@@ -42,4 +46,5 @@ pub use check::run_cases;
 pub use fault::{FaultClass, FaultPlan};
 pub use par::prelude;
 pub use rng::SmallRng;
+pub use simd::{lane_width, Chunk, Mask, SimdElem, MAX_LANE_WIDTH};
 pub use workspace::{ScratchArena, Workspace};

@@ -12,7 +12,7 @@
 //!   per-iteration.
 
 use std::sync::Arc;
-use vbatch_exec::{Backend, CpuSequential};
+use vbatch_exec::{Backend, CpuSequential, CpuSimd};
 use vbatch_precond::{BjMethod, BlockIlu0, PrecondOptions, Preconditioner};
 use vbatch_rt::CountingAlloc;
 use vbatch_solver::{IdrBjSolver, IdrSolver, SolveParams, StopReason};
@@ -24,6 +24,10 @@ static ALLOC: CountingAlloc = CountingAlloc::new();
 
 fn backend() -> Arc<dyn Backend<f64>> {
     Arc::new(CpuSequential)
+}
+
+fn simd_backend() -> Arc<dyn Backend<f64>> {
+    Arc::new(CpuSimd)
 }
 
 #[test]
@@ -162,6 +166,109 @@ fn warm_bilu_idr_iterations_allocate_nothing() {
         allocs_long,
         allocs_short,
         "the {} extra warm block-ILU(0) iterations must allocate nothing \
+         (short solve: {allocs_short} allocs, long solve: {allocs_long})",
+        r_long.iterations - r_short.iterations
+    );
+}
+
+/// The wide-lane backend honours the same contract: a warm `CpuSimd`
+/// block-Jacobi apply — which routes the interleaved classes through
+/// the explicit SIMD TRSV with caller-provided scratch — allocates
+/// exactly zero times. The default layout interleaves the uniform
+/// `n = 8` classes, so this measures the lane kernels, not a blocked
+/// delegate.
+#[test]
+fn warm_simd_prepared_apply_allocates_nothing() {
+    let a = laplace_2d::<f64>(16, 16);
+    let n = a.nrows();
+    let part = BlockPartition::uniform(n, 8);
+    let m = vbatch_precond::BlockJacobi::setup_with_backend(
+        &a,
+        &part,
+        BjMethod::SmallLu,
+        simd_backend(),
+    )
+    .unwrap();
+    let mut v: Vec<f64> = (0..n).map(|i| 1.0 + (i % 5) as f64).collect();
+    m.apply_inplace(&mut v); // warm-up
+    let before = ALLOC.snapshot();
+    m.apply_inplace(&mut v);
+    m.apply_inplace(&mut v);
+    let after = ALLOC.snapshot();
+    assert_eq!(
+        after.allocs_since(&before),
+        0,
+        "warm cpu-simd prepared apply must not allocate ({} bytes leaked in)",
+        after.bytes_since(&before)
+    );
+    assert!(v.iter().all(|x| x.is_finite()));
+}
+
+/// Same proof over block-ILU(0) on `CpuSimd`: triangular sweeps plus
+/// the SIMD diagonal solve, zero heap traffic once warm.
+#[test]
+fn warm_simd_bilu_apply_allocates_nothing() {
+    let a = laplace_2d::<f64>(16, 16);
+    let n = a.nrows();
+    let part = BlockPartition::uniform(n, 8);
+    let m = BlockIlu0::setup_opts(
+        &a,
+        &part,
+        simd_backend(),
+        PrecondOptions::default().with_method(BjMethod::SmallLu),
+    )
+    .unwrap();
+    let mut v: Vec<f64> = (0..n).map(|i| 1.0 + (i % 5) as f64).collect();
+    m.apply_inplace(&mut v); // warm-up
+    let before = ALLOC.snapshot();
+    m.apply_inplace(&mut v);
+    m.apply_inplace(&mut v);
+    let after = ALLOC.snapshot();
+    assert_eq!(
+        after.allocs_since(&before),
+        0,
+        "warm cpu-simd block-ILU(0) apply must not allocate ({} bytes leaked in)",
+        after.bytes_since(&before)
+    );
+    assert!(v.iter().all(|x| x.is_finite()));
+}
+
+/// Differential proof on `CpuSimd`: extending a warm IDR(4) +
+/// block-Jacobi solve by extra iterations costs zero additional
+/// allocations, so the per-iteration SIMD apply path is heap-free.
+#[test]
+fn warm_simd_idr_iterations_allocate_nothing() {
+    let a = laplace_2d::<f64>(20, 20);
+    let n = a.nrows();
+    let b: Vec<f64> = (0..n).map(|i| 1.0 + (i % 7) as f64).collect();
+    let part = BlockPartition::uniform(n, 8);
+
+    let short = SolveParams::default().with_max_iters(4);
+    let long = SolveParams::default().with_max_iters(24);
+
+    let mut handle =
+        IdrBjSolver::setup(&a, 4, &part, BjMethod::SmallLu, simd_backend(), &short).unwrap();
+    let warm = handle.solve(&a, &b);
+    assert_eq!(warm.reason, StopReason::MaxIterations);
+
+    let s0 = ALLOC.snapshot();
+    let r_short = handle.solve(&a, &b);
+    let allocs_short = ALLOC.snapshot().allocs_since(&s0);
+
+    let mut handle_long =
+        IdrBjSolver::setup(&a, 4, &part, BjMethod::SmallLu, simd_backend(), &long).unwrap();
+    let warm_long = handle_long.solve(&a, &b);
+    assert_eq!(warm_long.reason, StopReason::MaxIterations);
+
+    let s1 = ALLOC.snapshot();
+    let r_long = handle_long.solve(&a, &b);
+    let allocs_long = ALLOC.snapshot().allocs_since(&s1);
+
+    assert!(r_long.iterations > r_short.iterations + 10);
+    assert_eq!(
+        allocs_long,
+        allocs_short,
+        "the {} extra warm cpu-simd iterations must allocate nothing \
          (short solve: {allocs_short} allocs, long solve: {allocs_long})",
         r_long.iterations - r_short.iterations
     );
