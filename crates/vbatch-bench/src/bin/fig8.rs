@@ -59,6 +59,10 @@ fn main() {
                 continue;
             };
             if !lu.converged || !gh.converged {
+                println!(
+                    "  skipping {} (bound {bound}): LU {}, GH {}",
+                    p.name, lu.reason, gh.reason
+                );
                 continue;
             }
             // positive = LU needed more iterations (GH provided the

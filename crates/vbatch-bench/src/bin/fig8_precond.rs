@@ -16,7 +16,7 @@
 //! through the wide-lane `CpuSimd` backend (recorded in the `backend`
 //! CSV column); the iteration counts must not change — only the times.
 
-use vbatch_bench::{parse_backend_flag, run_precond_idr_on, write_csv, BLOCK_BOUNDS};
+use vbatch_bench::{fmt_outcome, parse_backend_flag, run_precond_idr_on, write_csv, BLOCK_BOUNDS};
 use vbatch_precond::{BjMethod, PrecondKind};
 use vbatch_sparse::table1_suite;
 
@@ -68,14 +68,8 @@ fn main() {
                 BjMethod::SmallLu,
                 backend.clone(),
             );
-            let (bj_it, bj_s) = match &bj {
-                Some(o) if o.converged => (o.iters.to_string(), format!("{:.3}", o.total_s())),
-                _ => ("-".into(), "-".into()),
-            };
-            let (bilu_it, bilu_s) = match &bilu {
-                Some(o) if o.converged => (o.iters.to_string(), format!("{:.3}", o.total_s())),
-                _ => ("-".into(), "-".into()),
-            };
+            let (bj_it, bj_s) = fmt_outcome(&bj);
+            let (bilu_it, bilu_s) = fmt_outcome(&bilu);
             let winner = match (&bj, &bilu) {
                 (Some(j), Some(i)) if j.converged && i.converged => {
                     compared += 1;

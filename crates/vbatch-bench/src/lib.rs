@@ -14,7 +14,7 @@ use vbatch_exec::{
     backend_for_exec, Backend, BatchPlan, CpuSequential, CpuSimd, ExecStats, HealthPolicy,
 };
 use vbatch_precond::{BjMethod, BlockIlu0, Jacobi, PrecondKind, PrecondOptions, Preconditioner};
-use vbatch_solver::{idr, idr_precond_kind, SolveParams};
+use vbatch_solver::{idr, idr_precond_kind, SolveParams, StopReason};
 use vbatch_sparse::{supervariable_blocking, BlockPartition, CooMatrix, CsrMatrix};
 
 /// Batch-size sweep used by Figs. 4 and 6 (the paper's x-axis reaches
@@ -150,10 +150,19 @@ pub fn measure_cpu_apply<T: Scalar>(batch: &MatrixBatch<T>, layout: BatchLayout)
     (flops / best / 1e9, prep.workspace_hwm_elems())
 }
 
+/// Report a bad command-line flag value and exit with the conventional
+/// usage status. Bad user input is not a bug: the bins report it on
+/// stderr without a panic backtrace.
+fn usage_error(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
 /// Parse the `--backend {cpu,simd}` flag shared by the experiment bins
 /// (`--backend simd` or `--backend=simd`): returns the chosen execution
 /// backend plus its CSV label. Defaults to the parallel scalar CPU
-/// backend, the historical behaviour.
+/// backend, the historical behaviour. An unknown value is a usage
+/// error: reported on stderr, exit status 2.
 pub fn parse_backend_flag() -> (Arc<dyn Backend<f64>>, &'static str) {
     let args: Vec<String> = std::env::args().collect();
     for (i, a) in args.iter().enumerate() {
@@ -165,7 +174,9 @@ pub fn parse_backend_flag() -> (Arc<dyn Backend<f64>>, &'static str) {
             return match v.as_str() {
                 "cpu" => (backend_for_exec(Exec::Parallel), "cpu"),
                 "simd" => (Arc::new(CpuSimd), "cpu-simd"),
-                other => panic!("unknown --backend value {other:?} (expected cpu or simd)"),
+                other => usage_error(&format!(
+                    "unknown --backend value {other:?} (expected cpu or simd)"
+                )),
             };
         }
     }
@@ -174,7 +185,8 @@ pub fn parse_backend_flag() -> (Arc<dyn Backend<f64>>, &'static str) {
 
 /// Parse the `--precond {bj,bilu}` flag shared by the experiment bins
 /// (`--precond bilu` or `--precond=bilu`); defaults to block-Jacobi,
-/// the historical behaviour.
+/// the historical behaviour. An unknown value is a usage error:
+/// reported on stderr, exit status 2.
 pub fn parse_precond_flag() -> PrecondKind {
     let args: Vec<String> = std::env::args().collect();
     for (i, a) in args.iter().enumerate() {
@@ -183,8 +195,11 @@ pub fn parse_precond_flag() -> PrecondKind {
             .map(str::to_string)
             .or_else(|| (a == "--precond").then(|| args.get(i + 1).cloned().unwrap_or_default()));
         if let Some(v) = v {
-            return PrecondKind::parse(&v)
-                .unwrap_or_else(|| panic!("unknown --precond value {v:?} (expected bj or bilu)"));
+            return PrecondKind::parse(&v).unwrap_or_else(|| {
+                usage_error(&format!(
+                    "unknown --precond value {v:?} (expected bj or bilu)"
+                ))
+            });
         }
     }
     PrecondKind::BlockJacobi
@@ -320,6 +335,8 @@ pub struct SolveOutcome {
     pub solve_s: f64,
     /// Converged to the 1e-6 relative residual?
     pub converged: bool,
+    /// Why the solve stopped (renders via `Display` in reports).
+    pub reason: StopReason,
 }
 
 impl SolveOutcome {
@@ -384,6 +401,7 @@ pub fn run_precond_idr_on(
         setup_s: o.setup_time.as_secs_f64(),
         solve_s: o.result.solve_time.as_secs_f64(),
         converged: o.result.converged(),
+        reason: o.result.reason,
     })
 }
 
@@ -400,14 +418,18 @@ fn run_with<M: Preconditioner<f64>>(
         setup_s,
         solve_s: r.solve_time.as_secs_f64(),
         converged: r.converged(),
+        reason: r.reason,
     })
 }
 
-/// Format an optional outcome like Table I ("-" for non-convergence).
+/// Format an optional outcome like Table I. Non-converged runs show the
+/// stop reason (via [`StopReason`]'s `Display`) in the iterations cell
+/// instead of a bare "-", so the tables say *why* a cell is missing.
 pub fn fmt_outcome(o: &Option<SolveOutcome>) -> (String, String) {
     match o {
         Some(oc) if oc.converged => (oc.iters.to_string(), format!("{:.3}", oc.total_s())),
-        _ => ("-".into(), "-".into()),
+        Some(oc) => (oc.reason.to_string(), "-".into()),
+        None => ("-".into(), "-".into()),
     }
 }
 

@@ -73,6 +73,25 @@ impl<T: Scalar> MatrixBatch<T> {
         b
     }
 
+    /// Reshape in place into a zeroed uniform batch of `count` blocks
+    /// of order `n`, reusing the existing allocations when they are
+    /// large enough — the recycling entry point of the batched-solve
+    /// service's per-flush staging buffers.
+    pub fn reset_uniform(&mut self, count: usize, n: usize) {
+        let sq = n
+            .checked_mul(n)
+            .unwrap_or_else(|| panic!("reset_uniform: block order {n} squared overflows usize"));
+        let total = sq.checked_mul(count).unwrap_or_else(|| {
+            panic!("reset_uniform: total element count overflows usize ({count} blocks of {n})")
+        });
+        self.sizes.clear();
+        self.sizes.resize(count, n);
+        self.offsets.clear();
+        self.offsets.extend((0..=count).map(|i| i * sq));
+        self.data.clear();
+        self.data.resize(total, T::ZERO);
+    }
+
     /// Build from a slice of dense matrices (all must be square).
     pub fn from_matrices(mats: &[DenseMat<T>]) -> Self {
         let sizes: Vec<usize> = mats
@@ -250,6 +269,18 @@ impl<T: Scalar> VectorBatch<T> {
         Self::zeros(mats.sizes())
     }
 
+    /// Reshape in place into a zeroed uniform batch of `count` segments
+    /// of length `n`, reusing the existing allocations when they are
+    /// large enough (see [`MatrixBatch::reset_uniform`]).
+    pub fn reset_uniform(&mut self, count: usize, n: usize) {
+        self.sizes.clear();
+        self.sizes.resize(count, n);
+        self.offsets.clear();
+        self.offsets.extend((0..=count).map(|i| i * n));
+        self.data.clear();
+        self.data.resize(count * n, T::ZERO);
+    }
+
     /// Number of segments.
     #[inline]
     pub fn len(&self) -> usize {
@@ -408,6 +439,29 @@ mod tests {
         assert_eq!(v.seg(1), &[8.0, 7.0]);
         assert_eq!(v.len(), 2);
         assert!(!v.is_empty());
+    }
+
+    #[test]
+    fn reset_uniform_reuses_storage_and_zeroes() {
+        let mut b = MatrixBatch::<f64>::uniform_from_fn(4, 3, |_, _, _| 5.0);
+        let cap = b.data.capacity();
+        b.reset_uniform(2, 3);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.sizes(), &[3, 3]);
+        assert_eq!(b.offsets(), &[0, 9, 18]);
+        assert!(b.as_slice().iter().all(|&v| v == 0.0), "stale data cleared");
+        assert_eq!(b.data.capacity(), cap, "shrinking keeps the allocation");
+        // growing within capacity also keeps it
+        b.reset_uniform(4, 3);
+        assert_eq!(b.data.capacity(), cap);
+        assert_eq!(b.total_elements(), 36);
+
+        let mut v = VectorBatch::<f64>::from_flat(&[2, 2], &[1., 2., 3., 4.]);
+        let vcap = v.data.capacity();
+        v.reset_uniform(1, 3);
+        assert_eq!(v.sizes(), &[3]);
+        assert_eq!(v.as_slice(), &[0., 0., 0.]);
+        assert!(v.data.capacity() >= vcap.min(3));
     }
 
     #[test]

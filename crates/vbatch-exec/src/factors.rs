@@ -42,6 +42,12 @@ impl BlockHealth {
     }
 }
 
+impl core::fmt::Display for BlockHealth {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// One step in a block's recovery escalation chain, in the order it was
 /// applied.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]

@@ -37,6 +37,7 @@ pub mod factors;
 pub mod fault;
 pub mod health;
 pub mod plan;
+pub mod serve;
 pub mod simt;
 pub mod stats;
 pub mod tri;
@@ -54,6 +55,7 @@ pub use plan::{
     gh_crossover_order, BatchPlan, ClassLayout, HealthPolicy, KernelChoice, PlanMethod, PlanParams,
     SizeClass,
 };
+pub use serve::SizeClassHandle;
 pub use simt::SimtSim;
 pub use stats::{ExecStats, Phase};
 pub use tri::BlockTriangular;

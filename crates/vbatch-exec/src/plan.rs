@@ -293,6 +293,46 @@ impl BatchPlan {
         Self::with_params(sizes, PlanMethod::Auto, &params)
     }
 
+    /// Service-runtime plan for one uniform size class: kernel and
+    /// layout are chosen as if the class were at its full `capacity`
+    /// population, regardless of how many members this flush actually
+    /// carries. The automatic crossovers consult the class count (the
+    /// packed kernel needs ≥ 2 members to pay off; interleaving needs a
+    /// full class), so a solo flush and a full flush of the same class
+    /// would otherwise run *different* kernels and diverge by an ULP —
+    /// breaking the isolation contract of `vbatch-serve`, which
+    /// promises a member's bits never depend on who it was co-batched
+    /// with.
+    pub fn uniform_at_capacity<T: Scalar>(
+        n: usize,
+        count: usize,
+        capacity: usize,
+        layout: BatchLayout,
+    ) -> Self {
+        assert!(count >= 1, "empty class");
+        assert!(
+            count <= capacity,
+            "class population {count} exceeds capacity {capacity}"
+        );
+        let params = PlanParams {
+            layout,
+            ..PlanParams::for_scalar::<T>()
+        };
+        let kernel = pick(n, capacity, PlanMethod::Auto, &params);
+        let class_layout = pick_layout(kernel, capacity, &params);
+        BatchPlan {
+            classes: vec![SizeClass {
+                n,
+                count,
+                kernel,
+                layout: class_layout,
+            }],
+            choice: vec![kernel; count],
+            layouts: vec![class_layout; count],
+            health: params.health,
+        }
+    }
+
     /// Forced-method plan with an explicit layout policy.
     pub fn for_method_with_layout<T: Scalar>(
         sizes: &[usize],

@@ -26,7 +26,7 @@ use vbatch_exec::{
     RecoveryStep, SimtSim,
 };
 use vbatch_precond::{BjMethod, BjOptions, BlockJacobi};
-use vbatch_solver::{idr, SolveParams, StopReason};
+use vbatch_solver::{idr, idr_block_jacobi_robust, RobustPolicy, SolveParams, StopReason};
 use vbatch_sparse::gen::laplace::laplace_2d;
 use vbatch_sparse::BlockPartition;
 
@@ -280,4 +280,94 @@ fn rhs_faults_are_reported_not_iterated_on() {
     assert_eq!(r.reason, StopReason::NonFinite);
     assert_ne!(r.reason, StopReason::MaxIterations);
     assert_eq!(r.iterations, 0, "no budget burned on a NaN RHS");
+}
+
+/// The robust fallback chain in **single precision** (the rest of this
+/// suite is f64-only): a NaN right-hand side is reported as `NonFinite`
+/// with zero restarts — corrupted data cannot be repaired by solving
+/// the (equally corrupted) residual system — and the policy still
+/// exhausts the GMRES fallback before giving up.
+#[test]
+fn robust_policy_f32_nan_rhs_exhausts_fallback_without_restarting() {
+    let a = laplace_2d::<f32>(6, 6);
+    let mut b = vec![1.0f32; 36];
+    b[0] = f32::NAN;
+    let part = BlockPartition::uniform(36, 4);
+    let r = idr_block_jacobi_robust(
+        &a,
+        &b,
+        4,
+        &part,
+        BjMethod::SmallLu,
+        Arc::new(CpuSequential) as Arc<dyn Backend<f32>>,
+        &SolveParams::default(),
+        &RobustPolicy::default(),
+    )
+    .unwrap();
+    assert_eq!(r.solve.result.reason, StopReason::NonFinite);
+    assert_eq!(r.restarts, 0, "a NaN RHS cannot be restarted");
+    assert!(r.used_gmres, "policy exhausts the fallback chain");
+}
+
+/// Single-precision stagnation drives the full escalation chain. The
+/// system is an *indefinite* shifted Laplacian (`L − 2I`, the shift
+/// inside the spectrum): block-Jacobi IDR(4) cannot make steady
+/// progress on it in f32, so the stagnation guard trips, the policy
+/// restarts IDR from the current iterate, and when the restart
+/// stagnates too it hands the system to GMRES. The final iterate must
+/// stay finite and carry f32-achievable accuracy even though the
+/// formal `1e-12` target was never met.
+#[test]
+fn robust_policy_f32_stagnation_forces_restart_then_gmres() {
+    let mut a = laplace_2d::<f32>(10, 10);
+    let n = a.nrows();
+    for row in 0..n {
+        let (lo, hi) = (a.row_ptr()[row], a.row_ptr()[row + 1]);
+        for k in lo..hi {
+            if a.col_idx()[k] == row {
+                a.values_mut()[k] -= 2.0;
+            }
+        }
+    }
+    let b = vec![1.0f32; n];
+    let part = BlockPartition::uniform(n, 4);
+    let mut params = SolveParams::default()
+        .with_tol(1e-12)
+        .with_stagnation_window(15)
+        .with_max_iters(2000);
+    // on the indefinite system the residual wanders; only a >=1%
+    // improvement of the best norm counts as progress
+    params.stagnation_rtol = 1e-2;
+    let policy = RobustPolicy::default();
+    let r = idr_block_jacobi_robust(
+        &a,
+        &b,
+        4,
+        &part,
+        BjMethod::SmallLu,
+        Arc::new(CpuSequential) as Arc<dyn Backend<f32>>,
+        &params,
+        &policy,
+    )
+    .unwrap();
+    assert_eq!(
+        r.restarts, policy.max_restarts,
+        "restart budget spent (reason {}, iters {}, relres {})",
+        r.solve.result.reason, r.solve.result.iterations, r.solve.result.final_relres
+    );
+    assert!(r.used_gmres, "restarts alone cannot beat the f32 floor");
+    assert!(
+        r.solve.result.x.iter().all(|v| v.is_finite()),
+        "escalation must never corrupt the iterate"
+    );
+    assert!(
+        r.solve.result.final_relres < 1e-4,
+        "f32-achievable accuracy retained: relres {}",
+        r.solve.result.final_relres
+    );
+    assert_ne!(
+        r.solve.result.reason,
+        StopReason::Converged,
+        "1e-12 is not reachable in single precision"
+    );
 }

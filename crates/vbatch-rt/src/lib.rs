@@ -16,6 +16,12 @@
 //! * [`fault`] — seeded fault-injection plans assigning corruption
 //!   classes to batch members, so every recovery path in the stack is
 //!   deterministically exercisable;
+//! * [`chaos`] — seeded *runtime* chaos plans (delayed workers,
+//!   poisoned tenants, burst arrivals, skewed clocks) driving the
+//!   service-level property suites in `vbatch-serve`;
+//! * [`sync`] — bounded MPSC channels with non-destructive fullness
+//!   probes plus a cooperative [`sync::CancelToken`], the admission /
+//!   drain substrate of the batched-solve service;
 //! * [`bench`] — a wall-clock micro-benchmark harness for the
 //!   `harness = false` bench targets;
 //! * [`workspace`] — grow-once scratch buffers and a buffer free-list
@@ -33,18 +39,22 @@
 
 pub mod alloc_guard;
 pub mod bench;
+pub mod chaos;
 pub mod check;
 pub mod fault;
 pub mod par;
 pub mod rng;
 pub mod simd;
+pub mod sync;
 pub mod testgen;
 pub mod workspace;
 
 pub use alloc_guard::{AllocSnapshot, CountingAlloc};
+pub use chaos::{ChaosPlan, SkewClock};
 pub use check::run_cases;
 pub use fault::{FaultClass, FaultPlan};
 pub use par::prelude;
 pub use rng::SmallRng;
 pub use simd::{lane_width, Chunk, Mask, SimdElem, MAX_LANE_WIDTH};
+pub use sync::{bounded, CancelToken, Receiver, RecvError, Sender, TrySendError};
 pub use workspace::{ScratchArena, Workspace};

@@ -323,15 +323,33 @@ fn vector_bytes() -> usize {
     })
 }
 
-/// `VBATCH_SIMD_WIDTH` override, parsed once. `Some(w)` only for the
-/// supported values 1, 2, 4, 8; anything else is ignored.
+/// Validate a raw `VBATCH_SIMD_WIDTH` value: `None` (unset) and the
+/// supported widths 1, 2, 4, 8 pass; anything else is an error naming
+/// the offending value and the accepted set. Pure so it is unit-testable
+/// independently of the process-wide environment.
+pub fn parse_simd_width(raw: Option<&str>) -> Result<Option<usize>, String> {
+    let Some(raw) = raw else { return Ok(None) };
+    match raw.trim().parse::<usize>() {
+        Ok(w) if matches!(w, 1 | 2 | 4 | 8) => Ok(Some(w)),
+        _ => Err(format!(
+            "invalid VBATCH_SIMD_WIDTH={raw:?}: expected one of 1, 2, 4, 8 (or unset \
+             to auto-detect from the host vector ISA)"
+        )),
+    }
+}
+
+/// `VBATCH_SIMD_WIDTH` override, parsed and validated once. An invalid
+/// value aborts with a clear error instead of silently falling back to
+/// auto-detection — a typo like `VBATCH_SIMD_WIDTH=3` must not quietly
+/// run a different kernel configuration than the one asked for.
 fn width_override() -> Option<usize> {
     static OVERRIDE: OnceLock<Option<usize>> = OnceLock::new();
     *OVERRIDE.get_or_init(|| {
-        std::env::var("VBATCH_SIMD_WIDTH")
-            .ok()
-            .and_then(|s| s.trim().parse::<usize>().ok())
-            .filter(|w| matches!(w, 1 | 2 | 4 | 8))
+        let var = std::env::var("VBATCH_SIMD_WIDTH").ok();
+        match parse_simd_width(var.as_deref()) {
+            Ok(w) => w,
+            Err(msg) => panic!("{msg}"),
+        }
     })
 }
 
@@ -357,6 +375,20 @@ pub fn lane_width_of<T: SimdElem>() -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn simd_width_values_are_validated() {
+        assert_eq!(parse_simd_width(None), Ok(None));
+        for (raw, want) in [("1", 1usize), ("2", 2), ("4", 4), ("8", 8), (" 4 ", 4)] {
+            assert_eq!(parse_simd_width(Some(raw)), Ok(Some(want)));
+        }
+        for bad in ["0", "3", "16", "-2", "four", "", "8x"] {
+            let err = parse_simd_width(Some(bad)).expect_err(bad);
+            assert!(err.contains("VBATCH_SIMD_WIDTH"), "{err}");
+            assert!(err.contains("1, 2, 4, 8"), "{err}");
+            assert!(err.contains(bad), "{err} must name the offending value");
+        }
+    }
 
     #[test]
     fn lane_width_is_supported_and_consistent() {

@@ -1,0 +1,301 @@
+//! The per-shard batcher: coalesces admitted requests into size-class
+//! batches and flushes them through reusable [`SizeClassHandle`]
+//! workspaces.
+//!
+//! Flush triggers, in priority order:
+//!
+//! * **class full** — a size class reached `class_capacity` members;
+//! * **deadline watermark** — the oldest member's remaining deadline
+//!   budget dropped below `flush_watermark`;
+//! * **idle tick** — no arrivals for `idle_tick`, flush whatever is
+//!   pending;
+//! * **quarantine** — a quarantined tenant's request flushes solo,
+//!   immediately, so its recovery-chain latency is paid alone;
+//! * **drain** — the service is shutting down, everything pending
+//!   flushes now.
+//!
+//! Expired requests are cancelled cooperatively: checked at admission
+//! *and* re-checked at flush time, so a request that aged out while
+//! queued is rejected without burning a solve on it.
+//!
+//! This module is the service's warm path and carries the workspace
+//! allocation tripwire: steady-state flushing reuses the scratch
+//! buffers below, and the only per-flush allocations are the two
+//! slice-reference tables (sized exactly, via `with_capacity`) and the
+//! matrix staging the backend consumes by value.
+#![deny(clippy::disallowed_methods, clippy::disallowed_macros)]
+
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+use std::mem;
+use std::sync::Arc;
+use std::thread;
+
+use vbatch_core::{BatchLayout, Scalar};
+use vbatch_exec::{Backend, BlockHealth, HealthPolicy, SizeClassHandle};
+use vbatch_rt::chaos::ChaosPlan;
+
+use crate::config::ServeConfig;
+use crate::request::{Outcome, RejectReason, Slot, SolveRequest};
+use crate::service::ServiceClock;
+use crate::tenants::TenantRegistry;
+
+/// Why a batch left the batcher.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FlushReason {
+    /// The size class reached its configured capacity.
+    ClassFull,
+    /// The oldest member's deadline budget crossed the watermark.
+    DeadlineWatermark,
+    /// No arrivals for an idle tick; pending work flushed anyway.
+    IdleTick,
+    /// A quarantined tenant's request, flushed solo.
+    Quarantine,
+    /// Service shutdown: everything pending flushes.
+    Drain,
+}
+
+impl FlushReason {
+    /// Stable label for the `serve.flush` counter group.
+    pub fn label(self) -> &'static str {
+        match self {
+            FlushReason::ClassFull => "class_full",
+            FlushReason::DeadlineWatermark => "deadline_watermark",
+            FlushReason::IdleTick => "idle_tick",
+            FlushReason::Quarantine => "quarantine",
+            FlushReason::Drain => "drain",
+        }
+    }
+}
+
+/// A request in flight through a shard: the caller's systems plus the
+/// response slot its [`crate::Ticket`] waits on.
+pub(crate) struct Envelope<T> {
+    pub(crate) req: SolveRequest<T>,
+    pub(crate) slot: Arc<Slot<T>>,
+    pub(crate) submitted_ns: u64,
+}
+
+/// One shard's batching state: pending queues per size class, the
+/// reusable solve handles, and the scratch buffers the flush path
+/// recycles.
+pub(crate) struct ShardBatcher<T: Scalar> {
+    shard: usize,
+    cfg: ServeConfig,
+    clock: Arc<dyn ServiceClock>,
+    registry: Arc<TenantRegistry>,
+    chaos: Option<Arc<ChaosPlan>>,
+    backend: Arc<dyn Backend<T>>,
+    health: HealthPolicy,
+    layout: BatchLayout,
+    handles: BTreeMap<usize, SizeClassHandle<T>>,
+    pending: BTreeMap<usize, VecDeque<Envelope<T>>>,
+    flushes: u64,
+    // flush scratch, reused across flushes
+    batch: Vec<Envelope<T>>,
+    mats: Vec<Vec<T>>,
+    sols: Vec<Vec<T>>,
+}
+
+impl<T: Scalar + 'static> ShardBatcher<T> {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        shard: usize,
+        cfg: ServeConfig,
+        clock: Arc<dyn ServiceClock>,
+        registry: Arc<TenantRegistry>,
+        chaos: Option<Arc<ChaosPlan>>,
+        backend: Arc<dyn Backend<T>>,
+        health: HealthPolicy,
+        layout: BatchLayout,
+    ) -> Self {
+        let cap = cfg.class_capacity;
+        ShardBatcher {
+            shard,
+            cfg,
+            clock,
+            registry,
+            chaos,
+            backend,
+            health,
+            layout,
+            handles: BTreeMap::new(),
+            pending: BTreeMap::new(),
+            flushes: 0,
+            batch: Vec::with_capacity(cap),
+            mats: Vec::with_capacity(cap),
+            sols: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Accept one dequeued envelope: cancel it if expired, flush it
+    /// solo if its tenant is quarantined, otherwise stage it in its
+    /// size class (flushing the class if that fills it).
+    pub(crate) fn admit(&mut self, env: Envelope<T>) {
+        let now = self.clock.now_ns();
+        if now >= env.req.deadline_ns {
+            vbatch_trace::counter!("serve.expired", 1);
+            env.slot
+                .fill(Outcome::Rejected(RejectReason::DeadlineExpired));
+            return;
+        }
+        if self.registry.is_quarantined(env.req.tenant) {
+            let n = env.req.n;
+            self.batch.push(env);
+            self.flush_now(n, FlushReason::Quarantine);
+            return;
+        }
+        let n = env.req.n;
+        let class = self.pending.entry(n).or_default();
+        class.push_back(env);
+        if class.len() >= self.cfg.class_capacity {
+            self.flush_class(n, FlushReason::ClassFull);
+        }
+    }
+
+    /// Flush every class whose oldest member's deadline budget has
+    /// crossed the watermark.
+    pub(crate) fn poll_watermark(&mut self) {
+        let now = self.clock.now_ns();
+        let watermark = self.cfg.flush_watermark.as_nanos() as u64;
+        // collect first: flushing mutates the map
+        let mut due: Vec<usize> = Vec::with_capacity(self.pending.len());
+        for (&n, class) in &self.pending {
+            if let Some(oldest) = class.front() {
+                if oldest.req.deadline_ns.saturating_sub(now) <= watermark {
+                    due.push(n);
+                }
+            }
+        }
+        for n in due {
+            self.flush_class(n, FlushReason::DeadlineWatermark);
+        }
+    }
+
+    /// Flush every non-empty class (idle tick or drain).
+    pub(crate) fn flush_all(&mut self, reason: FlushReason) {
+        let mut due: Vec<usize> = Vec::with_capacity(self.pending.len());
+        for (&n, class) in &self.pending {
+            if !class.is_empty() {
+                due.push(n);
+            }
+        }
+        for n in due {
+            self.flush_class(n, reason);
+        }
+    }
+
+    /// `true` while any class holds staged requests.
+    pub(crate) fn has_pending(&self) -> bool {
+        self.pending.values().any(|c| !c.is_empty())
+    }
+
+    fn flush_class(&mut self, n: usize, reason: FlushReason) {
+        if let Some(class) = self.pending.get_mut(&n) {
+            debug_assert!(self.batch.is_empty());
+            while self.batch.len() < self.cfg.class_capacity {
+                match class.pop_front() {
+                    Some(env) => self.batch.push(env),
+                    None => break,
+                }
+            }
+        }
+        if !self.batch.is_empty() {
+            self.flush_now(n, reason);
+        }
+    }
+
+    /// Solve whatever sits in `self.batch` (already all of order `n`).
+    fn flush_now(&mut self, n: usize, reason: FlushReason) {
+        vbatch_trace::labeled_add("serve.flush", reason.label(), 1);
+        if let Some(chaos) = &self.chaos {
+            if let Some(delay) = chaos.worker_delay(self.shard, self.flushes) {
+                thread::sleep(delay);
+            }
+        }
+        self.flushes += 1;
+
+        // Cooperative cancellation: requests that aged out while queued
+        // are rejected here, before any factorization runs.
+        let now = self.clock.now_ns();
+        let mut batch = mem::take(&mut self.batch);
+        batch.retain_mut(|env| {
+            if now >= env.req.deadline_ns {
+                vbatch_trace::counter!("serve.expired", 1);
+                env.slot
+                    .fill(Outcome::Rejected(RejectReason::DeadlineExpired));
+                false
+            } else {
+                true
+            }
+        });
+        if batch.is_empty() {
+            self.batch = batch;
+            return;
+        }
+
+        let handle = match self.handles.get_mut(&n) {
+            Some(h) => h,
+            None => {
+                let h = SizeClassHandle::new(
+                    n,
+                    self.cfg.class_capacity,
+                    Arc::clone(&self.backend),
+                    self.health,
+                    self.layout,
+                );
+                self.handles.entry(n).or_insert(h)
+            }
+        };
+
+        debug_assert!(self.mats.is_empty() && self.sols.is_empty());
+        for env in &mut batch {
+            self.mats.push(mem::take(&mut env.req.matrix));
+            self.sols.push(mem::take(&mut env.req.rhs));
+        }
+        let statuses = {
+            let block_refs: Vec<&[T]> = {
+                let mut refs = Vec::with_capacity(self.mats.len());
+                for m in &self.mats {
+                    refs.push(m.as_slice());
+                }
+                refs
+            };
+            let mut sol_refs: Vec<&mut [T]> = {
+                let mut refs = Vec::with_capacity(self.sols.len());
+                for s in &mut self.sols {
+                    refs.push(s.as_mut_slice());
+                }
+                refs
+            };
+            let _span = vbatch_trace::span!("serve.flush_solve", block_refs.len() as u64);
+            handle.solve_batch(&block_refs, &mut sol_refs)
+        };
+        self.mats.clear();
+
+        let done = self.clock.now_ns();
+        for (env, (solution, status)) in batch.drain(..).zip(self.sols.drain(..).zip(statuses)) {
+            self.registry.record(env.req.tenant, status.health);
+            vbatch_trace::duration!(
+                "serve.request_latency",
+                done.saturating_sub(env.submitted_ns)
+            );
+            let outcome = match status.health {
+                BlockHealth::Healthy => {
+                    vbatch_trace::counter!("serve.solved", 1);
+                    Outcome::Solved { solution, status }
+                }
+                reason => {
+                    vbatch_trace::counter!("serve.degraded", 1);
+                    Outcome::Degraded {
+                        solution,
+                        reason,
+                        status,
+                    }
+                }
+            };
+            env.slot.fill(outcome);
+        }
+        self.batch = batch;
+    }
+}

@@ -1,0 +1,261 @@
+//! Request and outcome types: everything a client hands the service
+//! and everything the service hands back.
+//!
+//! The contract is *exactly one* [`Outcome`] per submitted request —
+//! solved, degraded, or rejected with a typed reason — never a panic,
+//! never a hang. Admission failures are outcomes too, so callers have
+//! one code path for every fate a request can meet.
+
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+use vbatch_core::Scalar;
+use vbatch_exec::{BlockHealth, BlockStatus};
+
+/// An opaque client identity. The service shards by tenant (all of a
+/// tenant's requests land on one shard, preserving per-tenant FIFO
+/// order) and quarantines tenants that submit numerically toxic
+/// systems.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TenantId(pub u64);
+
+impl fmt::Display for TenantId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tenant-{}", self.0)
+    }
+}
+
+/// One linear system `A x = b` to solve before a deadline.
+#[derive(Clone, Debug)]
+pub struct SolveRequest<T> {
+    /// Who is asking.
+    pub tenant: TenantId,
+    /// Block order: `A` is `n x n`, `b` has length `n`.
+    pub n: usize,
+    /// Column-major `n x n` system matrix.
+    pub matrix: Vec<T>,
+    /// Right-hand side, length `n`.
+    pub rhs: Vec<T>,
+    /// Absolute deadline on the service clock
+    /// ([`crate::Service::now_ns`]); requests past it are cancelled
+    /// rather than solved.
+    pub deadline_ns: u64,
+}
+
+/// Why the service refused to solve a request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The tenant's admission queue is at capacity; retry no sooner
+    /// than the hint, which scales with the observed backlog.
+    QueueFull {
+        /// Suggested backoff before resubmitting.
+        retry_after: Duration,
+    },
+    /// The deadline passed before the solve ran (at admission or while
+    /// queued — expired requests are cancelled before batching).
+    DeadlineExpired,
+    /// Block order outside the service's configured range.
+    Oversized {
+        /// The order the request asked for.
+        n: usize,
+        /// The largest order this service accepts.
+        max_order: usize,
+    },
+    /// Matrix or RHS length inconsistent with the declared order.
+    Malformed,
+    /// The service is draining; no new work is admitted.
+    ShuttingDown,
+}
+
+impl fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RejectReason::QueueFull { retry_after } => {
+                write!(f, "queue full (retry after {retry_after:?})")
+            }
+            RejectReason::DeadlineExpired => write!(f, "deadline expired"),
+            RejectReason::Oversized { n, max_order } => {
+                write!(f, "order {n} exceeds service maximum {max_order}")
+            }
+            RejectReason::Malformed => write!(f, "matrix/rhs shape inconsistent with order"),
+            RejectReason::ShuttingDown => write!(f, "service shutting down"),
+        }
+    }
+}
+
+/// The single, final fate of a submitted request.
+#[derive(Clone, Debug)]
+pub enum Outcome<T> {
+    /// Factorized and solved cleanly.
+    Solved {
+        /// The solution vector, length `n`.
+        solution: Vec<T>,
+        /// Per-block execution report (kernel, health, condest).
+        status: BlockStatus,
+    },
+    /// The solve completed but through a degraded path (singular or
+    /// non-finite system recovered via the triage fallbacks, or an
+    /// ill-conditioned factor): the solution is finite but may be far
+    /// from `A^{-1} b`.
+    Degraded {
+        /// Best-effort solution, always finite.
+        solution: Vec<T>,
+        /// Triaged health that triggered the degradation.
+        reason: BlockHealth,
+        /// Full execution report including the recovery chain.
+        status: BlockStatus,
+    },
+    /// Not solved; the typed reason says why and what to do about it.
+    Rejected(RejectReason),
+}
+
+impl<T> Outcome<T> {
+    /// `true` for [`Outcome::Solved`].
+    pub fn is_solved(&self) -> bool {
+        matches!(self, Outcome::Solved { .. })
+    }
+
+    /// `true` for [`Outcome::Rejected`].
+    pub fn is_rejected(&self) -> bool {
+        matches!(self, Outcome::Rejected(_))
+    }
+
+    /// The solution vector, when one was produced.
+    pub fn solution(&self) -> Option<&[T]> {
+        match self {
+            Outcome::Solved { solution, .. } | Outcome::Degraded { solution, .. } => Some(solution),
+            Outcome::Rejected(_) => None,
+        }
+    }
+}
+
+/// The write-once response slot a [`Ticket`] waits on.
+pub(crate) struct Slot<T> {
+    outcome: Mutex<Option<Outcome<T>>>,
+    ready: Condvar,
+}
+
+impl<T> Slot<T> {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(Slot {
+            outcome: Mutex::new(None),
+            ready: Condvar::new(),
+        })
+    }
+
+    /// Deliver the outcome; first write wins, later writes are ignored
+    /// (the service never double-fills, but the drain path is defensive
+    /// about it).
+    pub(crate) fn fill(&self, outcome: Outcome<T>) {
+        let mut guard = self.outcome.lock().unwrap_or_else(|e| e.into_inner());
+        if guard.is_none() {
+            *guard = Some(outcome);
+            self.ready.notify_all();
+        }
+    }
+
+    fn take_blocking(&self) -> Outcome<T> {
+        let mut guard = self.outcome.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(outcome) = guard.take() {
+                return outcome;
+            }
+            guard = self.ready.wait(guard).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    fn try_take(&self) -> Option<Outcome<T>> {
+        self.outcome
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+    }
+}
+
+/// A claim on one request's eventual [`Outcome`]. Exactly one outcome
+/// is delivered per ticket; [`Ticket::wait`] consumes the ticket, so an
+/// outcome cannot be observed twice.
+pub struct Ticket<T> {
+    slot: Arc<Slot<T>>,
+}
+
+impl<T: Scalar> Ticket<T> {
+    pub(crate) fn new(slot: Arc<Slot<T>>) -> Self {
+        Ticket { slot }
+    }
+
+    /// An already-resolved ticket (immediate admission rejection).
+    pub(crate) fn resolved(outcome: Outcome<T>) -> Self {
+        let slot = Slot::new();
+        slot.fill(outcome);
+        Ticket { slot }
+    }
+
+    /// Block until the outcome arrives and take it. The service
+    /// guarantees delivery for every admitted request (the drain path
+    /// answers stragglers), so this does not hang across a shutdown.
+    pub fn wait(self) -> Outcome<T> {
+        self.slot.take_blocking()
+    }
+
+    /// Take the outcome if it has already arrived.
+    pub fn try_wait(self) -> Result<Outcome<T>, Ticket<T>> {
+        match self.slot.try_take() {
+            Some(outcome) => Ok(outcome),
+            None => Err(self),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_delivers_exactly_once() {
+        let slot = Slot::<f64>::new();
+        slot.fill(Outcome::Rejected(RejectReason::DeadlineExpired));
+        slot.fill(Outcome::Rejected(RejectReason::Malformed));
+        let t = Ticket::new(slot);
+        match t.wait() {
+            Outcome::Rejected(RejectReason::DeadlineExpired) => {}
+            other => panic!("second fill overwrote the first: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn try_wait_returns_ticket_when_pending() {
+        let slot = Slot::<f64>::new();
+        let t = Ticket::new(Arc::clone(&slot));
+        let t = match t.try_wait() {
+            Err(t) => t,
+            Ok(o) => panic!("pending ticket resolved early: {o:?}"),
+        };
+        slot.fill(Outcome::Rejected(RejectReason::ShuttingDown));
+        assert!(t.try_wait().is_ok());
+    }
+
+    #[test]
+    fn wait_wakes_from_another_thread() {
+        let slot = Slot::<f64>::new();
+        let t = Ticket::new(Arc::clone(&slot));
+        let h = std::thread::spawn(move || t.wait());
+        std::thread::sleep(Duration::from_millis(10));
+        slot.fill(Outcome::Rejected(RejectReason::DeadlineExpired));
+        assert!(h.join().expect("waiter panicked").is_rejected());
+    }
+
+    #[test]
+    fn reject_reasons_render() {
+        let q = RejectReason::QueueFull {
+            retry_after: Duration::from_millis(2),
+        };
+        assert!(q.to_string().contains("queue full"));
+        assert!(RejectReason::Oversized {
+            n: 64,
+            max_order: 32
+        }
+        .to_string()
+        .contains("64"));
+    }
+}

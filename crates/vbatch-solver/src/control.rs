@@ -134,6 +134,23 @@ impl StopReason {
             StopReason::Breakdown | StopReason::NonFinite | StopReason::Stagnated
         )
     }
+
+    /// Stable label used in reports and CSV output.
+    pub fn label(self) -> &'static str {
+        match self {
+            StopReason::Converged => "converged",
+            StopReason::MaxIterations => "max_iterations",
+            StopReason::Breakdown => "breakdown",
+            StopReason::NonFinite => "non_finite",
+            StopReason::Stagnated => "stagnated",
+        }
+    }
+}
+
+impl core::fmt::Display for StopReason {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.label())
+    }
 }
 
 /// The outcome of one linear solve.

@@ -73,7 +73,10 @@ impl BlockPartition {
 
     /// Total number of rows covered.
     pub fn total(&self) -> usize {
-        *self.ptr.last().unwrap()
+        *self
+            .ptr
+            .last()
+            .expect("partition ptr holds at least [0] by construction")
     }
 
     /// Largest block.
@@ -132,7 +135,7 @@ pub fn supervariable_blocking<T: Scalar>(a: &CsrMatrix<T>, max_bs: usize) -> Blo
                 at += max_bs;
                 ptr.push(at);
             }
-            cur = *ptr.last().unwrap();
+            cur = *ptr.last().expect("ptr starts as [0] and only grows");
             continue;
         }
         if e - cur > max_bs {
@@ -141,7 +144,7 @@ pub fn supervariable_blocking<T: Scalar>(a: &CsrMatrix<T>, max_bs: usize) -> Blo
             cur = s;
         }
     }
-    if n > 0 && *ptr.last().unwrap() != n {
+    if n > 0 && *ptr.last().expect("ptr starts as [0] and only grows") != n {
         ptr.push(n);
     }
     BlockPartition::from_ptr(ptr)

@@ -84,6 +84,16 @@ pub struct LabeledSample {
     pub value: u64,
 }
 
+/// One high-water gauge's maximum observed value (`gauge_max!`) —
+/// e.g. the deepest a service admission queue ever got.
+#[derive(Clone, Copy, Debug)]
+pub struct GaugeSample {
+    /// Gauge site name.
+    pub name: &'static str,
+    /// Largest value ever recorded.
+    pub value: u64,
+}
+
 /// Number of log₂ latency buckets per histogram: bucket `b` counts
 /// durations in `[2^b, 2^(b+1))` nanoseconds.
 pub const HIST_BUCKETS: usize = 64;
@@ -140,6 +150,8 @@ pub struct TraceSnapshot {
     pub counters: Vec<CounterSample>,
     /// Labeled counters (`ExecStats` view backing), registration order.
     pub labeled: Vec<LabeledSample>,
+    /// High-water gauges (`gauge_max!`), registration order.
+    pub gauges: Vec<GaugeSample>,
     /// Span latency histograms, registration order.
     pub histograms: Vec<HistogramSample>,
     /// Events discarded because a ring wrapped or a thread had no ring.
@@ -231,6 +243,9 @@ impl TraceSnapshot {
                 l.group, l.label, l.value
             ));
         }
+        for g in &self.gauges {
+            out.push_str(&format!("{},gauge,{},,,,,\n", g.name, g.value));
+        }
         for h in &self.histograms {
             out.push_str(&format!(
                 "{},span,,{},{},{:.1},{:.1},{:.1}\n",
@@ -257,6 +272,17 @@ impl TraceSnapshot {
             parts.push(format!("{}/{}={}", l.group, l.label, l.value));
         }
         parts.join(";")
+    }
+
+    /// High-water value of the gauge `name`. Each `gauge_max!`
+    /// callsite interns its own site, so same-named gauges fold with
+    /// `max` — the high-water across every callsite.
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        self.gauges
+            .iter()
+            .filter(|g| g.name == name)
+            .map(|g| g.value)
+            .max()
     }
 
     /// Total time recorded by the span site `name`, in nanoseconds.
@@ -320,6 +346,9 @@ impl fmt::Display for TraceSnapshot {
                 format!("{}/{}", l.group, l.label),
                 l.value
             )?;
+        }
+        for g in &self.gauges {
+            writeln!(f, "  gauge   {:<32} {:>12}", g.name, g.value)?;
         }
         Ok(())
     }

@@ -52,22 +52,22 @@ pub mod export;
 mod on;
 #[cfg(feature = "trace")]
 pub use on::{
-    dropped, enabled, labeled_add, record_duration, reserve_thread_ring, reset, set_enabled,
-    snapshot, thread_events_written, Site, SpanGuard, DEFAULT_RING_EVENTS, MAX_LABELED, MAX_RINGS,
-    MAX_SITES,
+    dropped, enabled, gauge_max, labeled_add, record_duration, reserve_thread_ring, reset,
+    set_enabled, snapshot, thread_events_written, Site, SpanGuard, DEFAULT_RING_EVENTS,
+    MAX_LABELED, MAX_RINGS, MAX_SITES,
 };
 
 #[cfg(not(feature = "trace"))]
 mod off;
 #[cfg(not(feature = "trace"))]
 pub use off::{
-    dropped, enabled, labeled_add, record_duration, reserve_thread_ring, reset, set_enabled,
-    snapshot, thread_events_written, Site, SpanGuard,
+    dropped, enabled, gauge_max, labeled_add, record_duration, reserve_thread_ring, reset,
+    set_enabled, snapshot, thread_events_written, Site, SpanGuard,
 };
 
 pub use export::{
-    CounterSample, EventKind, HistogramSample, LabeledSample, TraceEvent, TraceSnapshot,
-    HIST_BUCKETS,
+    CounterSample, EventKind, GaugeSample, HistogramSample, LabeledSample, TraceEvent,
+    TraceSnapshot, HIST_BUCKETS,
 };
 
 /// Open a span at this callsite; the returned guard records the close
@@ -107,8 +107,39 @@ macro_rules! duration {
     }};
 }
 
+/// Raise the named high-water gauge at this callsite to at least
+/// `value` — the maximum ever recorded is what a snapshot reports
+/// ([`TraceSnapshot::gauge`]). For depth-style metrics (queue depth,
+/// in-flight count) where the peak matters, not the sum. Compiles to
+/// nothing when the `trace` feature is off.
+#[macro_export]
+macro_rules! gauge_max {
+    ($name:expr, $value:expr) => {{
+        static __VBT_SITE: $crate::Site = $crate::Site::new($name);
+        $crate::gauge_max(&__VBT_SITE, ($value) as u64)
+    }};
+}
+
 #[cfg(all(test, feature = "trace"))]
 mod tests {
+    #[test]
+    fn gauge_max_keeps_the_high_water_mark() {
+        // retry: a concurrent test may close the global gate mid-record
+        let mut snap = crate::snapshot();
+        for _ in 0..1000 {
+            crate::set_enabled(true);
+            crate::gauge_max!("test.gauge", 5);
+            crate::gauge_max!("test.gauge", 17);
+            crate::gauge_max!("test.gauge", 3); // must not lower the mark
+            snap = crate::snapshot();
+            if snap.gauge("test.gauge") == Some(17) {
+                break;
+            }
+        }
+        assert_eq!(snap.gauge("test.gauge"), Some(17));
+        assert!(snap.metrics_csv().contains("test.gauge,gauge,17"));
+    }
+
     #[test]
     fn span_and_counter_record() {
         crate::set_enabled(true);

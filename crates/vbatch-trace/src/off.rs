@@ -54,6 +54,10 @@ pub fn reserve_thread_ring(_cap_events: usize) {}
 #[inline(always)]
 pub fn record_duration(_site: &Site, _ns: u64) {}
 
+/// No-op gauge raise.
+#[inline(always)]
+pub fn gauge_max(_site: &Site, _value: u64) {}
+
 /// No-op labeled-counter bump.
 #[inline(always)]
 pub fn labeled_add(_group: &'static str, _label: &'static str, _n: u64) {}

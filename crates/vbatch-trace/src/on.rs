@@ -175,6 +175,8 @@ impl Site {
 // metrics registry: fixed atomic arrays
 
 static COUNTERS: [AtomicU64; MAX_SITES] = [const { AtomicU64::new(0) }; MAX_SITES];
+static GAUGE_MAX: [AtomicU64; MAX_SITES] = [const { AtomicU64::new(0) }; MAX_SITES];
+static SITE_IS_GAUGE: [AtomicBool; MAX_SITES] = [const { AtomicBool::new(false) }; MAX_SITES];
 static HIST_COUNT: [AtomicU64; MAX_SITES] = [const { AtomicU64::new(0) }; MAX_SITES];
 static HIST_SUM: [AtomicU64; MAX_SITES] = [const { AtomicU64::new(0) }; MAX_SITES];
 static HIST: [[AtomicU64; HIST_BUCKETS]; MAX_SITES] =
@@ -190,6 +192,19 @@ fn record_duration_id(id: usize, ns: u64) {
     HIST_COUNT[id].fetch_add(1, Ordering::Relaxed);
     HIST_SUM[id].fetch_add(ns, Ordering::Relaxed);
     HIST[id][bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
+}
+
+/// Raise the named high-water gauge to at least `value` (a single
+/// relaxed `fetch_max`; no ring event). Used via the `gauge_max!`
+/// macro for depth-style metrics where the maximum ever observed is
+/// the interesting number — e.g. admission-queue depth.
+pub fn gauge_max(site: &Site, value: u64) {
+    if !enabled() {
+        return;
+    }
+    let id = site.id();
+    SITE_IS_GAUGE[id].store(true, Ordering::Relaxed);
+    GAUGE_MAX[id].fetch_max(value, Ordering::Relaxed);
 }
 
 /// Record a duration into the named span histogram without opening a
@@ -454,6 +469,12 @@ pub fn snapshot() -> TraceSnapshot {
                 value,
             });
         }
+        if SITE_IS_GAUGE[id].load(Ordering::Relaxed) {
+            snap.gauges.push(crate::export::GaugeSample {
+                name: names[id],
+                value: GAUGE_MAX[id].load(Ordering::Relaxed),
+            });
+        }
         let count = HIST_COUNT[id].load(Ordering::Relaxed);
         if count > 0 {
             let mut buckets = [0u64; HIST_BUCKETS];
@@ -518,6 +539,7 @@ pub fn snapshot() -> TraceSnapshot {
 pub fn reset() {
     for i in 0..MAX_SITES {
         COUNTERS[i].store(0, Ordering::Relaxed);
+        GAUGE_MAX[i].store(0, Ordering::Relaxed);
         HIST_COUNT[i].store(0, Ordering::Relaxed);
         HIST_SUM[i].store(0, Ordering::Relaxed);
         for b in 0..HIST_BUCKETS {
