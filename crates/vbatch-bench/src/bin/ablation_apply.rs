@@ -22,9 +22,11 @@
 
 use std::sync::Arc;
 use std::time::Instant;
-use vbatch_bench::{parse_precond_flag, uniform_bench_batch, write_csv};
+use vbatch_bench::{
+    parse_precision_flag, parse_precond_flag, uniform_bench_batch, write_csv, ABLATION_APPLY_HEADER,
+};
 use vbatch_core::VectorBatch;
-use vbatch_exec::{Backend, BatchPlan, CpuSequential, CpuSimd, ExecStats};
+use vbatch_exec::{Backend, BatchPlan, CpuSequential, CpuSimd, ExecStats, PrecisionPolicy};
 use vbatch_precond::{BjMethod, BlockIlu0, BlockJacobi, PrecondKind, PrecondOptions};
 use vbatch_rt::CountingAlloc;
 use vbatch_simt::kernels::{gemv, getrf, trsv};
@@ -51,9 +53,13 @@ struct MeasuredApply {
 /// Time one full-batch preconditioner application through both paths
 /// (best of three) on an explicit backend and count heap allocations of
 /// a single application.
-fn measure_apply(n: usize, backend: &dyn Backend<f64>) -> MeasuredApply {
+fn measure_apply(
+    n: usize,
+    backend: &dyn Backend<f64>,
+    precision: PrecisionPolicy,
+) -> MeasuredApply {
     let batch = uniform_bench_batch::<f64>(MEASURED_BATCH, n);
-    let plan = BatchPlan::auto::<f64>(batch.sizes());
+    let plan = BatchPlan::auto::<f64>(batch.sizes()).with_precision(precision);
     let mut stats = ExecStats::new();
     let factors = backend.factorize(batch.clone(), &plan, &mut stats);
     let total = n * MEASURED_BATCH;
@@ -127,9 +133,14 @@ fn measure_trace_overhead(n: usize) -> (f64, f64) {
 fn main() {
     let device = DeviceModel::p100();
     let precond = parse_precond_flag();
+    let precision = parse_precision_flag();
     let table = CostTable::for_element_bytes(8);
     let batch = 40_000u64;
-    println!("Ablation E: triangular-solve vs GEMV application (DP, batch = {batch})");
+    println!(
+        "Ablation E: triangular-solve vs GEMV application (DP, batch = {batch}, \
+         measured precision {})",
+        precision.label()
+    );
     println!(
         "\n{:>5} {:>12} {:>12} {:>10} {:>12} {:>12} {:>11}",
         "size", "trsv [us]", "gemv [us]", "speedup", "LU setup", "inv setup", "break-even"
@@ -196,10 +207,10 @@ fn main() {
         "allocs/simd"
     );
     for (i, &n) in [4usize, 8, 16, 24, 32].iter().enumerate() {
-        let m = measure_apply(n, &CpuSequential);
+        let m = measure_apply(n, &CpuSequential, precision);
         // the wide-lane backend over the same (interleaved) plan: its
         // prepared apply must stay allocation-free too
-        let ms = measure_apply(n, &CpuSimd);
+        let ms = measure_apply(n, &CpuSimd, precision);
         println!(
             "{n:>5} {:>12.1} {:>12.1} {:>8.2}x {:>12} {:>13} {:>10} {:>12.1} {:>12}",
             m.solve_s * 1e6,
@@ -219,6 +230,7 @@ fn main() {
         rows[i].push(format!("{:.3e}", ms.prepared_s));
         rows[i].push(ms.allocs_prepared.to_string());
         rows[i].push(precond.label().to_string());
+        rows[i].push(precision.label().to_string());
     }
     println!(
         "\nreading: the prepared apply removes every per-application allocation \
@@ -270,26 +282,7 @@ fn main() {
         println!("{snap}");
     }
 
-    let path = write_csv(
-        "ablation_apply",
-        &[
-            "size",
-            "trsv_apply_s",
-            "gemv_apply_s",
-            "lu_setup_s",
-            "inv_setup_s",
-            "break_even_iters",
-            "m_solve_apply_s",
-            "m_prepared_apply_s",
-            "m_allocs_per_solve_apply",
-            "m_allocs_per_prepared_apply",
-            "m_ws_hwm_elems",
-            "m_simd_prepared_apply_s",
-            "m_allocs_per_simd_prepared_apply",
-            "precond",
-        ],
-        &rows,
-    );
+    let path = write_csv("ablation_apply", &ABLATION_APPLY_HEADER, &rows);
     println!("CSV written to {}", path.display());
 
     let trace_path = path.with_file_name("ablation_apply_trace.json");

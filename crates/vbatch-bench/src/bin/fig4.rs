@@ -17,16 +17,21 @@
 //! "SIMD backend").
 
 use vbatch_bench::{
-    factor_health_compact, measure_cpu_factor_gflops, measure_precond_apply,
-    measure_simd_factor_gflops, parse_precond_flag, uniform_bench_batch, write_csv, BATCH_SWEEP,
-    FIG4_HEADER,
+    factor_health_compact, measure_cpu_factor_gflops_under, measure_precond_apply,
+    measure_simd_factor_gflops_under, parse_precision_flag, parse_precond_flag,
+    uniform_bench_batch, write_csv, BATCH_SWEEP, FIG4_HEADER,
 };
 use vbatch_core::{BatchLayout, Scalar};
-use vbatch_exec::{estimate_planned_factor, BatchPlan};
+use vbatch_exec::{estimate_planned_factor, BatchPlan, PrecisionPolicy};
 use vbatch_precond::PrecondKind;
 use vbatch_simt::{estimate_factor, DeviceModel, FactorKernel};
 
-fn sweep<T: Scalar>(device: &DeviceModel, block: usize, precond: PrecondKind) -> Vec<Vec<String>> {
+fn sweep<T: Scalar>(
+    device: &DeviceModel,
+    block: usize,
+    precond: PrecondKind,
+    precision: PrecisionPolicy,
+) -> Vec<Vec<String>> {
     println!("\n-- {} precision, block size {block} --", T::PRECISION);
     println!(
         "{:>8} {:>15} {:>15} {:>15} {:>15} {:>15} {:>12} {:>12} {:>12}",
@@ -45,6 +50,7 @@ fn sweep<T: Scalar>(device: &DeviceModel, block: usize, precond: PrecondKind) ->
         let sizes = vec![block; batch];
         let mut row = vec![
             T::PRECISION.to_string(),
+            precision.label().to_string(),
             block.to_string(),
             batch.to_string(),
         ];
@@ -63,9 +69,9 @@ fn sweep<T: Scalar>(device: &DeviceModel, block: usize, precond: PrecondKind) ->
         row.push(format!("{g:.2}"));
         row.push(planned.histogram.clone());
         let bench = uniform_bench_batch::<T>(batch, block);
-        let g_blocked = measure_cpu_factor_gflops(&bench, BatchLayout::Blocked);
-        let g_il = measure_cpu_factor_gflops(&bench, BatchLayout::interleaved());
-        let g_simd = measure_simd_factor_gflops(&bench);
+        let g_blocked = measure_cpu_factor_gflops_under(&bench, BatchLayout::Blocked, precision);
+        let g_il = measure_cpu_factor_gflops_under(&bench, BatchLayout::interleaved(), precision);
+        let g_simd = measure_simd_factor_gflops_under(&bench, precision);
         line.push_str(&format!(" {g_blocked:>12.2} {g_il:>12.2} {g_simd:>12.2}"));
         row.push(format!("{g_blocked:.3}"));
         row.push(format!("{g_il:.3}"));
@@ -86,18 +92,20 @@ fn sweep<T: Scalar>(device: &DeviceModel, block: usize, precond: PrecondKind) ->
 fn main() {
     let device = DeviceModel::p100();
     let precond = parse_precond_flag();
+    let precision = parse_precision_flag();
     println!("Figure 4: batched factorization GFLOPS vs batch size");
     println!(
-        "device: {} (apply column preconditioner: {})",
+        "device: {} (apply column preconditioner: {}, precision policy: {})",
         device.name,
-        precond.label()
+        precond.label(),
+        precision.label()
     );
     let mut rows = Vec::new();
     for block in [16usize, 32] {
-        rows.extend(sweep::<f32>(&device, block, precond));
+        rows.extend(sweep::<f32>(&device, block, precond, precision));
     }
     for block in [16usize, 32] {
-        rows.extend(sweep::<f64>(&device, block, precond));
+        rows.extend(sweep::<f64>(&device, block, precond, precision));
     }
     let path = write_csv("fig4", &FIG4_HEADER, &rows);
     println!("\nCSV written to {}", path.display());

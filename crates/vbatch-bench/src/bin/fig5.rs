@@ -15,12 +15,12 @@
 //! interleaved on the wide-lane `CpuSimd` backend.
 
 use vbatch_bench::{
-    factor_health_compact, measure_cpu_factor_gflops, measure_precond_apply,
-    measure_simd_factor_gflops, parse_precond_flag, size_sweep, uniform_bench_batch, write_csv,
-    FIG5_HEADER,
+    factor_health_compact, measure_cpu_factor_gflops_under, measure_precond_apply,
+    measure_simd_factor_gflops_under, parse_precision_flag, parse_precond_flag, size_sweep,
+    uniform_bench_batch, write_csv, FIG5_HEADER,
 };
 use vbatch_core::{BatchLayout, Scalar};
-use vbatch_exec::{estimate_planned_factor, BatchPlan};
+use vbatch_exec::{estimate_planned_factor, BatchPlan, PrecisionPolicy};
 use vbatch_precond::PrecondKind;
 use vbatch_simt::{estimate_factor, DeviceModel, FactorKernel};
 
@@ -29,6 +29,7 @@ const BATCH: usize = 40_000;
 fn sweep<T: Scalar>(
     device: &DeviceModel,
     precond: PrecondKind,
+    precision: PrecisionPolicy,
 ) -> (Vec<Vec<String>>, Option<usize>) {
     println!("\n-- {} precision, batch = {BATCH} --", T::PRECISION);
     println!(
@@ -39,7 +40,11 @@ fn sweep<T: Scalar>(
     let mut crossover = None;
     for n in size_sweep() {
         let sizes = vec![n; BATCH];
-        let mut row = vec![T::PRECISION.to_string(), n.to_string()];
+        let mut row = vec![
+            T::PRECISION.to_string(),
+            precision.label().to_string(),
+            n.to_string(),
+        ];
         let mut line = format!("{n:>5}");
         let mut g_lu = 0.0;
         let mut g_gh = 0.0;
@@ -66,9 +71,9 @@ fn sweep<T: Scalar>(
         row.push(format!("{g:.2}"));
         row.push(planned.histogram.clone());
         let bench = uniform_bench_batch::<T>(BATCH, n);
-        let g_blocked = measure_cpu_factor_gflops(&bench, BatchLayout::Blocked);
-        let g_il = measure_cpu_factor_gflops(&bench, BatchLayout::interleaved());
-        let g_simd = measure_simd_factor_gflops(&bench);
+        let g_blocked = measure_cpu_factor_gflops_under(&bench, BatchLayout::Blocked, precision);
+        let g_il = measure_cpu_factor_gflops_under(&bench, BatchLayout::interleaved(), precision);
+        let g_simd = measure_simd_factor_gflops_under(&bench, precision);
         line.push_str(&format!("  cpu {g_blocked:.2}/{g_il:.2}/{g_simd:.2}"));
         row.push(format!("{g_blocked:.3}"));
         row.push(format!("{g_il:.3}"));
@@ -89,14 +94,16 @@ fn sweep<T: Scalar>(
 fn main() {
     let device = DeviceModel::p100();
     let precond = parse_precond_flag();
+    let precision = parse_precision_flag();
     println!("Figure 5: batched factorization GFLOPS vs matrix size");
     println!(
-        "device: {} (apply column preconditioner: {})",
+        "device: {} (apply column preconditioner: {}, precision policy: {})",
         device.name,
-        precond.label()
+        precond.label(),
+        precision.label()
     );
-    let (mut rows, sp_cross) = sweep::<f32>(&device, precond);
-    let (dp_rows, dp_cross) = sweep::<f64>(&device, precond);
+    let (mut rows, sp_cross) = sweep::<f32>(&device, precond, precision);
+    let (dp_rows, dp_cross) = sweep::<f64>(&device, precond, precision);
     rows.extend(dp_rows);
     println!(
         "\nLU-vs-GH crossover: SP at size {:?} (paper: ~16), DP at size {:?} (paper: ~23)",

@@ -16,13 +16,17 @@
 //! through the wide-lane `CpuSimd` backend (recorded in the `backend`
 //! CSV column); the iteration counts must not change — only the times.
 
-use vbatch_bench::{fmt_outcome, parse_backend_flag, run_precond_idr_on, write_csv, BLOCK_BOUNDS};
+use vbatch_bench::{
+    fmt_outcome, parse_backend_flag, parse_precision_flag, run_precond_idr_under, write_csv,
+    BLOCK_BOUNDS, FIG8_PRECOND_HEADER,
+};
 use vbatch_precond::{BjMethod, PrecondKind};
 use vbatch_sparse::table1_suite;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let (backend, backend_label) = parse_backend_flag();
+    let precision = parse_precision_flag();
     let suite = table1_suite();
     let problems: Vec<_> = if quick {
         suite.into_iter().take(12).collect()
@@ -37,9 +41,10 @@ fn main() {
 
     println!("Figure 8 (precond): block-Jacobi vs block-ILU(0), IDR(4)");
     println!(
-        "suite: {} problems, bounds {:?}, backend {backend_label}{}",
+        "suite: {} problems, bounds {:?}, backend {backend_label}, precision {}{}",
         problems.len(),
         bounds,
+        precision.label(),
         if quick { " (quick mode)" } else { "" }
     );
 
@@ -54,19 +59,21 @@ fn main() {
         let mut compared = 0usize;
         for p in &problems {
             let a = p.build();
-            let bj = run_precond_idr_on(
+            let bj = run_precond_idr_under(
                 &a,
                 bound,
                 PrecondKind::BlockJacobi,
                 BjMethod::SmallLu,
                 backend.clone(),
+                precision,
             );
-            let bilu = run_precond_idr_on(
+            let bilu = run_precond_idr_under(
                 &a,
                 bound,
                 PrecondKind::BlockIlu0,
                 BjMethod::SmallLu,
                 backend.clone(),
+                precision,
             );
             let (bj_it, bj_s) = fmt_outcome(&bj);
             let (bilu_it, bilu_s) = fmt_outcome(&bilu);
@@ -99,6 +106,7 @@ fn main() {
                 bilu_s,
                 winner.to_string(),
                 backend_label.to_string(),
+                precision.label().to_string(),
             ]);
         }
         println!(
@@ -106,19 +114,6 @@ fn main() {
              mutually-converged problems"
         );
     }
-    let path = write_csv(
-        "fig8_precond",
-        &[
-            "bound",
-            "matrix",
-            "bj_iters",
-            "bilu_iters",
-            "bj_total_s",
-            "bilu_total_s",
-            "winner",
-            "backend",
-        ],
-        &rows,
-    );
+    let path = write_csv("fig8_precond", &FIG8_PRECOND_HEADER, &rows);
     println!("\nCSV written to {}", path.display());
 }

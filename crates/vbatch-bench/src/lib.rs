@@ -12,6 +12,7 @@ use std::time::Instant;
 use vbatch_core::{BatchLayout, Exec, MatrixBatch, Scalar};
 use vbatch_exec::{
     backend_for_exec, Backend, BatchPlan, CpuSequential, CpuSimd, ExecStats, HealthPolicy,
+    PrecisionPolicy,
 };
 use vbatch_precond::{BjMethod, BlockIlu0, Jacobi, PrecondKind, PrecondOptions, Preconditioner};
 use vbatch_solver::{idr, idr_precond_kind, SolveParams, StopReason};
@@ -39,8 +40,9 @@ pub const BLOCK_BOUNDS: [usize; 5] = [8, 12, 16, 24, 32];
 /// layout histogram; `cpu_apply` is the measured prepared-apply
 /// throughput ([`measure_cpu_apply`]) and `ws_hwm` its resident
 /// workspace high-water mark in scalar elements.
-pub const FIG4_HEADER: [&str; 17] = [
+pub const FIG4_HEADER: [&str; 18] = [
     "precision",
+    "precision_policy",
     "block",
     "batch",
     "small_size_lu",
@@ -59,10 +61,60 @@ pub const FIG4_HEADER: [&str; 17] = [
     "precond",
 ];
 
+/// CSV schema of the Fig. 8 (preconditioner edition) artifact.
+pub const FIG8_PRECOND_HEADER: [&str; 9] = [
+    "bound",
+    "matrix",
+    "bj_iters",
+    "bilu_iters",
+    "bj_total_s",
+    "bilu_total_s",
+    "winner",
+    "backend",
+    "precision_policy",
+];
+
+/// CSV schema of the Ablation E (apply paths) artifact.
+pub const ABLATION_APPLY_HEADER: [&str; 15] = [
+    "size",
+    "trsv_apply_s",
+    "gemv_apply_s",
+    "lu_setup_s",
+    "inv_setup_s",
+    "break_even_iters",
+    "m_solve_apply_s",
+    "m_prepared_apply_s",
+    "m_allocs_per_solve_apply",
+    "m_allocs_per_prepared_apply",
+    "m_ws_hwm_elems",
+    "m_simd_prepared_apply_s",
+    "m_allocs_per_simd_prepared_apply",
+    "precond",
+    "precision_policy",
+];
+
+/// CSV schema of the `fig_mixed` artifact: the SP/mixed/DP setup-time
+/// and iteration-count frontier.
+pub const FIG_MIXED_HEADER: [&str; 12] = [
+    "precision_policy",
+    "block",
+    "batch",
+    "setup_blocked_s",
+    "setup_interleaved_s",
+    "setup_simd_s",
+    "setup_speedup_vs_dp",
+    "setup_simd_speedup_vs_dp",
+    "idr_iters",
+    "idr_setup_s",
+    "idr_relres",
+    "converged",
+];
+
 /// CSV schema of the Fig. 5 artifact (layout and apply columns as in
 /// [`FIG4_HEADER`]).
-pub const FIG5_HEADER: [&str; 16] = [
+pub const FIG5_HEADER: [&str; 17] = [
     "precision",
+    "precision_policy",
     "size",
     "small_size_lu",
     "gauss_huard",
@@ -90,14 +142,15 @@ pub fn uniform_bench_batch<T: Scalar>(count: usize, n: usize) -> MatrixBatch<T> 
 }
 
 /// Measured host factorization throughput in GFLOPS on an explicit
-/// backend under a forced batch layout, using the paper's `2/3 n³` flop
-/// count.
-pub fn measure_factor_gflops_on<T: Scalar>(
+/// backend under a forced batch layout *and precision policy*, using
+/// the paper's `2/3 n³` flop count.
+pub fn measure_factor_gflops_under<T: Scalar>(
     backend: &dyn Backend<T>,
     batch: &MatrixBatch<T>,
     layout: BatchLayout,
+    precision: PrecisionPolicy,
 ) -> f64 {
-    let plan = BatchPlan::auto_with_layout::<T>(batch.sizes(), layout);
+    let plan = BatchPlan::auto_with_layout::<T>(batch.sizes(), layout).with_precision(precision);
     // best of three runs: a single run is dominated by allocator and
     // page-fault noise at the small end of the sweep
     let mut best = f64::INFINITY;
@@ -113,10 +166,40 @@ pub fn measure_factor_gflops_on<T: Scalar>(
     batch.getrf_flops() / best / 1e9
 }
 
+/// Measured host factorization throughput in GFLOPS on an explicit
+/// backend under a forced batch layout, using the paper's `2/3 n³` flop
+/// count (full working precision — the historical columns).
+pub fn measure_factor_gflops_on<T: Scalar>(
+    backend: &dyn Backend<T>,
+    batch: &MatrixBatch<T>,
+    layout: BatchLayout,
+) -> f64 {
+    measure_factor_gflops_under(backend, batch, layout, PrecisionPolicy::FullDp)
+}
+
+/// Measured host (CpuSequential) factorization throughput in GFLOPS
+/// under a forced batch layout and precision policy.
+pub fn measure_cpu_factor_gflops_under<T: Scalar>(
+    batch: &MatrixBatch<T>,
+    layout: BatchLayout,
+    precision: PrecisionPolicy,
+) -> f64 {
+    measure_factor_gflops_under(&CpuSequential, batch, layout, precision)
+}
+
 /// Measured host (CpuSequential) factorization throughput in GFLOPS
 /// under a forced batch layout, using the paper's `2/3 n³` flop count.
 pub fn measure_cpu_factor_gflops<T: Scalar>(batch: &MatrixBatch<T>, layout: BatchLayout) -> f64 {
     measure_factor_gflops_on(&CpuSequential, batch, layout)
+}
+
+/// Measured wide-lane ([`CpuSimd`]) factorization throughput in GFLOPS
+/// over the interleaved layout under a precision policy.
+pub fn measure_simd_factor_gflops_under<T: Scalar>(
+    batch: &MatrixBatch<T>,
+    precision: PrecisionPolicy,
+) -> f64 {
+    measure_factor_gflops_under(&CpuSimd, batch, BatchLayout::interleaved(), precision)
 }
 
 /// Measured wide-lane ([`CpuSimd`]) factorization throughput in GFLOPS
@@ -158,29 +241,37 @@ fn usage_error(msg: &str) -> ! {
     std::process::exit(2);
 }
 
+/// Scan the process arguments for one `--flag value` / `--flag=value`
+/// occurrence and return the raw value. This is the single arg-scan
+/// shared by every bin flag, so all of them accept both spellings and
+/// report malformed values identically (stderr, exit status 2).
+fn flag_value(flag: &str) -> Option<String> {
+    let eq = format!("{flag}=");
+    let args: Vec<String> = std::env::args().collect();
+    for (i, a) in args.iter().enumerate() {
+        if let Some(v) = a.strip_prefix(&eq) {
+            return Some(v.to_string());
+        }
+        if a == flag {
+            return Some(args.get(i + 1).cloned().unwrap_or_default());
+        }
+    }
+    None
+}
+
 /// Parse the `--backend {cpu,simd}` flag shared by the experiment bins
 /// (`--backend simd` or `--backend=simd`): returns the chosen execution
 /// backend plus its CSV label. Defaults to the parallel scalar CPU
 /// backend, the historical behaviour. An unknown value is a usage
 /// error: reported on stderr, exit status 2.
 pub fn parse_backend_flag() -> (Arc<dyn Backend<f64>>, &'static str) {
-    let args: Vec<String> = std::env::args().collect();
-    for (i, a) in args.iter().enumerate() {
-        let v = a
-            .strip_prefix("--backend=")
-            .map(str::to_string)
-            .or_else(|| (a == "--backend").then(|| args.get(i + 1).cloned().unwrap_or_default()));
-        if let Some(v) = v {
-            return match v.as_str() {
-                "cpu" => (backend_for_exec(Exec::Parallel), "cpu"),
-                "simd" => (Arc::new(CpuSimd), "cpu-simd"),
-                other => usage_error(&format!(
-                    "unknown --backend value {other:?} (expected cpu or simd)"
-                )),
-            };
-        }
+    match flag_value("--backend").as_deref() {
+        None | Some("cpu") => (backend_for_exec(Exec::Parallel), "cpu"),
+        Some("simd") => (Arc::new(CpuSimd), "cpu-simd"),
+        Some(other) => usage_error(&format!(
+            "unknown --backend value {other:?} (expected cpu or simd)"
+        )),
     }
-    (backend_for_exec(Exec::Parallel), "cpu")
 }
 
 /// Parse the `--precond {bj,bilu}` flag shared by the experiment bins
@@ -188,21 +279,29 @@ pub fn parse_backend_flag() -> (Arc<dyn Backend<f64>>, &'static str) {
 /// the historical behaviour. An unknown value is a usage error:
 /// reported on stderr, exit status 2.
 pub fn parse_precond_flag() -> PrecondKind {
-    let args: Vec<String> = std::env::args().collect();
-    for (i, a) in args.iter().enumerate() {
-        let v = a
-            .strip_prefix("--precond=")
-            .map(str::to_string)
-            .or_else(|| (a == "--precond").then(|| args.get(i + 1).cloned().unwrap_or_default()));
-        if let Some(v) = v {
-            return PrecondKind::parse(&v).unwrap_or_else(|| {
-                usage_error(&format!(
-                    "unknown --precond value {v:?} (expected bj or bilu)"
-                ))
-            });
-        }
+    match flag_value("--precond") {
+        None => PrecondKind::BlockJacobi,
+        Some(v) => PrecondKind::parse(&v).unwrap_or_else(|| {
+            usage_error(&format!(
+                "unknown --precond value {v:?} (expected bj or bilu)"
+            ))
+        }),
     }
-    PrecondKind::BlockJacobi
+}
+
+/// Parse the `--precision {dp,mixed,sp}` flag shared by the experiment
+/// bins (`--precision mixed` or `--precision=mixed`); defaults to full
+/// working precision, the historical behaviour. An unknown value is a
+/// usage error: reported on stderr, exit status 2.
+pub fn parse_precision_flag() -> PrecisionPolicy {
+    match flag_value("--precision").as_deref() {
+        None | Some("dp") => PrecisionPolicy::FullDp,
+        Some("mixed") => PrecisionPolicy::mixed::<f64>(),
+        Some("sp") => PrecisionPolicy::ForceSp,
+        Some(other) => usage_error(&format!(
+            "unknown --precision value {other:?} (expected dp, mixed or sp)"
+        )),
+    }
 }
 
 /// Deterministic diagonally-dominant block-tridiagonal system: `count`
@@ -383,6 +482,20 @@ pub fn run_precond_idr_on(
     method: BjMethod,
     backend: Arc<dyn Backend<f64>>,
 ) -> Option<SolveOutcome> {
+    run_precond_idr_under(a, bound, kind, method, backend, PrecisionPolicy::FullDp)
+}
+
+/// [`run_precond_idr_on`] under an explicit precision policy — the
+/// engine of the `--precision` flag: diagonal-block factors are stored
+/// per policy and applied through the widening refinement solves.
+pub fn run_precond_idr_under(
+    a: &CsrMatrix<f64>,
+    bound: usize,
+    kind: PrecondKind,
+    method: BjMethod,
+    backend: Arc<dyn Backend<f64>>,
+    precision: PrecisionPolicy,
+) -> Option<SolveOutcome> {
     let part = supervariable_blocking(a, bound);
     let b = vec![1.0; a.nrows()];
     let o = idr_precond_kind(
@@ -392,7 +505,9 @@ pub fn run_precond_idr_on(
         4,
         &part,
         backend,
-        PrecondOptions::default().with_method(method),
+        PrecondOptions::default()
+            .with_method(method)
+            .with_precision(precision),
         &SolveParams::default(),
     )
     .ok()?;
@@ -471,16 +586,89 @@ mod tests {
         // snapshot: bench output schema changes must be deliberate
         assert_eq!(
             FIG4_HEADER.join(","),
-            "precision,block,batch,small_size_lu,gauss_huard,gauss_huard_t,\
+            "precision,precision_policy,block,batch,small_size_lu,gauss_huard,gauss_huard_t,\
              cublas_lu,planner,plan_kernels,cpu_blocked,cpu_interleaved,cpu_simd,\
              plan_layouts,health,cpu_apply,ws_hwm,precond"
         );
         assert_eq!(
             FIG5_HEADER.join(","),
-            "precision,size,small_size_lu,gauss_huard,gauss_huard_t,\
+            "precision,precision_policy,size,small_size_lu,gauss_huard,gauss_huard_t,\
              cublas_lu,planner,plan_kernels,cpu_blocked,cpu_interleaved,cpu_simd,\
              plan_layouts,health,cpu_apply,ws_hwm,precond"
         );
+        assert_eq!(
+            FIG8_PRECOND_HEADER.join(","),
+            "bound,matrix,bj_iters,bilu_iters,bj_total_s,bilu_total_s,winner,backend,\
+             precision_policy"
+        );
+        assert_eq!(
+            ABLATION_APPLY_HEADER.join(","),
+            "size,trsv_apply_s,gemv_apply_s,lu_setup_s,inv_setup_s,break_even_iters,\
+             m_solve_apply_s,m_prepared_apply_s,m_allocs_per_solve_apply,\
+             m_allocs_per_prepared_apply,m_ws_hwm_elems,m_simd_prepared_apply_s,\
+             m_allocs_per_simd_prepared_apply,precond,precision_policy"
+        );
+        assert_eq!(
+            FIG_MIXED_HEADER.join(","),
+            "precision_policy,block,batch,setup_blocked_s,setup_interleaved_s,setup_simd_s,\
+             setup_speedup_vs_dp,setup_simd_speedup_vs_dp,idr_iters,idr_setup_s,idr_relres,\
+             converged"
+        );
+    }
+
+    #[test]
+    fn precision_policy_runner_matches_full_dp_iterations_here() {
+        use vbatch_exec::CpuSequential;
+        let a = laplace_2d::<f64>(12, 12);
+        let backend: Arc<dyn Backend<f64>> = Arc::new(CpuSequential);
+        let dp = run_precond_idr_under(
+            &a,
+            16,
+            PrecondKind::BlockJacobi,
+            BjMethod::SmallLu,
+            backend.clone(),
+            PrecisionPolicy::FullDp,
+        )
+        .unwrap();
+        let mixed = run_precond_idr_under(
+            &a,
+            16,
+            PrecondKind::BlockJacobi,
+            BjMethod::SmallLu,
+            backend,
+            PrecisionPolicy::mixed::<f64>(),
+        )
+        .unwrap();
+        assert!(dp.converged && mixed.converged);
+        // the widened refinement apply preserves preconditioner quality:
+        // the iteration count may shift by at most a couple
+        assert!(
+            mixed.iters.abs_diff(dp.iters) <= 2,
+            "{} vs {}",
+            mixed.iters,
+            dp.iters
+        );
+    }
+
+    #[test]
+    fn mixed_factor_measurement_is_finite_and_positive() {
+        let batch = uniform_bench_batch::<f64>(64, 8);
+        for precision in [
+            PrecisionPolicy::FullDp,
+            PrecisionPolicy::mixed::<f64>(),
+            PrecisionPolicy::ForceSp,
+        ] {
+            for layout in [BatchLayout::Blocked, BatchLayout::interleaved()] {
+                let g = measure_cpu_factor_gflops_under(&batch, layout, precision);
+                assert!(
+                    g.is_finite() && g > 0.0,
+                    "{layout:?}/{}: {g}",
+                    precision.label()
+                );
+            }
+            let g = measure_simd_factor_gflops_under(&batch, precision);
+            assert!(g.is_finite() && g > 0.0, "simd/{}: {g}", precision.label());
+        }
     }
 
     #[test]

@@ -39,8 +39,10 @@ pub mod interleaved;
 pub mod interleaved_simd;
 pub mod lu;
 pub mod perm;
+pub mod qr;
 pub mod scalar;
 pub mod trsv;
+pub mod widen;
 
 pub use batch::{MatrixBatch, VectorBatch};
 pub use batched::{
@@ -69,7 +71,13 @@ pub use interleaved_simd::{
 pub use lu::blocked::getrf_blocked;
 pub use lu::{getrf, solve_system, LuFactors, PivotStrategy};
 pub use perm::Permutation;
+pub use qr::{geqp3, QrFactors};
 pub use scalar::Scalar;
 pub use trsv::{
     lu_solve_inplace, lu_solve_inplace_scratch, trsv_lower_unit, trsv_upper, TrsvVariant,
+};
+pub use widen::{
+    demote_slice, gh_solve_widened_scratch, lu_solve_interleaved_slot_widened_scratch,
+    lu_solve_widened_scratch, residual_into, trsv_lower_unit_widened, trsv_upper_widened,
+    StoragePrecision,
 };

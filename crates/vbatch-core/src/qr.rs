@@ -1,0 +1,345 @@
+//! Small column-pivoted Householder QR (`geqp3`-style) — the
+//! rank-revealing escalation tier above equilibrated LU.
+//!
+//! When health triage finds a block too ill-conditioned for its LU
+//! factors and equilibration cannot recover it (a zero row/column, or a
+//! refactorization that still fails), the triage chain previously fell
+//! straight to the scalar-Jacobi approximation. Column-pivoted QR fills
+//! that gap: the Householder reduction with greedy column pivoting is
+//! rank-revealing in practice (the pivoted diagonal of `R` decays), so
+//! numerically rank-deficient blocks get a *truncated* basic solution —
+//! the contributions of negligible pivots are dropped instead of
+//! amplified — while full-rank blocks get the exact, backward-stable
+//! orthogonal solve. Batched QR at this block scale follows Boukaram et
+//! al., *Batched QR and SVD Algorithms on GPUs* (see PAPERS.md); here it
+//! runs on the host, per escalated block, since escalation is rare by
+//! construction.
+
+use crate::dense::DenseMat;
+use crate::error::{check_finite, FactorResult};
+use crate::scalar::Scalar;
+
+/// The column-pivoted Householder factorization `A P = Q R` of one
+/// small square block.
+#[derive(Clone, Debug)]
+pub struct QrFactors<T: Scalar> {
+    n: usize,
+    /// Column-major packed factor: `R` in the upper triangle (diagonal
+    /// included), the essential parts of the Householder vectors below
+    /// it (`v[k] = 1` implied).
+    qr: Vec<T>,
+    /// Householder coefficients, one per reflection.
+    tau: Vec<T>,
+    /// Column permutation: position `k` of the factor holds original
+    /// column `jpvt[k]`.
+    jpvt: Vec<usize>,
+}
+
+/// Factorize the column-major `n x n` block `a` with Householder
+/// reflections and greedy column pivoting (the column of largest
+/// remaining norm is eliminated at each step). Unlike LU, a (near-)rank
+/// deficient block does not fail: the deficiency surfaces as trailing
+/// negligible diagonal entries of `R`, which the solve truncates.
+pub fn geqp3<T: Scalar>(n: usize, a: &[T]) -> FactorResult<QrFactors<T>> {
+    assert_eq!(a.len(), n * n, "geqp3 expects a square column-major block");
+    check_finite(n, a)?;
+    let mut qr = a.to_vec();
+    let mut tau = vec![T::ZERO; n];
+    let mut jpvt: Vec<usize> = (0..n).collect();
+
+    for k in 0..n {
+        // greedy pivot: argmax of the remaining trailing column norms,
+        // recomputed exactly (n <= 32 and escalation is rare — the
+        // downdating recurrence's cancellation risk buys nothing here)
+        let mut cpiv = k;
+        let mut best = T::ZERO;
+        for j in k..n {
+            let mut s = T::ZERO;
+            for i in k..n {
+                let v = qr[j * n + i];
+                s = v.mul_add(v, s);
+            }
+            if s > best {
+                best = s;
+                cpiv = j;
+            }
+        }
+        if cpiv != k {
+            for i in 0..n {
+                qr.swap(k * n + i, cpiv * n + i);
+            }
+            jpvt.swap(k, cpiv);
+        }
+        // Householder vector of column k below the diagonal
+        let alpha = qr[k * n + k];
+        let mut normx2 = T::ZERO;
+        for i in k..n {
+            let v = qr[k * n + i];
+            normx2 = v.mul_add(v, normx2);
+        }
+        let normx = normx2.sqrt();
+        if normx == T::ZERO {
+            // exactly rank-deficient from here on: zero reflection,
+            // R(k,k) = 0, the solve truncates this and later pivots
+            tau[k] = T::ZERO;
+            continue;
+        }
+        let beta = if alpha >= T::ZERO { -normx } else { normx };
+        let v0 = alpha - beta;
+        tau[k] = (beta - alpha) / beta;
+        // store the essential vector normalized to v[k] = 1
+        for i in k + 1..n {
+            qr[k * n + i] /= v0;
+        }
+        qr[k * n + k] = beta;
+        // apply H_k = I - tau v v^T to the trailing columns
+        for j in k + 1..n {
+            let mut w = qr[j * n + k];
+            for i in k + 1..n {
+                w = qr[k * n + i].mul_add(qr[j * n + i], w);
+            }
+            w *= tau[k];
+            qr[j * n + k] -= w;
+            for i in k + 1..n {
+                let vi = qr[k * n + i];
+                qr[j * n + i] = (-vi).mul_add(w, qr[j * n + i]);
+            }
+        }
+    }
+    Ok(QrFactors { n, qr, tau, jpvt })
+}
+
+impl<T: Scalar> QrFactors<T> {
+    /// Matrix order.
+    pub fn order(&self) -> usize {
+        self.n
+    }
+
+    /// Truncation threshold: diagonal entries of `R` at or below
+    /// `n * eps * |R(0,0)|` are treated as zero by the solve (the
+    /// rank-revealing cut).
+    fn diag_floor(&self) -> T {
+        let r00 = if self.n > 0 {
+            self.qr[0].abs()
+        } else {
+            T::ZERO
+        };
+        T::from_f64(self.n as f64) * T::epsilon() * r00
+    }
+
+    /// Numerical rank under the truncation threshold of the solve.
+    pub fn rank(&self) -> usize {
+        let floor = self.diag_floor();
+        (0..self.n)
+            .filter(|&k| self.qr[k * self.n + k].abs() > floor)
+            .count()
+    }
+
+    /// Solve `A x = b` in place: apply `Q^T`, back-substitute through
+    /// `R` (truncating negligible pivots to a basic solution), and
+    /// un-permute the unknowns. `scratch.len() >= n` for the un-permute
+    /// copy; no heap allocation.
+    pub fn solve_inplace_scratch(&self, b: &mut [T], scratch: &mut [T]) {
+        let n = self.n;
+        debug_assert_eq!(b.len(), n);
+        debug_assert!(scratch.len() >= n);
+        // Q^T b: apply the reflections in factorization order
+        for k in 0..n {
+            if self.tau[k] == T::ZERO {
+                continue;
+            }
+            let mut w = b[k];
+            for i in k + 1..n {
+                w = self.qr[k * n + i].mul_add(b[i], w);
+            }
+            w *= self.tau[k];
+            b[k] -= w;
+            for i in k + 1..n {
+                let vi = self.qr[k * n + i];
+                b[i] = (-vi).mul_add(w, b[i]);
+            }
+        }
+        // R y = Q^T b with rank truncation
+        let floor = self.diag_floor();
+        for k in (0..n).rev() {
+            let rkk = self.qr[k * n + k];
+            if rkk.abs() <= floor {
+                b[k] = T::ZERO;
+                continue;
+            }
+            let mut acc = b[k];
+            for j in k + 1..n {
+                acc = (-self.qr[j * n + k]).mul_add(b[j], acc);
+            }
+            b[k] = acc / rkk;
+        }
+        // un-permute: position k of y is original unknown jpvt[k]
+        let y = &mut scratch[..n];
+        y.copy_from_slice(b);
+        for k in 0..n {
+            b[self.jpvt[k]] = y[k];
+        }
+    }
+
+    /// Solve into a fresh vector.
+    pub fn solve(&self, b: &[T]) -> Vec<T> {
+        let mut x = b.to_vec();
+        let mut scratch = vec![T::ZERO; self.n];
+        self.solve_inplace_scratch(&mut x, &mut scratch);
+        x
+    }
+
+    /// Reconstruct `A` from the factors (tests and diagnostics).
+    pub fn reconstruct(&self) -> DenseMat<T> {
+        let n = self.n;
+        // start from R, apply H_n-1 .. H_0 on the left, un-permute cols
+        let mut m = DenseMat::<T>::from_fn(
+            n,
+            n,
+            |i, j| {
+                if i <= j {
+                    self.qr[j * n + i]
+                } else {
+                    T::ZERO
+                }
+            },
+        );
+        for k in (0..n).rev() {
+            if self.tau[k] == T::ZERO {
+                continue;
+            }
+            for j in 0..n {
+                let mut w = m[(k, j)];
+                for i in k + 1..n {
+                    w = self.qr[k * n + i].mul_add(m[(i, j)], w);
+                }
+                w *= self.tau[k];
+                m[(k, j)] -= w;
+                for i in k + 1..n {
+                    let vi = self.qr[k * n + i];
+                    m[(i, j)] = (-vi).mul_add(w, m[(i, j)]);
+                }
+            }
+        }
+        DenseMat::from_fn(n, n, |i, k| {
+            let mut v = T::ZERO;
+            for (col, &orig) in self.jpvt.iter().enumerate() {
+                if orig == k {
+                    v = m[(i, col)];
+                }
+            }
+            v
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dd_mat(n: usize, seed: usize) -> DenseMat<f64> {
+        DenseMat::from_fn(n, n, |i, j| {
+            let h = (i * 131 + j * 37 + seed * 17 + 3) % 1024;
+            h as f64 / 512.0 - 1.0 + if i == j { (n + 2) as f64 } else { 0.0 }
+        })
+    }
+
+    #[test]
+    fn qr_reconstructs_the_block() {
+        for n in [1usize, 2, 5, 9, 16] {
+            let a = dd_mat(n, 7);
+            let f = geqp3(n, a.as_slice()).unwrap();
+            assert_eq!(f.rank(), n);
+            let back = f.reconstruct();
+            for i in 0..n {
+                for j in 0..n {
+                    assert!(
+                        (back[(i, j)] - a[(i, j)]).abs() < 1e-12 * (1.0 + a[(i, j)].abs()),
+                        "n={n} ({i},{j}): {} vs {}",
+                        back[(i, j)],
+                        a[(i, j)]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn qr_solves_full_rank_systems() {
+        for n in [2usize, 6, 12, 24] {
+            let a = dd_mat(n, 11);
+            let x_true: Vec<f64> = (0..n).map(|i| 1.0 - 0.25 * (i % 7) as f64).collect();
+            let b = a.matvec(&x_true);
+            let f = geqp3(n, a.as_slice()).unwrap();
+            let x = f.solve(&b);
+            for (got, want) in x.iter().zip(&x_true) {
+                assert!(
+                    (got - want).abs() < 1e-10 * (1.0 + want.abs()),
+                    "n={n}: {got} vs {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rank_deficient_block_solves_without_nan() {
+        // rank-1 block: LU fails, QR truncates and stays finite
+        let n = 4;
+        let a = DenseMat::from_fn(n, n, |i, j| ((i + 1) * (j + 1)) as f64);
+        let f = geqp3(n, a.as_slice()).unwrap();
+        assert_eq!(f.rank(), 1);
+        let b = vec![1.0; n];
+        let x = f.solve(&b);
+        assert!(x.iter().all(|v| v.is_finite()));
+        // the basic solution still reproduces the consistent part: for
+        // b in range(A) the truncated solve is exact
+        let b_range = a.matvec(&[1.0, 0.0, 0.0, 0.0]);
+        let x = f.solve(&b_range);
+        let back = a.matvec(&x);
+        for (got, want) in back.iter().zip(&b_range) {
+            assert!((got - want).abs() < 1e-10 * (1.0 + want.abs()));
+        }
+    }
+
+    #[test]
+    fn zero_block_yields_zero_solution() {
+        let n = 3;
+        let a = vec![0.0f64; n * n];
+        let f = geqp3(n, &a).unwrap();
+        assert_eq!(f.rank(), 0);
+        assert_eq!(f.solve(&[1.0, 2.0, 3.0]), vec![0.0; n]);
+    }
+
+    #[test]
+    fn non_finite_block_is_rejected() {
+        let n = 2;
+        let a = vec![1.0, f64::NAN, 0.0, 1.0];
+        assert!(geqp3(n, &a).is_err());
+    }
+
+    #[test]
+    fn near_singular_block_truncates_the_tiny_pivot() {
+        // two nearly dependent columns: the last pivoted diagonal entry
+        // collapses and the solve must not amplify it
+        let n = 3;
+        let a =
+            DenseMat::from_row_major(3, 3, &[1.0, 1.0, 2.0, 1.0, 1.0 + 1e-15, 2.0, 0.0, 0.0, 1.0]);
+        let f = geqp3(n, a.as_slice()).unwrap();
+        assert!(f.rank() < 3);
+        let x = f.solve(&[1.0, 1.0, 1.0]);
+        assert!(x.iter().all(|v| v.is_finite() && v.abs() < 1e6));
+    }
+
+    #[test]
+    fn f32_path_solves() {
+        let n = 5;
+        let a = DenseMat::<f32>::from_fn(n, n, |i, j| dd_mat(n, 2)[(i, j)] as f32);
+        let x_true: Vec<f32> = (0..n).map(|i| 1.0 + (i % 3) as f32).collect();
+        let b = a.matvec(&x_true);
+        let f = geqp3(n, a.as_slice()).unwrap();
+        let x = f.solve(&b);
+        for (got, want) in x.iter().zip(&x_true) {
+            assert!((got - want).abs() < 1e-3 * (1.0 + want.abs()));
+        }
+    }
+}

@@ -49,6 +49,21 @@ pub trait Scalar:
     /// Short human-readable precision label used in benchmark output.
     const PRECISION: &'static str;
 
+    /// The next-narrower storage format of this precision (`f32` for
+    /// `f64`; `f32` is its own floor). Mixed-precision factor storage
+    /// keeps SP factors of type `Self::Lower` and widens each element
+    /// back through [`Scalar::promote`] on read, so working precision
+    /// stays `Self` throughout the solve.
+    type Lower: Scalar;
+    /// `true` when [`Scalar::Lower`] is actually narrower than `Self`
+    /// (`false` at the `f32` floor, where demotion is the identity).
+    const HAS_LOWER: bool;
+
+    /// Narrowing conversion into the storage format (round-to-nearest).
+    fn demote(self) -> Self::Lower;
+    /// Widening conversion back to working precision (exact).
+    fn promote(x: Self::Lower) -> Self;
+
     /// Machine epsilon of the format.
     fn epsilon() -> Self;
     /// Absolute value.
@@ -94,6 +109,18 @@ impl Scalar for f32 {
     const BYTES: usize = 4;
     const PRECISION: &'static str = "single";
 
+    type Lower = f32;
+    const HAS_LOWER: bool = false;
+
+    #[inline]
+    fn demote(self) -> f32 {
+        self
+    }
+    #[inline]
+    fn promote(x: f32) -> f32 {
+        x
+    }
+
     #[inline]
     fn epsilon() -> Self {
         f32::EPSILON
@@ -133,6 +160,18 @@ impl Scalar for f64 {
     const ONE: Self = 1.0;
     const BYTES: usize = 8;
     const PRECISION: &'static str = "double";
+
+    type Lower = f32;
+    const HAS_LOWER: bool = true;
+
+    #[inline]
+    fn demote(self) -> f32 {
+        self as f32
+    }
+    #[inline]
+    fn promote(x: f32) -> f64 {
+        x as f64
+    }
 
     #[inline]
     fn epsilon() -> Self {
@@ -203,6 +242,23 @@ mod tests {
         assert_eq!(r, 10.0);
         let r = 2.0f32.mul_add(3.0, 4.0);
         assert_eq!(r, 10.0);
+    }
+
+    #[test]
+    fn demote_promote_roundtrip() {
+        fn has_lower<T: Scalar>() -> bool {
+            T::HAS_LOWER
+        }
+        assert!(!has_lower::<f32>());
+        assert!(has_lower::<f64>());
+        // demotion rounds, promotion is exact
+        let x = 1.0f64 + f64::EPSILON;
+        assert_eq!(f64::promote(x.demote()), 1.0);
+        let y = 0.5f64;
+        assert_eq!(f64::promote(y.demote()), y);
+        // the f32 floor is the identity
+        assert_eq!(0.25f32.demote(), 0.25f32);
+        assert_eq!(f32::promote(0.25f32), 0.25f32);
     }
 
     #[test]

@@ -7,16 +7,17 @@ use crate::apply::{run_apply_unit, FlatVecPtr, PreparedApply};
 use crate::backend::Backend;
 use crate::factors::{
     block_diag, scalar_jacobi_from_diag, BlockFactor, BlockStatus, FactorizedBatch,
-    InterleavedLuClass,
+    InterleavedLuClass, InterleavedLuLowerClass,
 };
-use crate::plan::{BatchPlan, ClassLayout, KernelChoice};
+use crate::plan::{BatchPlan, ClassLayout, KernelChoice, PrecisionPolicy};
 use crate::stats::{ExecStats, Phase};
 use std::time::Instant;
 use vbatch_core::lu::implicit::getrf_implicit_inplace;
 use vbatch_core::{
-    batched_gemv, getrf_interleaved_class, getrf_interleaved_class_simd, gh_factorize, gje_invert,
-    lu_solve_interleaved_class, lu_solve_interleaved_class_scratch_simd, potrf, DenseMat, Exec,
-    FactorError, GhLayout, InterleavedClass, MatrixBatch, Scalar, VectorBatch,
+    batched_gemv, demote_slice, getrf_interleaved_class, getrf_interleaved_class_simd,
+    gh_factorize, gje_invert, lu_solve_interleaved_class, lu_solve_interleaved_class_scratch_simd,
+    potrf, DenseMat, Exec, FactorError, GhLayout, InterleavedClass, MatrixBatch, Scalar,
+    StoragePrecision, VectorBatch,
 };
 use vbatch_rt::par::{num_threads, par_map_vec};
 use vbatch_rt::prelude::*;
@@ -85,6 +86,53 @@ pub(crate) fn factor_block<T: Scalar>(
     }
 }
 
+/// Factorize one block in *lowered* storage precision: the LU/GH-family
+/// factors are computed on the demoted copy, the original block is
+/// retained in working precision for the apply's refinement residual.
+/// Inversion and Cholesky have no widening apply path and stay native.
+pub(crate) fn factor_block_lower<T: Scalar>(
+    n: usize,
+    block: &[T],
+    kernel: KernelChoice,
+) -> (BlockFactor<T>, BlockStatus) {
+    let fallback = |kernel: KernelChoice, error: FactorError, data: &[T]| {
+        let diag = block_diag(n, data);
+        let (factor, sanitized) = scalar_jacobi_from_diag(&diag);
+        (factor, BlockStatus::fallback(kernel, error, sanitized, n))
+    };
+    match kernel {
+        KernelChoice::PackedLu | KernelChoice::SmallLu | KernelChoice::BlockedLu => {
+            let mut lu = demote_slice(block);
+            match getrf_implicit_inplace(n, &mut lu) {
+                Ok(perm) => {
+                    let mut status = BlockStatus::factorized(kernel);
+                    status.precision = StoragePrecision::Lower;
+                    (BlockFactor::LuLower { n, lu, perm }, status)
+                }
+                Err(e) => fallback(kernel, e, block),
+            }
+        }
+        KernelChoice::GaussHuard | KernelChoice::GaussHuardT => {
+            let layout = if kernel == KernelChoice::GaussHuardT {
+                GhLayout::Transposed
+            } else {
+                GhLayout::Normal
+            };
+            let lo = demote_slice(block);
+            let mat = DenseMat::from_col_major(n, n, &lo);
+            match gh_factorize(&mat, layout) {
+                Ok(gh) => {
+                    let mut status = BlockStatus::factorized(kernel);
+                    status.precision = StoragePrecision::Lower;
+                    (BlockFactor::GhLower { gh }, status)
+                }
+                Err(e) => fallback(kernel, e, block),
+            }
+        }
+        KernelChoice::GjeInvert | KernelChoice::Cholesky => factor_block(n, block.to_vec(), kernel),
+    }
+}
+
 pub(crate) fn record_statuses(status: &[BlockStatus], stats: &mut ExecStats) {
     for s in status {
         if s.is_fallback() {
@@ -95,6 +143,10 @@ pub(crate) fn record_statuses(status: &[BlockStatus], stats: &mut ExecStats) {
         stats.record_health(s.health);
         for &step in &s.recovery {
             stats.record_recovery(step);
+        }
+        stats.record_precision(s.precision, 1);
+        if s.promoted {
+            stats.record_promotion();
         }
     }
 }
@@ -144,6 +196,53 @@ fn factor_interleaved_chunk<T: Scalar>(
     )
 }
 
+/// Lowered-precision variant of [`factor_interleaved_chunk`]: the class
+/// sweep runs on demoted data (twice the lanes per SIMD register). The
+/// pack demotes *while gathering* — one strided read of the native
+/// blocks, one contiguous write of the storage-precision slab — so the
+/// lowered path moves strictly less data than the native one (the
+/// refinement residual reads the batch-wide retained copy instead of a
+/// per-class working-precision duplicate).
+fn factor_interleaved_chunk_lower<T: Scalar>(
+    blocks: &MatrixBatch<T>,
+    n: usize,
+    members: Vec<usize>,
+    simd: bool,
+) -> (InterleavedLuLowerClass<T>, Vec<Option<FactorError>>) {
+    let count = members.len();
+    let slices: Vec<&[T]> = members
+        .iter()
+        .map(|&b| {
+            assert_eq!(blocks.size(b), n, "class members must share one order");
+            blocks.block(b)
+        })
+        .collect();
+    // same lane-major element order as `InterleavedClass::pack_from`,
+    // demoted element-by-element (bitwise identical to demoting a
+    // native pack after the fact)
+    let mut data = vec![<T::Lower as Scalar>::ZERO; n * n * count];
+    for (e, lane) in data.chunks_exact_mut(count).enumerate() {
+        for (dst, blk) in lane.iter_mut().zip(&slices) {
+            *dst = blk[e].demote();
+        }
+    }
+    let mut piv = vec![0usize; n * count];
+    let errs = if simd {
+        getrf_interleaved_class_simd(n, count, &mut data, &mut piv)
+    } else {
+        getrf_interleaved_class(n, count, &mut data, &mut piv)
+    };
+    (
+        InterleavedLuLowerClass {
+            n,
+            blocks: members,
+            data,
+            piv,
+        },
+        errs,
+    )
+}
+
 pub(crate) fn factorize_cpu<T: Scalar>(
     blocks: MatrixBatch<T>,
     plan: &BatchPlan,
@@ -179,23 +278,46 @@ pub(crate) fn factorize_cpu<T: Scalar>(
     };
     stats.record_layout(interleaved_label, (blocks.len() - blocked_idx.len()) as u64);
 
+    // Precision policy: the lowered path only exists where the scalar
+    // actually has a narrower storage format; at the f32 floor every
+    // policy degenerates to the (bitwise-preserved) native path.
+    let lowered = plan.precision().lowers_storage() && T::HAS_LOWER;
+
     let mut factors: Vec<Option<BlockFactor<T>>> = (0..blocks.len()).map(|_| None).collect();
     let mut status: Vec<Option<BlockStatus>> = (0..blocks.len()).map(|_| None).collect();
 
-    // Blocked blocks: one isolated factorization per block.
-    let items: Vec<(usize, Vec<T>)> = blocked_idx
-        .iter()
-        .map(|&i| (i, blocks.block(i).to_vec()))
-        .collect();
-    let block_work = |(i, data): (usize, Vec<T>)| {
-        let _span = vbatch_trace::span!("factorize.block", sizes[i]);
-        let (f, s) = factor_block(sizes[i], data, plan.kernel_for(i));
-        (i, f, s)
-    };
-    let block_results: Vec<(usize, BlockFactor<T>, BlockStatus)> = if parallel {
-        par_map_vec(items, block_work)
+    // Blocked blocks: one isolated factorization per block. Under a
+    // lowering policy the worker demotes straight out of the shared
+    // batch — no per-block working-precision copy is ever made (the
+    // retained batch serves the refinement residuals); the native path
+    // keeps its owned copy and factorizes it in place.
+    let shared = &blocks;
+    let block_results: Vec<(usize, BlockFactor<T>, BlockStatus)> = if lowered {
+        let work = |i: usize| {
+            let _span = vbatch_trace::span!("factorize.block", sizes[i]);
+            let (f, s) = factor_block_lower(sizes[i], shared.block(i), plan.kernel_for(i));
+            (i, f, s)
+        };
+        if parallel {
+            par_map_vec(blocked_idx, work)
+        } else {
+            blocked_idx.into_iter().map(work).collect()
+        }
     } else {
-        items.into_iter().map(block_work).collect()
+        let items: Vec<(usize, Vec<T>)> = blocked_idx
+            .iter()
+            .map(|&i| (i, blocks.block(i).to_vec()))
+            .collect();
+        let block_work = |(i, data): (usize, Vec<T>)| {
+            let _span = vbatch_trace::span!("factorize.block", sizes[i]);
+            let (f, s) = factor_block(sizes[i], data, plan.kernel_for(i));
+            (i, f, s)
+        };
+        if parallel {
+            par_map_vec(items, block_work)
+        } else {
+            items.into_iter().map(block_work).collect()
+        }
     };
     for (i, f, s) in block_results {
         factors[i] = Some(f);
@@ -215,38 +337,81 @@ pub(crate) fn factorize_cpu<T: Scalar>(
         }
     }
     let blocks_ref = &blocks;
-    let chunk_work = |(n, members): (usize, Vec<usize>)| {
-        let _span = vbatch_trace::span!("factorize.chunk", n * members.len());
-        factor_interleaved_chunk(blocks_ref, n, members, simd)
-    };
-    let chunk_results: Vec<(InterleavedLuClass<T>, Vec<Option<FactorError>>)> = if parallel {
-        par_map_vec(chunks, chunk_work)
-    } else {
-        chunks.into_iter().map(chunk_work).collect()
-    };
-    let mut interleaved = Vec::with_capacity(chunk_results.len());
-    for (class, errs) in chunk_results {
-        let class_idx = interleaved.len();
-        for (slot, err) in errs.into_iter().enumerate() {
-            let blk = class.blocks[slot];
-            let kernel = plan.kernel_for(blk);
-            match err {
-                None => {
-                    factors[blk] = Some(BlockFactor::InterleavedLu {
-                        class: class_idx,
-                        slot,
-                    });
-                    status[blk] = Some(BlockStatus::factorized(kernel));
-                }
-                Some(error) => {
-                    let diag = block_diag(class.n, blocks.block(blk));
-                    let (factor, sanitized) = scalar_jacobi_from_diag(&diag);
-                    factors[blk] = Some(factor);
-                    status[blk] = Some(BlockStatus::fallback(kernel, error, sanitized, class.n));
+    let mut interleaved = Vec::new();
+    let mut interleaved_lower = Vec::new();
+    if lowered {
+        let chunk_work = |(n, members): (usize, Vec<usize>)| {
+            let _span = vbatch_trace::span!("factorize.chunk", n * members.len());
+            factor_interleaved_chunk_lower(blocks_ref, n, members, simd)
+        };
+        let chunk_results: Vec<(InterleavedLuLowerClass<T>, Vec<Option<FactorError>>)> = if parallel
+        {
+            par_map_vec(chunks, chunk_work)
+        } else {
+            chunks.into_iter().map(chunk_work).collect()
+        };
+        interleaved_lower.reserve(chunk_results.len());
+        for (class, errs) in chunk_results {
+            let class_idx = interleaved_lower.len();
+            for (slot, err) in errs.into_iter().enumerate() {
+                let blk = class.blocks[slot];
+                let kernel = plan.kernel_for(blk);
+                match err {
+                    None => {
+                        factors[blk] = Some(BlockFactor::InterleavedLuLower {
+                            class: class_idx,
+                            slot,
+                        });
+                        let mut s = BlockStatus::factorized(kernel);
+                        s.precision = StoragePrecision::Lower;
+                        status[blk] = Some(s);
+                    }
+                    Some(error) => {
+                        let diag = block_diag(class.n, blocks.block(blk));
+                        let (factor, sanitized) = scalar_jacobi_from_diag(&diag);
+                        factors[blk] = Some(factor);
+                        status[blk] =
+                            Some(BlockStatus::fallback(kernel, error, sanitized, class.n));
+                    }
                 }
             }
+            interleaved_lower.push(class);
         }
-        interleaved.push(class);
+    } else {
+        let chunk_work = |(n, members): (usize, Vec<usize>)| {
+            let _span = vbatch_trace::span!("factorize.chunk", n * members.len());
+            factor_interleaved_chunk(blocks_ref, n, members, simd)
+        };
+        let chunk_results: Vec<(InterleavedLuClass<T>, Vec<Option<FactorError>>)> = if parallel {
+            par_map_vec(chunks, chunk_work)
+        } else {
+            chunks.into_iter().map(chunk_work).collect()
+        };
+        interleaved.reserve(chunk_results.len());
+        for (class, errs) in chunk_results {
+            let class_idx = interleaved.len();
+            for (slot, err) in errs.into_iter().enumerate() {
+                let blk = class.blocks[slot];
+                let kernel = plan.kernel_for(blk);
+                match err {
+                    None => {
+                        factors[blk] = Some(BlockFactor::InterleavedLu {
+                            class: class_idx,
+                            slot,
+                        });
+                        status[blk] = Some(BlockStatus::factorized(kernel));
+                    }
+                    Some(error) => {
+                        let diag = block_diag(class.n, blocks.block(blk));
+                        let (factor, sanitized) = scalar_jacobi_from_diag(&diag);
+                        factors[blk] = Some(factor);
+                        status[blk] =
+                            Some(BlockStatus::fallback(kernel, error, sanitized, class.n));
+                    }
+                }
+            }
+            interleaved.push(class);
+        }
     }
 
     // Every index was routed to exactly one of the two partitions
@@ -264,8 +429,20 @@ pub(crate) fn factorize_cpu<T: Scalar>(
         factors,
         status,
         interleaved,
+        interleaved_lower,
+        retained: None,
     };
+    if lowered {
+        if let PrecisionPolicy::MixedPromote { condest_threshold } = plan.precision() {
+            crate::health::promote_unsafe_blocks(&blocks, &mut batch, condest_threshold);
+        }
+    }
     crate::health::triage_batch(&blocks, &mut batch, plan.health());
+    if lowered {
+        // the widening applies read their refinement residuals out of
+        // the retained batch; the native path consumes it as before
+        batch.retained = Some(blocks);
+    }
     record_statuses(&batch.status, stats);
     stats.add_phase(Phase::Factorize, t0.elapsed());
     batch

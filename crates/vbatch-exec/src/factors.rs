@@ -11,8 +11,10 @@
 
 use crate::plan::KernelChoice;
 use vbatch_core::{
-    lu_solve_inplace_scratch, lu_solve_interleaved_slot_scratch, CholeskyFactors, FactorError,
-    GhFactors, Permutation, Scalar, TrsvVariant, VectorBatch,
+    gh_solve_widened_scratch, lu_solve_inplace_scratch, lu_solve_interleaved_slot_scratch,
+    lu_solve_interleaved_slot_widened_scratch, lu_solve_widened_scratch, residual_into,
+    CholeskyFactors, FactorError, GhFactors, MatrixBatch, Permutation, QrFactors, Scalar,
+    StoragePrecision, TrsvVariant, VectorBatch,
 };
 
 /// Numerical health classification of one factorized block, assigned by
@@ -56,6 +58,12 @@ pub enum RecoveryStep {
     /// exact — now better-conditioned — LU; the apply adds one step of
     /// iterative refinement).
     Equilibrated,
+    /// Refactorized with column-pivoted Householder QR — the
+    /// rank-revealing tier between equilibration and the scalar-Jacobi
+    /// surrender: the block keeps an exact orthogonal factorization
+    /// whose solve truncates negligible pivots instead of amplifying
+    /// them.
+    HouseholderQr,
     /// Degraded to the scalar-Jacobi (reciprocal diagonal) fallback.
     ScalarJacobi,
     /// Diagonal entries that were zero or non-finite were replaced by
@@ -68,6 +76,7 @@ impl RecoveryStep {
     pub fn label(self) -> &'static str {
         match self {
             RecoveryStep::Equilibrated => "equilibrated",
+            RecoveryStep::HouseholderQr => "householder_qr",
             RecoveryStep::ScalarJacobi => "scalar_jacobi",
             RecoveryStep::Identity => "identity",
         }
@@ -92,10 +101,19 @@ pub struct BlockStatus {
     /// Recovery escalation chain, in application order. Empty for
     /// blocks that factorized cleanly.
     pub recovery: Vec<RecoveryStep>,
+    /// Precision the block's factors are *stored* in. The working
+    /// precision of the apply is always the batch scalar `T`;
+    /// [`StoragePrecision::Lower`] means the solve widens SP factors
+    /// element-by-element and refines against the retained DP block.
+    pub precision: StoragePrecision,
+    /// `true` when a mixed-precision policy promoted this block back to
+    /// native-precision factors because its condition estimate exceeded
+    /// the promotion threshold.
+    pub promoted: bool,
 }
 
 impl BlockStatus {
-    /// A block factorized cleanly by `kernel`.
+    /// A block factorized cleanly by `kernel` (native storage).
     // status construction is setup-time, not an apply path
     #[allow(clippy::disallowed_methods)]
     pub fn factorized(kernel: KernelChoice) -> Self {
@@ -105,6 +123,8 @@ impl BlockStatus {
             condest: None,
             error: None,
             recovery: Vec::new(),
+            precision: StoragePrecision::Native,
+            promoted: false,
         }
     }
 
@@ -131,6 +151,8 @@ impl BlockStatus {
             condest: None,
             error: Some(error),
             recovery,
+            precision: StoragePrecision::Native,
+            promoted: false,
         }
     }
 
@@ -202,6 +224,39 @@ pub enum BlockFactor<T: Scalar> {
         /// Slot of this block within the class.
         slot: usize,
     },
+    /// Combined `L\U` stored in *lowered* precision (`T::Lower`),
+    /// produced by the mixed/SP precision policies. The apply widens
+    /// each factor element on read, accumulates in `T`, and adds one
+    /// step of iterative refinement whose residual reads the block out
+    /// of the batch-wide retained copy ([`FactorizedBatch::retained`])
+    /// — lowered factors never carry their own working-precision
+    /// duplicate.
+    LuLower {
+        /// Block order.
+        n: usize,
+        /// Combined factors in storage precision, column-major.
+        lu: Vec<T::Lower>,
+        /// Row-of-step pivot sequence.
+        perm: Permutation,
+    },
+    /// Gauss-Huard factors stored in lowered precision, applied through
+    /// the widening replay with one refinement step against the
+    /// retained native block ([`FactorizedBatch::retained`]).
+    GhLower {
+        /// Factors in storage precision.
+        gh: GhFactors<T::Lower>,
+    },
+    /// Column-pivoted Householder QR in working precision — the
+    /// rank-revealing escalation tier above [`BlockFactor::EquilibratedLu`].
+    Qr(QrFactors<T>),
+    /// The block's lowered-precision LU factors live in an interleaved
+    /// size class ([`FactorizedBatch::interleaved_lower`]).
+    InterleavedLuLower {
+        /// Index into [`FactorizedBatch::interleaved_lower`].
+        class: usize,
+        /// Slot of this block within the class.
+        slot: usize,
+    },
 }
 
 /// LU factors of one interleaved size class: `blocks.len()` systems of
@@ -269,6 +324,83 @@ impl<T: Scalar> InterleavedLuClass<T> {
     }
 }
 
+/// Lowered-precision LU factors of one interleaved size class. The
+/// widening apply's refinement residual reads each slot's original
+/// block out of the batch-wide retained copy
+/// ([`FactorizedBatch::retained`]) — the class keeps no
+/// working-precision duplicate, which is what lets the lowered
+/// factorization pack *less* data than the native one.
+#[derive(Clone, Debug)]
+pub struct InterleavedLuLowerClass<T: Scalar> {
+    /// Block order of the class.
+    pub n: usize,
+    /// Slot → original block index.
+    pub blocks: Vec<usize>,
+    /// Interleaved combined `L\U` factors in storage precision.
+    pub data: Vec<T::Lower>,
+    /// Interleaved row-of-step pivot lanes.
+    pub piv: Vec<usize>,
+}
+
+impl<T: Scalar> InterleavedLuLowerClass<T> {
+    /// Number of slots in the class.
+    pub fn count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Widening solve of one slot's system with one refinement step
+    /// against the slot's original block `orig` (column-major, order
+    /// `n` — the caller reads it out of the retained batch).
+    /// `scratch.len() >= 4 n` (saved RHS, residual, correction, inner
+    /// permutation gather); no heap allocation.
+    pub fn solve_slot_inplace_scratch(
+        &self,
+        slot: usize,
+        orig: &[T],
+        seg: &mut [T],
+        scratch: &mut [T],
+    ) {
+        let n = self.n;
+        let count = self.count();
+        debug_assert_eq!(seg.len(), n);
+        debug_assert_eq!(orig.len(), n * n);
+        debug_assert!(scratch.len() >= 4 * n);
+        let (saved, rest) = scratch[..4 * n].split_at_mut(n);
+        let (resid, rest) = rest.split_at_mut(n);
+        let (e, inner) = rest.split_at_mut(n);
+        saved.copy_from_slice(seg);
+        lu_solve_interleaved_slot_widened_scratch(
+            n, count, slot, &self.data, &self.piv, seg, inner,
+        );
+        // residual against the retained original block (column-major
+        // traversal — the same element order the interleaved copy used,
+        // so the refinement bits are unchanged)
+        resid.copy_from_slice(saved);
+        for (j, &xj) in seg.iter().enumerate() {
+            for (i, ri) in resid.iter_mut().enumerate() {
+                *ri = (-orig[j * n + i]).mul_add(xj, *ri);
+            }
+        }
+        e.copy_from_slice(resid);
+        lu_solve_interleaved_slot_widened_scratch(n, count, slot, &self.data, &self.piv, e, inner);
+        for (x, &ei) in seg.iter_mut().zip(e.iter()) {
+            if ei.is_finite() {
+                *x += ei;
+            }
+        }
+    }
+
+    /// Non-allocating pivot-sequence read of one slot
+    /// (`out.len() == n`).
+    pub fn slot_row_of_step_into(&self, slot: usize, out: &mut [usize]) {
+        debug_assert_eq!(out.len(), self.n);
+        let count = self.count();
+        for (k, o) in out.iter_mut().enumerate() {
+            *o = self.piv[k * count + slot];
+        }
+    }
+}
+
 /// Build the scalar-Jacobi fallback factor from a block's original
 /// diagonal; also reports how many entries had to be sanitized to the
 /// identity (zero or non-finite diagonal).
@@ -308,6 +440,17 @@ pub struct FactorizedBatch<T: Scalar> {
     /// [`BlockFactor::InterleavedLu`] entries (empty for a fully
     /// blocked factorization).
     pub interleaved: Vec<InterleavedLuClass<T>>,
+    /// Lowered-precision interleaved size classes referenced by
+    /// [`BlockFactor::InterleavedLuLower`] entries (empty under the
+    /// full-precision policy).
+    pub interleaved_lower: Vec<InterleavedLuLowerClass<T>>,
+    /// The original batch in working precision, retained only under a
+    /// storage-lowering precision policy: the widening applies read
+    /// their refinement residuals out of it, so the lowered factors
+    /// never duplicate working-precision data per block. `None` under
+    /// `FullDp` (and at the `f32` floor), where factorization consumes
+    /// the batch as before.
+    pub retained: Option<MatrixBatch<T>>,
 }
 
 impl<T: Scalar> FactorizedBatch<T> {
@@ -326,10 +469,21 @@ impl<T: Scalar> FactorizedBatch<T> {
         self.status.iter().filter(|s| s.is_fallback()).count()
     }
 
+    /// Column-major working-precision data of block `block`, read out
+    /// of the retained batch. Only lowered factors call this; a batch
+    /// that holds lowered factors always carries its retained copy.
+    fn retained_block(&self, block: usize) -> &[T] {
+        self.retained
+            .as_ref()
+            .expect("lowered factors require the retained working-precision batch")
+            .block(block)
+    }
+
     /// Scratch elements [`FactorizedBatch::solve_block_inplace_with`]
     /// needs for block `block`: `n` for the single-copy forms, `4 n`
-    /// for the equilibrated LU (RHS copy, residual, correction, and the
-    /// permutation gather of the two inner solves), `0` for the
+    /// for the refining forms — equilibrated LU and every
+    /// lowered-precision factor (RHS copy, residual, correction, and
+    /// the permutation gather of the two inner solves) — `0` for the
     /// copy-free forms.
     pub fn solve_scratch_elems(&self, block: usize) -> usize {
         let n = self.sizes[block];
@@ -337,9 +491,13 @@ impl<T: Scalar> FactorizedBatch<T> {
             BlockFactor::Lu { .. }
             | BlockFactor::Gh(_)
             | BlockFactor::Inv { .. }
-            | BlockFactor::InterleavedLu { .. } => n,
+            | BlockFactor::InterleavedLu { .. }
+            | BlockFactor::Qr(_) => n,
             BlockFactor::Chol(_) | BlockFactor::ScalarJacobi { .. } => 0,
-            BlockFactor::EquilibratedLu { .. } => 4 * n,
+            BlockFactor::EquilibratedLu { .. }
+            | BlockFactor::LuLower { .. }
+            | BlockFactor::GhLower { .. }
+            | BlockFactor::InterleavedLuLower { .. } => 4 * n,
         }
     }
 
@@ -436,6 +594,49 @@ impl<T: Scalar> FactorizedBatch<T> {
             BlockFactor::InterleavedLu { class, slot } => {
                 self.interleaved[*class].solve_slot_inplace_scratch(*slot, seg, scratch);
             }
+            BlockFactor::LuLower { n, lu, perm } => {
+                let n = *n;
+                let a = self.retained_block(block);
+                let (saved, rest) = scratch[..4 * n].split_at_mut(n);
+                let (resid, rest) = rest.split_at_mut(n);
+                let (e, inner) = rest.split_at_mut(n);
+                saved.copy_from_slice(seg);
+                lu_solve_widened_scratch(TrsvVariant::Eager, n, lu, perm.as_slice(), seg, inner);
+                // one refinement step against the retained DP block
+                residual_into(n, a, seg, saved, resid);
+                e.copy_from_slice(resid);
+                lu_solve_widened_scratch(TrsvVariant::Eager, n, lu, perm.as_slice(), e, inner);
+                for (x, &ei) in seg.iter_mut().zip(e.iter()) {
+                    if ei.is_finite() {
+                        *x += ei;
+                    }
+                }
+            }
+            BlockFactor::GhLower { gh } => {
+                let a = self.retained_block(block);
+                let (saved, rest) = scratch[..4 * n].split_at_mut(n);
+                let (resid, rest) = rest.split_at_mut(n);
+                let (e, inner) = rest.split_at_mut(n);
+                saved.copy_from_slice(seg);
+                gh_solve_widened_scratch(gh, seg, inner);
+                residual_into(n, a, seg, saved, resid);
+                e.copy_from_slice(resid);
+                gh_solve_widened_scratch(gh, e, inner);
+                for (x, &ei) in seg.iter_mut().zip(e.iter()) {
+                    if ei.is_finite() {
+                        *x += ei;
+                    }
+                }
+            }
+            BlockFactor::Qr(f) => f.solve_inplace_scratch(seg, scratch),
+            BlockFactor::InterleavedLuLower { class, slot } => {
+                self.interleaved_lower[*class].solve_slot_inplace_scratch(
+                    *slot,
+                    self.retained_block(block),
+                    seg,
+                    scratch,
+                );
+            }
         }
     }
 
@@ -443,12 +644,20 @@ impl<T: Scalar> FactorizedBatch<T> {
     /// are an LU form (blocked or interleaved). Used by the golden
     /// differential suite to assert bitwise pivot agreement.
     // test/diagnostic API, not an apply path
-    #[allow(clippy::disallowed_methods)]
+    #[allow(clippy::disallowed_methods, clippy::disallowed_macros)]
     pub fn row_of_step(&self, block: usize) -> Option<Vec<usize>> {
         match &self.factors[block] {
-            BlockFactor::Lu { perm, .. } => Some(perm.as_slice().to_vec()),
+            BlockFactor::Lu { perm, .. } | BlockFactor::LuLower { perm, .. } => {
+                Some(perm.as_slice().to_vec())
+            }
             BlockFactor::InterleavedLu { class, slot } => {
                 Some(self.interleaved[*class].slot_row_of_step(*slot))
+            }
+            BlockFactor::InterleavedLuLower { class, slot } => {
+                let cl = &self.interleaved_lower[*class];
+                let mut out = vec![0usize; cl.n];
+                cl.slot_row_of_step_into(*slot, &mut out);
+                Some(out)
             }
             _ => None,
         }
@@ -491,6 +700,8 @@ mod tests {
             }],
             status: vec![BlockStatus::factorized(KernelChoice::GjeInvert)],
             interleaved: Vec::new(),
+            interleaved_lower: Vec::new(),
+            retained: None,
         };
         let mut seg = [8.0f64, 8.0];
         fb.solve_block_inplace(0, &mut seg);
@@ -556,6 +767,8 @@ mod tests {
             }],
             status: vec![BlockStatus::factorized(KernelChoice::SmallLu)],
             interleaved: Vec::new(),
+            interleaved_lower: Vec::new(),
+            retained: None,
         };
         let x_true = [1.5f64, -0.25];
         let mut seg = [

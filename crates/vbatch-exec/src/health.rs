@@ -23,11 +23,27 @@ use crate::factors::{
     RecoveryStep,
 };
 use crate::plan::HealthPolicy;
+use vbatch_core::lu::implicit::getrf_implicit_inplace;
 use vbatch_core::lu::LuFactors;
 use vbatch_core::{
-    apply_equilibration, condest1, equilibrate, getrf, norm1, DenseMat, MatrixBatch, Permutation,
-    PivotStrategy, Scalar,
+    apply_equilibration, condest1, demote_slice, equilibrate, geqp3, getrf, norm1, DenseMat,
+    MatrixBatch, Permutation, PivotStrategy, Scalar, StoragePrecision,
 };
+
+/// Hager/Higham estimate evaluated entirely in the storage precision:
+/// the demoted block against its lowered LU factors. This is the right
+/// scale for promotion decisions — it measures how the factors the
+/// apply actually widens behave, and it costs a handful of SP
+/// triangular solves rather than a DP refactorization.
+fn condest_lowered<T: Scalar>(n: usize, lu: &[T::Lower], perm: &Permutation, a: &[T]) -> f64 {
+    let lo = demote_slice(a);
+    let a_lo = DenseMat::from_col_major(n, n, &lo);
+    let f = LuFactors {
+        lu: DenseMat::from_col_major(n, n, lu),
+        perm: perm.clone(),
+    };
+    condest1(&a_lo, &f).to_f64()
+}
 
 /// Condition estimate of one exactly-factorized block, reusing the
 /// factors where they are an LU form and refactorizing on the host
@@ -69,7 +85,139 @@ fn condest_block<T: Scalar>(
                 Err(_) => Some(f64::INFINITY),
             }
         }
-        BlockFactor::ScalarJacobi { .. } | BlockFactor::EquilibratedLu { .. } => None,
+        BlockFactor::LuLower { n, lu, perm } => {
+            Some(condest_lowered::<T>(*n, lu, perm, a.as_slice()))
+        }
+        BlockFactor::GhLower { .. } => {
+            // GH factors don't expose the LU solve shape; refactorize
+            // the demoted block (still at the cheap SP flop rate)
+            let n = a.rows();
+            let mut lu = demote_slice(a.as_slice());
+            match getrf_implicit_inplace(n, &mut lu) {
+                Ok(perm) => Some(condest_lowered::<T>(n, &lu, &perm, a.as_slice())),
+                Err(_) => Some(f64::INFINITY),
+            }
+        }
+        BlockFactor::InterleavedLuLower { class, slot } => {
+            let cls = &batch.interleaved_lower[*class];
+            let (n, count) = (cls.n, cls.count());
+            let lu: Vec<T::Lower> = (0..n * n).map(|e| cls.data[e * count + slot]).collect();
+            let mut piv = vec![0usize; n];
+            cls.slot_row_of_step_into(*slot, &mut piv);
+            Some(condest_lowered::<T>(
+                n,
+                &lu,
+                &Permutation::from_row_of_step(piv),
+                a.as_slice(),
+            ))
+        }
+        BlockFactor::ScalarJacobi { .. }
+        | BlockFactor::EquilibratedLu { .. }
+        | BlockFactor::Qr(_) => None,
+    }
+}
+
+/// Conservatism of the pivot-growth screen: a block is certified safe
+/// without a full condition estimate only when its pivot spread sits
+/// this far below the promotion threshold. The spread reads the
+/// conditioning off the elimination pivots alone, so it can
+/// under-estimate; anything within one order of magnitude of the gate
+/// still pays for the Hager/Higham sweep.
+const SCREEN_SAFETY: f64 = 16.0;
+
+/// Free pivot-growth screen over a lowered factor: the spread
+/// `max|d_k| / min|d_k|` of the elimination pivots the factorization
+/// already recorded — the LU `U` diagonal (implicit pivoting keeps
+/// `U(k,k)` at row `row_of_step(k)` of column `k`) or the Gauss-Huard
+/// step pivots retained on `m`'s diagonal. Costs `O(n)` per block
+/// against the estimator's several `O(n²)` solves. Returns `None` for
+/// factor kinds that expose no pivot diagonal (those always take the
+/// full estimate).
+fn pivot_spread<T: Scalar>(
+    factor: &BlockFactor<T>,
+    batch: &FactorizedBatch<T>,
+    steps: &mut Vec<usize>,
+) -> Option<f64> {
+    let mut lo = f64::INFINITY;
+    let mut hi = 0.0f64;
+    let mut feed = |v: f64| {
+        let v = v.abs();
+        lo = lo.min(v);
+        hi = hi.max(v);
+    };
+    match factor {
+        BlockFactor::LuLower { n, lu, perm, .. } => {
+            for k in 0..*n {
+                feed(lu[k * n + perm.row_of_step(k)].to_f64());
+            }
+        }
+        BlockFactor::GhLower { gh, .. } => {
+            // the diagonal is invariant under the transposed layout, so
+            // m[(k,k)] is the step-k column pivot either way
+            for k in 0..gh.order() {
+                feed(gh.m[(k, k)].to_f64());
+            }
+        }
+        BlockFactor::InterleavedLuLower { class, slot } => {
+            let cls = &batch.interleaved_lower[*class];
+            let (n, count) = (cls.n, cls.count());
+            steps.resize(n, 0);
+            cls.slot_row_of_step_into(*slot, steps);
+            for (k, &r) in steps.iter().enumerate() {
+                feed(cls.data[(k * n + r) * count + slot].to_f64());
+            }
+        }
+        _ => return None,
+    }
+    Some(if lo > 0.0 { hi / lo } else { f64::INFINITY })
+}
+
+/// Mixed-precision promotion pass: estimate every *suspicious* lowered
+/// block's condition in storage precision, cache the estimate on its
+/// status (health triage reuses it instead of recomputing), and
+/// refactorize in working precision any block whose estimate exceeds
+/// the policy threshold — SP factors past `0.25/sqrt(eps_f32)` have
+/// lost half their mantissa and one refinement step can no longer
+/// recover DP accuracy.
+///
+/// Suspicion is decided by the free [`pivot_spread`] screen: blocks
+/// whose recorded pivot spread sits a [`SCREEN_SAFETY`] margin below
+/// the threshold are certified without the Hager/Higham sweep (their
+/// `condest` stays unset until health triage wants one). This keeps the
+/// promotion pass `O(n)` per healthy block, so the mixed policy retains
+/// the SP flop-rate advantage it exists to exploit.
+pub(crate) fn promote_unsafe_blocks<T: Scalar>(
+    blocks: &MatrixBatch<T>,
+    batch: &mut FactorizedBatch<T>,
+    threshold: f64,
+) {
+    let _span = vbatch_trace::span!("exec.promote", batch.len());
+    let mut steps = Vec::new();
+    for i in 0..batch.len() {
+        if batch.status[i].precision != StoragePrecision::Lower {
+            continue;
+        }
+        if let Some(spread) = pivot_spread(&batch.factors[i], batch, &mut steps) {
+            if spread * SCREEN_SAFETY <= threshold {
+                continue;
+            }
+        }
+        let n = batch.sizes[i];
+        let a = DenseMat::from_col_major(n, n, blocks.block(i));
+        let Some(k) = condest_block(&a, &batch.factors[i], batch) else {
+            continue;
+        };
+        batch.status[i].condest = Some(k);
+        // NaN-safe: only a definite exceedance promotes
+        if !(k > threshold) {
+            continue;
+        }
+        let kernel = batch.status[i].kernel;
+        let (factor, mut status) = crate::cpu::factor_block(n, blocks.block(i).to_vec(), kernel);
+        status.condest = Some(k);
+        status.promoted = true;
+        batch.factors[i] = factor;
+        batch.status[i] = status;
     }
 }
 
@@ -108,9 +256,17 @@ pub(crate) fn triage_batch<T: Scalar>(
             continue;
         }
         let n = batch.sizes[i];
-        let a = DenseMat::from_col_major(n, n, blocks.block(i));
-        let Some(k) = condest_block(&a, &batch.factors[i], batch) else {
-            continue;
+        // reuse the condest a mixed-precision promotion pass already
+        // computed and cached; estimate only where nothing is cached
+        let k = match batch.status[i].condest {
+            Some(k) => k,
+            None => {
+                let a = DenseMat::from_col_major(n, n, blocks.block(i));
+                let Some(k) = condest_block(&a, &batch.factors[i], batch) else {
+                    continue;
+                };
+                k
+            }
         };
         batch.status[i].condest = Some(k);
         if !(k > ill_threshold) {
@@ -118,7 +274,9 @@ pub(crate) fn triage_batch<T: Scalar>(
             continue;
         }
         batch.status[i].health = BlockHealth::IllConditioned;
-        // recover: equilibrate + refactorize, escalate on failure
+        let a = DenseMat::from_col_major(n, n, blocks.block(i));
+        // recover: equilibrate + refactorize, then rank-revealing QR,
+        // then surrender to scalar Jacobi
         let recovered = equilibrate(&a).and_then(|(r, c)| {
             let e = apply_equilibration(&a, &r, &c);
             getrf(&e, PivotStrategy::Implicit)
@@ -136,11 +294,22 @@ pub(crate) fn triage_batch<T: Scalar>(
             Some(factor) => {
                 batch.factors[i] = factor;
                 batch.status[i].recovery.push(RecoveryStep::Equilibrated);
+                // a recovered block stores working-precision factors
+                // again, whatever policy factorized it
+                batch.status[i].precision = StoragePrecision::Native;
             }
-            None => {
-                batch.factors[i] =
-                    escalate_to_scalar_jacobi(n, blocks.block(i), &mut batch.status[i]);
-            }
+            None => match geqp3(n, blocks.block(i)) {
+                Ok(f) => {
+                    batch.factors[i] = BlockFactor::Qr(f);
+                    batch.status[i].recovery.push(RecoveryStep::HouseholderQr);
+                    batch.status[i].precision = StoragePrecision::Native;
+                }
+                Err(_) => {
+                    batch.factors[i] =
+                        escalate_to_scalar_jacobi(n, blocks.block(i), &mut batch.status[i]);
+                    batch.status[i].precision = StoragePrecision::Native;
+                }
+            },
         }
     }
 }
@@ -246,6 +415,39 @@ mod tests {
         let fact = CpuSequential.factorize(batch, &gh, &mut stats);
         assert_eq!(fact.status[1].health, BlockHealth::IllConditioned);
         assert_eq!(fact.status[1].kernel, KernelChoice::GaussHuard);
+    }
+
+    #[test]
+    fn cached_condest_drives_qr_escalation_when_equilibration_cannot_refactorize() {
+        // an exactly singular block behind a factor slot that claims
+        // health: triage trusts the cached estimate verbatim (no
+        // recomputation), equilibrated refactorization hits the zero
+        // pivot, and the rank-revealing QR tier takes over
+        let n = 2;
+        let sizes = vec![n];
+        let mut blocks = MatrixBatch::<f64>::zeros(&sizes);
+        blocks.block_mut(0).copy_from_slice(&[1.0, 1.0, 1.0, 1.0]);
+        let (factor, mut status) = crate::cpu::factor_block(
+            n,
+            vec![2.0, 0.0, 0.0, 2.0],
+            crate::plan::KernelChoice::SmallLu,
+        );
+        status.condest = Some(1e30);
+        let mut batch = FactorizedBatch {
+            sizes,
+            factors: vec![factor],
+            status: vec![status],
+            interleaved: Vec::new(),
+            interleaved_lower: Vec::new(),
+            retained: None,
+        };
+        triage_batch(&blocks, &mut batch, HealthPolicy::guarded::<f64>());
+        assert_eq!(batch.status[0].health, BlockHealth::IllConditioned);
+        assert!(matches!(batch.factors[0], BlockFactor::Qr(_)));
+        assert_eq!(batch.status[0].recovery, vec![RecoveryStep::HouseholderQr]);
+        assert_eq!(batch.status[0].precision, StoragePrecision::Native);
+        // the cached estimate was consumed, not replaced
+        assert_eq!(batch.status[0].condest, Some(1e30));
     }
 
     #[test]

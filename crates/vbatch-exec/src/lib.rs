@@ -48,12 +48,13 @@ pub use cpu::{CpuRayon, CpuSequential};
 pub use cpu_simd::CpuSimd;
 pub use estimate::{estimate_planned_factor, PlannedEstimate};
 pub use factors::{
-    BlockFactor, BlockHealth, BlockStatus, FactorizedBatch, InterleavedLuClass, RecoveryStep,
+    BlockFactor, BlockHealth, BlockStatus, FactorizedBatch, InterleavedLuClass,
+    InterleavedLuLowerClass, RecoveryStep,
 };
 pub use fault::{apply_fault, expected_health, inject_batch, inject_rhs};
 pub use plan::{
     gh_crossover_order, BatchPlan, ClassLayout, HealthPolicy, KernelChoice, PlanMethod, PlanParams,
-    SizeClass,
+    PrecisionPolicy, SizeClass,
 };
 pub use serve::SizeClassHandle;
 pub use simt::SimtSim;

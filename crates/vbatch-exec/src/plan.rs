@@ -144,6 +144,68 @@ impl HealthPolicy {
     }
 }
 
+/// Storage-precision policy for factorization — the generalization of
+/// [`HealthPolicy`] to the precision axis. The working precision is
+/// always the batch's scalar type `T`; the policy only decides what
+/// precision the *factors* are stored (and computed) in.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub enum PrecisionPolicy {
+    /// Factorize and store every block in the working precision. This
+    /// is the default and is bitwise identical to the pre-policy
+    /// pipeline.
+    #[default]
+    FullDp,
+    /// Factorize every block in `T::Lower` (single precision for `f64`
+    /// batches) and apply through the widening solves with one step of
+    /// iterative refinement, but *promote* any block whose 1-norm
+    /// condition estimate exceeds `condest_threshold` back to a
+    /// full-working-precision factorization. The condest computed here
+    /// is cached on the block status and reused by health triage.
+    MixedPromote {
+        /// Condition-estimate threshold above which the lower-precision
+        /// factors are considered unsafe and the block is refactorized
+        /// in working precision. [`PrecisionPolicy::mixed`] picks
+        /// `0.25 / sqrt(eps_lower)` — the same half-the-mantissa rule
+        /// [`HealthPolicy::guarded`] uses, evaluated at the *storage*
+        /// precision.
+        condest_threshold: f64,
+    },
+    /// Factorize every block in `T::Lower` unconditionally: no condition
+    /// estimates, no promotions. On a well-conditioned batch this is
+    /// bitwise identical to [`PrecisionPolicy::MixedPromote`] (which
+    /// promotes nothing there); on an ill-conditioned batch it trades
+    /// accuracy for the SP flop rate.
+    ForceSp,
+}
+
+impl PrecisionPolicy {
+    /// Mixed policy with the default promotion threshold for scalar
+    /// type `T`: `0.25 / sqrt(eps)` of the *storage* precision
+    /// `T::Lower` (≈ 724 for f32 storage) — past that, SP factors lose
+    /// half their mantissa and refinement stalls.
+    pub fn mixed<T: Scalar>() -> Self {
+        PrecisionPolicy::MixedPromote {
+            condest_threshold: 0.25 / <T::Lower as Scalar>::epsilon().to_f64().sqrt(),
+        }
+    }
+
+    /// Stable label used in stats, CSV columns, and CLI flags:
+    /// `dp` / `mixed` / `sp`.
+    pub fn label(self) -> &'static str {
+        match self {
+            PrecisionPolicy::FullDp => "dp",
+            PrecisionPolicy::MixedPromote { .. } => "mixed",
+            PrecisionPolicy::ForceSp => "sp",
+        }
+    }
+
+    /// `true` when the policy stores factors in lowered precision (for
+    /// at least the well-conditioned blocks).
+    pub fn lowers_storage(&self) -> bool {
+        !matches!(self, PrecisionPolicy::FullDp)
+    }
+}
+
 /// Tunable planner thresholds. [`PlanParams::for_scalar`] gives the
 /// paper's values for the element type.
 #[derive(Clone, Copy, Debug)]
@@ -160,11 +222,13 @@ pub struct PlanParams {
     pub layout: BatchLayout,
     /// Post-factorization health triage policy.
     pub health: HealthPolicy,
+    /// Storage-precision policy for factorization.
+    pub precision: PrecisionPolicy,
 }
 
 impl PlanParams {
     /// Paper thresholds for scalar type `T`, with the default
-    /// interleaving policy and triage off.
+    /// interleaving policy, triage off, and full-precision storage.
     pub fn for_scalar<T: Scalar>() -> Self {
         PlanParams {
             gh_crossover: gh_crossover_order(T::BYTES),
@@ -172,6 +236,7 @@ impl PlanParams {
             small_max: 32,
             layout: BatchLayout::interleaved(),
             health: HealthPolicy::Off,
+            precision: PrecisionPolicy::FullDp,
         }
     }
 }
@@ -198,6 +263,7 @@ pub struct BatchPlan {
     choice: Vec<KernelChoice>,
     layouts: Vec<ClassLayout>,
     health: HealthPolicy,
+    precision: PrecisionPolicy,
 }
 
 /// Interleaving pays only for the LU-family sweep kernels on small
@@ -260,6 +326,7 @@ impl BatchPlan {
             choice,
             layouts,
             health: params.health,
+            precision: params.precision,
         }
     }
 
@@ -272,6 +339,17 @@ impl BatchPlan {
     /// The health triage policy the backends run after factorization.
     pub fn health(&self) -> HealthPolicy {
         self.health
+    }
+
+    /// Same plan with a different storage-precision policy.
+    pub fn with_precision(mut self, precision: PrecisionPolicy) -> Self {
+        self.precision = precision;
+        self
+    }
+
+    /// The storage-precision policy the backends factorize under.
+    pub fn precision(&self) -> PrecisionPolicy {
+        self.precision
     }
 
     /// Paper-crossover automatic plan for scalar type `T`.
@@ -330,6 +408,7 @@ impl BatchPlan {
             choice: vec![kernel; count],
             layouts: vec![class_layout; count],
             health: params.health,
+            precision: params.precision,
         }
     }
 
@@ -498,6 +577,39 @@ mod tests {
         let forced_blocked = BatchPlan::auto_with_layout::<f64>(&sizes, BatchLayout::Blocked);
         assert_eq!(forced_blocked.layout_for(0), ClassLayout::Blocked);
         assert_eq!(forced_blocked.layout_compact(), "blocked=40");
+    }
+
+    #[test]
+    fn precision_policy_defaults_and_labels() {
+        assert_eq!(PrecisionPolicy::default(), PrecisionPolicy::FullDp);
+        assert_eq!(PrecisionPolicy::FullDp.label(), "dp");
+        assert_eq!(PrecisionPolicy::ForceSp.label(), "sp");
+        assert!(!PrecisionPolicy::FullDp.lowers_storage());
+        assert!(PrecisionPolicy::ForceSp.lowers_storage());
+        // the mixed threshold is evaluated at the *storage* precision:
+        // identical for f32 and f64 batches since both store f32
+        let m64 = PrecisionPolicy::mixed::<f64>();
+        let m32 = PrecisionPolicy::mixed::<f32>();
+        assert_eq!(m64, m32);
+        assert_eq!(m64.label(), "mixed");
+        match m64 {
+            PrecisionPolicy::MixedPromote { condest_threshold } => {
+                let want = 0.25 / (f32::EPSILON as f64).sqrt();
+                assert!((condest_threshold - want).abs() < 1e-9);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn plan_carries_precision_policy() {
+        let plan = BatchPlan::auto::<f64>(&[8, 8, 30]);
+        assert_eq!(plan.precision(), PrecisionPolicy::FullDp);
+        let plan = plan.with_precision(PrecisionPolicy::ForceSp);
+        assert_eq!(plan.precision(), PrecisionPolicy::ForceSp);
+        let uni = BatchPlan::uniform_at_capacity::<f64>(8, 3, 16, BatchLayout::interleaved())
+            .with_precision(PrecisionPolicy::mixed::<f64>());
+        assert_eq!(uni.precision().label(), "mixed");
     }
 
     #[test]

@@ -30,7 +30,7 @@
 
 use crate::backend::Backend;
 use crate::factors::BlockStatus;
-use crate::plan::{BatchPlan, HealthPolicy};
+use crate::plan::{BatchPlan, HealthPolicy, PrecisionPolicy};
 use crate::stats::ExecStats;
 use std::sync::Arc;
 use vbatch_core::{BatchLayout, MatrixBatch, Scalar, VectorBatch};
@@ -44,6 +44,7 @@ pub struct SizeClassHandle<T: Scalar> {
     backend: Arc<dyn Backend<T>>,
     health: HealthPolicy,
     layout: BatchLayout,
+    precision: PrecisionPolicy,
     /// Uniform size list at full capacity; flushes borrow a prefix.
     sizes: Vec<usize>,
     /// Plan cache, indexed by member count (`1..=capacity`).
@@ -64,6 +65,7 @@ impl<T: Scalar> SizeClassHandle<T> {
         backend: Arc<dyn Backend<T>>,
         health: HealthPolicy,
         layout: BatchLayout,
+        precision: PrecisionPolicy,
     ) -> Self {
         assert!(n >= 1, "block order must be at least 1");
         assert!(capacity >= 1, "class capacity must be at least 1");
@@ -75,6 +77,7 @@ impl<T: Scalar> SizeClassHandle<T> {
             backend,
             health,
             layout,
+            precision,
             sizes: vec![n; capacity],
             plans,
             rhs: VectorBatch::zeros(&[]),
@@ -139,6 +142,7 @@ impl<T: Scalar> SizeClassHandle<T> {
             // a full flush run bitwise-identical arithmetic.
             BatchPlan::uniform_at_capacity::<T>(n, count, self.capacity, self.layout)
                 .with_health(self.health)
+                .with_precision(self.precision)
         });
         let factors = self.backend.factorize(batch, plan, &mut self.stats);
         self.backend.solve(&factors, &mut self.rhs, &mut self.stats);
@@ -175,6 +179,7 @@ mod tests {
             Arc::new(CpuSequential),
             HealthPolicy::guarded::<f64>(),
             BatchLayout::Blocked,
+            PrecisionPolicy::FullDp,
         )
     }
 

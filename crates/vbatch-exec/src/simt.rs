@@ -138,6 +138,13 @@ impl<T: Scalar> Backend<T> for SimtSim {
         stats: &mut ExecStats,
     ) -> FactorizedBatch<T> {
         assert_eq!(plan.len(), blocks.len(), "plan does not match batch");
+        // The simulator has no lowered-precision device kernels; under a
+        // lowered policy the whole batch takes the host mixed path (the
+        // same one the CPU backends run), keeping policy semantics —
+        // promotion, refinement, stats — identical across backends.
+        if plan.precision().lowers_storage() && T::HAS_LOWER {
+            return crate::cpu::factorize_cpu(blocks, plan, false, false, stats);
+        }
         let t0 = Instant::now();
         stats.add_flops(blocks.getrf_flops());
         // The simulated device reads the batch coalesced regardless of
@@ -298,6 +305,8 @@ impl<T: Scalar> Backend<T> for SimtSim {
             factors,
             status,
             interleaved: Vec::new(),
+            interleaved_lower: Vec::new(),
+            retained: None,
         };
         crate::health::triage_batch(&blocks, &mut batch, plan.health());
         record_statuses(&batch.status, stats);

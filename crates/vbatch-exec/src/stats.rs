@@ -12,6 +12,7 @@ use crate::factors::{BlockHealth, RecoveryStep};
 use crate::plan::{ClassLayout, KernelChoice};
 use std::collections::BTreeMap;
 use std::time::Duration;
+use vbatch_core::StoragePrecision;
 use vbatch_simt::CostCounter;
 use vbatch_sparse::LevelSchedule;
 
@@ -83,6 +84,12 @@ pub struct ExecStats {
     /// Preconditioner-kind histogram: label → applies routed through
     /// that preconditioner. Local-only for the same hot-path reason.
     precond: BTreeMap<&'static str, u64>,
+    /// Storage-precision histogram: label → blocks whose factors are
+    /// stored in that precision.
+    precisions: BTreeMap<&'static str, u64>,
+    /// Blocks a mixed-precision policy promoted back to native-precision
+    /// factors (condition estimate above the promotion threshold).
+    pub promotions: u64,
 }
 
 impl ExecStats {
@@ -132,6 +139,20 @@ impl ExecStats {
     pub fn record_recovery(&mut self, step: RecoveryStep) {
         *self.recoveries.entry(step.label()).or_insert(0) += 1;
         vbatch_trace::labeled_add("exec.recovery", step.label(), 1);
+    }
+
+    /// Record `blocks` blocks whose factors are stored in precision `p`.
+    pub fn record_precision(&mut self, p: StoragePrecision, blocks: u64) {
+        if blocks > 0 {
+            *self.precisions.entry(p.label()).or_insert(0) += blocks;
+            vbatch_trace::labeled_add("exec.precision", p.label(), blocks);
+        }
+    }
+
+    /// Record one condest-gated promotion back to native precision.
+    pub fn record_promotion(&mut self) {
+        self.promotions += 1;
+        vbatch_trace::counter!("exec.promotions", 1);
     }
 
     /// Accumulate nominal flops.
@@ -273,6 +294,20 @@ impl ExecStats {
             .join(";")
     }
 
+    /// Storage-precision histogram (label → block count).
+    pub fn precision_histogram(&self) -> &BTreeMap<&'static str, u64> {
+        &self.precisions
+    }
+
+    /// Precision histogram as a compact `label=count;...` string.
+    pub fn precision_compact(&self) -> String {
+        self.precisions
+            .iter()
+            .map(|(k, c)| format!("{k}={c}"))
+            .collect::<Vec<_>>()
+            .join(";")
+    }
+
     /// Recovery-step histogram (label → application count).
     pub fn recovery_histogram(&self) -> &BTreeMap<&'static str, u64> {
         &self.recoveries
@@ -307,6 +342,10 @@ impl ExecStats {
         for (k, c) in &other.precond {
             *self.precond.entry(k).or_insert(0) += c;
         }
+        for (k, c) in &other.precisions {
+            *self.precisions.entry(k).or_insert(0) += c;
+        }
+        self.promotions += other.promotions;
         self.flops += other.flops;
         self.failures += other.failures;
         for (p, d) in &other.phase_times {
@@ -387,6 +426,26 @@ mod tests {
         assert_eq!(a.level_histogram()[&1], 5);
         assert_eq!(a.level_compact(), "0=4;1=5;2=0");
         assert_eq!(a.precond_compact(), "bilu=2;bj=1");
+    }
+
+    #[test]
+    fn precision_histogram_and_promotions_merge() {
+        let mut a = ExecStats::new();
+        a.record_precision(StoragePrecision::Lower, 3);
+        a.record_precision(StoragePrecision::Native, 1);
+        a.record_promotion();
+        let mut b = ExecStats::new();
+        b.record_precision(StoragePrecision::Lower, 2);
+        b.record_promotion();
+        b.record_promotion();
+        a.merge(&b);
+        assert_eq!(a.precision_histogram()["lower"], 5);
+        assert_eq!(a.precision_histogram()["native"], 1);
+        assert_eq!(a.precision_compact(), "lower=5;native=1");
+        assert_eq!(a.promotions, 3);
+        // zero-count records stay out of the histogram
+        a.record_precision(StoragePrecision::Native, 0);
+        assert_eq!(a.precision_histogram()["native"], 1);
     }
 
     #[test]

@@ -204,7 +204,8 @@ impl<T: Scalar> BlockIlu0<T> {
             opts.method.plan_method(),
             opts.layout,
         )
-        .with_health(opts.health);
+        .with_health(opts.health)
+        .with_precision(opts.precision);
         let factors = backend.factorize(blocks, &plan, &mut stats);
         let fallback_blocks = factors.fallback_count();
         let prepared = backend.prepare_apply(&factors);

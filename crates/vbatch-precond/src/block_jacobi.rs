@@ -167,7 +167,8 @@ impl<T: Scalar> BlockJacobi<T> {
             opts.method.plan_method(),
             opts.layout,
         )
-        .with_health(opts.health);
+        .with_health(opts.health)
+        .with_precision(opts.precision);
         let factors = backend.factorize(blocks, &plan, &mut stats);
         let fallback_blocks = factors.fallback_count();
         let prepared = backend.prepare_apply(&factors);

@@ -11,7 +11,7 @@
 //! wrappers over it.
 
 use vbatch_core::{BatchLayout, Scalar};
-use vbatch_exec::{FaultPlan, HealthPolicy, PlanMethod};
+use vbatch_exec::{FaultPlan, HealthPolicy, PlanMethod, PrecisionPolicy};
 
 /// The batched factorization driving the diagonal-block solves (the
 /// four methods of §IV plus the Cholesky extension and the planner).
@@ -84,18 +84,24 @@ pub struct PrecondOptions {
     /// Post-factorization health triage ([`HealthPolicy::Off`] keeps
     /// the historical bitwise behaviour).
     pub health: HealthPolicy,
+    /// Storage-precision policy for the diagonal-block factorization
+    /// ([`PrecisionPolicy::FullDp`] keeps the historical bitwise
+    /// behaviour; the mixed/SP policies factorize in `T::Lower` and
+    /// apply through the widening refinement solves).
+    pub precision: PrecisionPolicy,
     /// Corrupt the extracted blocks with this plan before factorizing.
     pub fault: Option<FaultPlan>,
 }
 
 impl Default for PrecondOptions {
     /// Planner-chosen kernels, interleave populous uniform classes, no
-    /// triage, no faults.
+    /// triage, full-precision storage, no faults.
     fn default() -> Self {
         PrecondOptions {
             method: BjMethod::Auto,
             layout: BatchLayout::interleaved(),
             health: HealthPolicy::Off,
+            precision: PrecisionPolicy::FullDp,
             fault: None,
         }
     }
@@ -129,6 +135,12 @@ impl PrecondOptions {
         self
     }
 
+    /// Set the storage-precision policy.
+    pub fn with_precision(mut self, precision: PrecisionPolicy) -> Self {
+        self.precision = precision;
+        self
+    }
+
     /// Set the fault-injection plan.
     pub fn with_fault(mut self, plan: FaultPlan) -> Self {
         self.fault = Some(plan);
@@ -149,11 +161,14 @@ mod tests {
         let o = PrecondOptions::default()
             .with_method(BjMethod::SmallLu)
             .with_layout(BatchLayout::Blocked)
-            .with_health(HealthPolicy::guarded::<f64>());
+            .with_health(HealthPolicy::guarded::<f64>())
+            .with_precision(PrecisionPolicy::mixed::<f64>());
         assert_eq!(o.method, BjMethod::SmallLu);
         assert_eq!(o.layout, BatchLayout::Blocked);
         assert!(o.fault.is_none());
         assert!(!matches!(o.health, HealthPolicy::Off));
+        assert!(o.precision.lowers_storage());
         assert_eq!(PrecondOptions::default().method, BjMethod::Auto);
+        assert_eq!(PrecondOptions::default().precision, PrecisionPolicy::FullDp);
     }
 }

@@ -32,7 +32,7 @@ use std::sync::Arc;
 use std::thread;
 
 use vbatch_core::{BatchLayout, Scalar};
-use vbatch_exec::{Backend, BlockHealth, HealthPolicy, SizeClassHandle};
+use vbatch_exec::{Backend, BlockHealth, HealthPolicy, PrecisionPolicy, SizeClassHandle};
 use vbatch_rt::chaos::ChaosPlan;
 
 use crate::config::ServeConfig;
@@ -88,6 +88,8 @@ pub(crate) struct ShardBatcher<T: Scalar> {
     backend: Arc<dyn Backend<T>>,
     health: HealthPolicy,
     layout: BatchLayout,
+    precision: PrecisionPolicy,
+    class_precision: Arc<BTreeMap<usize, PrecisionPolicy>>,
     handles: BTreeMap<usize, SizeClassHandle<T>>,
     pending: BTreeMap<usize, VecDeque<Envelope<T>>>,
     flushes: u64,
@@ -108,6 +110,8 @@ impl<T: Scalar + 'static> ShardBatcher<T> {
         backend: Arc<dyn Backend<T>>,
         health: HealthPolicy,
         layout: BatchLayout,
+        precision: PrecisionPolicy,
+        class_precision: Arc<BTreeMap<usize, PrecisionPolicy>>,
     ) -> Self {
         let cap = cfg.class_capacity;
         ShardBatcher {
@@ -119,6 +123,8 @@ impl<T: Scalar + 'static> ShardBatcher<T> {
             backend,
             health,
             layout,
+            precision,
+            class_precision,
             handles: BTreeMap::new(),
             pending: BTreeMap::new(),
             flushes: 0,
@@ -237,12 +243,18 @@ impl<T: Scalar + 'static> ShardBatcher<T> {
         let handle = match self.handles.get_mut(&n) {
             Some(h) => h,
             None => {
+                let precision = self
+                    .class_precision
+                    .get(&n)
+                    .copied()
+                    .unwrap_or(self.precision);
                 let h = SizeClassHandle::new(
                     n,
                     self.cfg.class_capacity,
                     Arc::clone(&self.backend),
                     self.health,
                     self.layout,
+                    precision,
                 );
                 self.handles.entry(n).or_insert(h)
             }

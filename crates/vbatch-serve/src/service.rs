@@ -12,8 +12,10 @@
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
+use std::collections::BTreeMap;
+
 use vbatch_core::{BatchLayout, Scalar};
-use vbatch_exec::{Backend, CpuSequential, HealthPolicy};
+use vbatch_exec::{Backend, CpuSequential, HealthPolicy, PrecisionPolicy};
 use vbatch_rt::bench::{monotonic_ns, MonoTimer, RawClock};
 use vbatch_rt::chaos::ChaosPlan;
 use vbatch_rt::sync::{bounded, CancelToken, Receiver, RecvError, Sender, TrySendError};
@@ -59,12 +61,15 @@ pub struct ServiceBuilder<T: Scalar> {
     clock: Arc<dyn ServiceClock>,
     health: HealthPolicy,
     layout: BatchLayout,
+    precision: PrecisionPolicy,
+    class_precision: BTreeMap<usize, PrecisionPolicy>,
     chaos: Option<Arc<ChaosPlan>>,
 }
 
 impl<T: Scalar + 'static> ServiceBuilder<T> {
     /// A builder over `cfg` with the sequential CPU backend, the global
-    /// monotonic clock, guarded health triage, and the blocked layout.
+    /// monotonic clock, guarded health triage, the blocked layout, and
+    /// full-precision factor storage.
     pub fn new(cfg: ServeConfig) -> Self {
         ServiceBuilder {
             cfg,
@@ -72,6 +77,8 @@ impl<T: Scalar + 'static> ServiceBuilder<T> {
             clock: Arc::new(GlobalClock),
             health: HealthPolicy::guarded::<T>(),
             layout: BatchLayout::Blocked,
+            precision: PrecisionPolicy::FullDp,
+            class_precision: BTreeMap::new(),
             chaos: None,
         }
     }
@@ -100,6 +107,19 @@ impl<T: Scalar + 'static> ServiceBuilder<T> {
         self
     }
 
+    /// Default storage-precision policy for every size class.
+    pub fn precision(mut self, precision: PrecisionPolicy) -> Self {
+        self.precision = precision;
+        self
+    }
+
+    /// Override the storage-precision policy for the request class of
+    /// block order `n` (takes precedence over [`ServiceBuilder::precision`]).
+    pub fn class_precision(mut self, n: usize, precision: PrecisionPolicy) -> Self {
+        self.class_precision.insert(n, precision);
+        self
+    }
+
     /// Inject a deterministic chaos schedule (worker delays). Test
     /// harness hook; `None` in production.
     pub fn chaos(mut self, chaos: Arc<ChaosPlan>) -> Self {
@@ -112,6 +132,7 @@ impl<T: Scalar + 'static> ServiceBuilder<T> {
         self.cfg.validate()?;
         let registry = Arc::new(TenantRegistry::new());
         let cancel = CancelToken::new();
+        let class_precision = Arc::new(self.class_precision);
         let mut senders = Vec::with_capacity(self.cfg.shards);
         let mut workers = Vec::with_capacity(self.cfg.shards);
         for shard in 0..self.cfg.shards {
@@ -125,6 +146,8 @@ impl<T: Scalar + 'static> ServiceBuilder<T> {
                 Arc::clone(&self.backend),
                 self.health,
                 self.layout,
+                self.precision,
+                Arc::clone(&class_precision),
             );
             let idle = self.cfg.idle_tick;
             workers.push(

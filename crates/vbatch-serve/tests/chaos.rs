@@ -15,7 +15,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use vbatch_core::BatchLayout;
-use vbatch_exec::{CpuSequential, HealthPolicy, SizeClassHandle};
+use vbatch_exec::{CpuSequential, HealthPolicy, PrecisionPolicy, SizeClassHandle};
 use vbatch_rt::bench::MonoTimer;
 use vbatch_rt::chaos::{ChaosPlan, SkewClock};
 use vbatch_rt::check::run_cases;
@@ -53,6 +53,7 @@ fn solo_reference(cfg: &ServeConfig, n: usize, matrix: &[f64], rhs: &[f64]) -> V
         Arc::new(CpuSequential),
         HealthPolicy::guarded::<f64>(),
         BatchLayout::Blocked,
+        PrecisionPolicy::FullDp,
     );
     let mut x = rhs.to_vec();
     let mut refs: Vec<&mut [f64]> = vec![x.as_mut_slice()];

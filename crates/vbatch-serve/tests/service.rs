@@ -6,7 +6,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use vbatch_core::BatchLayout;
-use vbatch_exec::{BlockHealth, CpuSequential, HealthPolicy, SizeClassHandle};
+use vbatch_exec::{BlockHealth, CpuSequential, HealthPolicy, PrecisionPolicy, SizeClassHandle};
 use vbatch_rt::testgen::hashed_dense;
 use vbatch_serve::{
     ConfigError, Outcome, RejectReason, ServeConfig, Service, SolveRequest, TenantId,
@@ -40,6 +40,7 @@ fn solo_reference(cfg: &ServeConfig, n: usize, matrix: &[f64], rhs: &[f64]) -> V
         Arc::new(CpuSequential),
         HealthPolicy::guarded::<f64>(),
         BatchLayout::Blocked,
+        PrecisionPolicy::FullDp,
     );
     let mut x = rhs.to_vec();
     let mut refs: Vec<&mut [f64]> = vec![x.as_mut_slice()];

@@ -27,6 +27,12 @@ pub struct PrecondSolve<T> {
     pub setup_time: Duration,
     /// Singular blocks degraded to a fallback during factorization.
     pub fallback_blocks: usize,
+    /// Blocks stored in lowered (`T::Lower`) precision after setup —
+    /// nonzero only under a storage-lowering [`vbatch_exec::PrecisionPolicy`].
+    pub lowered_blocks: usize,
+    /// Blocks the condest gate promoted back to native precision under
+    /// [`vbatch_exec::PrecisionPolicy::MixedPromote`].
+    pub promoted_blocks: usize,
     /// Execution statistics of the setup phase.
     pub setup_stats: ExecStats,
     /// Backend the preconditioner ran on.
@@ -103,10 +109,19 @@ fn finish_solve<T: Scalar, M: BlockPreconditioner<T>>(
     m: &M,
 ) -> PrecondSolve<T> {
     let report = m.setup_report();
+    let lowered_blocks = report
+        .stats
+        .precision_histogram()
+        .get("lower")
+        .copied()
+        .unwrap_or(0) as usize;
+    let promoted_blocks = report.stats.promotions as usize;
     PrecondSolve {
         result,
         setup_time: report.setup_time,
         fallback_blocks: report.fallback_blocks,
+        lowered_blocks,
+        promoted_blocks,
         setup_stats: report.stats,
         backend_name: report.backend_name,
         precond_label: m.label(),
@@ -469,6 +484,57 @@ mod tests {
         )
         .unwrap();
         assert!(r1.iterations <= bj.result.iterations);
+    }
+
+    #[test]
+    fn mixed_precision_policy_converges_degraded_free() {
+        use vbatch_exec::PrecisionPolicy;
+        let a = laplace_2d::<f64>(8, 8);
+        let b = vec![1.0; 64];
+        let part = BlockPartition::uniform(64, 4);
+        let dp = idr_block_jacobi(
+            &a,
+            &b,
+            4,
+            &part,
+            BjMethod::SmallLu,
+            backend(),
+            &SolveParams::default(),
+        )
+        .unwrap();
+        let mixed = idr_precond::<f64, BlockJacobi<f64>>(
+            &a,
+            &b,
+            4,
+            &part,
+            backend(),
+            PrecondOptions::default()
+                .with_method(BjMethod::SmallLu)
+                .with_precision(PrecisionPolicy::mixed::<f64>()),
+            &SolveParams::default(),
+        )
+        .unwrap();
+        assert!(mixed.result.converged());
+        assert_eq!(mixed.fallback_blocks, 0, "no block may degrade under mixed");
+        // well-conditioned Laplace diagonal blocks: all lowered, none promoted
+        assert_eq!(mixed.lowered_blocks, 16);
+        assert_eq!(mixed.promoted_blocks, 0);
+        assert_eq!(dp.lowered_blocks, 0);
+        // the converged iterates agree to solver tolerance
+        let diff: f64 = dp
+            .result
+            .x
+            .iter()
+            .zip(&mixed.result.x)
+            .map(|(p, q)| (p - q) * (p - q))
+            .sum::<f64>()
+            .sqrt();
+        let norm: f64 = dp.result.x.iter().map(|v| v * v).sum::<f64>().sqrt();
+        assert!(
+            diff / norm < 1e-6,
+            "mixed drifted: relative diff {:e}",
+            diff / norm
+        );
     }
 
     #[test]

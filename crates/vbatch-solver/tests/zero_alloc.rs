@@ -274,6 +274,111 @@ fn warm_simd_idr_iterations_allocate_nothing() {
     );
 }
 
+/// The zero-allocation contract survives the precision-policy split: a
+/// warm mixed-storage apply runs the widening triangular solves plus
+/// one refinement step against the retained DP block, all through
+/// caller-provided scratch sized at `prepare_apply` time. The default
+/// layout interleaves the uniform `n = 8` classes, so this measures the
+/// lowered interleaved path, not just blocked factors.
+#[test]
+fn warm_mixed_precision_apply_allocates_nothing() {
+    use vbatch_exec::PrecisionPolicy;
+    let a = laplace_2d::<f64>(16, 16);
+    let n = a.nrows();
+    let part = BlockPartition::uniform(n, 8);
+    for layout in [
+        vbatch_core::BatchLayout::Blocked,
+        vbatch_core::BatchLayout::interleaved(),
+    ] {
+        for policy in [PrecisionPolicy::mixed::<f64>(), PrecisionPolicy::ForceSp] {
+            let m = vbatch_precond::BlockJacobi::setup_opts(
+                &a,
+                &part,
+                backend(),
+                PrecondOptions::default()
+                    .with_method(BjMethod::SmallLu)
+                    .with_layout(layout)
+                    .with_precision(policy),
+            )
+            .unwrap();
+            let mut v: Vec<f64> = (0..n).map(|i| 1.0 + (i % 5) as f64).collect();
+            m.apply_inplace(&mut v); // warm-up
+            let before = ALLOC.snapshot();
+            m.apply_inplace(&mut v);
+            m.apply_inplace(&mut v);
+            let after = ALLOC.snapshot();
+            assert_eq!(
+                after.allocs_since(&before),
+                0,
+                "warm {}/{} apply must not allocate ({} bytes leaked in)",
+                layout.label(),
+                policy.label(),
+                after.bytes_since(&before)
+            );
+            assert!(v.iter().all(|x| x.is_finite()));
+        }
+    }
+}
+
+/// Differential proof for the mixed policy over the full Krylov loop:
+/// extra warm IDR(4) iterations through lowered-storage block-Jacobi
+/// factors cost zero additional allocations.
+#[test]
+fn warm_mixed_idr_iterations_allocate_nothing() {
+    use vbatch_exec::PrecisionPolicy;
+    let a = laplace_2d::<f64>(20, 20);
+    let n = a.nrows();
+    let b: Vec<f64> = (0..n).map(|i| 1.0 + (i % 7) as f64).collect();
+    let part = BlockPartition::uniform(n, 8);
+    let opts = PrecondOptions::default()
+        .with_method(BjMethod::SmallLu)
+        .with_precision(PrecisionPolicy::mixed::<f64>());
+
+    let short = SolveParams::default().with_max_iters(4);
+    let long = SolveParams::default().with_max_iters(24);
+
+    let mut handle = IdrSolver::<f64, vbatch_precond::BlockJacobi<f64>>::setup_opts(
+        &a,
+        4,
+        &part,
+        backend(),
+        opts.clone(),
+        &short,
+    )
+    .unwrap();
+    let warm = handle.solve(&a, &b);
+    assert_eq!(warm.reason, StopReason::MaxIterations);
+
+    let s0 = ALLOC.snapshot();
+    let r_short = handle.solve(&a, &b);
+    let allocs_short = ALLOC.snapshot().allocs_since(&s0);
+
+    let mut handle_long = IdrSolver::<f64, vbatch_precond::BlockJacobi<f64>>::setup_opts(
+        &a,
+        4,
+        &part,
+        backend(),
+        opts,
+        &long,
+    )
+    .unwrap();
+    let warm_long = handle_long.solve(&a, &b);
+    assert_eq!(warm_long.reason, StopReason::MaxIterations);
+
+    let s1 = ALLOC.snapshot();
+    let r_long = handle_long.solve(&a, &b);
+    let allocs_long = ALLOC.snapshot().allocs_since(&s1);
+
+    assert!(r_long.iterations > r_short.iterations + 10);
+    assert_eq!(
+        allocs_long,
+        allocs_short,
+        "the {} extra warm mixed-precision iterations must allocate nothing \
+         (short solve: {allocs_short} allocs, long solve: {allocs_long})",
+        r_long.iterations - r_short.iterations
+    );
+}
+
 #[test]
 fn warm_idr_iterations_allocate_nothing() {
     let a = laplace_2d::<f64>(20, 20);
