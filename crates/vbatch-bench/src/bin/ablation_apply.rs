@@ -270,6 +270,11 @@ fn main() {
             let m = BlockIlu0::setup_opts(&a, &part, backend, opts).expect("block-ILU(0) setup");
             idr(&a, &b, 4, &m, &SolveParams::default())
         }
+        PrecondKind::Spike => {
+            let sp = vbatch_sparse::SpikePartition::detect(&a, 8).expect("spike partition");
+            let m = vbatch_solver::SpikeSolver::setup(&a, &sp, backend, opts).expect("spike setup");
+            idr(&a, &b, 4, &m, &SolveParams::default())
+        }
     };
     println!(
         "\nTraced IDR(4)+{} solve: {} iterations, relres {:.3e}",

@@ -15,8 +15,8 @@ use vbatch_exec::{
     PrecisionPolicy,
 };
 use vbatch_precond::{BjMethod, BlockIlu0, Jacobi, PrecondKind, PrecondOptions, Preconditioner};
-use vbatch_solver::{idr, idr_precond_kind, SolveParams, StopReason};
-use vbatch_sparse::{supervariable_blocking, BlockPartition, CooMatrix, CsrMatrix};
+use vbatch_solver::{idr, idr_precond_kind, SolveParams, SpikeSolver, StopReason};
+use vbatch_sparse::{supervariable_blocking, BlockPartition, CooMatrix, CsrMatrix, SpikePartition};
 
 /// Batch-size sweep used by Figs. 4 and 6 (the paper's x-axis reaches
 /// 40,000 systems).
@@ -108,6 +108,27 @@ pub const FIG_MIXED_HEADER: [&str; 12] = [
     "idr_setup_s",
     "idr_relres",
     "converged",
+];
+
+/// CSV schema of the `fig_spike` artifact: the SPIKE partition-scaling
+/// sweep (EXPERIMENTS.md §H). Phase columns come from the solver's
+/// [`ExecStats`] spans (`factor_ms` the batched partition
+/// factorization, `reduce_ms` the spike formation plus the reduced
+/// coupling system, `apply_ms` the cumulative warm applies of the
+/// refinement loop).
+pub const FIG_SPIKE_HEADER: [&str; 12] = [
+    "precision",
+    "n",
+    "bandwidth",
+    "partitions",
+    "interfaces",
+    "setup_ms",
+    "factor_ms",
+    "reduce_ms",
+    "apply_ms",
+    "refinements",
+    "relres",
+    "solve_ms",
 ];
 
 /// CSV schema of the Fig. 5 artifact (layout and apply columns as in
@@ -274,7 +295,7 @@ pub fn parse_backend_flag() -> (Arc<dyn Backend<f64>>, &'static str) {
     }
 }
 
-/// Parse the `--precond {bj,bilu}` flag shared by the experiment bins
+/// Parse the `--precond {bj,bilu,spike}` flag shared by the experiment bins
 /// (`--precond bilu` or `--precond=bilu`); defaults to block-Jacobi,
 /// the historical behaviour. An unknown value is a usage error:
 /// reported on stderr, exit status 2.
@@ -283,7 +304,7 @@ pub fn parse_precond_flag() -> PrecondKind {
         None => PrecondKind::BlockJacobi,
         Some(v) => PrecondKind::parse(&v).unwrap_or_else(|| {
             usage_error(&format!(
-                "unknown --precond value {v:?} (expected bj or bilu)"
+                "unknown --precond value {v:?} (expected bj, bilu or spike)"
             ))
         }),
     }
@@ -314,21 +335,28 @@ pub fn parse_precision_flag() -> PrecisionPolicy {
 pub fn block_tridiag_system<T: Scalar>(count: usize, n: usize) -> (CsrMatrix<T>, BlockPartition) {
     let total = count * n;
     let mut coo = CooMatrix::new(total, total);
-    for blk in 0..count {
-        let base = blk * n;
-        for i in 0..n {
-            for j in 0..n {
-                let h = (i * 131 + j * 37 + blk * 17 + 3) % 1024;
-                let v = h as f64 / 512.0 - 1.0 + if i == j { (n + 2) as f64 } else { 0.0 };
-                coo.push(base + i, base + j, T::from_f64(v));
-            }
-            if blk + 1 < count {
-                coo.push(base + i, base + n + i, T::from_f64(-0.25));
-                coo.push(base + n + i, base + i, T::from_f64(-0.25));
-            }
-        }
+    for (i, j, v) in vbatch_rt::testgen::block_tridiag_triplets(count, n, -0.25) {
+        coo.push(i, j, T::from_f64(v));
     }
     (coo.to_csr(), BlockPartition::uniform(total, n))
+}
+
+/// Seeded diagonally-dominant banded bench system from the shared
+/// [`vbatch_rt::testgen`] generator: dense band of half-bandwidth
+/// `bw`, unit diagonal, per-row off-diagonal mass `1 / dominance` —
+/// the SPIKE partition-scaling input (benches and property suites
+/// draw from the same source of cases).
+pub fn banded_bench_system<T: Scalar>(
+    n: usize,
+    bw: usize,
+    dominance: f64,
+    seed: u64,
+) -> CsrMatrix<T> {
+    let mut coo = CooMatrix::new(n, n);
+    for (i, j, v) in vbatch_rt::testgen::banded_system_triplets(n, bw, dominance, seed) {
+        coo.push(i, j, T::from_f64(v));
+    }
+    coo.to_csr()
 }
 
 /// Measured host (CpuSequential) *preconditioner apply* throughput in
@@ -337,7 +365,10 @@ pub fn block_tridiag_system<T: Scalar>(count: usize, n: usize) -> (CsrMatrix<T>,
 /// prepared batched diagonal solve ([`measure_cpu_apply`], `2 n²` flops
 /// per block); block-ILU(0) measures the full three-stage apply (lower
 /// sweep, prepared diagonal solve, normalized upper sweep) on the
-/// block-tridiagonal system of the same shape.
+/// block-tridiagonal system of the same shape; SPIKE measures one full
+/// split pass (prepared partition solves, reduced coupling solve,
+/// recovery GEMVs) on the same system split into `count / 4`
+/// partitions.
 pub fn measure_precond_apply<T: Scalar>(kind: PrecondKind, count: usize, n: usize) -> (f64, usize) {
     match kind {
         PrecondKind::BlockJacobi => {
@@ -368,6 +399,47 @@ pub fn measure_precond_apply<T: Scalar>(kind: PrecondKind, count: usize, n: usiz
                 + m.lower().sweep_flops()
                 + m.upper_tilde().sweep_flops();
             (flops / best / 1e9, m.prepared().workspace_hwm_elems())
+        }
+        PrecondKind::Spike => {
+            let (a, _) = block_tridiag_system::<T>(count, n);
+            let p = (count / 4).max(1);
+            let sp = SpikePartition::detect(&a, p).expect("spike bench partition");
+            let m = SpikeSolver::setup(
+                &a,
+                &sp,
+                Arc::new(CpuSequential) as Arc<dyn Backend<T>>,
+                PrecondOptions::default()
+                    .with_method(BjMethod::SmallLu)
+                    .with_layout(BatchLayout::Blocked),
+            )
+            .expect("spike bench setup");
+            let mut v: Vec<T> = (0..sp.part().total())
+                .map(|i| T::from_f64(1.0 + (i % 5) as f64))
+                .collect();
+            m.apply_inplace(&mut v); // warm-up
+            let mut best = f64::INFINITY;
+            for _ in 0..3 {
+                let t0 = Instant::now();
+                m.apply_inplace(&mut v);
+                best = best.min(t0.elapsed().as_secs_f64());
+            }
+            // Per apply: the prepared diagonal solve (2 n_j² each), the
+            // reduced coupling solve (p − 1 blocks of 2 (2k)²) and one
+            // n_j × k recovery GEMV per spike present.
+            let k = sp.bandwidth() as f64;
+            let blocks = sp.part().len();
+            let mut flops = 2.0 * (2.0 * k) * (2.0 * k) * sp.interfaces() as f64;
+            for j in 0..blocks {
+                let nj = sp.part().range(j).len() as f64;
+                flops += 2.0 * nj * nj;
+                if j + 1 < blocks {
+                    flops += 2.0 * nj * k;
+                }
+                if j > 0 {
+                    flops += 2.0 * nj * k;
+                }
+            }
+            (flops / best / 1e9, m.workspace_hwm_elems())
         }
     }
 }
@@ -614,6 +686,11 @@ mod tests {
              setup_speedup_vs_dp,setup_simd_speedup_vs_dp,idr_iters,idr_setup_s,idr_relres,\
              converged"
         );
+        assert_eq!(
+            FIG_SPIKE_HEADER.join(","),
+            "precision,n,bandwidth,partitions,interfaces,setup_ms,factor_ms,reduce_ms,\
+             apply_ms,refinements,relres,solve_ms"
+        );
     }
 
     #[test]
@@ -720,7 +797,7 @@ mod tests {
     }
 
     #[test]
-    fn precond_apply_measurement_is_sane_for_both_kinds() {
+    fn precond_apply_measurement_is_sane_for_every_kind() {
         for kind in PrecondKind::ALL {
             let (g, hwm) = measure_precond_apply::<f64>(kind, 48, 8);
             assert!(g.is_finite() && g > 0.0, "{kind:?}: {g}");

@@ -12,7 +12,7 @@ use crate::dense::DenseMat;
 use crate::scalar::Scalar;
 
 /// A batch of square column-major matrices of (possibly) different order.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct MatrixBatch<T> {
     sizes: Vec<usize>,
     offsets: Vec<usize>, // len = sizes.len() + 1, offsets[i+1]-offsets[i] = n_i^2

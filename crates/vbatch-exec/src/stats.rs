@@ -36,6 +36,10 @@ pub enum Phase {
     /// Global block triangular sweep ([`crate::BlockTriangular`]): the
     /// off-diagonal traffic of block-ILU(0) applies.
     Sweep,
+    /// Reduced coupling-system work of a SPIKE split: spike-tip
+    /// formation plus assembly and factorization of the interface
+    /// system.
+    Reduce,
 }
 
 impl Phase {
@@ -49,6 +53,7 @@ impl Phase {
             Phase::Gemv => "gemv",
             Phase::Apply => "apply",
             Phase::Sweep => "sweep",
+            Phase::Reduce => "reduce",
         }
     }
 }
@@ -174,6 +179,7 @@ impl ExecStats {
             Phase::Gemv => vbatch_trace::duration!("phase.gemv", ns),
             Phase::Apply => vbatch_trace::duration!("phase.apply", ns),
             Phase::Sweep => vbatch_trace::duration!("phase.sweep", ns),
+            Phase::Reduce => vbatch_trace::duration!("phase.reduce", ns),
         }
     }
 

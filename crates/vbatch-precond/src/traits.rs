@@ -38,7 +38,7 @@ pub trait Preconditioner<T: Scalar>: Send + Sync {
 }
 
 /// Which block preconditioner a driver should build — the dispatch
-/// token behind the benchmark bins' `--precond {bj,bilu}` flag.
+/// token behind the benchmark bins' `--precond {bj,bilu,spike}` flag.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum PrecondKind {
     /// Block-Jacobi: batched diagonal-block solves only.
@@ -46,18 +46,27 @@ pub enum PrecondKind {
     /// Block-ILU(0): batched diagonal-block solves plus level-scheduled
     /// global triangular sweeps.
     BlockIlu0,
+    /// SPIKE splitting (banded systems): batched partition solves plus
+    /// a reduced interface correction. Implemented downstream in
+    /// `vbatch-solver::spike`.
+    Spike,
 }
 
 impl PrecondKind {
-    /// Both kinds, comparison order.
-    pub const ALL: [PrecondKind; 2] = [PrecondKind::BlockJacobi, PrecondKind::BlockIlu0];
+    /// All kinds, comparison order.
+    pub const ALL: [PrecondKind; 3] = [
+        PrecondKind::BlockJacobi,
+        PrecondKind::BlockIlu0,
+        PrecondKind::Spike,
+    ];
 
-    /// Stable short label ("bj" / "bilu"), used in CSV output and flag
-    /// parsing.
+    /// Stable short label ("bj" / "bilu" / "spike"), used in CSV output
+    /// and flag parsing.
     pub fn label(self) -> &'static str {
         match self {
             PrecondKind::BlockJacobi => "bj",
             PrecondKind::BlockIlu0 => "bilu",
+            PrecondKind::Spike => "spike",
         }
     }
 
@@ -66,6 +75,7 @@ impl PrecondKind {
         match s {
             "bj" | "block-jacobi" => Some(PrecondKind::BlockJacobi),
             "bilu" | "bilu0" | "block-ilu" => Some(PrecondKind::BlockIlu0),
+            "spike" => Some(PrecondKind::Spike),
             _ => None,
         }
     }

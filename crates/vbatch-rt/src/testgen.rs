@@ -16,7 +16,9 @@
 //! * batches — [`ragged_sizes`], [`dd_batch`], [`uniform_dd_batch`];
 //! * sparse systems — [`coo_entries`], [`extra_couplings`],
 //!   [`dd_system_triplets`], [`spd_system_triplets`],
-//!   [`block_system_triplets`].
+//!   [`block_system_triplets`];
+//! * banded systems (SPIKE substrate) — [`banded_system_triplets`],
+//!   [`block_tridiag_triplets`].
 
 use crate::rng::SmallRng;
 
@@ -267,6 +269,81 @@ pub fn block_system_triplets(
     out
 }
 
+/// Deterministic banded `n × n` system as triplets: a dense band of
+/// half-bandwidth `bw` (every in-band position holds a hashed nonzero),
+/// unit diagonal, and each row's off-diagonal entries rescaled so their
+/// absolute sum is exactly `1 / dominance`. `dominance > 1` therefore
+/// gives a strictly diagonally dominant row (Gershgorin margin
+/// `1 - 1/dominance`), while `dominance < 1` deliberately breaks
+/// dominance — the conditioning knob of the SPIKE property suites.
+/// Reproducible from `(n, bw, dominance, seed)` alone.
+pub fn banded_system_triplets(
+    n: usize,
+    bw: usize,
+    dominance: f64,
+    seed: u64,
+) -> Vec<(usize, usize, f64)> {
+    assert!(dominance > 0.0, "dominance must be positive");
+    let mut out = Vec::new();
+    for i in 0..n {
+        let lo = i.saturating_sub(bw);
+        let hi = (i + bw).min(n.saturating_sub(1));
+        let mut row = Vec::new();
+        let mut rowsum = 0.0f64;
+        for j in lo..=hi {
+            if j == i {
+                continue;
+            }
+            let h = (i
+                .wrapping_mul(2654435761)
+                .wrapping_add(j.wrapping_mul(0x9e3779b9))
+                ^ (seed as usize).wrapping_mul(0x85ebca6b))
+                % 1024;
+            // (h - 511.5)/512 is never exactly zero, so the band stays
+            // structurally dense and `bandwidth()` reports `bw`.
+            let v = (h as f64 - 511.5) / 512.0;
+            row.push((i, j, v));
+            rowsum += v.abs();
+        }
+        if rowsum > 0.0 {
+            let scale = 1.0 / (dominance * rowsum);
+            for (i, j, v) in row {
+                out.push((i, j, v * scale));
+            }
+        }
+        out.push((i, i, 1.0));
+    }
+    out
+}
+
+/// Deterministic diagonally-dominant block-tridiagonal system as
+/// triplets: `count` dense diagonal blocks of order `n` (hashed
+/// entries, diagonal shifted by `n + 2`) coupled to their neighbours
+/// through diagonal coupling blocks of value `coupling`. With
+/// `coupling = -0.25` this reproduces, entry for entry, the matrix the
+/// benchmark suite has always used for block-ILU(0) and SPIKE
+/// throughput columns; property suites reuse it so benches and tests
+/// share one source of cases. The natural partition is `count` blocks
+/// of order `n`, and the structural half-bandwidth is exactly `n`.
+pub fn block_tridiag_triplets(count: usize, n: usize, coupling: f64) -> Vec<(usize, usize, f64)> {
+    let mut out = Vec::new();
+    for blk in 0..count {
+        let base = blk * n;
+        for i in 0..n {
+            for j in 0..n {
+                let h = (i * 131 + j * 37 + blk * 17 + 3) % 1024;
+                let v = h as f64 / 512.0 - 1.0 + if i == j { (n + 2) as f64 } else { 0.0 };
+                out.push((base + i, base + j, v));
+            }
+            if blk + 1 < count {
+                out.push((base + i, base + n + i, coupling));
+                out.push((base + n + i, base + i, coupling));
+            }
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -335,6 +412,66 @@ mod tests {
             for i in 0..n {
                 assert!(diag[i] > off[i], "row {i}: {} vs {}", diag[i], off[i]);
             }
+        }
+    }
+
+    #[test]
+    fn banded_triplets_are_banded_and_dominance_controlled() {
+        let (n, bw) = (23, 3);
+        let trips = banded_system_triplets(n, bw, 2.0, 7);
+        assert_eq!(trips, banded_system_triplets(n, bw, 2.0, 7));
+        assert_ne!(trips, banded_system_triplets(n, bw, 2.0, 8));
+        let mut max_off = 0usize;
+        let mut offsum = vec![0.0f64; n];
+        let mut diag = vec![0.0f64; n];
+        for &(i, j, v) in &trips {
+            if i == j {
+                diag[i] = v;
+            } else {
+                assert!(v != 0.0);
+                max_off = max_off.max(i.abs_diff(j));
+                offsum[i] += v.abs();
+            }
+        }
+        // dense band: every interior row reaches the full half-bandwidth
+        assert_eq!(max_off, bw);
+        for i in 0..n {
+            assert_eq!(diag[i], 1.0);
+            assert!((offsum[i] - 0.5).abs() < 1e-12, "row {i}: {}", offsum[i]);
+        }
+        // dominance < 1 breaks row dominance
+        let weak = banded_system_triplets(n, bw, 0.5, 7);
+        let mut offsum = vec![0.0f64; n];
+        for &(i, j, v) in &weak {
+            if i != j {
+                offsum[i] += v.abs();
+            }
+        }
+        assert!(offsum.iter().any(|&s| s > 1.0));
+    }
+
+    #[test]
+    fn block_tridiag_triplets_match_the_published_hash() {
+        let (count, n) = (3, 4);
+        let trips = block_tridiag_triplets(count, n, -0.25);
+        let total = count * n;
+        let mut dense = vec![0.0f64; total * total];
+        for &(i, j, v) in &trips {
+            dense[i * total + j] += v;
+        }
+        // spot-check the hash formula and the coupling pattern
+        let h = 2 * 131 + 37 + 17 + 3; // = 319, already under the 1024 modulus
+        assert_eq!(dense[(n + 2) * total + (n + 1)], h as f64 / 512.0 - 1.0);
+        assert_eq!(dense[total + n + 1], -0.25);
+        assert_eq!(dense[(n + 1) * total + 1], -0.25);
+        assert_eq!(dense[2 * n], 0.0); // beyond the coupling diagonal
+                                       // diagonally dominant throughout
+        for i in 0..total {
+            let off: f64 = (0..total)
+                .filter(|&j| j != i)
+                .map(|j| dense[i * total + j].abs())
+                .sum();
+            assert!(dense[i * total + i] > off, "row {i}");
         }
     }
 

@@ -60,7 +60,7 @@ pub fn idr_precond<T: Scalar, M: BlockPreconditioner<T>>(
 }
 
 /// Dispatch [`idr_precond`] on a runtime [`PrecondKind`] token — the
-/// entry point behind the benchmark bins' `--precond {bj,bilu}` flag.
+/// entry point behind the benchmark bins' `--precond {bj,bilu,spike}` flag.
 #[allow(clippy::too_many_arguments)] // mirrors idr_precond + kind
 pub fn idr_precond_kind<T: Scalar>(
     kind: PrecondKind,
@@ -78,6 +78,9 @@ pub fn idr_precond_kind<T: Scalar>(
         }
         PrecondKind::BlockIlu0 => {
             idr_precond::<T, BlockIlu0<T>>(a, b, s, part, backend, opts, params)
+        }
+        PrecondKind::Spike => {
+            idr_precond::<T, crate::spike::SpikeSolver<T>>(a, b, s, part, backend, opts, params)
         }
     }
 }

@@ -23,6 +23,7 @@ pub mod control;
 pub mod driver;
 pub mod gmres;
 pub mod idr;
+pub mod spike;
 pub mod workspace;
 
 pub use bicgstab::{bicgstab, bicgstab_with_workspace};
@@ -34,4 +35,5 @@ pub use driver::{
 };
 pub use gmres::{gmres, gmres_with_workspace};
 pub use idr::{idr, idr_smoothed, idr_smoothed_with_workspace, idr_with_workspace};
+pub use spike::{SpikeSolve, SpikeSolver};
 pub use workspace::KrylovWorkspace;

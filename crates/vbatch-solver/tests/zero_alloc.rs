@@ -379,6 +379,67 @@ fn warm_mixed_idr_iterations_allocate_nothing() {
     );
 }
 
+/// The SPIKE apply path honours the same contract: a warm truncated
+/// SPIKE pass — prepared partition solve, interface gather, prepared
+/// reduced solve, spike GEMV recovery — touches the heap exactly zero
+/// times (the interface workspace is sized at setup).
+#[test]
+fn warm_spike_apply_allocates_nothing() {
+    use vbatch_sparse::{CooMatrix, SpikePartition};
+    let n = 96;
+    let mut coo = CooMatrix::new(n, n);
+    for (i, j, v) in vbatch_rt::testgen::banded_system_triplets(n, 2, 2.0, 13) {
+        coo.push(i, j, v);
+    }
+    let a = coo.to_csr();
+    let sp = SpikePartition::uniform(n, 6, 2).unwrap();
+    let m =
+        vbatch_solver::SpikeSolver::setup(&a, &sp, backend(), PrecondOptions::default()).unwrap();
+    let mut v: Vec<f64> = (0..n).map(|i| 1.0 + (i % 5) as f64).collect();
+    m.apply_inplace(&mut v); // warm-up
+    let before = ALLOC.snapshot();
+    m.apply_inplace(&mut v);
+    m.apply_inplace(&mut v);
+    let after = ALLOC.snapshot();
+    assert_eq!(
+        after.allocs_since(&before),
+        0,
+        "warm SPIKE apply must not allocate ({} bytes leaked in)",
+        after.bytes_since(&before)
+    );
+    assert!(v.iter().all(|x| x.is_finite()));
+}
+
+/// And with tracing active: the SPIKE apply records its spans through
+/// pre-sized rings without heap traffic, exactly like block-Jacobi.
+#[test]
+fn warm_spike_apply_with_tracing_enabled_allocates_nothing() {
+    use vbatch_sparse::{CooMatrix, SpikePartition};
+    vbatch_trace::set_enabled(true);
+    let n = 96;
+    let mut coo = CooMatrix::new(n, n);
+    for (i, j, v) in vbatch_rt::testgen::banded_system_triplets(n, 2, 2.0, 13) {
+        coo.push(i, j, v);
+    }
+    let a = coo.to_csr();
+    let sp = SpikePartition::uniform(n, 6, 2).unwrap();
+    let m =
+        vbatch_solver::SpikeSolver::setup(&a, &sp, backend(), PrecondOptions::default()).unwrap();
+    let mut v: Vec<f64> = (0..n).map(|i| 1.0 + (i % 5) as f64).collect();
+    m.apply_inplace(&mut v); // warm-up (rings reserved at setup)
+    let before = ALLOC.snapshot();
+    m.apply_inplace(&mut v);
+    m.apply_inplace(&mut v);
+    let after = ALLOC.snapshot();
+    assert_eq!(
+        after.allocs_since(&before),
+        0,
+        "warm traced SPIKE apply must not allocate ({} bytes leaked in)",
+        after.bytes_since(&before)
+    );
+    assert!(v.iter().all(|x| x.is_finite()));
+}
+
 #[test]
 fn warm_idr_iterations_allocate_nothing() {
     let a = laplace_2d::<f64>(20, 20);

@@ -18,13 +18,14 @@ pub mod mm_io;
 pub mod pattern;
 pub mod reorder;
 pub mod sellp;
+pub mod spike;
 pub mod spmv;
 pub mod stats;
 
 pub use blocking::{find_supervariables, supervariable_blocking, BlockPartition};
 pub use coo::CooMatrix;
 pub use csr::CsrMatrix;
-pub use extract::{block_coverage, extract_diag_blocks};
+pub use extract::{block_coverage, extract_diag_blocks, extract_diag_blocks_chunked};
 pub use gen::suite::{by_name, table1_suite, ProblemClass, SuiteProblem};
 pub use mm_io::{
     read_matrix_market, read_matrix_market_str, write_matrix_market, write_matrix_market_str,
@@ -33,5 +34,8 @@ pub use mm_io::{
 pub use pattern::{BlockPattern, LevelSchedule, TriKind};
 pub use reorder::{is_permutation, reverse_cuthill_mckee};
 pub use sellp::SellPMatrix;
+pub use spike::{
+    extract_spike_blocks, extract_spike_blocks_chunked, SpikeBlocks, SpikeError, SpikePartition,
+};
 pub use spmv::{axpy, dot, nrm2, residual, scal, spmv, spmv_alloc, spmv_par, xpby};
 pub use stats::{matrix_stats, partition_stats, row_length_histogram, MatrixStats, PartitionStats};
